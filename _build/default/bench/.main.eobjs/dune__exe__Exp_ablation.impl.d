@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: List Printf Profiler Util Workloads

@@ -1,0 +1,1 @@
+bench/exp_accuracy.ml: List Printf Profiler String Util Workloads

@@ -1,0 +1,1 @@
+bench/exp_comm.ml: Apps List Printf Profiler Util Workloads

@@ -1,0 +1,1 @@
+bench/exp_cugraphs.ml: Cunit List Mil Printf Profiler Util Workloads

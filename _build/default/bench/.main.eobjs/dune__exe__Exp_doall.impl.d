@@ -1,0 +1,1 @@
+bench/exp_doall.ml: Discovery List Printf Util Workloads

@@ -1,0 +1,1 @@
+bench/exp_examples.ml: Mil Printf Profiler Util

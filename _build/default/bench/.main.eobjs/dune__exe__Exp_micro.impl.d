@@ -1,0 +1,1 @@
+bench/exp_micro.ml: Analyze Array Bechamel Benchmark Hashtbl Instance List Measure Mil Printf Profiler Sigmem Staged Test Time Toolkit Trace Util Workloads

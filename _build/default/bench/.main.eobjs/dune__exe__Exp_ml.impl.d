@@ -1,0 +1,1 @@
+bench/exp_ml.ml: Apps List Printf Util Workloads

@@ -1,0 +1,1 @@
+bench/exp_ranking.ml: Discovery List Util Workloads

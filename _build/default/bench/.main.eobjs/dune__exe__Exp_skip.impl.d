@@ -1,0 +1,1 @@
+bench/exp_skip.ml: List Printf Profiler Util Workloads

@@ -1,0 +1,1 @@
+bench/exp_slowdown.ml: Array List Printf Profiler String Util Workloads

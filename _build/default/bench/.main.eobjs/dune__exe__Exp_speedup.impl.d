@@ -1,0 +1,1 @@
+bench/exp_speedup.ml: Array Discovery Domain List Printf Profiler String Util Workloads

@@ -1,0 +1,1 @@
+bench/exp_stm.ml: Apps Discovery List Printf Util Workloads

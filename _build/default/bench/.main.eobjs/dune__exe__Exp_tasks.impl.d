@@ -1,0 +1,1 @@
+bench/exp_tasks.ml: Discovery List Printf String Util Workloads

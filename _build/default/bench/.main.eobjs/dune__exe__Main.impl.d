@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablation Exp_accuracy Exp_comm Exp_cugraphs Exp_doall Exp_examples Exp_micro Exp_ml Exp_ranking Exp_skip Exp_slowdown Exp_speedup Exp_stm Exp_tasks List Printf Sys Unix

@@ -1,0 +1,1 @@
+bench/util.ml: Hashtbl List Mil Printf String Trace Unix Workloads

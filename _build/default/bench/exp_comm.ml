@@ -1,0 +1,25 @@
+(* §5.3 / Fig 5.1 — communication patterns of multi-threaded programs derived
+   from the profiler's cross-thread RAW dependences. The primary subjects are
+   the splash2x analogues, as in the paper; the pthread Starbench targets
+   follow for comparison. *)
+
+let show (w : Workloads.Registry.t) =
+  let prog = Workloads.Registry.program w in
+  let r = Profiler.Serial.profile prog in
+  let m = Apps.Comm.of_deps r.deps in
+  Printf.printf "\n%s: %d threads, pattern = %s\n" w.name m.Apps.Comm.threads
+    (Apps.Comm.pattern_to_string (Apps.Comm.classify m));
+  print_string (Apps.Comm.render m)
+
+let run () =
+  Util.header "Fig 5.1: thread communication patterns (splash2x)";
+  List.iter show Workloads.Splash2x.all;
+  Util.header "Fig 5.1 (cont.): parallel Starbench targets";
+  List.iter
+    (fun (w : Workloads.Registry.t) ->
+      show { w with Workloads.Registry.default_size = max 8 (w.default_size / 4) })
+    Util.starbench_par;
+  print_endline
+    "\n(paper: splash2x shows master-worker hubs, neighbour bands, and\n\
+    \ all-to-all blocks — ocean/water-spatial band, barnes/raytrace/volrend\n\
+    \ hub, water-nsquared/fmm all-to-all, matching Fig 5.1's shapes)"

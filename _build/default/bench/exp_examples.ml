@@ -1,0 +1,48 @@
+(* Tables 2.2-2.5 — the paper's worked examples:
+   - the Figure 2.7 loop and its complete dependence set (Table 2.2);
+   - the Figure 2.8 four-operation loop, showing how §2.4 skipping converges
+     after two iterations (Tables 2.3-2.5). *)
+
+open Mil.Builder
+
+let fig27 =
+  number
+    (program ~entry:"main" "fig27"
+       [ func "main"
+           [ decl "k" (i 100);
+             decl "sum" (i 0);
+             while_ (v "k" > i 0)
+               [ set "sum" (v "sum" + v "k" * i 2); set "k" (v "k" - i 1) ] ] ])
+
+let fig28 =
+  number
+    (program ~entry:"main" "fig28" ~globals:[ gscalar "x" 0 ]
+       [ func "main"
+           [ for_ "it" (i 0) (i 50)
+               [ set "x" (v "it");          (* op1: write x *)
+                 decl "a" (v "x");          (* op2: read x *)
+                 decl "b" (v "x" + i 1);    (* op3: read x *)
+                 set "x" (v "a" + v "b") ] ] ])  (* op4: write x *)
+
+let show name prog =
+  Printf.printf "\n--- %s ---\n" name;
+  print_string (Mil.Pretty.render_program prog);
+  let plain = Profiler.Serial.profile prog in
+  print_endline "dependences:";
+  print_string (Profiler.Serial.report plain);
+  let skip = Profiler.Serial.profile ~skip:true prog in
+  let s = skip.skip_stats in
+  Printf.printf
+    "with §2.4 skipping: %d/%d dep-leading reads and %d/%d writes skipped;\n\
+     dependence sets identical: %b\n"
+    s.Profiler.Engine.reads_skipped s.Profiler.Engine.reads_total
+    s.Profiler.Engine.writes_skipped s.Profiler.Engine.writes_total
+    (Profiler.Dep.Set_.accuracy ~truth:plain.deps ~got:skip.deps = (0.0, 0.0))
+
+let run () =
+  Util.header "Tables 2.2-2.5: the paper's worked skipping examples";
+  show "Figure 2.7 (Table 2.2)" fig27;
+  show "Figure 2.8 (Tables 2.3-2.5)" fig28;
+  print_endline
+    "\n(paper: Fig 2.8's four operations are all skippable from the third\n\
+    \ iteration on; the dependence storage is touched exactly four times)"

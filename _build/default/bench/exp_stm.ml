@@ -1,0 +1,29 @@
+(* §5.2 / Table 5.4 — number of transactions in the NAS programs, determined
+   by analysing the profiler output: code sections that update shared state
+   inside parallelisable loops become transactions; their set sizes are the
+   STM tuning parameters. *)
+
+let run () =
+  Util.header "Table 5.4: transactions derived from the profiler output (NAS)";
+  let rows =
+    List.map
+      (fun (w : Workloads.Registry.t) ->
+        let report = Discovery.Suggestion.analyze (Workloads.Registry.program w) in
+        let stm = Apps.Stm.analyze report in
+        let instances =
+          List.fold_left
+            (fun acc t -> acc + t.Apps.Stm.t_instances)
+            0 stm.Apps.Stm.transactions
+        in
+        [ w.name;
+          string_of_int (Apps.Stm.count stm);
+          string_of_int instances;
+          Printf.sprintf "%.1f" stm.Apps.Stm.write_set_avg ])
+      Util.nas
+  in
+  Util.table
+    ~columns:[ "program"; "transactions"; "dynamic instances"; "avg set size" ]
+    rows;
+  print_endline
+    "(paper: a handful of static transactions per NAS program, with dynamic\n\
+    \ counts scaling with iteration counts)"

@@ -1,0 +1,136 @@
+(* Task-parallelism experiments:
+   - Table 4.5: parallelism found in gzip/bzip2-style block compressors,
+     with the headline opportunity;
+   - Table 4.6: SPMD-style tasks in the BOTS programs (paper: correct
+     decisions on all 20 hot spots);
+   - Table 4.7: MPMD-style tasks in the pipeline applications. *)
+
+module R = Workloads.Registry
+module S = Discovery.Suggestion
+
+let suggestion_counts (report : S.report) =
+  List.fold_left
+    (fun (d, x, sp, mp) (s : S.t) ->
+      match s.S.kind with
+      | S.Sdoall _ -> (d + 1, x, sp, mp)
+      | S.Sdoacross _ -> (d, x + 1, sp, mp)
+      | S.Sspmd _ -> (d, x, sp + 1, mp)
+      | S.Smpmd _ -> (d, x, sp, mp + 1))
+    (0, 0, 0, 0) report.S.suggestions
+
+let headline (report : S.report) =
+  match report.S.suggestions with
+  | top :: _ -> S.kind_to_string top.S.kind
+  | [] -> "(none)"
+
+let run_gzip_bzip2 () =
+  Util.header "Table 4.5: gzip / bzip2 parallelism discovery";
+  List.iter
+    (fun name ->
+      let w = List.find (fun w -> w.R.name = name) Workloads.Apps.all in
+      let report = S.analyze (R.program w) in
+      let d, x, sp, mp = suggestion_counts report in
+      Printf.printf
+        "%-6s suggestions: %d DOALL, %d DOACROSS, %d SPMD, %d MPMD\n" name d x
+        sp mp;
+      Printf.printf "       top suggestion: %s\n" (headline report))
+    [ "gzip"; "bzip2" ];
+  print_endline
+    "(paper: gzip's key opportunity is compressing blocks in parallel — the\n\
+    \ pigz design; bzip2's the same per-block transform — the pbzip2 design)"
+
+let run_bots () =
+  Util.header "Table 4.6: SPMD-style tasks in BOTS";
+  let found = ref 0 and expected = ref 0 in
+  let rows =
+    List.map
+      (fun (w : R.t) ->
+        let report = S.analyze (R.program w) in
+        let cells =
+          List.map
+            (fun e ->
+              incr expected;
+              let ok =
+                match e with
+                | R.Sforkjoin f ->
+                    List.exists
+                      (fun (s : S.t) ->
+                        match s.S.kind with
+                        | S.Sspmd { s_kind = `Recursive_forkjoin g; _ } -> g = f
+                        | _ -> false)
+                      report.S.suggestions
+                | R.Staskloop ->
+                    List.exists
+                      (fun (s : S.t) ->
+                        match s.S.kind with
+                        | S.Sspmd { s_kind = `Loop_tasks _; _ } -> true
+                        | _ -> false)
+                      report.S.suggestions
+                | R.Smpmd k ->
+                    List.exists
+                      (fun (s : S.t) ->
+                        match s.S.kind with
+                        | S.Smpmd m -> m.Discovery.Tasks.m_width >= k
+                        | _ -> false)
+                      report.S.suggestions
+                | R.Spipeline k ->
+                    List.exists
+                      (fun (s : S.t) ->
+                        match s.S.kind with
+                        | S.Smpmd m -> List.length m.Discovery.Tasks.m_stages >= k
+                        | _ -> false)
+                      report.S.suggestions
+              in
+              if ok then incr found;
+              Printf.sprintf "%s:%s"
+                (match e with
+                | R.Sforkjoin f -> "forkjoin(" ^ f ^ ")"
+                | R.Staskloop -> "taskloop"
+                | R.Smpmd k -> Printf.sprintf "mpmd>=%d" k
+                | R.Spipeline k -> Printf.sprintf "pipeline>=%d" k)
+                (if ok then "found" else "MISSED"))
+            w.R.expected_tasks
+        in
+        [ w.R.name; String.concat ", " cells ])
+      Workloads.Bots.all
+  in
+  Util.table ~columns:[ "program"; "hot-spot decisions" ] rows;
+  Printf.printf "correct decisions: %d/%d\n" !found !expected;
+  print_endline "(paper: correct parallelization decisions on all 20 hot spots)"
+
+let run_mpmd () =
+  Util.header "Table 4.7: MPMD-style tasks in pipeline applications";
+  let apps =
+    [ "vorbis"; "facedetect"; "dedup"; "gzip"; "bzip2"; "ferret";
+      "blackscholes"; "swaptions"; "fluidanimate" ]
+  in
+  let rows =
+    List.map
+      (fun name ->
+        let w =
+          List.find (fun w -> w.R.name = name)
+            (Workloads.Apps.all @ Workloads.Parsec.all)
+        in
+        let report = S.analyze (R.program w) in
+        let mpmds =
+          List.filter_map
+            (fun (s : S.t) ->
+              match s.S.kind with S.Smpmd m -> Some m | _ -> None)
+            report.S.suggestions
+        in
+        match mpmds with
+        | [] -> [ name; "0"; "-"; "-"; "-" ]
+        | best :: _ ->
+            [ name;
+              string_of_int (List.length mpmds);
+              (match best.Discovery.Tasks.m_shape with
+              | Discovery.Tasks.Taskgraph -> "task graph"
+              | Discovery.Tasks.Pipeline -> "pipeline");
+              string_of_int (List.length best.Discovery.Tasks.m_stages);
+              string_of_int best.Discovery.Tasks.m_width ])
+      apps
+  in
+  Util.table ~columns:[ "program"; "MPMD findings"; "shape"; "stages"; "width" ] rows;
+  print_endline
+    "(paper: PARSEC/libVorbis pipelines found as stage graphs; FaceDetection\n\
+    \ yields the Fig 4.10 task graph with independent filter stages)"

@@ -1,0 +1,59 @@
+(* The benchmark harness: one experiment per table/figure of the paper's
+   evaluation (see DESIGN.md's per-experiment index).
+
+   Run everything:        dune exec bench/main.exe
+   Run one experiment:    dune exec bench/main.exe -- -e doall-nas
+   List experiments:      dune exec bench/main.exe -- -l *)
+
+let experiments : (string * string * (unit -> unit)) list =
+  [ ("skip-example", "Tables 2.2-2.5: the paper's worked examples",
+     Exp_examples.run);
+    ("fpr-fnr", "Table 2.6: signature FPR/FNR vs slots", Exp_accuracy.run);
+    ("slowdown-seq", "Fig 2.9: profiler slowdown + memory (sequential)",
+     Exp_slowdown.run_sequential);
+    ("slowdown-par", "Fig 2.10/2.11: profiling multi-threaded targets",
+     Exp_slowdown.run_parallel_targets);
+    ("load-balance", "§2.3.3: worker load balance",
+     Exp_slowdown.run_load_balance);
+    ("skip-slowdown", "Fig 2.12: skip-optimization slowdown reduction",
+     Exp_skip.run_slowdown);
+    ("skip-stats", "Table 2.7: skipped memory instructions", Exp_skip.run_stats);
+    ("skip-dist", "Fig 2.13: skipped instructions by dependence type",
+     Exp_skip.run_distribution);
+    ("cu-graphs", "Fig 3.6/3.7: CU-graph granularity", Exp_cugraphs.run);
+    ("doall-nas", "Table 4.1: DOALL detection in NAS", Exp_doall.run_nas);
+    ("speedup-textbook", "Table 4.2: textbook speedups", Exp_speedup.run_textbook);
+    ("histogram-suggest", "Table 4.3: histogram suggestions",
+     Exp_doall.run_histogram);
+    ("doacross", "Table 4.4: DOACROSS detection", Exp_doall.run_doacross);
+    ("gzip-bzip2", "Table 4.5: gzip/bzip2 study", Exp_tasks.run_gzip_bzip2);
+    ("spmd-bots", "Table 4.6: SPMD tasks in BOTS", Exp_tasks.run_bots);
+    ("mpmd", "Table 4.7: MPMD tasks", Exp_tasks.run_mpmd);
+    ("facedetect-speedup", "Fig 4.11: FaceDetection speedup curve",
+     Exp_speedup.run_facedetect);
+    ("ranking", "§4.3: ranking metrics", Exp_ranking.run);
+    ("doall-ml", "Tables 5.1-5.3: DOALL feature classification", Exp_ml.run);
+    ("stm", "Table 5.4: STM transactions", Exp_stm.run);
+    ("comm-patterns", "Fig 5.1: communication patterns", Exp_comm.run);
+    ("ablation", "Ablations: shadow backend, lifetime, merging", Exp_ablation.run);
+    ("micro", "Bechamel micro-benchmarks", Exp_micro.run) ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [ "-l" ] | [ "--list" ] ->
+      List.iter (fun (id, doc, _) -> Printf.printf "%-20s %s\n" id doc) experiments
+  | [ "-e"; id ] | [ id ] -> (
+      match List.find_opt (fun (i, _, _) -> i = id) experiments with
+      | Some (_, _, run) -> run ()
+      | None ->
+          Printf.eprintf "unknown experiment %s; use -l to list\n" id;
+          exit 1)
+  | [] ->
+      let t0 = Unix.gettimeofday () in
+      List.iter (fun (_, _, run) -> run ()) experiments;
+      Printf.printf "\nall experiments completed in %.1fs\n"
+        (Unix.gettimeofday () -. t0)
+  | _ ->
+      prerr_endline "usage: bench/main.exe [-l | -e <experiment>]";
+      exit 1

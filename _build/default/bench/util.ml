@@ -1,0 +1,75 @@
+(* Shared benchmark utilities: robust timing, table rendering, and the
+   workload sets each experiment sweeps over. *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Median of [reps] timings; the first (warm-up) run is discarded. *)
+let med_time ?(reps = 3) f =
+  ignore (f ());
+  let ts =
+    List.init reps (fun _ ->
+        let _, t = time f in
+        t)
+    |> List.sort compare
+  in
+  List.nth ts (reps / 2)
+
+let header title = Printf.printf "\n==== %s ====\n" title
+
+let row fmt = Printf.printf fmt
+
+(* Render a simple aligned table. *)
+let table ~columns (rows : string list list) =
+  let widths =
+    List.mapi
+      (fun c name ->
+        List.fold_left
+          (fun acc r -> max acc (String.length (List.nth r c)))
+          (String.length name) rows)
+      columns
+  in
+  let line cells =
+    List.iteri
+      (fun c cell -> Printf.printf "%-*s  " (List.nth widths c) cell)
+      cells;
+    print_newline ()
+  in
+  line columns;
+  line (List.map (fun w -> String.make w '-') widths);
+  List.iter line rows
+
+let pct x = Printf.sprintf "%.2f%%" (100.0 *. x)
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+
+(* Workload sets, at bench-friendly sizes. *)
+let nas = Workloads.Nas.all
+
+let starbench_seq =
+  List.filter
+    (fun (w : Workloads.Registry.t) -> not w.parallel_target)
+    Workloads.Starbench.all
+
+let starbench_par =
+  List.filter
+    (fun (w : Workloads.Registry.t) -> w.parallel_target)
+    Workloads.Starbench.all
+
+let native_time (prog : Mil.Ast.program) =
+  med_time (fun () -> Mil.Interp.run ~instrument:false prog)
+
+(* Count the distinct addresses a program touches (for Eq. 2.2 columns). *)
+let count_addresses prog =
+  let seen = Hashtbl.create 4096 in
+  let _ =
+    Mil.Interp.run
+      ~emit:(fun ev ->
+        match ev with
+        | Trace.Event.Access a -> Hashtbl.replace seen a.Trace.Event.addr ()
+        | Trace.Event.Region _ -> ())
+      prog
+  in
+  Hashtbl.length seen

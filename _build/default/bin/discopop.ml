@@ -1,0 +1,232 @@
+(* The DiscoPoP command-line tool: profile MIL workloads, construct CUs,
+   discover and rank parallelism, and hunt for races — the user-facing
+   counterpart of the paper's three-phase workflow (Fig. 1.3). *)
+
+open Cmdliner
+
+let all_workloads =
+  Workloads.Textbook.all @ Workloads.Nas.all @ Workloads.Starbench.all
+  @ Workloads.Bots.all @ Workloads.Apps.all @ Workloads.Splash2x.all
+  @ Workloads.Numerics.all @ Workloads.Parsec.all
+
+let find_workload name =
+  match
+    List.find_opt (fun (w : Workloads.Registry.t) -> w.name = name) all_workloads
+  with
+  | Some w -> Ok w
+  | None ->
+      Error
+        (Printf.sprintf "unknown workload %s (try `discopop list`)" name)
+
+let workload_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+
+let size_arg =
+  Arg.(value & opt (some int) None & info [ "size" ] ~docv:"N"
+         ~doc:"Override the workload's input size.")
+
+let sig_arg =
+  Arg.(value & opt (some int) None & info [ "signature" ] ~docv:"SLOTS"
+         ~doc:"Use a signature shadow memory with SLOTS slots instead of the \
+               exact shadow memory.")
+
+let skip_arg =
+  Arg.(value & flag & info [ "skip" ]
+         ~doc:"Enable skipping of repeatedly executed memory operations (§2.4).")
+
+let workers_arg =
+  Arg.(value & opt int 0 & info [ "workers" ] ~docv:"W"
+         ~doc:"Profile with the lock-free parallel profiler using W worker \
+               domains (0 = serial).")
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline msg;
+      exit 1
+
+let shadow_of = function
+  | Some slots -> Profiler.Engine.Signature slots
+  | None -> Profiler.Engine.Perfect
+
+(* list *)
+let list_cmd =
+  let doc = "List the bundled workload programs." in
+  let run () =
+    List.iter
+      (fun (w : Workloads.Registry.t) ->
+        Printf.printf "%-14s %-10s size=%-6d %s\n" w.name w.suite w.default_size
+          (if w.parallel_target then "(multi-threaded target)" else ""))
+      all_workloads
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* source *)
+let source_cmd =
+  let doc = "Print a workload's numbered source." in
+  let run name size =
+    let w = or_die (find_workload name) in
+    print_string (Mil.Pretty.render_program (Workloads.Registry.program ?size w))
+  in
+  Cmd.v (Cmd.info "source" ~doc) Term.(const run $ workload_arg $ size_arg)
+
+(* profile *)
+let out_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Also write the merged dependences to FILE (discopop-deps \
+               format, readable with `discopop read-deps`).")
+
+let profile_cmd =
+  let doc = "Run the data-dependence profiler and print the dependence report." in
+  let run name size signature skip workers output =
+    let w = or_die (find_workload name) in
+    let prog = Workloads.Registry.program ?size w in
+    let save deps =
+      match output with
+      | None -> ()
+      | Some path ->
+          Profiler.Depfile.write path deps;
+          Printf.eprintf "wrote %s\n" path
+    in
+    if workers > 0 then begin
+      let r =
+        Profiler.Parallel.profile ~workers
+          ~perfect:(signature = None)
+          ?shadow_slots:signature ~skip prog
+      in
+      save r.deps;
+      Printf.printf
+        "# parallel profiler: %d workers, %d accesses, %d deps, %d redistributions\n"
+        workers r.accesses
+        (Profiler.Dep.Set_.cardinal r.deps)
+        r.redistributions;
+      print_string
+        (Profiler.Report.render
+           ~threads:w.parallel_target
+           ~control:(Profiler.Report.control_of_pet r.pet)
+           r.deps)
+    end
+    else begin
+      let r = Profiler.Serial.profile ~shadow:(shadow_of signature) ~skip prog in
+      save r.deps;
+      Printf.printf "# serial profiler: %d accesses, %d deps (merging %.1fx)\n"
+        r.accesses
+        (Profiler.Dep.Set_.cardinal r.deps)
+        r.merging_factor;
+      if skip then
+        Printf.printf "# skipped: %d reads, %d writes\n"
+          r.skip_stats.Profiler.Engine.reads_skipped
+          r.skip_stats.Profiler.Engine.writes_skipped;
+      print_string (Profiler.Serial.report ~threads:w.parallel_target r)
+    end
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      const run $ workload_arg $ size_arg $ sig_arg $ skip_arg $ workers_arg
+      $ out_arg)
+
+(* read-deps *)
+let read_deps_cmd =
+  let doc = "Read a dependence file back and print it in the report format." in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let run file =
+    let deps = Profiler.Depfile.read file in
+    Printf.printf "# %d records, %d instances\n"
+      (Profiler.Dep.Set_.cardinal deps)
+      (Profiler.Dep.Set_.occurrences deps);
+    print_string (Profiler.Report.render deps)
+  in
+  Cmd.v (Cmd.info "read-deps" ~doc) Term.(const run $ file_arg)
+
+(* pet *)
+let pet_cmd =
+  let doc = "Print the program execution tree (§2.3.6)." in
+  let run name size =
+    let w = or_die (find_workload name) in
+    let r = Profiler.Serial.profile (Workloads.Registry.program ?size w) in
+    print_string (Profiler.Pet.to_string r.pet)
+  in
+  Cmd.v (Cmd.info "pet" ~doc) Term.(const run $ workload_arg $ size_arg)
+
+(* cus *)
+let cus_cmd =
+  let doc = "Construct computational units (top-down) and print them." in
+  let dot_arg =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit the whole-program CU graph \
+                                             as graphviz.")
+  in
+  let run name size dot =
+    let w = or_die (find_workload name) in
+    let prog = Workloads.Registry.program ?size w in
+    let st = Mil.Static.analyze prog in
+    let res = Cunit.Top_down.build st in
+    if dot then begin
+      let r = Profiler.Serial.profile prog in
+      let g =
+        Cunit.Graph.build ~cus:res.Cunit.Top_down.cus ~deps:r.Profiler.Serial.deps ()
+      in
+      print_string (Cunit.Graph.to_dot g)
+    end
+    else
+      List.iter
+        (fun cu -> print_endline (Cunit.Cu.to_string cu))
+        res.Cunit.Top_down.cus
+  in
+  Cmd.v (Cmd.info "cus" ~doc) Term.(const run $ workload_arg $ size_arg $ dot_arg)
+
+(* discover *)
+let discover_cmd =
+  let doc = "Run the full pipeline and print ranked parallelization suggestions." in
+  let threads_arg =
+    Arg.(value & opt int 4 & info [ "threads" ] ~docv:"T"
+           ~doc:"Thread count assumed by the local-speedup metric.")
+  in
+  let run name size threads =
+    let w = or_die (find_workload name) in
+    let report =
+      Discovery.Suggestion.analyze ~threads (Workloads.Registry.program ?size w)
+    in
+    print_string (Discovery.Suggestion.render report);
+    print_endline "\nloop classification:";
+    List.iter
+      (fun a -> Printf.printf "  %s\n" (Discovery.Loops.to_string a))
+      report.Discovery.Suggestion.loops
+  in
+  Cmd.v (Cmd.info "discover" ~doc)
+    Term.(const run $ workload_arg $ size_arg $ threads_arg)
+
+(* races *)
+let races_cmd =
+  let doc = "Profile a multi-threaded target and report potential data races." in
+  let seeds_arg =
+    Arg.(value & opt int 5 & info [ "schedules" ] ~docv:"N"
+           ~doc:"Number of thread schedules to try.")
+  in
+  let run name size seeds =
+    let w = or_die (find_workload name) in
+    let prog = Workloads.Registry.program ?size w in
+    let found = Hashtbl.create 8 in
+    for seed = 1 to seeds do
+      let r = Profiler.Serial.profile ~scramble_unlocked:true ~seed prog in
+      List.iter (fun race -> Hashtbl.replace found race ()) r.Profiler.Serial.races
+    done;
+    if Hashtbl.length found = 0 then
+      print_endline "no potential races observed on these schedules"
+    else
+      Hashtbl.iter
+        (fun (var, l1, l2) () ->
+          Printf.printf "potential race on %s between lines %d and %d\n" var l1 l2)
+        found
+  in
+  Cmd.v (Cmd.info "races" ~doc) Term.(const run $ workload_arg $ size_arg $ seeds_arg)
+
+let () =
+  let doc = "DiscoPoP: discovery of potential parallelism in sequential programs" in
+  let info = Cmd.info "discopop" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; source_cmd; profile_cmd; read_deps_cmd; pet_cmd; cus_cmd;
+            discover_cmd; races_cmd ]))

@@ -1,0 +1,1 @@
+examples/gzip_case_study.ml: Cunit Discovery List Mil Printf Profiler Workloads

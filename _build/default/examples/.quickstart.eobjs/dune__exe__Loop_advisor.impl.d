@@ -1,0 +1,1 @@
+examples/loop_advisor.ml: Array Discovery Domain List Printf Unix Workloads

@@ -1,0 +1,1 @@
+examples/race_finder.ml: Apps List Mil Printf Profiler Workloads

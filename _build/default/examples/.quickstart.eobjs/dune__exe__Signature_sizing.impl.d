@@ -1,0 +1,1 @@
+examples/signature_sizing.ml: Hashtbl List Mil Printf Profiler Sigmem Trace Workloads

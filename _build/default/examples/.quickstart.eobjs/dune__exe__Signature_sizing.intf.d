@@ -1,0 +1,1 @@
+examples/signature_sizing.mli:

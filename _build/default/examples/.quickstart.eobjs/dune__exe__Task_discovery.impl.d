@@ -1,0 +1,1 @@
+examples/task_discovery.ml: Cunit Discovery List Mil Printf Profiler Workloads

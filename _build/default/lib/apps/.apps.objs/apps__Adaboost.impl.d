@@ -1,0 +1,1 @@
+lib/apps/adaboost.ml: Array Features Hashtbl List

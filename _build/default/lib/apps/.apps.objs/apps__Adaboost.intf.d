@@ -1,0 +1,1 @@
+lib/apps/adaboost.mli: Features

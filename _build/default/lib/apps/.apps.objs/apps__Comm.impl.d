@@ -1,0 +1,1 @@
+lib/apps/comm.ml: Array Buffer Printf Profiler

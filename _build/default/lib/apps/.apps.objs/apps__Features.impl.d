@@ -1,0 +1,1 @@
+lib/apps/features.ml: Cunit Discovery Fun List Mil Printf Profiler Workloads

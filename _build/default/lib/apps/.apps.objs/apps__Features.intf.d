@@ -1,0 +1,1 @@
+lib/apps/features.mli: Discovery Profiler Workloads

@@ -1,0 +1,1 @@
+lib/apps/stm.ml: Discovery List Mil Profiler

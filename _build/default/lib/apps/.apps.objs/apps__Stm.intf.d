@@ -1,0 +1,1 @@
+lib/apps/stm.mli: Discovery Profiler

@@ -1,0 +1,22 @@
+(** Detecting communication patterns on multicore systems (§5.3, Fig. 5.1):
+    cross-thread RAW dependences form a thread-to-thread communication
+    matrix whose shape distinguishes master-worker, neighbour, and
+    all-to-all programs. *)
+
+module Dep = Profiler.Dep
+
+type matrix = {
+  threads : int;
+  counts : int array array;  (** consumer x producer *)
+}
+
+val of_deps : ?max_threads:int -> Dep.Set_.t -> matrix
+
+type pattern = All_to_all | Master_worker | Neighbour | Uncoupled
+
+val classify : matrix -> pattern
+val pattern_to_string : pattern -> string
+
+val render : ?diagonal:bool -> matrix -> string
+(** ASCII heatmap in the style of Fig. 5.1; the diagonal (self-communication)
+    is suppressed unless [diagonal] is set. *)

@@ -1,0 +1,121 @@
+(* Dynamic features for DOALL loop characterisation (§5.1, Table 5.1).
+
+   Each executed loop is described by a feature vector extracted from the
+   profiler output — dependence counts by type and carriedness, loop shape and
+   intensity metrics — which the AdaBoost stump ensemble (§{!Adaboost}) learns
+   to classify as parallelisable or not without seeing the rule-based
+   classifier's reduction/index heuristics. *)
+
+module Dep = Profiler.Dep
+module L = Discovery.Loops
+
+type vector = {
+  f_iterations : float;
+  f_instr_per_iter : float;
+  f_carried_raw : float;      (* distinct loop-carried RAW deps *)
+  f_carried_war : float;
+  f_carried_waw : float;
+  f_intra_raw : float;        (* intra-iteration RAW deps in the body *)
+  f_reduction_updates : float; (* recognised reduction statements *)
+  f_body_cus : float;
+  f_has_calls : float;        (* 0/1 *)
+  f_write_ratio : float;      (* writes / accesses inside the loop *)
+  f_coverage : float;         (* share of whole-program instructions *)
+}
+
+let names =
+  [ "iterations"; "instr_per_iter"; "carried_raw"; "carried_war";
+    "carried_waw"; "intra_raw"; "reduction_updates"; "body_cus"; "has_calls";
+    "write_ratio"; "coverage" ]
+
+let to_array v =
+  [| v.f_iterations; v.f_instr_per_iter; v.f_carried_raw; v.f_carried_war;
+     v.f_carried_waw; v.f_intra_raw; v.f_reduction_updates; v.f_body_cus;
+     v.f_has_calls; v.f_write_ratio; v.f_coverage |]
+
+let dim = List.length names
+
+(* Extract the vector for one analysed loop. *)
+let of_loop (deps : Dep.Set_.t) (pet : Profiler.Pet.t) (a : L.analysis) : vector =
+  let r = a.L.region in
+  let lo = r.Mil.Static.first_line and hi = r.Mil.Static.last_line in
+  let in_loop = Dep.Set_.in_range deps ~lo ~hi in
+  let carried ty =
+    List.length
+      (List.filter
+         (fun d -> d.Dep.dtype = ty && d.Dep.carrier = Some a.L.loop_line)
+         in_loop)
+  in
+  let intra ty =
+    List.length
+      (List.filter (fun d -> d.Dep.dtype = ty && d.Dep.carrier = None) in_loop)
+  in
+  let total_instr = max 1 (Profiler.Pet.total_instructions pet) in
+  let writes_in_range =
+    (* approximate write share by WAW+WAR+INIT sinks vs all dep sinks *)
+    List.length
+      (List.filter
+         (fun d -> d.Dep.dtype = Dep.Waw || d.Dep.dtype = Dep.War || d.Dep.dtype = Dep.Init)
+         in_loop)
+  in
+  { f_iterations = float_of_int a.L.iterations;
+    f_instr_per_iter =
+      float_of_int a.L.instructions /. float_of_int (max 1 a.L.iterations);
+    f_carried_raw = float_of_int (carried Dep.Raw);
+    f_carried_war = float_of_int (carried Dep.War);
+    f_carried_waw = float_of_int (carried Dep.Waw);
+    f_intra_raw = float_of_int (intra Dep.Raw);
+    f_reduction_updates =
+      float_of_int (List.length r.Mil.Static.reductions);
+    f_body_cus = float_of_int (List.length a.L.body_cus);
+    f_has_calls =
+      (if List.exists (fun (c : Cunit.Cu.t) -> c.Cunit.Cu.contains_call) a.L.body_cus
+       then 1.0
+       else 0.0);
+    f_write_ratio =
+      float_of_int writes_in_range /. float_of_int (max 1 (List.length in_loop));
+    f_coverage = float_of_int a.L.instructions /. float_of_int total_instr }
+
+(* A labelled corpus row: features plus the parallelisable label. *)
+type sample = { x : float array; y : bool; tag : string }
+
+(* Build the corpus from a set of workloads, labelling by ground truth. *)
+let corpus (workloads : Workloads.Registry.t list) : sample list =
+  List.concat_map
+    (fun (w : Workloads.Registry.t) ->
+      if w.Workloads.Registry.parallel_target then []
+      else begin
+        let prog = Workloads.Registry.program w in
+        let report = Discovery.Suggestion.analyze prog in
+        let deps = report.Discovery.Suggestion.profile.Profiler.Serial.deps in
+        let pet = report.Discovery.Suggestion.profile.Profiler.Serial.pet in
+        let loops =
+          List.sort
+            (fun (a : L.analysis) b -> compare a.L.loop_line b.L.loop_line)
+            report.Discovery.Suggestion.loops
+        in
+        List.filteri
+          (fun k _ -> k < List.length w.Workloads.Registry.expected_loops)
+          loops
+        |> List.mapi (fun k (a : L.analysis) ->
+               let expected = List.nth w.Workloads.Registry.expected_loops k in
+               let label =
+                 match expected with
+                 | Workloads.Registry.Edoall | Workloads.Registry.Edoall_reduction ->
+                     Some true
+                 | Workloads.Registry.Edoacross | Workloads.Registry.Eseq ->
+                     Some false
+                 | Workloads.Registry.Eany -> None
+               in
+               match label with
+               | Some y ->
+                   Some
+                     { x = to_array (of_loop deps pet a);
+                       y;
+                       tag =
+                         Printf.sprintf "%s@%d" w.Workloads.Registry.name
+                           a.L.loop_line }
+               | None -> None)
+        |> List.filter_map Fun.id
+      end)
+    workloads

@@ -1,0 +1,64 @@
+(* Determining software-transactional-memory parameters from profiler output
+   (§5.2, Table 5.4): the dependence profile identifies the code sections that
+   update shared state inside parallelisable loops — each becomes a
+   transaction — and the read/write-set sizes those transactions would have,
+   which are the tuning inputs an STM needs (e.g. buffer sizing). *)
+
+module Dep = Profiler.Dep
+module L = Discovery.Loops
+
+type transaction = {
+  t_loop : int;              (* enclosing loop header line *)
+  t_lines : int list;        (* statement lines inside the transaction *)
+  t_vars : string list;      (* shared variables accessed *)
+  t_instances : int;         (* dynamic executions (loop iterations) *)
+}
+
+type report = {
+  transactions : transaction list;
+  read_set_avg : float;      (* avg distinct shared vars read per txn *)
+  write_set_avg : float;
+}
+
+(* A transaction is the set of statements in a parallelisable loop body that
+   update variables involved in loop-carried dependences (the accesses that
+   would conflict when iterations run concurrently). *)
+let analyze (report : Discovery.Suggestion.report) : report =
+  let deps = report.Discovery.Suggestion.profile.Profiler.Serial.deps in
+  let txns =
+    List.filter_map
+      (fun (a : L.analysis) ->
+        match a.L.cls with
+        | L.Doall -> None  (* nothing shared: no transaction needed *)
+        | L.Doall_reduction | L.Doacross ->
+            let carried =
+              Dep.Set_.in_range deps ~lo:a.L.region.Mil.Static.first_line
+                ~hi:a.L.region.Mil.Static.last_line
+              |> List.filter (fun d -> d.Dep.carrier = Some a.L.loop_line)
+            in
+            let lines =
+              List.concat_map (fun d -> [ d.Dep.sink_line; d.Dep.src_line ]) carried
+              |> List.sort_uniq compare
+            in
+            let vars =
+              List.map (fun d -> d.Dep.var) carried |> List.sort_uniq compare
+            in
+            if lines = [] then None
+            else
+              Some
+                { t_loop = a.L.loop_line; t_lines = lines; t_vars = vars;
+                  t_instances = a.L.iterations }
+        | L.Sequential -> None)
+      report.Discovery.Suggestion.loops
+  in
+  let avg f =
+    if txns = [] then 0.0
+    else
+      float_of_int (List.fold_left (fun acc t -> acc + f t) 0 txns)
+      /. float_of_int (List.length txns)
+  in
+  { transactions = txns;
+    read_set_avg = avg (fun t -> List.length t.t_vars);
+    write_set_avg = avg (fun t -> List.length t.t_vars) }
+
+let count r = List.length r.transactions

@@ -1,0 +1,23 @@
+(** Determining software-transactional-memory parameters from the profiler
+    output (§5.2, Table 5.4): code sections updating shared state inside
+    parallelisable loops become transactions, with the set sizes an STM
+    needs for tuning. *)
+
+module Dep = Profiler.Dep
+module L = Discovery.Loops
+
+type transaction = {
+  t_loop : int;              (** enclosing loop header line *)
+  t_lines : int list;        (** statement lines inside the transaction *)
+  t_vars : string list;      (** shared variables accessed *)
+  t_instances : int;         (** dynamic executions (loop iterations) *)
+}
+
+type report = {
+  transactions : transaction list;
+  read_set_avg : float;
+  write_set_avg : float;
+}
+
+val analyze : Discovery.Suggestion.report -> report
+val count : report -> int

@@ -1,0 +1,1 @@
+lib/cu/bottom_up.ml: Hashtbl List Mil Profiler Trace

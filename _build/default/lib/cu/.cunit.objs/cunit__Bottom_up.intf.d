@@ -1,0 +1,1 @@
+lib/cu/bottom_up.mli: Hashtbl Mil Profiler Trace

@@ -1,0 +1,1 @@
+lib/cu/cu.ml: List Mil Printf String

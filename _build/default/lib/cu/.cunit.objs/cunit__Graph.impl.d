@@ -1,0 +1,1 @@
+lib/cu/graph.ml: Array Buffer Cu Hashtbl List Printf Profiler String

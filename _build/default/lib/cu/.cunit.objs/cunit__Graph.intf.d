@@ -1,0 +1,1 @@
+lib/cu/graph.mli: Cu Hashtbl Profiler

@@ -1,0 +1,1 @@
+lib/cu/reconv.ml: Ast Hashtbl List Mil Queue

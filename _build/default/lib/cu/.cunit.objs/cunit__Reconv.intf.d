@@ -1,0 +1,1 @@
+lib/cu/reconv.mli: Hashtbl Mil

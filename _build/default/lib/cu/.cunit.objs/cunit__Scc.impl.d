@@ -1,0 +1,1 @@
+lib/cu/scc.ml: Array List Stack

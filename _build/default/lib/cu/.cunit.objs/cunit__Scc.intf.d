@@ -1,0 +1,1 @@
+lib/cu/scc.mli:

@@ -1,0 +1,1 @@
+lib/cu/top_down.ml: Array Ast Cu Fun Hashtbl List Mil Static

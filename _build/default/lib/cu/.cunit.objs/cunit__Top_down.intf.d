@@ -1,0 +1,1 @@
+lib/cu/top_down.mli: Cu Hashtbl Mil

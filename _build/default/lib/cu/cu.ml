@@ -1,0 +1,43 @@
+(* Computational Units (Chapter 3).
+
+   A CU is a collection of instructions following the read-compute-write
+   pattern: variables global to the enclosing code section are read, a
+   computation is performed over locals, and results are written back to
+   global variables. A CU never crosses a control-region boundary, but it is
+   not required to align with a source-language construct. *)
+
+module SS = Mil.Static.SS
+
+type t = {
+  id : int;
+  region : int;           (* Static region the CU belongs to *)
+  func : string;
+  lines : SS.t;           (* statement lines, as strings for set ops *)
+  first_line : int;
+  last_line : int;
+  read_set : SS.t;        (* global variables read (the read phase) *)
+  write_set : SS.t;       (* global variables written (the write phase) *)
+  weight : int;           (* static statement count, a size proxy *)
+  contains_call : bool;
+  contains_region : bool; (* spans a nested loop/branch *)
+}
+
+let line_key = string_of_int
+let mem_line cu line = SS.mem (line_key line) cu.lines
+
+let make ~id ~region ~func ~lines ~read_set ~write_set ~weight ~contains_call
+    ~contains_region =
+  let ints = List.sort compare lines in
+  let first_line = match ints with [] -> 0 | l :: _ -> l in
+  let last_line = match List.rev ints with [] -> 0 | l :: _ -> l in
+  { id; region; func;
+    lines = SS.of_list (List.map line_key lines);
+    first_line; last_line; read_set; write_set; weight; contains_call;
+    contains_region }
+
+let to_string cu =
+  Printf.sprintf "CU%d[%s:%d-%d r={%s} w={%s} weight=%d]" cu.id cu.func
+    cu.first_line cu.last_line
+    (String.concat "," (SS.elements cu.read_set))
+    (String.concat "," (SS.elements cu.write_set))
+    cu.weight

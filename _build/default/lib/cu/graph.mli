@@ -1,0 +1,42 @@
+(** The CU graph (§3.4): vertices are CUs, edges are profiled data
+    dependences mapped to the CUs containing their sink and source lines.
+    Edge admission follows Table 3.1: between different CUs all three kinds;
+    within one CU only RAW self-edges. *)
+
+module Dep = Profiler.Dep
+
+type edge = {
+  e_from : int;              (** the dependent CU (the dependence's sink) *)
+  e_to : int;                (** the CU depended on (the source) *)
+  e_type : Dep.dtype;
+  e_var : string;            (** variable at the dependence's source *)
+  e_carried : int option;    (** carrying loop header line, if loop-carried *)
+  e_count : int;             (** merged occurrence count *)
+}
+
+type t = {
+  cus : Cu.t array;
+  index_of : (int, int) Hashtbl.t;   (** CU id -> array position *)
+  edges : edge list;
+  succ : int list array;  (** dependence direction: dependent -> source *)
+  pred : int list array;
+}
+
+val build : ?static_edges:bool -> cus:Cu.t list -> deps:Dep.Set_.t -> unit -> t
+(** [static_edges] (default true) adds RAW edges from the CUs'
+    interprocedural read/write sets — dataflow through callees is profiled on
+    callee lines and cannot be attributed to the calling CUs otherwise. *)
+
+val size : t -> int
+val cu : t -> int -> Cu.t
+val edges_between : t -> from_:int -> to_:int -> edge list
+
+val raw_succ : ?exclude_vars:(string -> bool) -> t -> int list array
+(** RAW-only adjacency (the unbreakable true dependences), by position.
+    [exclude_vars] drops edges on variables resolvable by parallel
+    reduction. *)
+
+val self_raw : t -> int list
+(** Positions of CUs with RAW self-edges: iterative feedback (Fig. 3.4). *)
+
+val to_dot : t -> string

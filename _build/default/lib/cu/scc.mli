@@ -1,0 +1,17 @@
+(** Tarjan's strongly-connected components and the graph contractions used to
+    simplify CU graphs for task discovery (Fig. 4.5). *)
+
+type result = {
+  component : int array;          (** node -> component id *)
+  components : int list array;    (** component id -> members *)
+  count : int;
+}
+
+val run : int list array -> result
+
+val condense : int list array -> result -> int list array
+(** The DAG of components. *)
+
+val contract_chains : int list array -> int array
+(** Merge maximal single-predecessor/single-successor paths; returns each
+    node's group representative. *)

@@ -1,0 +1,261 @@
+(* Top-down CU construction (Algorithm 3, §3.2.3).
+
+   Starting from functions — the largest constructs that naturally resemble
+   the read-compute-write pattern — the algorithm checks whether a whole
+   control region is one CU: every variable global to the region must have
+   all its reads happen before its writes. Reads that violate the pattern
+   split the region into multiple CUs at the violating statements. Nested
+   regions are treated as single items at their parent's level (a CU never
+   crosses a control-region boundary) and are decomposed recursively.
+
+   Special rules (§3.2.5): scalar function parameters belong to the read set
+   only; the return value is the virtual variable [ret] in the write set;
+   loop iteration variables are local to their loop unless the body writes
+   them. *)
+
+open Mil
+module SS = Static.SS
+
+(* One item of a region's statement sequence: either a plain statement or a
+   nested control region collapsed to its aggregated access sets. *)
+type item = {
+  it_line : int;
+  it_reads : SS.t;         (* region-global variables read by the item *)
+  it_writes : SS.t;
+  it_lines : int list;     (* all lines covered (subtree for regions) *)
+  it_weight : int;
+  it_call : bool;
+  it_region : int option;  (* nested region id, if the item is a region *)
+}
+
+type result = {
+  cus : Cu.t list;                  (* every CU, all regions *)
+  by_region : (int, Cu.t list) Hashtbl.t;  (* region id -> its CU partition *)
+  static : Static.t;
+}
+
+let region_lines (st : Static.t) rid =
+  let r = st.regions.(rid) in
+  let rec span lines id =
+    let r = st.regions.(id) in
+    let lines = ref lines in
+    for l = r.first_line to r.last_line do
+      if Hashtbl.find_opt st.line_region l = Some id then lines := l :: !lines
+    done;
+    List.fold_left span !lines r.children
+  in
+  span [] r.id
+
+let rec stmt_lines (s : Ast.stmt) =
+  s.line
+  ::
+  (match s.node with
+  | Ast.If (_, t, e) -> List.concat_map stmt_lines (t @ e)
+  | Ast.While (_, b) -> List.concat_map stmt_lines b
+  | Ast.For { body; _ } -> List.concat_map stmt_lines body
+  | Ast.Par bs -> List.concat_map stmt_lines (List.concat bs)
+  | _ -> [])
+
+let rec stmt_weight (s : Ast.stmt) =
+  match s.node with
+  | Ast.If (_, t, e) -> 1 + List.fold_left (fun a s -> a + stmt_weight s) 0 (t @ e)
+  | Ast.While (_, b) | Ast.For { body = b; _ } ->
+      1 + List.fold_left (fun a s -> a + stmt_weight s) 0 b
+  | Ast.Par bs ->
+      1 + List.fold_left (fun a s -> a + stmt_weight s) 0 (List.concat bs)
+  | _ -> 1
+
+let rec stmt_has_call (s : Ast.stmt) =
+  let expr_has_call e = Static.expr_callees e [] <> [] in
+  match s.node with
+  | Ast.Call_stmt _ -> true
+  | Ast.Decl (_, e) | Ast.Assign (_, e) | Ast.Atomic_assign (_, e)
+  | Ast.Decl_arr (_, e) | Ast.Return (Some e) ->
+      expr_has_call e
+  | Ast.If (c, t, e) -> expr_has_call c || List.exists stmt_has_call (t @ e)
+  | Ast.While (c, b) -> expr_has_call c || List.exists stmt_has_call b
+  | Ast.For { lo; hi; step; body; _ } ->
+      expr_has_call lo || expr_has_call hi || expr_has_call step
+      || List.exists stmt_has_call body
+  | Ast.Par bs -> List.exists stmt_has_call (List.concat bs)
+  | Ast.Return None | Ast.Break | Ast.Lock _ | Ast.Unlock _ | Ast.Barrier _
+  | Ast.Free _ ->
+      false
+
+(* Reads and writes of the directly-evaluated expressions of a statement,
+   including interprocedural call effects. Nested blocks are NOT included —
+   they become their own items. *)
+let shallow_rw (st : Static.t) (s : Ast.stmt) : SS.t * SS.t =
+  let reads_of e = Static.expr_read_vars e SS.empty in
+  let call_effects e =
+    List.fold_left
+      (fun (r, w) (callee_name, args) ->
+        match List.find_opt (fun g -> g.Ast.fname = callee_name) st.program.funcs with
+        | None -> (r, w)
+        | Some callee -> (
+            match Static.summary st callee_name with
+            | None -> (r, w)
+            | Some callee_sum ->
+                let cr, cw = Static.apply_call_summary ~callee_sum ~callee ~args in
+                (SS.union r cr, SS.union w cw)))
+      (SS.empty, SS.empty) (Static.expr_callees e [])
+  in
+  let of_expr e =
+    let cr, cw = call_effects e in
+    (SS.union (reads_of e) cr, cw)
+  in
+  match s.node with
+  | Ast.Decl (x, e) | Ast.Decl_arr (x, e) ->
+      let r, w = of_expr e in
+      (r, SS.add x w)
+  | Ast.Assign (l, e) | Ast.Atomic_assign (l, e) ->
+      let r, w = of_expr e in
+      let r = SS.union r (Static.lhs_index_reads l) in
+      (r, SS.add (Static.lhs_written l) w)
+  | Ast.Call_stmt (f, args) -> of_expr (Ast.Call (f, args))
+  | Ast.Return (Some e) ->
+      let r, w = of_expr e in
+      (r, SS.add "ret" w)
+  | Ast.Return None -> (SS.empty, SS.singleton "ret")
+  | Ast.If (c, _, _) | Ast.While (c, _) -> of_expr c
+  | Ast.For { lo; hi; step; _ } ->
+      let r1, w1 = of_expr lo in
+      let r2, w2 = of_expr hi in
+      let r3, w3 = of_expr step in
+      (SS.union r1 (SS.union r2 r3), SS.union w1 (SS.union w2 w3))
+  | Ast.Free x -> (SS.empty, SS.singleton x)
+  | Ast.Break | Ast.Lock _ | Ast.Unlock _ | Ast.Barrier _ | Ast.Par _ ->
+      (SS.empty, SS.empty)
+
+(* The variable set used for CU construction in region [rid]: variables global
+   to the region, with the §3.2.5 special rules applied — function parameters
+   and the virtual [ret] are global to a function body; a loop index is local
+   to its loop unless the body writes it. *)
+let construction_globals (st : Static.t) rid =
+  let r = st.regions.(rid) in
+  let gv = SS.union r.globals_read r.globals_written in
+  match r.kind with
+  | Static.Rloop { index = Some ix; _ } ->
+      if r.index_written_in_body then SS.add ix gv else SS.remove ix gv
+  | Static.Rfunc fname ->
+      let f = Ast.find_func st.program fname in
+      SS.add "ret" (SS.union gv (SS.of_list f.Ast.params))
+  | Static.Rloop { index = None; _ } | Static.Rbranch _ -> gv
+
+(* Items of region [rid]: its direct statements, with nested-region statements
+   collapsed. The per-item sets are restricted to [gv]. *)
+let items_of_region (st : Static.t) rid gv : item list =
+  let r = st.regions.(rid) in
+  (* Children regions in source order, to match statements that own them. *)
+  let child_of_line = Hashtbl.create 8 in
+  List.iter
+    (fun cid ->
+      let c = st.regions.(cid) in
+      let prev = try Hashtbl.find child_of_line c.first_line with Not_found -> [] in
+      Hashtbl.replace child_of_line c.first_line (prev @ [ cid ]))
+    r.children;
+  List.map
+    (fun (s : Ast.stmt) ->
+      match s.node with
+      | Ast.If _ | Ast.While _ | Ast.For _ | Ast.Par _ ->
+          let subregions =
+            try Hashtbl.find child_of_line s.line with Not_found -> []
+          in
+          let reads, writes =
+            List.fold_left
+              (fun (r_acc, w_acc) cid ->
+                let c = st.regions.(cid) in
+                (SS.union r_acc c.globals_read, SS.union w_acc c.globals_written))
+              (shallow_rw st s) subregions
+          in
+          { it_line = s.line;
+            it_reads = SS.inter reads gv;
+            it_writes = SS.inter writes gv;
+            it_lines = stmt_lines s;
+            it_weight = stmt_weight s;
+            it_call = stmt_has_call s;
+            it_region = (match subregions with [ c ] -> Some c | _ -> None) }
+      | _ ->
+          let reads, writes = shallow_rw st s in
+          { it_line = s.line;
+            it_reads = SS.inter reads gv;
+            it_writes = SS.inter writes gv;
+            it_lines = [ s.line ];
+            it_weight = stmt_weight s;
+            it_call = stmt_has_call s;
+            it_region = None })
+    r.stmts
+
+(* Partition the item sequence of one region into CUs: cut before every item
+   containing a violating read — a read of a global already written by an
+   earlier item of the region (the read-compute-write pattern is broken). *)
+let partition_items items : item list list =
+  let written = ref SS.empty in
+  let segments = ref [] in
+  let current = ref [] in
+  List.iter
+    (fun it ->
+      let violating = not (SS.is_empty (SS.inter it.it_reads !written)) in
+      if violating && !current <> [] then begin
+        segments := List.rev !current :: !segments;
+        current := [];
+        written := SS.empty
+      end;
+      current := it :: !current;
+      written := SS.union !written it.it_writes)
+    items;
+  if !current <> [] then segments := List.rev !current :: !segments;
+  List.rev !segments
+
+let build (st : Static.t) : result =
+  let by_region = Hashtbl.create 16 in
+  let all = ref [] in
+  let next_id = ref 0 in
+  let rec build_region rid =
+    let gv = construction_globals st rid in
+    let items = items_of_region st rid gv in
+    let segments = partition_items items in
+    let func = Static.func_of_region st rid in
+    (* by-value parameters never enter a write set (§3.2.5) *)
+    let param_filter =
+      match st.regions.(rid).kind with
+      | Static.Rfunc fname ->
+          let f = Ast.find_func st.program fname in
+          fun ws -> List.fold_left (fun acc p -> SS.remove p acc) ws f.Ast.params
+      | Static.Rloop _ | Static.Rbranch _ -> Fun.id
+    in
+    let cus =
+      List.map
+        (fun seg ->
+          let id = !next_id in
+          incr next_id;
+          let lines = List.concat_map (fun it -> it.it_lines) seg in
+          let read_set =
+            List.fold_left (fun acc it -> SS.union acc it.it_reads) SS.empty seg
+          in
+          let write_set =
+            param_filter
+              (List.fold_left (fun acc it -> SS.union acc it.it_writes) SS.empty seg)
+          in
+          let weight = List.fold_left (fun acc it -> acc + it.it_weight) 0 seg in
+          Cu.make ~id ~region:rid ~func ~lines ~read_set ~write_set ~weight
+            ~contains_call:(List.exists (fun it -> it.it_call) seg)
+            ~contains_region:(List.exists (fun it -> it.it_region <> None) seg))
+        segments
+    in
+    Hashtbl.replace by_region rid cus;
+    all := cus @ !all;
+    (* Recurse: nested regions get their own internal decomposition. *)
+    List.iter build_region st.regions.(rid).children
+  in
+  Array.iter
+    (fun (r : Static.region) -> if r.parent = -1 then build_region r.id)
+    st.regions;
+  { cus = List.rev !all; by_region; static = st }
+
+let cus_of_region (res : result) rid =
+  try Hashtbl.find res.by_region rid with Not_found -> []
+
+(* True when the whole region satisfies the read-compute-write pattern. *)
+let region_is_single_cu res rid =
+  match cus_of_region res rid with [ _ ] | [] -> true | _ :: _ :: _ -> false

@@ -1,0 +1,1 @@
+lib/discovery/loops.ml: Array Cunit Hashtbl List Mil Printf Profiler String

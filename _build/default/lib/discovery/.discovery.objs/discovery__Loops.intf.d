@@ -1,0 +1,1 @@
+lib/discovery/loops.mli: Cunit Hashtbl Mil Profiler

@@ -1,0 +1,1 @@
+lib/discovery/ranking.ml: Array Cunit Hashtbl List Mil Printf Profiler

@@ -1,0 +1,1 @@
+lib/discovery/ranking.mli: Cunit Mil Profiler

@@ -1,0 +1,1 @@
+lib/discovery/schedule.ml: Array Hashtbl List

@@ -1,0 +1,1 @@
+lib/discovery/suggestion.ml: Array Buffer Cunit List Loops Mil Printf Profiler Ranking Tasks

@@ -1,0 +1,1 @@
+lib/discovery/suggestion.mli: Cunit Loops Mil Profiler Ranking Tasks

@@ -1,0 +1,1 @@
+lib/discovery/tasks.ml: Array Cunit Hashtbl List Loops Mil Printf Profiler String

@@ -1,0 +1,1 @@
+lib/discovery/tasks.mli: Cunit Loops Mil Profiler

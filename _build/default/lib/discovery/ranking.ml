@@ -1,0 +1,147 @@
+(* Ranking of parallelization targets (§4.3) by three metrics:
+
+   - instruction coverage: dynamic memory instructions spent in the target
+     region divided by the whole program's — parallelising a region the
+     program barely executes cannot pay off.
+   - local speedup: the bound obtained from the region's CU graph — total CU
+     weight over critical-path weight (work over span), capped by the thread
+     count when one is given.
+   - CU imbalance: how unevenly the concurrently-runnable CUs are sized; a
+     perfectly balanced antichain scores 0, a lopsided one approaches 1
+     (Fig 4.6). Imbalanced opportunities waste the threads assigned to the
+     small CUs. *)
+
+module Dep = Profiler.Dep
+module Static = Mil.Static
+
+type score = {
+  coverage : float;        (* [0, 1] *)
+  local_speedup : float;   (* >= 1 *)
+  imbalance : float;       (* [0, 1], lower is better *)
+  combined : float;
+}
+
+(* Instruction coverage of a region from the PET. *)
+let coverage_of_region (st : Static.t) (pet : Profiler.Pet.t) (rid : int) : float =
+  let total = Profiler.Pet.total_instructions pet in
+  if total = 0 then 0.0
+  else begin
+    let r = st.regions.(rid) in
+    let matches (n : Profiler.Pet.node) =
+      match (r.Static.kind, n.Profiler.Pet.kind) with
+      | Static.Rloop _, Profiler.Pet.Lnode l -> l = r.Static.first_line
+      | Static.Rfunc f, Profiler.Pet.Fnode f' -> f = f'
+      | Static.Rbranch _, _ | _, _ -> false
+    in
+    let acc = ref 0 in
+    Profiler.Pet.iter
+      (fun n ->
+        if matches n then
+          acc := !acc + Profiler.Pet.subtree_instructions pet n.Profiler.Pet.id)
+      pet;
+    min 1.0 (float_of_int !acc /. float_of_int total)
+  end
+
+(* Work/span bound over the RAW CU graph of a region. SCCs execute
+   sequentially, so an SCC's span is its total weight. *)
+let local_speedup_of_cus (g : Cunit.Graph.t) : float =
+  let n = Cunit.Graph.size g in
+  if n = 0 then 1.0
+  else begin
+    let weight i = float_of_int (max 1 (Cunit.Graph.cu g i).Cunit.Cu.weight) in
+    let adj = Cunit.Graph.raw_succ g in
+    let scc = Cunit.Scc.run adj in
+    let cadj = Cunit.Scc.condense adj scc in
+    let cweight =
+      Array.map
+        (fun members -> List.fold_left (fun acc v -> acc +. weight v) 0.0 members)
+        scc.Cunit.Scc.components
+    in
+    let total = Array.fold_left ( +. ) 0.0 cweight in
+    let memo = Array.make scc.Cunit.Scc.count 0.0 in
+    let rec span c =
+      if memo.(c) > 0.0 then memo.(c)
+      else begin
+        let below = List.fold_left (fun m w -> max m (span w)) 0.0 cadj.(c) in
+        memo.(c) <- cweight.(c) +. below;
+        memo.(c)
+      end
+    in
+    let critical = Array.fold_left max 1.0 (Array.init scc.Cunit.Scc.count span) in
+    max 1.0 (total /. critical)
+  end
+
+(* Imbalance of the concurrently-runnable CUs: coefficient of variation of
+   antichain member weights, normalised to [0, 1]. *)
+let imbalance_of_cus (g : Cunit.Graph.t) : float =
+  let n = Cunit.Graph.size g in
+  if n < 2 then 0.0
+  else begin
+    let adj = Cunit.Graph.raw_succ g in
+    let scc = Cunit.Scc.run adj in
+    let cadj = Cunit.Scc.condense adj scc in
+    let weight c =
+      List.fold_left
+        (fun acc v -> acc + max 1 (Cunit.Graph.cu g v).Cunit.Cu.weight)
+        0 scc.Cunit.Scc.components.(c)
+    in
+    (* Group components by depth level; each level is an antichain. *)
+    let level = Array.make scc.Cunit.Scc.count 0 in
+    let rec depth v =
+      if level.(v) > 0 then level.(v)
+      else begin
+        let d = 1 + List.fold_left (fun m w -> max m (depth w)) 0 cadj.(v) in
+        level.(v) <- d;
+        d
+      end
+    in
+    Array.iteri (fun v _ -> ignore (depth v)) level;
+    let by_level = Hashtbl.create 8 in
+    Array.iteri
+      (fun v d ->
+        let prev = try Hashtbl.find by_level d with Not_found -> [] in
+        Hashtbl.replace by_level d (weight v :: prev))
+      level;
+    let worst = ref 0.0 in
+    Hashtbl.iter
+      (fun _ ws ->
+        match ws with
+        | [] | [ _ ] -> ()
+        | ws ->
+            let n = float_of_int (List.length ws) in
+            let mean = float_of_int (List.fold_left ( + ) 0 ws) /. n in
+            let var =
+              List.fold_left
+                (fun acc w ->
+                  let d = float_of_int w -. mean in
+                  acc +. (d *. d))
+                0.0 ws
+              /. n
+            in
+            let cv = if mean = 0.0 then 0.0 else sqrt var /. mean in
+            (* cv of k equal weights is 0; of one-dominates-all approaches
+               sqrt(k-1); normalise to [0,1]. *)
+            let norm = cv /. sqrt (n -. 1.0) in
+            if norm > !worst then worst := norm)
+      by_level;
+    min 1.0 !worst
+  end
+
+let score_region (st : Static.t) (cures : Cunit.Top_down.result)
+    (deps : Dep.Set_.t) (pet : Profiler.Pet.t) (rid : int) : score =
+  let cus = Cunit.Top_down.cus_of_region cures rid in
+  let g = Cunit.Graph.build ~cus ~deps () in
+  let coverage = coverage_of_region st pet rid in
+  let local_speedup = local_speedup_of_cus g in
+  let imbalance = imbalance_of_cus g in
+  (* Combined rank: expected whole-program gain by Amdahl, discounted by
+     imbalance. *)
+  let amdahl =
+    1.0 /. ((1.0 -. coverage) +. (coverage /. local_speedup))
+  in
+  { coverage; local_speedup; imbalance;
+    combined = amdahl *. (1.0 -. (0.5 *. imbalance)) }
+
+let to_string s =
+  Printf.sprintf "coverage=%.2f local-speedup=%.2f imbalance=%.2f rank=%.3f"
+    s.coverage s.local_speedup s.imbalance s.combined

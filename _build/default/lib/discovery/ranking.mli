@@ -1,0 +1,23 @@
+(** Ranking of parallelization targets (§4.3): instruction coverage, the
+    local speedup bound from the CU graph's work/span, and CU imbalance
+    (Fig. 4.6), combined through Amdahl's law. *)
+
+module Dep = Profiler.Dep
+module Static = Mil.Static
+
+type score = {
+  coverage : float;        (** share of whole-program instructions, [0,1] *)
+  local_speedup : float;   (** work/span bound, >= 1 *)
+  imbalance : float;       (** [0,1], lower is better *)
+  combined : float;        (** Amdahl gain discounted by imbalance *)
+}
+
+val coverage_of_region : Static.t -> Profiler.Pet.t -> int -> float
+val local_speedup_of_cus : Cunit.Graph.t -> float
+val imbalance_of_cus : Cunit.Graph.t -> float
+
+val score_region :
+  Static.t -> Cunit.Top_down.result -> Dep.Set_.t -> Profiler.Pet.t -> int ->
+  score
+
+val to_string : score -> string

@@ -1,0 +1,129 @@
+(* The framework front door: run phases 1-3 (§1.5) over a MIL program and
+   produce ranked parallelization suggestions. *)
+
+module Dep = Profiler.Dep
+module Static = Mil.Static
+
+type kind =
+  | Sdoall of Loops.analysis
+  | Sdoacross of Loops.analysis
+  | Sspmd of Tasks.spmd
+  | Smpmd of Tasks.mpmd
+
+type t = {
+  kind : kind;
+  region : int;
+  score : Ranking.score;
+}
+
+type report = {
+  program : Mil.Ast.program;
+  static : Static.t;
+  cures : Cunit.Top_down.result;
+  profile : Profiler.Serial.result;
+  loops : Loops.analysis list;
+  suggestions : t list;  (* sorted by rank, best first *)
+}
+
+let kind_to_string = function
+  | Sdoall a | Sdoacross a -> Loops.to_string a
+  | Sspmd s -> Tasks.spmd_to_string s
+  | Smpmd m -> Tasks.mpmd_to_string m
+
+let analyze ?(shadow = Profiler.Engine.Perfect) ?(skip = true) ?seed
+    ?(threads = 4) (prog : Mil.Ast.program) : report =
+  let profile = Profiler.Serial.profile ~shadow ~skip ?seed prog in
+  let static = Static.analyze prog in
+  let cures = Cunit.Top_down.build static in
+  let deps = profile.Profiler.Serial.deps in
+  let pet = profile.Profiler.Serial.pet in
+  let loops = Loops.analyze_all static cures deps pet in
+  let t = float_of_int (max 1 threads) in
+  (* Kind-aware local speedup: DOALL iterations scale with the thread count;
+     DOACROSS is bounded by the number of overlappable body CUs; task shapes
+     are bounded by the CU-graph work/span (computed by Ranking). *)
+  let score ?local rid =
+    let s = Ranking.score_region static cures deps pet rid in
+    let local_speedup =
+      match local with
+      | Some l -> min l t
+      | None -> min s.Ranking.local_speedup t
+    in
+    let amdahl =
+      1.0
+      /. ((1.0 -. s.Ranking.coverage) +. (s.Ranking.coverage /. local_speedup))
+    in
+    { s with
+      Ranking.local_speedup;
+      combined = amdahl *. (1.0 -. (0.5 *. s.Ranking.imbalance)) }
+  in
+  let loop_suggestions =
+    List.filter_map
+      (fun (a : Loops.analysis) ->
+        let rid = a.Loops.region.Static.id in
+        match a.Loops.cls with
+        | Loops.Doall | Loops.Doall_reduction ->
+            let local = min t (float_of_int (max 1 a.Loops.iterations)) in
+            Some { kind = Sdoall a; region = rid; score = score ~local rid }
+        | Loops.Doacross ->
+            let stages = max 2 (List.length a.Loops.body_cus) in
+            let local = min t (float_of_int stages) in
+            Some { kind = Sdoacross a; region = rid; score = score ~local rid }
+        | Loops.Sequential -> None)
+      loops
+  in
+  let spmd =
+    Tasks.recursive_forkjoin static cures deps @ Tasks.loop_tasks loops
+    |> List.map (fun (s : Tasks.spmd) ->
+           { kind = Sspmd s; region = s.Tasks.s_region;
+             score = score ~local:t s.Tasks.s_region })
+  in
+  let mpmd =
+    (* Look for MPMD structure in every function and executed loop body. *)
+    Array.to_list static.Static.regions
+    |> List.filter_map (fun (r : Static.region) ->
+           match r.Static.kind with
+           | Static.Rfunc _ | Static.Rloop _ -> (
+               match Tasks.mpmd_of_region cures deps r.Static.id with
+               | Some m when m.Tasks.m_width >= 2 ->
+                   Some
+                     { kind = Smpmd m; region = r.Static.id;
+                       score =
+                         score ~local:(float_of_int m.Tasks.m_width)
+                           r.Static.id }
+               | Some ({ Tasks.m_shape = Tasks.Pipeline; _ } as m)
+                 when List.length m.Tasks.m_stages >= 3
+                      && (match r.Static.kind with
+                         | Static.Rloop _ -> true
+                         | Static.Rfunc _ | Static.Rbranch _ -> false) ->
+                   (* a linear stage chain executed per loop iteration:
+                      pipeline parallelism over the stream of work items
+                      (speedup bounded by the stage count) *)
+                   Some
+                     { kind = Smpmd m; region = r.Static.id;
+                       score =
+                         score
+                           ~local:(float_of_int (List.length m.Tasks.m_stages))
+                           r.Static.id }
+               | Some _ | None -> None)
+           | Static.Rbranch _ -> None)
+  in
+  let suggestions =
+    loop_suggestions @ spmd @ mpmd
+    |> List.sort (fun a b ->
+           compare b.score.Ranking.combined a.score.Ranking.combined)
+  in
+  { program = prog; static; cures; profile; loops; suggestions }
+
+let render (r : report) : string =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "=== %s: %d suggestions ===\n" r.program.Mil.Ast.pname
+       (List.length r.suggestions));
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%2d. [%s] %s\n" (i + 1) (Ranking.to_string s.score)
+           (kind_to_string s.kind)))
+    r.suggestions;
+  Buffer.contents buf

@@ -1,0 +1,35 @@
+(** The framework front door: phases 1-3 of Fig. 1.3 — profile, construct
+    CUs, discover loop and task parallelism, rank — over a MIL program. *)
+
+module Dep = Profiler.Dep
+module Static = Mil.Static
+
+type kind =
+  | Sdoall of Loops.analysis
+  | Sdoacross of Loops.analysis
+  | Sspmd of Tasks.spmd
+  | Smpmd of Tasks.mpmd
+
+type t = { kind : kind; region : int; score : Ranking.score }
+
+type report = {
+  program : Mil.Ast.program;
+  static : Static.t;
+  cures : Cunit.Top_down.result;
+  profile : Profiler.Serial.result;
+  loops : Loops.analysis list;
+  suggestions : t list;  (** sorted by rank, best first *)
+}
+
+val kind_to_string : kind -> string
+
+val analyze :
+  ?shadow:Profiler.Engine.shadow_kind ->
+  ?skip:bool ->
+  ?seed:int ->
+  ?threads:int ->
+  Mil.Ast.program ->
+  report
+(** [threads] (default 4) bounds the kind-aware local-speedup metric. *)
+
+val render : report -> string

@@ -1,0 +1,1 @@
+lib/mil/ast.ml: List Printf

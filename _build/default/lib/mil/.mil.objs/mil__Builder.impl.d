@@ -1,0 +1,1 @@
+lib/mil/builder.ml: Ast List Stdlib

@@ -1,0 +1,1 @@
+lib/mil/builder.mli: Ast

@@ -1,0 +1,1 @@
+lib/mil/interp.ml: Array Ast Effect Hashtbl List Printf Queue Stack Trace

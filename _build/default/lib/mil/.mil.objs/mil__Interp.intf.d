@@ -1,0 +1,1 @@
+lib/mil/interp.mli: Ast Trace

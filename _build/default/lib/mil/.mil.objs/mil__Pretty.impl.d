@@ -1,0 +1,1 @@
+lib/mil/pretty.ml: Ast Buffer List Printf String

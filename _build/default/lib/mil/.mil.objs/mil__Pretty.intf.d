@@ -1,0 +1,1 @@
+lib/mil/pretty.mli: Ast

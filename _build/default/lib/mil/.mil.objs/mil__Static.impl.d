@@ -1,0 +1,1 @@
+lib/mil/static.ml: Array Ast Hashtbl List Set String

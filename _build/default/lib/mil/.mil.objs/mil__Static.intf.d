@@ -1,0 +1,1 @@
+lib/mil/static.mli: Ast Hashtbl Set

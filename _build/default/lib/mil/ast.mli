@@ -1,0 +1,83 @@
+(** Abstract syntax of MIL, the mini imperative language that stands in for
+    C/C++-compiled-to-LLVM-IR in this reproduction.
+
+    MIL mirrors the subset of program structure that matters to DiscoPoP:
+    scalar and array memory accesses with source locations, nested control
+    regions (functions, loops, branches), function calls, and explicitly
+    locked thread parallelism. Values are machine integers; the dependence
+    structure of a program does not depend on the value domain. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+  | Band | Bor | Bxor | Shl | Shr
+  | Min | Max
+
+type expr =
+  | Int of int
+  | Var of string                 (** scalar read *)
+  | Idx of string * expr          (** array element read: [a[e]] *)
+  | Len of string                 (** array length; no memory access *)
+  | Bin of binop * expr * expr
+  | Neg of expr
+  | Not of expr
+  | Call of string * expr list    (** call for value *)
+
+type lhs =
+  | Lvar of string                (** scalar write *)
+  | Lidx of string * expr         (** array element write *)
+
+(** Statements carry a [line] filled in by {!Builder.number}: a global,
+    pre-order source-line number, playing the role of fileID:lineID. *)
+type stmt = { mutable line : int; node : node }
+
+and node =
+  | Decl of string * expr              (** scalar local declaration *)
+  | Decl_arr of string * expr          (** local array of given size, zeroed *)
+  | Assign of lhs * expr
+  | If of expr * block * block
+  | While of expr * block
+  | For of for_loop
+  | Call_stmt of string * expr list    (** call for effect *)
+  | Return of expr option
+  | Break
+  | Par of block list                  (** fork blocks as threads, join all *)
+  | Lock of string                     (** named mutex *)
+  | Unlock of string
+  | Barrier of string                  (** all threads of the par group wait *)
+  | Free of string                     (** explicit array deallocation *)
+  | Atomic_assign of lhs * expr        (** lock-free atomic update *)
+
+and for_loop = { index : string; lo : expr; hi : expr; step : expr; body : block }
+(** [for index = lo; index < hi; index += step] *)
+
+and block = stmt list
+
+type func = {
+  fname : string;
+  params : string list;       (** scalar parameters, passed by value *)
+  arr_params : string list;   (** array parameters, passed by reference *)
+  body : block;
+  mutable fline : int;        (** line of the function header *)
+}
+
+type global =
+  | Gscalar of string * int   (** name, initial value *)
+  | Garray of string * int    (** name, size (zero-initialised) *)
+
+type program = {
+  pname : string;
+  globals : global list;
+  funcs : func list;
+  entry : string;             (** name of the entry function *)
+}
+
+val find_func : program -> string -> func
+(** @raise Invalid_argument on unknown function names. *)
+
+val is_reduction_op : binop -> bool
+(** Operators over which loop-carried dependences are resolvable by parallel
+    reduction (§4.1.1): commutative-associative arithmetic. *)
+
+val string_of_binop : binop -> string

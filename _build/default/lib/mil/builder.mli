@@ -1,0 +1,99 @@
+(** A DSL for constructing MIL programs in OCaml source, plus the
+    line-numbering pass. The expression operators below shadow the Stdlib
+    integer operators; use the [$]-suffixed variants for plain integer
+    arithmetic inside builder code. *)
+
+(** {1 Plain integer arithmetic} *)
+
+val ( +$ ) : int -> int -> int
+val ( -$ ) : int -> int -> int
+val ( *$ ) : int -> int -> int
+val ( /$ ) : int -> int -> int
+
+
+(** {1 Expressions} *)
+
+val i : int -> Ast.expr
+val v : string -> Ast.expr
+
+(** ["a".%[e]] is the array read [a[e]]. *)
+val ( .%[] ) : string -> Ast.expr -> Ast.expr
+val len : string -> Ast.expr
+val ( + ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( - ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( * ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( / ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( % ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( == ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( != ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( < ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( <= ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( > ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( >= ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( && ) : Ast.expr -> Ast.expr -> Ast.expr
+
+(** Both operands are evaluated — MIL has no short-circuiting. *)
+
+val ( || ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( land ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( lor ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( lxor ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( lsl ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( lsr ) : Ast.expr -> Ast.expr -> Ast.expr
+val min_ : Ast.expr -> Ast.expr -> Ast.expr
+val max_ : Ast.expr -> Ast.expr -> Ast.expr
+val neg : Ast.expr -> Ast.expr
+val not_ : Ast.expr -> Ast.expr
+val call : string -> Ast.expr list -> Ast.expr
+
+
+(** {1 Statements} — [line] fields are patched by {!number}. *)
+
+val stmt : Ast.node -> Ast.stmt
+val decl : string -> Ast.expr -> Ast.stmt
+val decl_arr : string -> Ast.expr -> Ast.stmt
+val set : string -> Ast.expr -> Ast.stmt
+
+(** [seti a idx e] is the array write [a[idx] = e]. *)
+val seti : string -> Ast.expr -> Ast.expr -> Ast.stmt
+val atomic_set : string -> Ast.expr -> Ast.stmt
+val atomic_seti : string -> Ast.expr -> Ast.expr -> Ast.stmt
+val if_ : Ast.expr -> Ast.block -> Ast.block -> Ast.stmt
+
+(** [when_ c body] is [if] without an [else] arm. *)
+val when_ : Ast.expr -> Ast.block -> Ast.stmt
+val while_ : Ast.expr -> Ast.block -> Ast.stmt
+val for_ : string -> Ast.expr -> Ast.expr -> Ast.block -> Ast.stmt
+val for_step : string -> Ast.expr -> Ast.expr -> Ast.expr -> Ast.block -> Ast.stmt
+val call_ : string -> Ast.expr list -> Ast.stmt
+val return : Ast.expr -> Ast.stmt
+val return_unit : Ast.stmt
+
+val break_ : Ast.stmt
+val par : Ast.block list -> Ast.stmt
+val lock : string -> Ast.stmt
+val unlock : string -> Ast.stmt
+val barrier : string -> Ast.stmt
+val free : string -> Ast.stmt
+
+(** [incr x] is [x = x + 1]. *)
+val incr : string -> Ast.stmt
+
+
+(** {1 Programs} *)
+
+val func :
+  ?params:string list -> ?arrays:string list -> string -> Ast.block -> Ast.func
+
+val gscalar : string -> int -> Ast.global
+val garray : string -> int -> Ast.global
+
+val program :
+  ?globals:Ast.global list -> entry:string -> string -> Ast.func list ->
+  Ast.program
+
+val number : Ast.program -> Ast.program
+
+(** Pre-order line numbering: functions get the line of their header, each
+    statement a fresh line, so a region's statements occupy a contiguous
+    interval — the property the BGN/END region reporting relies on. *)

@@ -1,0 +1,726 @@
+(* The MIL instrumenting interpreter.
+
+   Executing a MIL program under this interpreter produces the event stream of
+   {!Trace.Event}: one access event per dynamic memory instruction plus region
+   events. This is the substitute for DiscoPoP's LLVM instrumentation pass and
+   runtime library hooks.
+
+   Thread-parallel MIL programs ([Par] blocks with [Lock]/[Unlock]) run as
+   cooperative fibers over OCaml effects with a seeded pseudo-random scheduler,
+   so that interleavings are reproducible yet varied. Accesses carry a global
+   timestamp and a [locked] flag, which is what the profiler's race detection
+   (§2.3.4) consumes. *)
+
+open Ast
+module Event = Trace.Event
+
+exception Runtime_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+(* ---- deterministic PRNG (xorshift) used by MIL's [rand] builtin and by the
+   fiber scheduler ---- *)
+module Rng = struct
+  type t = { mutable s : int }
+
+  let create seed = { s = (if seed = 0 then 0x9e3779b9 else seed) }
+
+  let next t =
+    let s = t.s in
+    let s = s lxor (s lsl 13) in
+    let s = s lxor (s lsr 7) in
+    let s = s lxor (s lsl 17) in
+    t.s <- s land max_int;
+    t.s
+
+  let int t bound = if bound <= 0 then 0 else next t mod bound
+end
+
+(* ---- effects for cooperative threading ---- *)
+
+type _ Effect.t +=
+  | Yield : unit Effect.t
+  | Spawn : (unit -> unit) list -> unit Effect.t
+  | Acquire : string -> unit Effect.t
+  | Release : string -> unit Effect.t
+  | Await_barrier : string -> unit Effect.t
+
+(* ---- bindings and environments ---- *)
+
+type binding = Bscalar of int (* address *) | Barray of { base : int; len : int }
+
+type env = {
+  vars : (string, binding) Hashtbl.t;  (* function-local bindings *)
+  globals : (string, binding) Hashtbl.t;
+}
+
+(* Thread control block. *)
+type tcb = {
+  tid : int;
+  mutable lstack : Event.frame list;  (* outermost-first loop stack *)
+  mutable held : int;                 (* number of locks currently held *)
+  mutable finished : bool;
+  group : int;                        (* spawn group, for barriers *)
+  mutable group_live : int ref;       (* live threads in the group *)
+}
+
+exception Return_exc of int
+exception Break_exc
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable loop_iterations : int;
+  mutable calls : int;
+}
+
+type state = {
+  prog : program;
+  emit : Event.t -> unit;
+  instrument : bool;
+  mutable mem : int array;
+  mutable brk : int;
+  free_scalars : int Stack.t;
+  free_arrays : (int, int list) Hashtbl.t;  (* size -> bases *)
+  mutable time : int;
+  op_ids : (int, int) Hashtbl.t;  (* packed (line,kind,occ) -> op id *)
+  mutable n_ops : int;
+  mutable occ : int;              (* occurrence counter within a statement *)
+  rng : Rng.t;
+  globals_env : (string, binding) Hashtbl.t;
+  mutable loop_inst : int;
+  mutable cur : tcb;
+  mutable live_threads : int;
+  mutable next_tid : int;
+  stats : stats;
+  (* Optional reordering of unlocked pushes, to exercise race detection: the
+     event as seen by the profiler may be emitted out of timestamp order. *)
+  scramble_unlocked : bool;
+  mutable pending : Event.t list;  (* delayed unlocked accesses *)
+}
+
+let grow st needed =
+  if st.brk + needed > Array.length st.mem then begin
+    let cap = max (2 * Array.length st.mem) (st.brk + needed) in
+    let m = Array.make cap 0 in
+    Array.blit st.mem 0 m 0 st.brk;
+    st.mem <- m
+  end
+
+let alloc_scalar st =
+  match Stack.pop_opt st.free_scalars with
+  | Some a -> a
+  | None ->
+      grow st 1;
+      let a = st.brk in
+      st.brk <- st.brk + 1;
+      a
+
+let alloc_array st size =
+  let size = max size 1 in
+  match Hashtbl.find_opt st.free_arrays size with
+  | Some (b :: rest) ->
+      Hashtbl.replace st.free_arrays size rest;
+      Array.fill st.mem b size 0;
+      b
+  | Some [] | None ->
+      grow st size;
+      let b = st.brk in
+      st.brk <- st.brk + size;
+      b
+
+let free_scalar st a = Stack.push a st.free_scalars
+
+let free_array st base size =
+  let size = max size 1 in
+  let prev = try Hashtbl.find st.free_arrays size with Not_found -> [] in
+  Hashtbl.replace st.free_arrays size (base :: prev)
+
+(* ---- event emission ---- *)
+
+let flush_pending st =
+  (* Emit delayed unlocked accesses in scrambled order. *)
+  let rec drain = function
+    | [] -> ()
+    | evs ->
+        let n = List.length evs in
+        let k = Rng.int st.rng n in
+        let ev = List.nth evs k in
+        st.emit ev;
+        drain (List.filteri (fun i _ -> i <> k) evs)
+  in
+  drain (List.rev st.pending);
+  st.pending <- []
+
+let intern_op st line kind =
+  let key = (line * 64 + st.occ) * 2 + (match kind with Event.Read -> 0 | Event.Write -> 1) in
+  st.occ <- st.occ + 1;
+  match Hashtbl.find_opt st.op_ids key with
+  | Some id -> id
+  | None ->
+      let id = st.n_ops in
+      st.n_ops <- id + 1;
+      Hashtbl.replace st.op_ids key id;
+      id
+
+let emit_access st ~kind ~addr ~var ~line =
+  (match kind with
+  | Event.Read -> st.stats.reads <- st.stats.reads + 1
+  | Event.Write -> st.stats.writes <- st.stats.writes + 1);
+  if st.instrument then begin
+    st.time <- st.time + 1;
+    let op = intern_op st line kind in
+    let locked = st.cur.held > 0 in
+    let a =
+      { Event.kind; addr; var; line; thread = st.cur.tid; time = st.time; op;
+        lstack = st.cur.lstack; locked }
+    in
+    if st.scramble_unlocked && st.live_threads > 1 && not locked then begin
+      st.pending <- Event.Access a :: st.pending;
+      if List.length st.pending > 4 then flush_pending st
+    end
+    else begin
+      if st.pending <> [] then flush_pending st;
+      st.emit (Event.Access a)
+    end
+  end
+
+let emit_region st r = if st.instrument then st.emit (Event.Region r)
+
+(* ---- variable lookup ---- *)
+
+let lookup env x =
+  match Hashtbl.find_opt env.vars x with
+  | Some b -> Some b
+  | None -> Hashtbl.find_opt env.globals x
+
+let lookup_exn env x =
+  match lookup env x with
+  | Some b -> b
+  | None -> error "unbound variable %s" x
+
+(* ---- expression evaluation ---- *)
+
+let truthy n = n <> 0
+
+let apply_binop op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then 0 else a / b
+  | Mod -> if b = 0 then 0 else a mod b
+  | Eq -> if a = b then 1 else 0
+  | Ne -> if a <> b then 1 else 0
+  | Lt -> if a < b then 1 else 0
+  | Le -> if a <= b then 1 else 0
+  | Gt -> if a > b then 1 else 0
+  | Ge -> if a >= b then 1 else 0
+  | And -> if truthy a && truthy b then 1 else 0
+  | Or -> if truthy a || truthy b then 1 else 0
+  | Band -> a land b
+  | Bor -> a lor b
+  | Bxor -> a lxor b
+  | Shl -> a lsl (b land 63)
+  | Shr -> a lsr (b land 63)
+  | Min -> min a b
+  | Max -> max a b
+
+let maybe_yield st = if st.live_threads > 1 then Effect.perform Yield
+
+let rec eval st env line (e : expr) : int =
+  match e with
+  | Int n -> n
+  | Var x -> (
+      match lookup_exn env x with
+      | Bscalar addr ->
+          emit_access st ~kind:Event.Read ~addr ~var:x ~line;
+          st.mem.(addr)
+      | Barray { base; _ } -> base)
+  | Idx (a, ie) -> (
+      let idx = eval st env line ie in
+      match lookup_exn env a with
+      | Barray { base; len } ->
+          if idx < 0 || idx >= len then error "index %d out of bounds for %s (len %d) at line %d" idx a len line;
+          let addr = base + idx in
+          emit_access st ~kind:Event.Read ~addr ~var:a ~line;
+          st.mem.(addr)
+      | Bscalar _ -> error "%s is not an array (line %d)" a line)
+  | Len a -> (
+      match lookup_exn env a with
+      | Barray { len; _ } -> len
+      | Bscalar _ -> error "%s is not an array (line %d)" a line)
+  | Bin (op, e1, e2) ->
+      let a = eval st env line e1 in
+      (* Short-circuit semantics for And/Or would hide reads; MIL evaluates
+         both operands, which matches how the workloads are written. *)
+      let b = eval st env line e2 in
+      apply_binop op a b
+  | Neg e1 -> -eval st env line e1
+  | Not e1 -> if truthy (eval st env line e1) then 0 else 1
+  | Call (f, args) -> eval_call st env line f args
+
+and eval_call st env line f args =
+  match List.find_opt (fun g -> g.fname = f) st.prog.funcs with
+  | Some callee -> call_user st env line callee args
+  | None -> call_builtin st env line f args
+
+and call_builtin st env line f args =
+  let evals () = List.map (eval st env line) args in
+  match (f, args) with
+  | "rand", [ bound ] ->
+      let b = eval st env line bound in
+      Rng.int st.rng (max b 1)
+  | "rand", [] -> Rng.next st.rng land 0xFFFF
+  | "abs", [ e ] -> abs (eval st env line e)
+  | "print", _ ->
+      ignore (evals ());
+      0
+  | _ -> error "unknown function %s (line %d)" f line
+
+and call_user st env line callee args =
+  st.stats.calls <- st.stats.calls + 1;
+  let n_scalars = List.length callee.params in
+  let scalar_args = List.filteri (fun k _ -> k < n_scalars) args in
+  let array_args = List.filteri (fun k _ -> k >= n_scalars) args in
+  if List.length array_args <> List.length callee.arr_params then
+    error "call %s: expected %d array args, got %d (line %d)" callee.fname
+      (List.length callee.arr_params) (List.length array_args) line;
+  let scalar_vals = List.map (eval st env line) scalar_args in
+  let array_bindings =
+    List.map
+      (fun a ->
+        match a with
+        | Var name -> (
+            match lookup_exn env name with
+            | Barray _ as b -> b
+            | Bscalar _ -> error "call %s: %s is not an array" callee.fname name)
+        | _ -> error "call %s: array arguments must be variables" callee.fname)
+      array_args
+  in
+  let fenv = { vars = Hashtbl.create 8; globals = st.globals_env } in
+  emit_region st (Event.Func_entry { name = callee.fname; line = callee.fline; call_line = line });
+  (* Pass-by-value scalars: copy into fresh locations; the initialising writes
+     are attributed to the function header line. *)
+  let saved_occ = st.occ in
+  st.occ <- 0;
+  let param_addrs =
+    List.map2
+      (fun p v ->
+        let addr = alloc_scalar st in
+        st.mem.(addr) <- v;
+        emit_access st ~kind:Event.Write ~addr ~var:p ~line:callee.fline;
+        Hashtbl.replace fenv.vars p (Bscalar addr);
+        (addr, p))
+      callee.params scalar_vals
+  in
+  st.occ <- saved_occ;
+  List.iter2
+    (fun p b -> Hashtbl.replace fenv.vars p b)
+    callee.arr_params array_bindings;
+  let result =
+    try
+      exec_block st fenv callee.body;
+      0
+    with Return_exc v -> v
+  in
+  List.iter (fun (addr, _) -> free_scalar st addr) param_addrs;
+  if param_addrs <> [] then
+    emit_region st
+      (Event.Dealloc { addrs = List.map (fun (a, p) -> (a, 1, p)) param_addrs });
+  emit_region st (Event.Func_exit { name = callee.fname; line = callee.fline });
+  result
+
+and assign st env line (l : lhs) v =
+  match l with
+  | Lvar x -> (
+      match lookup_exn env x with
+      | Bscalar addr ->
+          st.mem.(addr) <- v;
+          emit_access st ~kind:Event.Write ~addr ~var:x ~line
+      | Barray _ -> error "cannot assign to array %s (line %d)" x line)
+  | Lidx (a, ie) -> (
+      let idx = eval st env line ie in
+      match lookup_exn env a with
+      | Barray { base; len } ->
+          if idx < 0 || idx >= len then error "index %d out of bounds for %s (len %d) at line %d" idx a len line;
+          let addr = base + idx in
+          st.mem.(addr) <- v;
+          emit_access st ~kind:Event.Write ~addr ~var:a ~line
+      | Bscalar _ -> error "%s is not an array (line %d)" a line)
+
+and exec_stmt st env (s : stmt) : unit =
+  maybe_yield st;
+  st.occ <- 0;
+  match s.node with
+  | Decl (x, e) ->
+      let v = eval st env s.line e in
+      let addr = alloc_scalar st in
+      st.mem.(addr) <- v;
+      emit_access st ~kind:Event.Write ~addr ~var:x ~line:s.line;
+      Hashtbl.replace env.vars x (Bscalar addr)
+  | Decl_arr (x, se) ->
+      let size = eval st env s.line se in
+      if size < 0 then error "negative array size for %s (line %d)" x s.line;
+      let base = alloc_array st size in
+      Hashtbl.replace env.vars x (Barray { base; len = max size 1 })
+  | Assign (l, e) ->
+      let v = eval st env s.line e in
+      assign st env s.line l v
+  | Atomic_assign (l, e) ->
+      (* Atomicity: treat the update as lock-protected for race reporting. *)
+      st.cur.held <- st.cur.held + 1;
+      let v = eval st env s.line e in
+      assign st env s.line l v;
+      st.cur.held <- st.cur.held - 1
+  | If (c, t, e) ->
+      if truthy (eval st env s.line c) then exec_scope st env t
+      else exec_scope st env e
+  | While (c, body) ->
+      st.loop_inst <- st.loop_inst + 1;
+      let inst = st.loop_inst in
+      emit_region st (Event.Loop_entry { line = s.line; inst });
+      let outer = st.cur.lstack in
+      let iters = ref 0 in
+      (* The condition check admitting iteration n is attributed to iteration
+         n itself, so a value it reads from iteration n-1 is loop-carried. *)
+      let enter_iteration () =
+        st.cur.lstack <-
+          outer @ [ { Event.loop_line = s.line; inst; iter = !iters } ];
+        st.occ <- 0
+      in
+      (try
+         enter_iteration ();
+         while truthy (eval st env s.line c) do
+           emit_region st (Event.Loop_iter { line = s.line; inst; iter = !iters });
+           incr iters;
+           st.stats.loop_iterations <- st.stats.loop_iterations + 1;
+           exec_scope st env body;
+           enter_iteration ()
+         done
+       with Break_exc -> ());
+      st.cur.lstack <- outer;
+      emit_region st (Event.Loop_exit { line = s.line; inst; iterations = !iters })
+  | For { index; lo; hi; step; body } ->
+      st.loop_inst <- st.loop_inst + 1;
+      let inst = st.loop_inst in
+      emit_region st (Event.Loop_entry { line = s.line; inst });
+      let outer = st.cur.lstack in
+      let lo_v = eval st env s.line lo in
+      let addr = alloc_scalar st in
+      st.mem.(addr) <- lo_v;
+      emit_access st ~kind:Event.Write ~addr ~var:index ~line:s.line;
+      let saved = Hashtbl.find_opt env.vars index in
+      Hashtbl.replace env.vars index (Bscalar addr);
+      let iters = ref 0 in
+      (try
+         (* Bound check and index increment admit the upcoming iteration and
+            are attributed to it. *)
+         let continue_loop () =
+           st.cur.lstack <-
+             outer @ [ { Event.loop_line = s.line; inst; iter = !iters } ];
+           st.occ <- 0;
+           let hi_v = eval st env s.line hi in
+           emit_access st ~kind:Event.Read ~addr ~var:index ~line:s.line;
+           st.mem.(addr) < hi_v
+         in
+         while continue_loop () do
+           emit_region st (Event.Loop_iter { line = s.line; inst; iter = !iters });
+           incr iters;
+           st.stats.loop_iterations <- st.stats.loop_iterations + 1;
+           exec_scope st env body;
+           st.cur.lstack <-
+             outer @ [ { Event.loop_line = s.line; inst; iter = !iters } ];
+           st.occ <- 0;
+           let step_v = eval st env s.line step in
+           emit_access st ~kind:Event.Read ~addr ~var:index ~line:s.line;
+           let next = st.mem.(addr) + step_v in
+           st.mem.(addr) <- next;
+           emit_access st ~kind:Event.Write ~addr ~var:index ~line:s.line
+         done
+       with Break_exc -> ());
+      st.cur.lstack <- outer;
+      (match saved with
+      | Some b -> Hashtbl.replace env.vars index b
+      | None -> Hashtbl.remove env.vars index);
+      free_scalar st addr;
+      emit_region st (Event.Dealloc { addrs = [ (addr, 1, index) ] });
+      emit_region st (Event.Loop_exit { line = s.line; inst; iterations = !iters })
+  | Call_stmt (f, args) -> ignore (eval_call st env s.line f args)
+  | Return (Some e) -> raise (Return_exc (eval st env s.line e))
+  | Return None -> raise (Return_exc 0)
+  | Break -> raise Break_exc
+  | Lock _ when st.live_threads <= 1 -> st.cur.held <- st.cur.held + 1
+  | Lock m ->
+      Effect.perform (Acquire m);
+      st.cur.held <- st.cur.held + 1
+  | Unlock _ when st.live_threads <= 1 && st.cur.held > 0 ->
+      st.cur.held <- st.cur.held - 1
+  | Unlock m ->
+      st.cur.held <- max 0 (st.cur.held - 1);
+      Effect.perform (Release m)
+  | Barrier _ when st.live_threads <= 1 -> ()
+  | Barrier m -> Effect.perform (Await_barrier m)
+  | Free x -> (
+      match lookup_exn env x with
+      | Barray { base; len } ->
+          free_array st base len;
+          Hashtbl.remove env.vars x;
+          emit_region st (Event.Dealloc { addrs = [ (base, len, x) ] })
+      | Bscalar addr ->
+          free_scalar st addr;
+          Hashtbl.remove env.vars x;
+          emit_region st (Event.Dealloc { addrs = [ (addr, 1, x) ] }))
+  | Par blocks ->
+      let parent = st.cur in
+      let thunks =
+        List.map
+          (fun b () ->
+            (* Runs with a fresh tcb installed by the scheduler wrapper. *)
+            exec_scope st { vars = Hashtbl.copy env.vars; globals = env.globals } b)
+          blocks
+      in
+      ignore parent;
+      Effect.perform (Spawn thunks)
+
+(* Execute a block in a child scope: locals declared here die on exit, and
+   their addresses are recycled — exactly the situation variable-lifetime
+   analysis (§2.3.5) must handle. *)
+and exec_scope st env block =
+  let before = Hashtbl.copy env.vars in
+  List.iter (exec_stmt st env) block;
+  (* Find bindings introduced by this block and release them. *)
+  let dead = ref [] in
+  Hashtbl.iter
+    (fun x b ->
+      match Hashtbl.find_opt before x with
+      | Some b' when b' = b -> ()
+      | _ -> (
+          match b with
+          | Bscalar addr ->
+              free_scalar st addr;
+              dead := (addr, 1, x) :: !dead
+          | Barray { base; len } ->
+              free_array st base len;
+              dead := (base, len, x) :: !dead))
+    env.vars;
+  Hashtbl.reset env.vars;
+  Hashtbl.iter (fun k v -> Hashtbl.replace env.vars k v) before;
+  if !dead <> [] then emit_region st (Event.Dealloc { addrs = !dead })
+
+and exec_block st env block = List.iter (exec_stmt st env) block
+
+(* ---- scheduler ---- *)
+
+type run_result = {
+  result : int;
+  r_stats : stats;
+  dynamic_ops : int;  (* distinct static memory operations executed *)
+}
+
+exception Deadlock
+
+type work =
+  | Resume : ('a, unit) Effect.Deep.continuation * 'a * tcb -> work
+  | Start of (unit -> unit) * tcb
+
+let run ?(seed = 42) ?(instrument = true) ?(scramble_unlocked = false)
+    ?(emit = fun (_ : Event.t) -> ()) (prog : program) : run_result =
+  let st =
+    { prog; emit; instrument; mem = Array.make 4096 0; brk = 1;
+      free_scalars = Stack.create (); free_arrays = Hashtbl.create 16; time = 0;
+      op_ids = Hashtbl.create 256; n_ops = 0; occ = 0; rng = Rng.create seed;
+      globals_env = Hashtbl.create 16; loop_inst = 0;
+      cur =
+        { tid = 0; lstack = []; held = 0; finished = false; group = 0;
+          group_live = ref 1 };
+      live_threads = 1; next_tid = 1;
+      stats = { reads = 0; writes = 0; loop_iterations = 0; calls = 0 };
+      scramble_unlocked; pending = [] }
+  in
+  List.iter
+    (fun g ->
+      match g with
+      | Gscalar (name, v) ->
+          let addr = alloc_scalar st in
+          st.mem.(addr) <- v;
+          Hashtbl.replace st.globals_env name (Bscalar addr)
+      | Garray (name, size) ->
+          let base = alloc_array st size in
+          Hashtbl.replace st.globals_env name (Barray { base; len = max size 1 }))
+    prog.globals;
+  let entry = find_func prog prog.entry in
+  let result = ref 0 in
+  (* Scheduler state: a bag of runnable work items picked pseudo-randomly, a
+     per-mutex wait queue, and join counters for [Par] parents. *)
+  let readyq : work list ref = ref [] in
+  let waiting :
+      (string, (tcb * (unit, unit) Effect.Deep.continuation) Queue.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let lock_owner : (string, int option) Hashtbl.t = Hashtbl.create 8 in
+  (* Barrier state: (group, name) -> threads currently waiting. *)
+  let barriers :
+      (int * string, (tcb * (unit, unit) Effect.Deep.continuation) list ref)
+      Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let enqueue w = readyq := w :: !readyq in
+  (* A barrier opens when every live thread of the group has arrived; it is
+     also re-checked when a group member finishes without reaching it. *)
+  let release_barriers group =
+    Hashtbl.iter
+      (fun (g, _) waiters ->
+        if g = group then begin
+          match !waiters with
+          | (t0, _) :: _ when List.length !waiters >= !(t0.group_live) ->
+              List.iter (fun (t, k) -> enqueue (Resume (k, (), t))) !waiters;
+              waiters := []
+          | _ -> ()
+        end)
+      barriers
+  in
+  let pick () =
+    match !readyq with
+    | [] -> None
+    | l ->
+        let n = List.length l in
+        let k = Rng.int st.rng n in
+        let chosen = List.nth l k in
+        readyq := List.filteri (fun i _ -> i <> k) l;
+        Some chosen
+  in
+  let rec schedule () =
+    match pick () with
+    | Some (Resume (k, x, tcb)) ->
+        st.cur <- tcb;
+        Effect.Deep.continue k x
+    | Some (Start (thunk, tcb)) ->
+        st.cur <- tcb;
+        run_fiber tcb thunk
+    | None ->
+        let blocked =
+          Hashtbl.fold (fun _ q n -> n + Queue.length q) waiting 0
+          + Hashtbl.fold (fun _ w n -> n + List.length !w) barriers 0
+        in
+        if blocked > 0 then raise Deadlock
+  and run_fiber tcb thunk =
+    Effect.Deep.match_with
+      (fun () -> thunk ())
+      ()
+      { retc =
+          (fun () ->
+            tcb.finished <- true;
+            st.live_threads <- st.live_threads - 1;
+            schedule ());
+        exnc = (fun e -> raise e);
+        effc =
+          (fun (type b) (eff : b Effect.t) ->
+            match eff with
+            | Yield ->
+                Some
+                  (fun (k : (b, unit) Effect.Deep.continuation) ->
+                    enqueue (Resume (k, (), tcb));
+                    schedule ())
+            | Spawn thunks ->
+                Some
+                  (fun (k : (b, unit) Effect.Deep.continuation) ->
+                    let pending = ref (List.length thunks) in
+                    let group = st.next_tid in
+                    let group_live = ref (List.length thunks) in
+                    List.iter
+                      (fun child_thunk ->
+                        let child =
+                          { tid = st.next_tid; lstack = tcb.lstack; held = 0;
+                            finished = false; group; group_live }
+                        in
+                        st.next_tid <- st.next_tid + 1;
+                        st.live_threads <- st.live_threads + 1;
+                        let wrapped () =
+                          if st.instrument then
+                            st.emit
+                              (Event.Region (Event.Thread_start { thread = child.tid }));
+                          (try child_thunk () with Return_exc _ -> ());
+                          if st.instrument then
+                            st.emit
+                              (Event.Region (Event.Thread_end { thread = child.tid }));
+                          decr child.group_live;
+                          release_barriers child.group;
+                          decr pending;
+                          if !pending = 0 then enqueue (Resume (k, (), tcb))
+                        in
+                        enqueue (Start (wrapped, child)))
+                      thunks;
+                    schedule ())
+            | Acquire m ->
+                Some
+                  (fun (k : (b, unit) Effect.Deep.continuation) ->
+                    let owner =
+                      try Hashtbl.find lock_owner m with Not_found -> None
+                    in
+                    (match owner with
+                    | None ->
+                        Hashtbl.replace lock_owner m (Some tcb.tid);
+                        enqueue (Resume (k, (), tcb))
+                    | Some _ ->
+                        let q =
+                          match Hashtbl.find_opt waiting m with
+                          | Some q -> q
+                          | None ->
+                              let q = Queue.create () in
+                              Hashtbl.replace waiting m q;
+                              q
+                        in
+                        Queue.push (tcb, k) q);
+                    schedule ())
+            | Await_barrier m ->
+                Some
+                  (fun (k : (b, unit) Effect.Deep.continuation) ->
+                    let key = (tcb.group, m) in
+                    let waiters =
+                      match Hashtbl.find_opt barriers key with
+                      | Some w -> w
+                      | None ->
+                          let w = ref [] in
+                          Hashtbl.replace barriers key w;
+                          w
+                    in
+                    waiters := (tcb, k) :: !waiters;
+                    if List.length !waiters >= !(tcb.group_live) then begin
+                      List.iter (fun (t, k') -> enqueue (Resume (k', (), t))) !waiters;
+                      waiters := []
+                    end;
+                    schedule ())
+            | Release m ->
+                Some
+                  (fun (k : (b, unit) Effect.Deep.continuation) ->
+                    (match Hashtbl.find_opt waiting m with
+                    | Some q when not (Queue.is_empty q) ->
+                        let tcb', k' = Queue.pop q in
+                        Hashtbl.replace lock_owner m (Some tcb'.tid);
+                        enqueue (Resume (k', (), tcb'))
+                    | Some _ | None -> Hashtbl.replace lock_owner m None);
+                    enqueue (Resume (k, (), tcb));
+                    schedule ())
+            | _ -> None) }
+  in
+  let main_tcb = st.cur in
+  let main () =
+    let env = { vars = Hashtbl.create 8; globals = st.globals_env } in
+    emit_region st
+      (Event.Func_entry { name = entry.fname; line = entry.fline; call_line = 0 });
+    (try exec_block st env entry.body with Return_exc v -> result := v);
+    emit_region st (Event.Func_exit { name = entry.fname; line = entry.fline });
+    if st.pending <> [] then flush_pending st
+  in
+  run_fiber main_tcb main;
+  { result = !result; r_stats = st.stats; dynamic_ops = st.n_ops }
+
+(* Run and collect all events into a list; convenient for tests and for the
+   offline (phase-2) analyses. *)
+let trace ?seed ?scramble_unlocked prog =
+  let acc = ref [] in
+  let res =
+    run ?seed ?scramble_unlocked ~emit:(fun e -> acc := e :: !acc) prog
+  in
+  (res, List.rev !acc)

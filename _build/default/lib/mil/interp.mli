@@ -1,0 +1,57 @@
+(** The MIL instrumenting interpreter: executing a program produces the
+    {!Trace.Event} stream — the substitute for DiscoPoP's LLVM
+    instrumentation pass and runtime hooks.
+
+    Thread-parallel programs ([Par] blocks with locks and barriers) run as
+    cooperative fibers over OCaml effects with a seeded pseudo-random
+    scheduler, so interleavings are reproducible yet varied. *)
+
+exception Runtime_error of string
+(** Out-of-bounds accesses, unbound variables, arity errors. *)
+
+exception Deadlock
+(** All live threads are blocked on locks or barriers. *)
+
+(** Deterministic xorshift PRNG behind MIL's [rand] builtin and the fiber
+    scheduler. *)
+module Rng : sig
+  type t
+
+  val create : int -> t
+  val next : t -> int
+
+  (** [int t bound] is uniform in [0, bound). *)
+  val int : t -> int -> int
+end
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable loop_iterations : int;
+  mutable calls : int;
+}
+
+type run_result = {
+  result : int;            (** the entry function's return value *)
+  r_stats : stats;
+  dynamic_ops : int;       (** distinct static memory operations executed *)
+}
+
+val run :
+  ?seed:int ->
+  ?instrument:bool ->
+  ?scramble_unlocked:bool ->
+  ?emit:(Trace.Event.t -> unit) ->
+  Ast.program ->
+  run_result
+(** Execute the program. [instrument:false] skips event construction (the
+    native baseline for slowdown measurements). [scramble_unlocked] delays
+    and reorders the emission of unlocked accesses from concurrent threads,
+    modelling the access/push atomicity violation that exposes potential
+    data races (§2.3.4). *)
+
+val trace :
+  ?seed:int -> ?scramble_unlocked:bool -> Ast.program ->
+  run_result * Trace.Event.t list
+(** Run and collect all events in order; convenient for tests and offline
+    analyses. *)

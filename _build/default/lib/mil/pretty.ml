@@ -1,0 +1,102 @@
+(* Source rendering of MIL programs with line numbers, used by the CLI and
+   examples so users can correlate profiler output (fileID:lineID) with code. *)
+
+open Ast
+
+let rec expr_to_string e =
+  match e with
+  | Int n -> string_of_int n
+  | Var x -> x
+  | Idx (a, e1) -> Printf.sprintf "%s[%s]" a (expr_to_string e1)
+  | Len a -> Printf.sprintf "len(%s)" a
+  | Bin ((Min | Max) as op, e1, e2) ->
+      Printf.sprintf "%s(%s, %s)" (string_of_binop op) (expr_to_string e1)
+        (expr_to_string e2)
+  | Bin (op, e1, e2) ->
+      Printf.sprintf "(%s %s %s)" (expr_to_string e1) (string_of_binop op)
+        (expr_to_string e2)
+  | Neg e1 -> Printf.sprintf "(-%s)" (expr_to_string e1)
+  | Not e1 -> Printf.sprintf "(!%s)" (expr_to_string e1)
+  | Call (f, args) ->
+      Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr_to_string args))
+
+let lhs_to_string = function
+  | Lvar x -> x
+  | Lidx (a, e) -> Printf.sprintf "%s[%s]" a (expr_to_string e)
+
+let render_program (p : program) : string =
+  let buf = Buffer.create 1024 in
+  let line s fmt =
+    Printf.ksprintf
+      (fun str -> Buffer.add_string buf (Printf.sprintf "%4d  %s%s\n" s "" str))
+      fmt
+  in
+  let pad d = String.make (2 * d) ' ' in
+  let rec stmt d s =
+    let p = pad d in
+    match s.node with
+    | Decl (x, e) -> line s.line "%svar %s = %s" p x (expr_to_string e)
+    | Decl_arr (x, e) -> line s.line "%svar %s[%s]" p x (expr_to_string e)
+    | Assign (l, e) -> line s.line "%s%s = %s" p (lhs_to_string l) (expr_to_string e)
+    | Atomic_assign (l, e) ->
+        line s.line "%satomic %s = %s" p (lhs_to_string l) (expr_to_string e)
+    | If (c, t, []) ->
+        line s.line "%sif (%s) {" p (expr_to_string c);
+        List.iter (stmt (d + 1)) t;
+        Buffer.add_string buf (Printf.sprintf "      %s}\n" p)
+    | If (c, t, e) ->
+        line s.line "%sif (%s) {" p (expr_to_string c);
+        List.iter (stmt (d + 1)) t;
+        Buffer.add_string buf (Printf.sprintf "      %s} else {\n" p);
+        List.iter (stmt (d + 1)) e;
+        Buffer.add_string buf (Printf.sprintf "      %s}\n" p)
+    | While (c, body) ->
+        line s.line "%swhile (%s) {" p (expr_to_string c);
+        List.iter (stmt (d + 1)) body;
+        Buffer.add_string buf (Printf.sprintf "      %s}\n" p)
+    | For { index; lo; hi; step = Int 1; body } ->
+        line s.line "%sfor (%s = %s; %s < %s; %s++) {" p index (expr_to_string lo)
+          index (expr_to_string hi) index;
+        List.iter (stmt (d + 1)) body;
+        Buffer.add_string buf (Printf.sprintf "      %s}\n" p)
+    | For { index; lo; hi; step; body } ->
+        line s.line "%sfor (%s = %s; %s < %s; %s += %s) {" p index
+          (expr_to_string lo) index (expr_to_string hi) index (expr_to_string step);
+        List.iter (stmt (d + 1)) body;
+        Buffer.add_string buf (Printf.sprintf "      %s}\n" p)
+    | Call_stmt (f, args) ->
+        line s.line "%s%s(%s)" p f
+          (String.concat ", " (List.map expr_to_string args))
+    | Return (Some e) -> line s.line "%sreturn %s" p (expr_to_string e)
+    | Return None -> line s.line "%sreturn" p
+    | Break -> line s.line "%sbreak" p
+    | Lock m -> line s.line "%slock(%s)" p m
+    | Unlock m -> line s.line "%sunlock(%s)" p m
+    | Barrier m -> line s.line "%sbarrier(%s)" p m
+    | Free x -> line s.line "%sfree(%s)" p x
+    | Par blocks ->
+        line s.line "%spar {" p;
+        List.iteri
+          (fun i b ->
+            Buffer.add_string buf
+              (Printf.sprintf "      %sthread %d:\n" (pad (d + 1)) i);
+            List.iter (stmt (d + 2)) b)
+          blocks;
+        Buffer.add_string buf (Printf.sprintf "      %s}\n" p)
+  in
+  List.iter
+    (fun g ->
+      match g with
+      | Gscalar (n, v) -> Buffer.add_string buf (Printf.sprintf "      global %s = %d\n" n v)
+      | Garray (n, s) -> Buffer.add_string buf (Printf.sprintf "      global %s[%d]\n" n s))
+    p.globals;
+  List.iter
+    (fun f ->
+      let params =
+        String.concat ", " (f.params @ List.map (fun a -> a ^ "[]") f.arr_params)
+      in
+      line f.fline "func %s(%s) {" f.fname params;
+      List.iter (stmt 1) f.body;
+      Buffer.add_string buf "      }\n")
+    p.funcs;
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/profiler/dep.ml: Hashtbl List Printf Stdlib

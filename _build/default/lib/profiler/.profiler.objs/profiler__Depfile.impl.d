@@ -1,0 +1,1 @@
+lib/profiler/depfile.ml: Buffer Dep Fun List Printf String

@@ -1,0 +1,1 @@
+lib/profiler/depfile.mli: Dep

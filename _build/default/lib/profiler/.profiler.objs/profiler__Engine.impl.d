@@ -1,0 +1,1 @@
+lib/profiler/engine.ml: Array Dep List Sigmem Trace

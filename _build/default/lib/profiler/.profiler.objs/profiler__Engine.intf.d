@@ -1,0 +1,1 @@
+lib/profiler/engine.mli: Dep Sigmem Trace

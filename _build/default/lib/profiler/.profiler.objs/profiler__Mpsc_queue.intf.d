@@ -1,0 +1,1 @@
+lib/profiler/mpsc_queue.mli:

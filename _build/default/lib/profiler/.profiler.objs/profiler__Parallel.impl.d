@@ -1,0 +1,1 @@
+lib/profiler/parallel.ml: Array Dep Domain Engine Hashtbl List Mil Mutex Pet Queue Spsc_queue Trace

@@ -1,0 +1,1 @@
+lib/profiler/parallel.mli: Dep Engine Mil Pet Trace

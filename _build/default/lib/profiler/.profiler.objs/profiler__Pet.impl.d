@@ -1,0 +1,1 @@
+lib/profiler/pet.ml: Array Buffer Dep Hashtbl List Printf String Trace

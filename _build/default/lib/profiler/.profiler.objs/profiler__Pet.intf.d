@@ -1,0 +1,1 @@
+lib/profiler/pet.mli: Dep Trace

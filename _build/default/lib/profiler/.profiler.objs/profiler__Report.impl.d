@@ -1,0 +1,1 @@
+lib/profiler/report.ml: Buffer Dep Hashtbl List Pet Printf Stdlib String

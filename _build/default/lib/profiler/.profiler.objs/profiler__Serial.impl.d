@@ -1,0 +1,1 @@
+lib/profiler/serial.ml: Dep Engine Mil Pet Report

@@ -1,0 +1,1 @@
+lib/profiler/serial.mli: Dep Engine Mil Pet

@@ -1,0 +1,1 @@
+lib/profiler/spsc_queue.mli:

@@ -1,0 +1,288 @@
+(* The dependence-building engine: Algorithm 2 (signature-based profiling)
+   plus the §2.4 optimization that skips repeatedly-executed memory operations
+   in loops, variable-lifetime analysis (§2.3.5), and timestamp-based race
+   flagging (§2.3.4).
+
+   The engine is shadow-memory agnostic: the same code runs over the
+   approximate signature and over the exact "perfect signature", and one
+   engine instance serves as the per-worker consumer of the parallel
+   profiler. *)
+
+module Event = Trace.Event
+module Cell = Sigmem.Cell
+
+type shadow_ops = {
+  last_read : addr:int -> Cell.t;
+  last_write : addr:int -> Cell.t;
+  set_read : addr:int -> Cell.t -> unit;
+  set_write : addr:int -> Cell.t -> unit;
+  remove : addr:int -> unit;
+  slots_used : unit -> int;
+  word_footprint : unit -> int;
+}
+
+type shadow_kind =
+  | Signature of int  (* approximate, fixed slot count *)
+  | Perfect           (* exact, hash-table backed *)
+  | Paged             (* exact, two-level page table *)
+
+let make_shadow = function
+  | Signature slots ->
+      let s = Sigmem.Signature.create ~slots in
+      { last_read = (fun ~addr -> Sigmem.Signature.last_read s ~addr);
+        last_write = (fun ~addr -> Sigmem.Signature.last_write s ~addr);
+        set_read = (fun ~addr c -> Sigmem.Signature.set_read s ~addr c);
+        set_write = (fun ~addr c -> Sigmem.Signature.set_write s ~addr c);
+        remove = (fun ~addr -> Sigmem.Signature.remove s ~addr);
+        slots_used = (fun () -> Sigmem.Signature.slots_used s);
+        word_footprint = (fun () -> Sigmem.Signature.word_footprint s) }
+  | Perfect ->
+      let s = Sigmem.Perfect.create ~slots:0 in
+      { last_read = (fun ~addr -> Sigmem.Perfect.last_read s ~addr);
+        last_write = (fun ~addr -> Sigmem.Perfect.last_write s ~addr);
+        set_read = (fun ~addr c -> Sigmem.Perfect.set_read s ~addr c);
+        set_write = (fun ~addr c -> Sigmem.Perfect.set_write s ~addr c);
+        remove = (fun ~addr -> Sigmem.Perfect.remove s ~addr);
+        slots_used = (fun () -> Sigmem.Perfect.slots_used s);
+        word_footprint = (fun () -> Sigmem.Perfect.word_footprint s) }
+  | Paged ->
+      let s = Sigmem.Two_level.create ~slots:0 in
+      { last_read = (fun ~addr -> Sigmem.Two_level.last_read s ~addr);
+        last_write = (fun ~addr -> Sigmem.Two_level.last_write s ~addr);
+        set_read = (fun ~addr c -> Sigmem.Two_level.set_read s ~addr c);
+        set_write = (fun ~addr c -> Sigmem.Two_level.set_write s ~addr c);
+        remove = (fun ~addr -> Sigmem.Two_level.remove s ~addr);
+        slots_used = (fun () -> Sigmem.Two_level.slots_used s);
+        word_footprint = (fun () -> Sigmem.Two_level.word_footprint s) }
+
+(* Counters for Table 2.7 / Fig 2.13: skipped instructions, classified by the
+   dependence type they would have created. *)
+type skip_stats = {
+  mutable reads_total : int;      (* reads that lead to a dependence *)
+  mutable writes_total : int;
+  mutable reads_skipped : int;
+  mutable writes_skipped : int;
+  mutable skipped_raw : int;
+  mutable skipped_war : int;
+  mutable skipped_waw : int;
+  mutable shadow_update_elided : int;  (* §2.4.3 special case *)
+}
+
+type t = {
+  shadow : shadow_ops;
+  deps : Dep.Set_.t;
+  skip : bool;
+  lifetime : bool;  (* variable-lifetime analysis (§2.3.5); off for ablation *)
+  (* §2.4 per-memory-operation state, grown on demand. Beyond the paper's
+     lastAddr/lastStatusRead/lastStatusWrite we also fingerprint the carrying
+     loop of the dependence the instruction would create: our dependence
+     records carry a per-loop carrier attribute, so two instances of the same
+     operation with identical shadow status can still produce *distinct*
+     records at loop boundaries (inner-carried vs outer-carried). *)
+  mutable last_addr : int array;
+  mutable last_status_read : int array;
+  mutable last_status_write : int array;
+  mutable last_raw_carrier : int array;   (* reads: would-be RAW carrier *)
+  mutable last_war_carrier : int array;   (* writes: would-be WAR carrier *)
+  mutable last_waw_carrier : int array;   (* writes: would-be WAW carrier *)
+  sstats : skip_stats;
+  mutable races : (string * int * int) list;  (* var, line-a, line-b *)
+  mutable n_processed : int;
+  mutable lifetime_removals : int;
+}
+
+let no_op = -1
+let no_addr = min_int
+
+let create ?(skip = false) ?(lifetime = true) shadow_kind =
+  { shadow = make_shadow shadow_kind;
+    deps = Dep.Set_.create ();
+    skip;
+    lifetime;
+    last_addr = Array.make 1024 no_addr;
+    last_status_read = Array.make 1024 no_op;
+    last_status_write = Array.make 1024 no_op;
+    last_raw_carrier = Array.make 1024 min_int;
+    last_war_carrier = Array.make 1024 min_int;
+    last_waw_carrier = Array.make 1024 min_int;
+    sstats =
+      { reads_total = 0; writes_total = 0; reads_skipped = 0;
+        writes_skipped = 0; skipped_raw = 0; skipped_war = 0; skipped_waw = 0;
+        shadow_update_elided = 0 };
+    races = [];
+    n_processed = 0;
+    lifetime_removals = 0 }
+
+let ensure_op_capacity t op =
+  let n = Array.length t.last_addr in
+  if op >= n then begin
+    let n' = max (2 * n) (op + 1) in
+    let grow arr fill =
+      let a = Array.make n' fill in
+      Array.blit arr 0 a 0 n;
+      a
+    in
+    t.last_addr <- grow t.last_addr no_addr;
+    t.last_status_read <- grow t.last_status_read no_op;
+    t.last_status_write <- grow t.last_status_write no_op;
+    t.last_raw_carrier <- grow t.last_raw_carrier min_int;
+    t.last_war_carrier <- grow t.last_war_carrier min_int;
+    t.last_waw_carrier <- grow t.last_waw_carrier min_int
+  end
+
+let cell_op (c : Cell.t) = if Cell.is_empty c then no_op else c.op
+
+(* Fingerprint of the dependence a current access would form against [src]:
+   the carrying loop's header line, -1 for an intra-iteration dependence, -2
+   when there is no source access at all. *)
+let carrier_code (a : Event.access) (src : Cell.t) =
+  if Cell.is_empty src then -2
+  else
+    match Event.carrier ~src:src.lstack ~snk:a.lstack with
+    | Some f -> f.Event.loop_line
+    | None -> -1
+
+(* Build one dependence record from the current access and the stored cell. *)
+let make_dep (a : Event.access) dtype (src : Cell.t) =
+  let carrier =
+    match Event.carrier ~src:src.lstack ~snk:a.lstack with
+    | Some f -> Some f.Event.loop_line
+    | None -> None
+  in
+  let racy =
+    (* Timestamp reversal: the recorded "earlier" access actually executed
+       later — atomicity of access and push was violated, exposing a
+       potential data race (§2.3.4). *)
+    a.time < src.time
+  in
+  { Dep.sink_line = a.line; sink_thread = a.thread; dtype;
+    src_line = src.line; src_thread = src.thread; var = src.var; carrier; racy }
+
+let note_race t (a : Event.access) (src : Cell.t) =
+  t.races <- (a.var, src.line, a.line) :: t.races
+
+let feed_access t (a : Event.access) =
+  t.n_processed <- t.n_processed + 1;
+  ensure_op_capacity t a.op;
+  let addr = a.addr in
+  let r = t.shadow.last_read ~addr in
+  let w = t.shadow.last_write ~addr in
+  let status_read = cell_op r in
+  let status_write = cell_op w in
+  (* WAW is recorded only for consecutive writes; a read since the last
+     write re-orients the pair to WAR+RAW, so the orientation must be part
+     of the write-side skip fingerprint. *)
+  let waw_applies =
+    (not (Cell.is_empty w)) && (Cell.is_empty r || r.time < w.time)
+  in
+  let waw_code = if not waw_applies then -4 else carrier_code a w in
+  let base_skip =
+    t.skip
+    && t.last_addr.(a.op) = addr
+    && t.last_status_read.(a.op) = status_read
+    && t.last_status_write.(a.op) = status_write
+  in
+  let can_skip =
+    base_skip
+    &&
+    match a.kind with
+    | Event.Read -> carrier_code a w = t.last_raw_carrier.(a.op)
+    | Event.Write ->
+        carrier_code a r = t.last_war_carrier.(a.op)
+        && waw_code = t.last_waw_carrier.(a.op)
+  in
+  let cell = Cell.of_access a in
+  match a.kind with
+  | Event.Read ->
+      if status_write <> no_op then t.sstats.reads_total <- t.sstats.reads_total + 1;
+      if can_skip then begin
+        if status_write <> no_op then begin
+          t.sstats.reads_skipped <- t.sstats.reads_skipped + 1;
+          t.sstats.skipped_raw <- t.sstats.skipped_raw + 1
+        end;
+        (* §2.4.3 special case: the read slot already holds this very
+           operation. The paper elides the shadow update here; our cells also
+           carry the loop stack used for carrier attribution, so we count the
+           condition but refresh the cell to keep carriers exact. *)
+        if status_read = a.op then
+          t.sstats.shadow_update_elided <- t.sstats.shadow_update_elided + 1;
+        t.shadow.set_read ~addr cell
+      end
+      else begin
+        if status_write <> no_op then begin
+          let d = make_dep a Dep.Raw w in
+          if d.racy then note_race t a w;
+          Dep.Set_.add t.deps d
+        end;
+        t.shadow.set_read ~addr cell;
+        t.last_addr.(a.op) <- addr;
+        t.last_status_read.(a.op) <- status_read;
+        t.last_status_write.(a.op) <- status_write;
+        t.last_raw_carrier.(a.op) <- carrier_code a w
+      end
+  | Event.Write ->
+      if status_read <> no_op || waw_applies then
+        t.sstats.writes_total <- t.sstats.writes_total + 1;
+      if can_skip then begin
+        if status_read <> no_op || waw_applies then begin
+          t.sstats.writes_skipped <- t.sstats.writes_skipped + 1;
+          if status_read <> no_op then t.sstats.skipped_war <- t.sstats.skipped_war + 1;
+          if waw_applies then t.sstats.skipped_waw <- t.sstats.skipped_waw + 1
+        end;
+        (* see the read-side comment on the §2.4.3 special case *)
+        if status_write = a.op then
+          t.sstats.shadow_update_elided <- t.sstats.shadow_update_elided + 1;
+        t.shadow.set_write ~addr cell
+      end
+      else begin
+        if status_read <> no_op then begin
+          let d = make_dep a Dep.War r in
+          if d.racy then note_race t a r;
+          Dep.Set_.add t.deps d
+        end;
+        if waw_applies then begin
+          let d = make_dep a Dep.Waw w in
+          if d.racy then note_race t a w;
+          Dep.Set_.add t.deps d
+        end
+        else if status_write = no_op then
+          Dep.Set_.add t.deps
+            (Dep.init_dep ~sink_line:a.line ~sink_thread:a.thread);
+        t.shadow.set_write ~addr cell;
+        t.last_addr.(a.op) <- addr;
+        t.last_status_read.(a.op) <- status_read;
+        t.last_status_write.(a.op) <- status_write;
+        t.last_war_carrier.(a.op) <- carrier_code a r;
+        t.last_waw_carrier.(a.op) <- waw_code
+      end
+
+(* Variable-lifetime analysis: clear dead address ranges so their slots can be
+   reused without manufacturing false dependences. *)
+let feed_dealloc t addrs =
+  if t.lifetime then
+    List.iter
+      (fun (base, len, _var) ->
+        for a = base to base + len - 1 do
+          t.shadow.remove ~addr:a
+        done;
+        t.lifetime_removals <- t.lifetime_removals + len)
+      addrs
+
+let feed t (ev : Event.t) =
+  match ev with
+  | Event.Access a -> feed_access t a
+  | Event.Region (Event.Dealloc { addrs }) -> feed_dealloc t addrs
+  | Event.Region _ -> ()
+
+let deps t = t.deps
+(* Distinct potential races (var, earlier line, later line). *)
+let races t = List.sort_uniq compare t.races
+let skip_stats t = t.sstats
+let processed t = t.n_processed
+
+(* Resident words attributable to this engine: shadow store + per-op skip
+   state + merged dependence table. *)
+let word_footprint t =
+  t.shadow.word_footprint ()
+  + (3 * Array.length t.last_addr)
+  + (8 * Dep.Set_.cardinal t.deps)

@@ -1,0 +1,65 @@
+(** The dependence-building engine: Algorithm 2 (signature-based profiling),
+    the §2.4 skip optimization, variable-lifetime analysis (§2.3.5), and
+    timestamp-based race flagging (§2.3.4).
+
+    The engine is shadow-memory agnostic; one instance also serves as the
+    per-worker consumer of the parallel profiler. *)
+
+module Event = Trace.Event
+module Cell = Sigmem.Cell
+
+(** First-class shadow-memory operations (closing over a concrete store). *)
+type shadow_ops = {
+  last_read : addr:int -> Cell.t;
+  last_write : addr:int -> Cell.t;
+  set_read : addr:int -> Cell.t -> unit;
+  set_write : addr:int -> Cell.t -> unit;
+  remove : addr:int -> unit;
+  slots_used : unit -> int;
+  word_footprint : unit -> int;
+}
+
+type shadow_kind =
+  | Signature of int  (** approximate, fixed slot count *)
+  | Perfect           (** exact, hash-table backed *)
+  | Paged             (** exact, two-level page table *)
+
+val make_shadow : shadow_kind -> shadow_ops
+
+(** Counters for Table 2.7 / Fig 2.13: skipped instructions classified by the
+    dependence type they would have created. *)
+type skip_stats = {
+  mutable reads_total : int;       (** reads that lead to a dependence *)
+  mutable writes_total : int;
+  mutable reads_skipped : int;
+  mutable writes_skipped : int;
+  mutable skipped_raw : int;
+  mutable skipped_war : int;
+  mutable skipped_waw : int;
+  mutable shadow_update_elided : int;  (** §2.4.3 special-case hits *)
+}
+
+type t
+
+val create : ?skip:bool -> ?lifetime:bool -> shadow_kind -> t
+(** [skip] enables the §2.4 optimization; [lifetime:false] disables
+    variable-lifetime analysis (ablation). *)
+
+val feed_access : t -> Event.access -> unit
+(** Algorithm 2 on one dynamic memory instruction. *)
+
+val feed_dealloc : t -> (int * int * string) list -> unit
+(** Clear dead [(base, len, var)] ranges so their slots can be reused without
+    manufacturing false dependences. *)
+
+val feed : t -> Event.t -> unit
+(** Dispatch accesses and deallocations; other region events are ignored. *)
+
+val deps : t -> Dep.Set_.t
+val races : t -> (string * int * int) list
+(** Distinct potential races: (variable, earlier line, later line). *)
+
+val skip_stats : t -> skip_stats
+val processed : t -> int
+val word_footprint : t -> int
+(** Resident words: shadow store + per-op skip state + dependence table. *)

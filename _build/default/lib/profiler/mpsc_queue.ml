@@ -1,0 +1,87 @@
+(* Lock-free multiple-producer-single-consumer queue (§2.3.4, Fig. 2.5):
+   a linked list of fixed-size arrays. Producers claim a slot index with an
+   atomic fetch-and-add and then fill it; when a node's array is exhausted, a
+   producer appends a fresh node with a CAS on [next]. The single consumer
+   walks slots in order, spinning on a claimed-but-unfilled slot, and drops
+   fully-drained nodes, so nodes are deallocated as the paper describes. *)
+
+let node_capacity = 256
+
+type 'a node = {
+  cells : 'a option Atomic.t array;
+  claimed : int Atomic.t;           (* fetch-and-add slot allocator *)
+  next : 'a node option Atomic.t;
+}
+
+let make_node () =
+  { cells = Array.init node_capacity (fun _ -> Atomic.make None);
+    claimed = Atomic.make 0;
+    next = Atomic.make None }
+
+type 'a t = {
+  mutable head : 'a node;           (* consumer-owned *)
+  mutable head_pos : int;           (* consumer-owned read cursor *)
+  tail : 'a node Atomic.t;          (* shared: node producers append to *)
+}
+
+let create () =
+  let n = make_node () in
+  { head = n; head_pos = 0; tail = Atomic.make n }
+
+let rec push t x =
+  let node = Atomic.get t.tail in
+  let idx = Atomic.fetch_and_add node.claimed 1 in
+  if idx < node_capacity then Atomic.set node.cells.(idx) (Some x)
+  else begin
+    (* Node full: append a new node (one winner), then retry. *)
+    (match Atomic.get node.next with
+    | Some next -> ignore (Atomic.compare_and_set t.tail node next)
+    | None ->
+        let fresh = make_node () in
+        if Atomic.compare_and_set node.next None (Some fresh) then
+          ignore (Atomic.compare_and_set t.tail node fresh)
+        else ignore (Atomic.compare_and_set t.tail node
+                       (match Atomic.get node.next with
+                        | Some n -> n
+                        | None -> fresh)));
+    push t x
+  end
+
+(* Single consumer: returns [None] only when no item is *visible*; an item
+   whose slot was claimed but not yet filled is awaited briefly (it will be
+   filled by a running producer). *)
+let try_pop t =
+  let rec advance () =
+    if t.head_pos >= node_capacity then
+      match Atomic.get t.head.next with
+      | Some next ->
+          t.head <- next;
+          t.head_pos <- 0;
+          advance ()
+      | None -> None
+    else
+      let claimed = min (Atomic.get t.head.claimed) node_capacity in
+      if t.head_pos >= claimed then None
+      else begin
+        let cell = t.head.cells.(t.head_pos) in
+        let rec spin n =
+          match Atomic.get cell with
+          | Some x ->
+              Atomic.set cell None;
+              t.head_pos <- t.head_pos + 1;
+              Some x
+          | None ->
+              if n > 0 then begin
+                Domain.cpu_relax ();
+                spin (n - 1)
+              end
+              else None
+        in
+        spin 1024
+      end
+  in
+  advance ()
+
+let is_empty t =
+  t.head_pos >= min (Atomic.get t.head.claimed) node_capacity
+  && Atomic.get t.head.next = None

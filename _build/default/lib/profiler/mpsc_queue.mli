@@ -1,0 +1,20 @@
+(** Lock-free multiple-producer-single-consumer queue (§2.3.4, Fig. 2.5):
+    a linked list of fixed-size arrays. Producers claim slots with an atomic
+    fetch-and-add; when a node fills up, one producer appends a fresh node
+    with a CAS. The single consumer walks slots in order and drops drained
+    nodes. *)
+
+val node_capacity : int
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Safe from any number of domains concurrently. *)
+
+val try_pop : 'a t -> 'a option
+(** Single consumer only. [None] when no item is visible; a slot claimed but
+    not yet filled by a running producer is awaited briefly. *)
+
+val is_empty : 'a t -> bool

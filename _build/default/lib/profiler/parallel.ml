@@ -1,0 +1,256 @@
+(* The parallel DiscoPoP profiler (§2.3.3, Fig. 2.2).
+
+   The main thread executes the target program (here: the MIL interpreter)
+   and acts as producer: it collects memory accesses into per-worker chunks
+   and pushes full chunks into the lock-free SPSC queue of the worker that
+   owns the address. Worker domains consume chunks, run the dependence engine
+   over their address shard, and store dependences in thread-local maps that
+   are merged at the end — duplicate-free, so the merge is cheap.
+
+   Addresses are distributed by [addr mod W] (Eq. 2.1). Access frequencies
+   are monitored and the most heavily accessed addresses are periodically
+   redistributed via a rules map that takes priority over the modulo function.
+   Redistribution retires the address's signature slot on the old owner, so
+   subsequent accesses build a fresh dependence chain on the new owner.
+
+   A lock-based variant (mutex-protected queues) exists solely as the
+   baseline of Fig. 2.9's lock-free-vs-lock-based comparison. *)
+
+module Event = Trace.Event
+module Chunk = Trace.Chunk
+
+type entry =
+  | Acc of Event.access
+  | Remove of int          (* lifetime analysis / slot migration *)
+
+let dummy_entry = Remove (-1)
+
+type item =
+  | Ichunk of entry Chunk.t
+  | Istop
+
+type queue_kind = Lockfree | Lock_based
+
+(* Mutex-protected queue used only for the lock-based comparison baseline. *)
+module Locked_queue = struct
+  type 'a t = {
+    q : 'a Queue.t;
+    m : Mutex.t;
+    capacity : int;
+  }
+
+  let create ~capacity = { q = Queue.create (); m = Mutex.create (); capacity }
+
+  let push t x =
+    let rec go () =
+      Mutex.lock t.m;
+      if Queue.length t.q >= t.capacity then begin
+        Mutex.unlock t.m;
+        Domain.cpu_relax ();
+        go ()
+      end
+      else begin
+        Queue.push x t.q;
+        Mutex.unlock t.m
+      end
+    in
+    go ()
+
+  let try_pop t =
+    Mutex.lock t.m;
+    let r = Queue.take_opt t.q in
+    Mutex.unlock t.m;
+    r
+end
+
+type channel =
+  | Cfree of item Spsc_queue.t
+  | Clocked of item Locked_queue.t
+
+let channel_push c x =
+  match c with
+  | Cfree q -> Spsc_queue.push q x
+  | Clocked q -> Locked_queue.push q x
+
+let channel_try_pop c =
+  match c with
+  | Cfree q -> Spsc_queue.try_pop q
+  | Clocked q -> Locked_queue.try_pop q
+
+type worker_result = {
+  w_deps : Dep.Set_.t;
+  w_races : (string * int * int) list;
+  w_processed : int;
+  w_footprint : int;
+  w_skip : Engine.skip_stats;
+}
+
+type result = {
+  deps : Dep.Set_.t;
+  pet : Pet.t;
+  races : (string * int * int) list;
+  accesses : int;
+  footprint_words : int;
+  merging_factor : float;
+  redistributions : int;
+  per_worker : int array;   (* accesses processed by each worker *)
+  skip_stats : Engine.skip_stats;
+  interp : Mil.Interp.run_result;
+}
+
+let sum_skip (a : Engine.skip_stats) (b : Engine.skip_stats) : Engine.skip_stats =
+  { Engine.reads_total = a.Engine.reads_total + b.Engine.reads_total;
+    writes_total = a.writes_total + b.writes_total;
+    reads_skipped = a.reads_skipped + b.reads_skipped;
+    writes_skipped = a.writes_skipped + b.writes_skipped;
+    skipped_raw = a.skipped_raw + b.skipped_raw;
+    skipped_war = a.skipped_war + b.skipped_war;
+    skipped_waw = a.skipped_waw + b.skipped_waw;
+    shadow_update_elided = a.shadow_update_elided + b.shadow_update_elided }
+
+let worker_loop (queue : channel) ~shadow ~skip () : worker_result =
+  let engine = Engine.create ~skip shadow in
+  let rec loop backoff =
+    match channel_try_pop queue with
+    | Some (Ichunk chunk) ->
+        Chunk.iter
+          (fun e ->
+            match e with
+            | Acc a -> Engine.feed_access engine a
+            | Remove addr -> Engine.feed_dealloc engine [ (addr, 1, "") ])
+          chunk;
+        loop 1
+    | Some Istop ->
+        { w_deps = Engine.deps engine;
+          w_races = Engine.races engine;
+          w_processed = Engine.processed engine;
+          w_footprint = Engine.word_footprint engine;
+          w_skip = Engine.skip_stats engine }
+    | None ->
+        for _ = 1 to backoff do
+          Domain.cpu_relax ()
+        done;
+        loop (min (2 * backoff) 256)
+  in
+  loop 1
+
+(* How often (in accesses) the producer re-evaluates the hot-address
+   distribution; the paper checks every 50,000 chunks. *)
+let rebalance_interval = 50_000
+let top_n_hot = 10
+
+let profile ?(workers = 4) ?(shadow_slots = 100_000) ?(perfect = false)
+    ?(skip = false) ?(queue = Lockfree) ?(chunk_capacity = Chunk.default_capacity)
+    ?(queue_capacity = 64) ?(seed = 42) ?(scramble_unlocked = false)
+    (prog : Mil.Ast.program) : result =
+  let w = max 1 workers in
+  let shadow_kind =
+    if perfect then Engine.Perfect else Engine.Signature (max 1 (shadow_slots / w))
+  in
+  let channels =
+    Array.init w (fun _ ->
+        match queue with
+        | Lockfree -> Cfree (Spsc_queue.create ~capacity:queue_capacity)
+        | Lock_based -> Clocked (Locked_queue.create ~capacity:queue_capacity))
+  in
+  let domains =
+    Array.map
+      (fun c -> Domain.spawn (worker_loop c ~shadow:shadow_kind ~skip))
+      channels
+  in
+  (* Producer state *)
+  let open_chunks =
+    Array.init w (fun _ -> ref (Chunk.create ~capacity:chunk_capacity ~dummy:dummy_entry ()))
+  in
+  let rules : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let counts : (int, int ref) Hashtbl.t = Hashtbl.create 4096 in
+  let since_rebalance = ref 0 in
+  let redistributions = ref 0 in
+  let route addr =
+    match Hashtbl.find_opt rules addr with
+    | Some worker -> worker
+    | None -> addr mod w
+  in
+  let push_entry worker e =
+    let c = !(open_chunks.(worker)) in
+    Chunk.push c e;
+    if Chunk.is_full c then begin
+      channel_push channels.(worker) (Ichunk c);
+      open_chunks.(worker) :=
+        Chunk.create ~capacity:chunk_capacity ~dummy:dummy_entry ()
+    end
+  in
+  let rebalance () =
+    since_rebalance := 0;
+    let hot =
+      Hashtbl.fold (fun addr n acc -> (addr, !n) :: acc) counts []
+      |> List.sort (fun (_, a) (_, b) -> compare b a)
+      |> List.filteri (fun i _ -> i < top_n_hot)
+    in
+    (* Spread the top-N hot addresses round-robin over the workers. *)
+    List.iteri
+      (fun i (addr, _) ->
+        let target = i mod w in
+        let current = route addr in
+        if current <> target then begin
+          incr redistributions;
+          (* Retire the signature state on the old owner before re-routing. *)
+          push_entry current (Remove addr);
+          Hashtbl.replace rules addr target
+        end)
+      hot
+  in
+  let petb = Pet.create_builder () in
+  let emit ev =
+    Pet.feed petb ev;
+    match ev with
+    | Event.Access a ->
+        (match Hashtbl.find_opt counts a.addr with
+        | Some r -> incr r
+        | None -> Hashtbl.replace counts a.addr (ref 1));
+        incr since_rebalance;
+        if !since_rebalance >= rebalance_interval then rebalance ();
+        push_entry (route a.addr) (Acc a)
+    | Event.Region (Event.Dealloc { addrs }) ->
+        List.iter
+          (fun (base, len, _) ->
+            for addr = base to base + len - 1 do
+              push_entry (route addr) (Remove addr)
+            done)
+          addrs
+    | Event.Region _ -> ()
+  in
+  let interp = Mil.Interp.run ~seed ~scramble_unlocked ~emit prog in
+  (* Flush partial chunks and stop the workers. *)
+  Array.iteri
+    (fun i c ->
+      if not (Chunk.is_empty !c) then channel_push channels.(i) (Ichunk !c);
+      channel_push channels.(i) Istop)
+    open_chunks;
+  let results = Array.map Domain.join domains in
+  (* Merge thread-local maps into the global map (duplicate-free locally, so
+     this is the cheap final step of Fig. 2.2). *)
+  let deps = Dep.Set_.create () in
+  Array.iter (fun r -> Dep.Set_.union deps r.w_deps) results;
+  let pet = Pet.finish petb in
+  Pet.attach_deps pet deps;
+  let skip_stats =
+    Array.fold_left
+      (fun acc r -> sum_skip acc r.w_skip)
+      { Engine.reads_total = 0; writes_total = 0; reads_skipped = 0;
+        writes_skipped = 0; skipped_raw = 0; skipped_war = 0; skipped_waw = 0;
+        shadow_update_elided = 0 }
+      results
+  in
+  { deps;
+    pet;
+    races = Array.to_list results |> List.concat_map (fun r -> r.w_races);
+    accesses = Array.fold_left (fun acc r -> acc + r.w_processed) 0 results;
+    per_worker = Array.map (fun r -> r.w_processed) results;
+    footprint_words =
+      Array.fold_left (fun acc r -> acc + r.w_footprint) 0 results
+      + (8 * Hashtbl.length counts);
+    merging_factor = Dep.Set_.merging_factor deps;
+    redistributions = !redistributions;
+    skip_stats;
+    interp }

@@ -1,0 +1,52 @@
+(** The parallel DiscoPoP profiler (§2.3.3, Fig. 2.2).
+
+    The main thread executes the target program and produces per-worker
+    chunks of accesses; worker domains consume chunks through lock-free SPSC
+    queues, run the dependence engine over their address shard (addresses
+    distributed by [addr mod W], Eq. 2.1, with hot addresses periodically
+    redistributed through a rules map), and keep thread-local dependence maps
+    merged at the end. A mutex-protected queue variant exists solely as the
+    lock-based baseline of Fig. 2.9. *)
+
+type entry =
+  | Acc of Trace.Event.access
+  | Remove of int          (** lifetime analysis / slot migration *)
+
+type item = Ichunk of entry Trace.Chunk.t | Istop
+
+type queue_kind = Lockfree | Lock_based
+
+type result = {
+  deps : Dep.Set_.t;
+  pet : Pet.t;
+  races : (string * int * int) list;
+  accesses : int;
+  footprint_words : int;
+  merging_factor : float;
+  redistributions : int;   (** hot-address migrations performed *)
+  per_worker : int array;  (** accesses processed by each worker *)
+  skip_stats : Engine.skip_stats;
+  interp : Mil.Interp.run_result;
+}
+
+val rebalance_interval : int
+(** Accesses between hot-address re-evaluations (the paper checks every
+    50,000 chunks). *)
+
+val top_n_hot : int
+
+val profile :
+  ?workers:int ->
+  ?shadow_slots:int ->
+  ?perfect:bool ->
+  ?skip:bool ->
+  ?queue:queue_kind ->
+  ?chunk_capacity:int ->
+  ?queue_capacity:int ->
+  ?seed:int ->
+  ?scramble_unlocked:bool ->
+  Mil.Ast.program ->
+  result
+(** Profile with [workers] consumer domains. [perfect] switches the workers
+    to the exact shadow memory; otherwise each worker gets
+    [shadow_slots / workers] signature slots. *)

@@ -1,0 +1,46 @@
+(** The Program Execution Tree (§2.3.6): functions, loops, and straight-line
+    blocks with "calling"/"containing" edges. Multiple dynamic instances of a
+    static construct are merged into one node; per-node metrics (executed
+    instructions, iterations, dependences) feed the ranking phase. *)
+
+type kind =
+  | Fnode of string           (** function *)
+  | Lnode of int              (** loop, by header line *)
+  | Bnode of int              (** straight-line block, by first access line *)
+
+type node = {
+  id : int;
+  kind : kind;
+  parent : int;                (** [-1] for a root *)
+  mutable children : int list;
+  mutable instructions : int;  (** dynamic memory instructions directly here *)
+  mutable iterations : int;    (** loops: total iterations across instances *)
+  mutable instances : int;     (** dynamic instances merged into this node *)
+  mutable first_line : int;
+  mutable last_line : int;
+  mutable dep_count : int;     (** dependences whose sink lies in the span *)
+}
+
+type t
+
+(** {1 Construction} *)
+
+type builder
+
+val create_builder : unit -> builder
+val feed : builder -> Trace.Event.t -> unit
+val finish : builder -> t
+
+(** {1 Queries} *)
+
+val node : t -> int -> node
+val size : t -> int
+val subtree_instructions : t -> int -> int
+val total_instructions : t -> int
+
+val attach_deps : t -> Dep.Set_.t -> unit
+(** Attribute merged dependences to every node whose line span contains their
+    sink. *)
+
+val iter : (node -> unit) -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,78 @@
+(* Textual output in the paper's format (Fig. 2.1 / 2.3):
+
+     1:60 BGN loop
+     1:60 NOM {RAW 1:60|i} {WAR 1:60|i} {INIT *}
+     ...
+     1:74 END loop 1200
+
+   Dependences with the same sink are aggregated on one line; sinks carry
+   thread ids when [threads] is set (parallel targets, Fig. 2.3). *)
+
+type control = {
+  loop_begin : (int, unit) Hashtbl.t;
+  loop_end : (int, int) Hashtbl.t;  (* end line -> iterations *)
+  func_begin : (int, string) Hashtbl.t;
+  func_end : (int, string) Hashtbl.t;
+}
+
+let empty_control () =
+  { loop_begin = Hashtbl.create 16; loop_end = Hashtbl.create 16;
+    func_begin = Hashtbl.create 16; func_end = Hashtbl.create 16 }
+
+(* Derive region begin/end markers from a PET. *)
+let control_of_pet (pet : Pet.t) : control =
+  let c = empty_control () in
+  Pet.iter
+    (fun n ->
+      match n.Pet.kind with
+      | Pet.Lnode line ->
+          Hashtbl.replace c.loop_begin line ();
+          Hashtbl.replace c.loop_end n.Pet.last_line
+            (n.Pet.iterations / max n.Pet.instances 1)
+      | Pet.Fnode f ->
+          Hashtbl.replace c.func_begin n.Pet.first_line f;
+          Hashtbl.replace c.func_end n.Pet.last_line f
+      | Pet.Bnode _ -> ())
+    pet;
+  c
+
+let render ?(threads = false) ?(control = empty_control ()) (deps : Dep.Set_.t)
+    : string =
+  let by_sink : (int * int, Dep.t list) Hashtbl.t = Hashtbl.create 64 in
+  Dep.Set_.iter
+    (fun d _ ->
+      let key = (d.Dep.sink_line, if threads then d.Dep.sink_thread else 0) in
+      let prev = try Hashtbl.find by_sink key with Not_found -> [] in
+      Hashtbl.replace by_sink key (d :: prev))
+    deps;
+  let sinks =
+    Hashtbl.fold (fun k _ acc -> k :: acc) by_sink []
+    |> List.sort_uniq Stdlib.compare
+  in
+  let buf = Buffer.create 1024 in
+  let emitted_begin = Hashtbl.create 16 in
+  List.iter
+    (fun (line, thread) ->
+      if Hashtbl.mem control.loop_begin line && not (Hashtbl.mem emitted_begin line)
+      then begin
+        Hashtbl.replace emitted_begin line ();
+        Buffer.add_string buf (Printf.sprintf "1:%d BGN loop\n" line)
+      end;
+      (match Hashtbl.find_opt control.func_begin line with
+      | Some f when not (Hashtbl.mem emitted_begin (-line)) ->
+          Hashtbl.replace emitted_begin (-line) ();
+          Buffer.add_string buf (Printf.sprintf "1:%d BGN func %s\n" line f)
+      | _ -> ());
+      let ds = List.sort Dep.compare (Hashtbl.find by_sink (line, thread)) in
+      let sink =
+        if threads then Printf.sprintf "1:%d|%d" line thread
+        else Printf.sprintf "1:%d" line
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s NOM %s\n" sink
+           (String.concat " " (List.map (Dep.to_string ~threads) ds)));
+      match Hashtbl.find_opt control.loop_end line with
+      | Some iters -> Buffer.add_string buf (Printf.sprintf "1:%d END loop %d\n" line iters)
+      | None -> ())
+    sinks;
+  Buffer.contents buf

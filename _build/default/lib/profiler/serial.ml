@@ -1,0 +1,41 @@
+(* The serial DiscoPoP profiler front end: runs a MIL program under the
+   instrumenting interpreter and feeds every event to one dependence engine,
+   the PET builder, and lifetime analysis. This is the configuration the
+   paper reports as "serial" in Fig. 2.9, and the reference implementation the
+   lock-free parallel profiler must agree with. *)
+
+type result = {
+  deps : Dep.Set_.t;
+  pet : Pet.t;
+  races : (string * int * int) list;
+  accesses : int;            (* dynamic memory instructions profiled *)
+  skip_stats : Engine.skip_stats;
+  footprint_words : int;     (* resident words of profiling structures *)
+  merging_factor : float;
+  interp : Mil.Interp.run_result;
+}
+
+let profile ?(shadow = Engine.Perfect) ?(skip = false) ?(lifetime = true)
+    ?(seed = 42) ?(scramble_unlocked = false) (prog : Mil.Ast.program) : result =
+  let engine = Engine.create ~skip ~lifetime shadow in
+  let petb = Pet.create_builder () in
+  let emit ev =
+    Engine.feed engine ev;
+    Pet.feed petb ev
+  in
+  let interp = Mil.Interp.run ~seed ~scramble_unlocked ~emit prog in
+  let pet = Pet.finish petb in
+  let deps = Engine.deps engine in
+  Pet.attach_deps pet deps;
+  { deps;
+    pet;
+    races = Engine.races engine;
+    accesses = Engine.processed engine;
+    skip_stats = Engine.skip_stats engine;
+    footprint_words = Engine.word_footprint engine;
+    merging_factor = Dep.Set_.merging_factor deps;
+    interp }
+
+(* Convenience: render the profile in the paper's text format. *)
+let report ?(threads = false) (r : result) : string =
+  Report.render ~threads ~control:(Report.control_of_pet r.pet) r.deps

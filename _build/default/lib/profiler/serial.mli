@@ -1,0 +1,27 @@
+(** The serial DiscoPoP profiler front end: run a MIL program under the
+    instrumenting interpreter, feeding every event to one dependence engine
+    plus the PET builder. This is the "serial" configuration of Fig. 2.9 and
+    the reference the lock-free parallel profiler must agree with. *)
+
+type result = {
+  deps : Dep.Set_.t;
+  pet : Pet.t;
+  races : (string * int * int) list;
+  accesses : int;            (** dynamic memory instructions profiled *)
+  skip_stats : Engine.skip_stats;
+  footprint_words : int;     (** resident words of profiling structures *)
+  merging_factor : float;
+  interp : Mil.Interp.run_result;
+}
+
+val profile :
+  ?shadow:Engine.shadow_kind ->
+  ?skip:bool ->
+  ?lifetime:bool ->
+  ?seed:int ->
+  ?scramble_unlocked:bool ->
+  Mil.Ast.program ->
+  result
+
+val report : ?threads:bool -> result -> string
+(** The profile in the paper's text format. *)

@@ -1,0 +1,65 @@
+(* Lock-free single-producer-single-consumer bounded queue (§2.3.3).
+
+   The producer (the executing program's main thread) owns [tail], the
+   consumer (one profiler worker) owns [head]. As long as tail <> head, the
+   two sides touch disjoint slots, so an atomic store with release semantics
+   on the index — OCaml's [Atomic.set] — is the only synchronisation needed;
+   no slot is ever locked. *)
+
+type 'a t = {
+  slots : 'a option array;
+  mask : int;                (* capacity - 1; capacity is a power of two *)
+  head : int Atomic.t;       (* next index to pop  (consumer-owned) *)
+  tail : int Atomic.t;       (* next index to push (producer-owned) *)
+}
+
+let create ~capacity =
+  let cap = max 2 capacity in
+  (* round up to a power of two *)
+  let rec pow2 n = if n >= cap then n else pow2 (2 * n) in
+  let cap = pow2 2 in
+  { slots = Array.make cap None;
+    mask = cap - 1;
+    head = Atomic.make 0;
+    tail = Atomic.make 0 }
+
+let capacity t = t.mask + 1
+let length t = Atomic.get t.tail - Atomic.get t.head
+let is_empty t = length t = 0
+
+(* Producer side. Returns false when the queue is full. *)
+let try_push t x =
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  if tail - head > t.mask then false
+  else begin
+    t.slots.(tail land t.mask) <- Some x;
+    (* Release: the consumer's acquire-load of [tail] sees the slot write. *)
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+(* Blocking push with exponential backoff; used by the profiler producer. *)
+let push t x =
+  let rec go backoff =
+    if not (try_push t x) then begin
+      for _ = 1 to backoff do
+        Domain.cpu_relax ()
+      done;
+      go (min (2 * backoff) 1024)
+    end
+  in
+  go 1
+
+(* Consumer side. *)
+let try_pop t =
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  if head = tail then None
+  else begin
+    let i = head land t.mask in
+    let x = t.slots.(i) in
+    t.slots.(i) <- None;
+    Atomic.set t.head (head + 1);
+    x
+  end

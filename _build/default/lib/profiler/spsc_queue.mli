@@ -1,0 +1,23 @@
+(** Lock-free single-producer-single-consumer bounded queue (§2.3.3).
+
+    The producer owns the tail index, the consumer the head; as long as they
+    differ the two sides touch disjoint slots, so an atomic store on the
+    index is the only synchronisation — no slot is ever locked. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Capacity is rounded up to a power of two (min 2). *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val try_push : 'a t -> 'a -> bool
+(** Producer side; [false] when full. *)
+
+val push : 'a t -> 'a -> unit
+(** Blocking push with exponential backoff. *)
+
+val try_pop : 'a t -> 'a option
+(** Consumer side; [None] when empty. *)

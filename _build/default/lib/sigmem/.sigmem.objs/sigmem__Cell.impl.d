@@ -1,0 +1,1 @@
+lib/sigmem/cell.ml: Trace

@@ -1,0 +1,1 @@
+lib/sigmem/cell.mli: Trace

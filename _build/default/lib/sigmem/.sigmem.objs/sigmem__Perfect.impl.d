@@ -1,0 +1,1 @@
+lib/sigmem/perfect.ml: Cell Hashtbl

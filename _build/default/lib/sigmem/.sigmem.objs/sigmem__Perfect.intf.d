@@ -1,0 +1,1 @@
+lib/sigmem/perfect.mli: Cell

@@ -1,0 +1,1 @@
+lib/sigmem/shadow.ml: Cell

@@ -1,0 +1,1 @@
+lib/sigmem/signature.mli: Cell

@@ -1,0 +1,1 @@
+lib/sigmem/two_level.ml: Array Cell

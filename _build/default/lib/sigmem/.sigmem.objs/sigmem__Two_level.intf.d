@@ -1,0 +1,1 @@
+lib/sigmem/two_level.mli: Cell

@@ -1,0 +1,28 @@
+(* The per-slot access record kept by shadow memories.
+
+   The paper stores the source line of the last read and the last write per
+   slot (3-byte slots, §2.3.2). We additionally keep the attribution data the
+   profiler reports (variable, thread, timestamp, loop stack, static memory
+   operation id). The record is fixed-size per slot, so the memory behaviour
+   of the signature is unchanged: accuracy loss still comes only from hash
+   collisions. *)
+
+type t = {
+  line : int;                       (* source line of the access *)
+  var : string;
+  thread : int;
+  time : int;                       (* global timestamp *)
+  op : int;                         (* static memory-operation id *)
+  lstack : Trace.Event.frame list;  (* loop stack at the access *)
+  locked : bool;
+}
+
+let of_access (a : Trace.Event.access) =
+  { line = a.line; var = a.var; thread = a.thread; time = a.time; op = a.op;
+    lstack = a.lstack; locked = a.locked }
+
+(* Sentinel for empty slots; [time = 0] never occurs in real accesses. *)
+let empty =
+  { line = 0; var = ""; thread = -1; time = 0; op = -1; lstack = []; locked = false }
+
+let is_empty c = c.time = 0

@@ -1,0 +1,24 @@
+(** The per-slot access record kept by shadow memories.
+
+    The paper stores the source line of the last read and the last write per
+    slot (§2.3.2); we additionally keep the attribution data the profiler
+    reports. The record is fixed-size per slot, so the memory behaviour of
+    the signature is unchanged: accuracy loss still comes only from hash
+    collisions. *)
+
+type t = {
+  line : int;                       (** source line of the access *)
+  var : string;                     (** variable name at the access *)
+  thread : int;
+  time : int;                       (** global timestamp; 0 = empty slot *)
+  op : int;                         (** static memory-operation id *)
+  lstack : Trace.Event.frame list;  (** loop stack at the access *)
+  locked : bool;
+}
+
+val of_access : Trace.Event.access -> t
+
+val empty : t
+(** Sentinel for empty slots; [time = 0] never occurs in real accesses. *)
+
+val is_empty : t -> bool

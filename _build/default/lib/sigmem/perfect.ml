@@ -1,0 +1,42 @@
+(* The "perfect signature" (§2.5.1): an exact shadow memory in which every
+   address has its own entry, so hash collisions — and hence false positives
+   and false negatives — cannot occur. Used as the ground-truth baseline for
+   measuring the signature's FPR/FNR, and offered to users who need 100%
+   accurate dependences (§2.3.7) at a time/memory premium. *)
+
+type entry = { mutable r : Cell.t; mutable w : Cell.t }
+
+type t = { tbl : (int, entry) Hashtbl.t }
+
+let create ~slots:_ = { tbl = Hashtbl.create 4096 }
+
+let find t addr = Hashtbl.find_opt t.tbl addr
+
+let entry t addr =
+  match Hashtbl.find_opt t.tbl addr with
+  | Some e -> e
+  | None ->
+      let e = { r = Cell.empty; w = Cell.empty } in
+      Hashtbl.replace t.tbl addr e;
+      e
+
+let last_read t ~addr =
+  match find t addr with Some e -> e.r | None -> Cell.empty
+
+let last_write t ~addr =
+  match find t addr with Some e -> e.w | None -> Cell.empty
+
+let set_read t ~addr cell = (entry t addr).r <- cell
+let set_write t ~addr cell = (entry t addr).w <- cell
+let remove t ~addr = Hashtbl.remove t.tbl addr
+
+let slots_used t =
+  Hashtbl.fold
+    (fun _ e n ->
+      n
+      + (if Cell.is_empty e.r then 0 else 1)
+      + if Cell.is_empty e.w then 0 else 1)
+    t.tbl 0
+
+(* Hashtbl entry: key + record of two pointers + bucket overhead (~6 words) *)
+let word_footprint t = 6 * Hashtbl.length t.tbl

@@ -1,0 +1,17 @@
+(** The "perfect signature" (§2.5.1): an exact, hash-table-backed shadow
+    memory in which every address has its own entry, so false positives and
+    false negatives cannot occur. The ground-truth baseline for measuring
+    the signature's FPR/FNR, and the 100%-accuracy option of §2.3.7. *)
+
+type t
+
+val create : slots:int -> t
+(** [slots] is ignored; the table grows with the touched address set. *)
+
+val last_read : t -> addr:int -> Cell.t
+val last_write : t -> addr:int -> Cell.t
+val set_read : t -> addr:int -> Cell.t -> unit
+val set_write : t -> addr:int -> Cell.t -> unit
+val remove : t -> addr:int -> unit
+val slots_used : t -> int
+val word_footprint : t -> int

@@ -1,0 +1,38 @@
+(* Shadow-memory interface shared by the approximate signature and the exact
+   ("perfect signature") implementations.
+
+   A shadow memory records, per memory address, the last read access and the
+   last write access. Algorithm 2 of the paper is expressed entirely against
+   this interface, so the profiler can be instantiated with either backing
+   store. *)
+
+module type S = sig
+  type t
+
+  val create : slots:int -> t
+  (** [slots] bounds the store for approximate implementations; exact
+      implementations may ignore it. *)
+
+  val last_read : t -> addr:int -> Cell.t
+  (** The recorded last read of [addr]; {!Cell.is_empty} if none. *)
+
+  val last_write : t -> addr:int -> Cell.t
+
+  val set_read : t -> addr:int -> Cell.t -> unit
+  val set_write : t -> addr:int -> Cell.t -> unit
+
+  val remove : t -> addr:int -> unit
+  (** Variable-lifetime analysis: forget all state for [addr]. *)
+
+  val slots_used : t -> int
+  (** Number of distinct occupied slots (memory-consumption reporting). *)
+
+  val word_footprint : t -> int
+  (** Approximate resident words of the store itself. *)
+end
+
+(* Predicted false-positive probability of a signature after inserting [n]
+   distinct addresses into [m] slots (Equation 2.2): 1 - (1 - 1/m)^n. *)
+let predicted_fpr ~slots ~addresses =
+  if slots <= 0 then 1.0
+  else 1.0 -. ((1.0 -. (1.0 /. float_of_int slots)) ** float_of_int addresses)

@@ -1,0 +1,33 @@
+(** Shadow-memory interface shared by the approximate signature and the exact
+    implementations, plus the Eq. 2.2 false-positive predictor. *)
+
+(** Every shadow memory records, per address, the last read and the last
+    write access; Algorithm 2 is expressed against this interface. *)
+module type S = sig
+  type t
+
+  val create : slots:int -> t
+  (** [slots] bounds the store for approximate implementations; exact
+      implementations may ignore it. *)
+
+  val last_read : t -> addr:int -> Cell.t
+  (** The recorded last read of [addr]; {!Cell.is_empty} if none. *)
+
+  val last_write : t -> addr:int -> Cell.t
+  val set_read : t -> addr:int -> Cell.t -> unit
+  val set_write : t -> addr:int -> Cell.t -> unit
+
+  val remove : t -> addr:int -> unit
+  (** Variable-lifetime analysis: forget all state for [addr]. *)
+
+  val slots_used : t -> int
+  (** Number of distinct occupied slots (memory-consumption reporting). *)
+
+  val word_footprint : t -> int
+  (** Approximate resident words of the store itself. *)
+end
+
+val predicted_fpr : slots:int -> addresses:int -> float
+(** Equation 2.2: the probability that a given slot is occupied after
+    inserting [addresses] distinct addresses into [slots] slots,
+    [1 - (1 - 1/m)^n]. *)

@@ -1,0 +1,66 @@
+(* Signature-based shadow memory (§2.3.2).
+
+   A signature is a fixed-length array indexed by a single hash of the memory
+   address. Distinct addresses hashing to the same slot collide: the
+   membership check then reports a stale access, creating false-positive
+   dependences and masking true ones (false negatives) — the accuracy/space
+   trade-off quantified in Table 2.6.
+
+   One hash function (not a k-hash Bloom filter) is used deliberately so that
+   variable-lifetime analysis can *remove* elements (§2.3.2). Two signatures
+   are kept: one for reads, one for writes. *)
+
+type t = {
+  slots : int;
+  reads : Cell.t array;
+  writes : Cell.t array;
+  mutable occupied_reads : int;
+  mutable occupied_writes : int;
+}
+
+(* Splitmix-style bit mixing: dense bump-allocator addresses must land in
+   quasi-random slots, otherwise collision statistics (the FPR/FNR behaviour
+   of Table 2.6) would not reflect the signature's approximate nature. *)
+let hash_addr addr slots =
+  let h = addr in
+  let h = (h lxor (h lsr 30)) * 0x1F85EBCA6B land max_int in
+  let h = (h lxor (h lsr 27)) * 0x2545F4914F6CDD1D land max_int in
+  let h = h lxor (h lsr 31) in
+  h mod slots
+
+let create ~slots =
+  let slots = max slots 1 in
+  { slots;
+    reads = Array.make slots Cell.empty;
+    writes = Array.make slots Cell.empty;
+    occupied_reads = 0;
+    occupied_writes = 0 }
+
+let last_read t ~addr = t.reads.(hash_addr addr t.slots)
+let last_write t ~addr = t.writes.(hash_addr addr t.slots)
+
+let set_read t ~addr cell =
+  let i = hash_addr addr t.slots in
+  if Cell.is_empty t.reads.(i) then t.occupied_reads <- t.occupied_reads + 1;
+  t.reads.(i) <- cell
+
+let set_write t ~addr cell =
+  let i = hash_addr addr t.slots in
+  if Cell.is_empty t.writes.(i) then t.occupied_writes <- t.occupied_writes + 1;
+  t.writes.(i) <- cell
+
+let remove t ~addr =
+  let i = hash_addr addr t.slots in
+  if not (Cell.is_empty t.reads.(i)) then begin
+    t.reads.(i) <- Cell.empty;
+    t.occupied_reads <- t.occupied_reads - 1
+  end;
+  if not (Cell.is_empty t.writes.(i)) then begin
+    t.writes.(i) <- Cell.empty;
+    t.occupied_writes <- t.occupied_writes - 1
+  end
+
+let slots_used t = t.occupied_reads + t.occupied_writes
+
+(* Each slot holds one boxed record pointer; count array words. *)
+let word_footprint t = 2 * t.slots

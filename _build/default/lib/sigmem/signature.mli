@@ -1,0 +1,31 @@
+(** Signature-based shadow memory (§2.3.2): a fixed-length array indexed by a
+    single hash of the memory address. Distinct addresses hashing to the same
+    slot collide — the accuracy/space trade-off of Table 2.6. One hash
+    function (not a k-hash Bloom filter) is used so variable-lifetime
+    analysis can remove elements. *)
+
+type t
+
+val hash_addr : int -> int -> int
+(** [hash_addr addr slots]: the slot index, via splitmix-style bit mixing so
+    dense bump-allocator addresses land in quasi-random slots. *)
+
+val create : slots:int -> t
+(** Two signatures (reads and writes) of [slots] slots each. *)
+
+val last_read : t -> addr:int -> Cell.t
+(** The recorded last read of [addr]'s slot; {!Cell.is_empty} if none.
+    Collisions may return another address's record — that is the point. *)
+
+val last_write : t -> addr:int -> Cell.t
+val set_read : t -> addr:int -> Cell.t -> unit
+val set_write : t -> addr:int -> Cell.t -> unit
+
+val remove : t -> addr:int -> unit
+(** Variable-lifetime analysis (§2.3.5): clear [addr]'s slots. *)
+
+val slots_used : t -> int
+(** Occupied slots across both signatures. *)
+
+val word_footprint : t -> int
+(** Approximate resident words of the store itself. *)

@@ -1,0 +1,94 @@
+(* Two-level paged exact shadow memory.
+
+   The classic alternative to both the signature and a flat hash table
+   (§2.3.2): the address space is split into fixed-size pages allocated on
+   first touch, so lookups are two array indexings — faster than hashing at
+   the cost of memory proportional to the touched address range. This is the
+   "multilevel tables" design the paper mentions as partially mitigating
+   shadow memory's footprint; the micro-benchmarks compare all three. *)
+
+type page = { reads : Cell.t array; writes : Cell.t array }
+
+type t = {
+  page_bits : int;
+  mutable pages : page option array;  (* indexed by addr lsr page_bits *)
+}
+
+let default_page_bits = 12
+
+let create ~slots:_ =
+  { page_bits = default_page_bits; pages = Array.make 64 None }
+
+let page_size t = 1 lsl t.page_bits
+
+let ensure_dir t idx =
+  if idx >= Array.length t.pages then begin
+    let cap = max (2 * Array.length t.pages) (idx + 1) in
+    let d = Array.make cap None in
+    Array.blit t.pages 0 d 0 (Array.length t.pages);
+    t.pages <- d
+  end
+
+let page_of t addr ~create_missing =
+  let idx = addr lsr t.page_bits in
+  ensure_dir t idx;
+  match t.pages.(idx) with
+  | Some p -> Some p
+  | None ->
+      if create_missing then begin
+        let p =
+          { reads = Array.make (page_size t) Cell.empty;
+            writes = Array.make (page_size t) Cell.empty }
+        in
+        t.pages.(idx) <- Some p;
+        Some p
+      end
+      else None
+
+let offset t addr = addr land (page_size t - 1)
+
+let last_read t ~addr =
+  match page_of t addr ~create_missing:false with
+  | Some p -> p.reads.(offset t addr)
+  | None -> Cell.empty
+
+let last_write t ~addr =
+  match page_of t addr ~create_missing:false with
+  | Some p -> p.writes.(offset t addr)
+  | None -> Cell.empty
+
+let set_read t ~addr cell =
+  match page_of t addr ~create_missing:true with
+  | Some p -> p.reads.(offset t addr) <- cell
+  | None -> ()
+
+let set_write t ~addr cell =
+  match page_of t addr ~create_missing:true with
+  | Some p -> p.writes.(offset t addr) <- cell
+  | None -> ()
+
+let remove t ~addr =
+  match page_of t addr ~create_missing:false with
+  | Some p ->
+      p.reads.(offset t addr) <- Cell.empty;
+      p.writes.(offset t addr) <- Cell.empty
+  | None -> ()
+
+let slots_used t =
+  Array.fold_left
+    (fun acc page ->
+      match page with
+      | None -> acc
+      | Some p ->
+          let count arr =
+            Array.fold_left
+              (fun n c -> if Cell.is_empty c then n else n + 1)
+              0 arr
+          in
+          acc + count p.reads + count p.writes)
+    0 t.pages
+
+let word_footprint t =
+  Array.fold_left
+    (fun acc page -> match page with None -> acc + 1 | Some _ -> acc + (2 * page_size t))
+    0 t.pages

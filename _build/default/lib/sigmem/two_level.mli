@@ -1,0 +1,19 @@
+(** Two-level paged exact shadow memory: the address space is split into
+    pages allocated on first touch, so lookups are two array indexings —
+    faster than hashing, memory proportional to the touched address range.
+    The "multilevel tables" design the paper mentions in §2.3.2. *)
+
+type t
+
+val default_page_bits : int
+
+val create : slots:int -> t
+(** [slots] is ignored; pages are allocated on demand. *)
+
+val last_read : t -> addr:int -> Cell.t
+val last_write : t -> addr:int -> Cell.t
+val set_read : t -> addr:int -> Cell.t -> unit
+val set_write : t -> addr:int -> Cell.t -> unit
+val remove : t -> addr:int -> unit
+val slots_used : t -> int
+val word_footprint : t -> int

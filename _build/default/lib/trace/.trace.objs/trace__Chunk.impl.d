@@ -1,0 +1,1 @@
+lib/trace/chunk.ml: Array

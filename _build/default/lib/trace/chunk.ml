@@ -1,0 +1,33 @@
+(* Fixed-size chunks, the unit of transfer between the producer (the
+   executing program) and the profiler's worker threads (§2.3.3). Chunk size
+   is configurable in the interest of scalability, and empty chunks are
+   recycled to avoid allocation churn. *)
+
+type 'a t = { mutable used : int; slots : 'a array; dummy : 'a }
+
+let default_capacity = 512
+
+let create ?(capacity = default_capacity) ~dummy () =
+  { used = 0; slots = Array.make capacity dummy; dummy }
+
+let capacity c = Array.length c.slots
+let length c = c.used
+let is_full c = c.used = Array.length c.slots
+let is_empty c = c.used = 0
+
+let push c a =
+  c.slots.(c.used) <- a;
+  c.used <- c.used + 1
+
+let get c i =
+  assert (i < c.used);
+  c.slots.(i)
+
+let iter f c =
+  for i = 0 to c.used - 1 do
+    f c.slots.(i)
+  done
+
+let reset c =
+  Array.fill c.slots 0 c.used c.dummy;
+  c.used <- 0

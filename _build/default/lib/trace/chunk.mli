@@ -1,0 +1,25 @@
+(** Fixed-size chunks, the unit of transfer between the producer (the
+    executing program) and the profiler's worker threads (§2.3.3). *)
+
+type 'a t
+
+val default_capacity : int
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** A fresh chunk; [dummy] fills unused slots. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_full : 'a t -> bool
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Append one item. The caller must check {!is_full} first. *)
+
+val get : 'a t -> int -> 'a
+(** [get c i] is the [i]-th item pushed; [i < length c]. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val reset : 'a t -> unit
+(** Empty the chunk for reuse (chunk recycling, §2.3.3). *)

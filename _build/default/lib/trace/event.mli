@@ -1,0 +1,54 @@
+(** The instrumented instruction stream.
+
+    The MIL interpreter emits one {!access} per dynamic memory instruction and
+    {!region} events at control-region boundaries — the same interface
+    DiscoPoP obtains by instrumenting LLVM IR loads/stores and control
+    regions. *)
+
+type kind = Read | Write
+
+(** One entry of the dynamic loop stack: which static loop (by header line),
+    which dynamic instance of it, and the current iteration number. Stacks
+    are stored outermost-first and shared immutably between accesses. *)
+type frame = { loop_line : int; inst : int; iter : int }
+
+(** A dynamic memory instruction. *)
+type access = {
+  kind : kind;
+  addr : int;           (** memory address (dense, bump-allocated) *)
+  var : string;         (** source-level variable name *)
+  line : int;           (** source line of the access *)
+  thread : int;         (** executing thread id; 0 is the main thread *)
+  time : int;           (** global timestamp, strictly increasing *)
+  op : int;             (** static memory-operation id (for §2.4 skipping) *)
+  lstack : frame list;  (** loop stack at the access, outermost-first *)
+  locked : bool;        (** the thread held at least one lock *)
+}
+
+(** Control-region and lifetime events. *)
+type region =
+  | Loop_entry of { line : int; inst : int }
+  | Loop_iter of { line : int; inst : int; iter : int }
+  | Loop_exit of { line : int; inst : int; iterations : int }
+  | Func_entry of { name : string; line : int; call_line : int }
+  | Func_exit of { name : string; line : int }
+  | Dealloc of { addrs : (int * int * string) list }
+      (** [(base, length, var)]: scope exit or explicit free ended these
+          variables' lifetimes (§2.3.5) *)
+  | Thread_start of { thread : int }
+  | Thread_end of { thread : int }
+
+type t = Access of access | Region of region
+
+val kind_to_string : kind -> string
+
+val common_frames : frame list -> frame list -> (frame * frame) list
+(** Longest common prefix of two loop stacks sharing loop instances. *)
+
+val carrier : src:frame list -> snk:frame list -> frame option
+(** If a dependence between accesses with loop stacks [src] and [snk] is
+    loop-carried, the carrying frame (from the sink's stack): the deepest
+    common loop instance where the iteration numbers differ. *)
+
+val innermost : frame list -> frame option
+(** The innermost loop frame, if the access was inside a loop. *)

@@ -1,0 +1,1 @@
+lib/workloads/bots.ml: Mil Registry

@@ -1,0 +1,1 @@
+lib/workloads/nas.ml: Mil Registry

@@ -1,0 +1,1 @@
+lib/workloads/score.ml: Discovery List Registry

@@ -1,0 +1,1 @@
+lib/workloads/score.mli: Discovery Registry

@@ -1,0 +1,1 @@
+lib/workloads/splash2x.ml: List Mil Registry

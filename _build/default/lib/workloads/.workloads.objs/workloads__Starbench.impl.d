@@ -1,0 +1,1 @@
+lib/workloads/starbench.ml: List Mil Registry

@@ -1,0 +1,1 @@
+lib/workloads/textbook.ml: Mil Registry

@@ -1,0 +1,204 @@
+(* Open-source application analogues for the case studies of §4.4.2/§4.4.4:
+   gzip/bzip2 block compressors (Table 4.5), the libVorbis-style encoder
+   pipeline and the FaceDetection task graph (Table 4.7, Fig. 4.10/4.11). *)
+
+open Mil.Builder
+module R = Registry
+
+(* gzip-like block compressor: the paper's headline gzip opportunity is the
+   block-compression loop in deflate — blocks are independent once the output
+   offsets are known; the sequential output append is the DOACROSS part. *)
+let gzip size =
+  let blocks = size and bs = 64 in
+  number
+    (program ~entry:"main" "gzip"
+       ~globals:
+         [ garray "input" (blocks *$ bs); garray "output" (blocks *$ bs *$ 2);
+           garray "lens" blocks; gscalar "outpos" 0 ]
+       [ func "compress_block" ~params:[ "b" ]
+           [ (* LZ-style scan inside the block: heavy, block-local *)
+             decl "outlen" (i 0);
+             decl "x" (i 0);
+             while_ (v "x" < i bs)
+               [ decl "run" (i 1);
+                 while_
+                   (v "x" + v "run" < i bs
+                   && (* bounded lookahead; both operands always valid *)
+                   "input".%[(v "b" * i bs) + min_ (v "x" + v "run") (i (bs -$ 1))]
+                   == "input".%[(v "b" * i bs) + v "x"])
+                   [ set "run" (v "run" + i 1) ];
+                 seti "output" ((v "b" * i (bs *$ 2)) + v "outlen") (v "run");
+                 seti "output" ((v "b" * i (bs *$ 2)) + v "outlen" + i 1)
+                   ("input".%[(v "b" * i bs) + v "x"]);
+                 set "outlen" (v "outlen" + i 2);
+                 set "x" (v "x" + v "run") ];
+             seti "lens" (v "b") (v "outlen");
+             return (v "outlen") ];
+         func "main"
+           [ for_ "x" (i 0) (i (blocks *$ bs))
+               [ seti "input" (v "x") (call "rand" [ i 4 ]) ];
+             (* hot loop: compress each block (independent) and append the
+                length to a shared cursor (reduction) *)
+             for_ "b" (i 0) (i blocks)
+               [ decl "n" (call "compress_block" [ v "b" ]);
+                 set "outpos" (v "outpos" + v "n") ];
+             return (v "outpos") ] ])
+
+(* bzip2-like: per-block BWT-ish transform (sort surrogate) then MTF —
+   blocks independent, in-block work heavier than gzip's. *)
+let bzip2 size =
+  let blocks = size and bs = 48 in
+  number
+    (program ~entry:"main" "bzip2"
+       ~globals:
+         [ garray "data" (blocks *$ bs); garray "bwt" (blocks *$ bs);
+           gscalar "total" 0 ]
+       [ func "transform_block" ~params:[ "b" ]
+           [ (* selection-sort surrogate for the BWT rotation sort *)
+             for_ "x" (i 0) (i bs)
+               [ seti "bwt" ((v "b" * i bs) + v "x")
+                   ("data".%[(v "b" * i bs) + v "x"]) ];
+             for_ "x" (i 0) (i (bs -$ 1))
+               [ for_ "y" (v "x" + i 1) (i bs)
+                   [ when_
+                       ("bwt".%[(v "b" * i bs) + v "y"]
+                       < "bwt".%[(v "b" * i bs) + v "x"])
+                       [ decl "t" ("bwt".%[(v "b" * i bs) + v "x"]);
+                         seti "bwt" ((v "b" * i bs) + v "x")
+                           ("bwt".%[(v "b" * i bs) + v "y"]);
+                         seti "bwt" ((v "b" * i bs) + v "y") (v "t") ] ] ];
+             decl "crc" (i 0);
+             for_ "x" (i 0) (i bs)
+               [ set "crc" (v "crc" + "bwt".%[(v "b" * i bs) + v "x"]) ];
+             return (v "crc" % i 65521) ];
+         func "main"
+           [ for_ "x" (i 0) (i (blocks *$ bs))
+               [ seti "data" (v "x") (call "rand" [ i 64 ]) ];
+             for_ "b" (i 0) (i blocks)
+               [ set "total" (v "total" + call "transform_block" [ v "b" ]) ];
+             return (v "total") ] ])
+
+(* libVorbis-like encoder: per-frame pipeline analysis -> MDCT surrogate ->
+   quantise -> entropy-code. Frames stream through four stages. *)
+let vorbis size =
+  let frames = size and fs = 32 in
+  number
+    (program ~entry:"main" "vorbis"
+       ~globals:
+         [ garray "pcm" (frames *$ fs); garray "spec" (frames *$ fs);
+           garray "quant" (frames *$ fs); garray "bits" frames ]
+       [ func "analysis" ~params:[ "f" ]
+           [ for_ "x" (i 0) (i fs)
+               [ decl "idx" ((v "f" * i fs) + v "x");
+                 seti "spec" (v "idx")
+                   (("pcm".%[v "idx"] * (v "x" + i 1)) % i 4096) ];
+             return_unit ];
+         func "quantise" ~params:[ "f" ]
+           [ for_ "x" (i 0) (i fs)
+               [ decl "idx" ((v "f" * i fs) + v "x");
+                 seti "quant" (v "idx") ("spec".%[v "idx"] / i 16) ];
+             return_unit ];
+         func "entropy" ~params:[ "f" ]
+           [ decl "n" (i 0);
+             for_ "x" (i 0) (i fs)
+               [ when_ ("quant".%[(v "f" * i fs) + v "x"] != i 0)
+                   [ set "n" (v "n" + i 1) ] ];
+             seti "bits" (v "f") (v "n");
+             return_unit ];
+         func "main"
+           [ for_ "x" (i 0) (i (frames *$ fs))
+               [ seti "pcm" (v "x") (call "rand" [ i 256 ]) ];
+             for_ "f" (i 0) (i frames)
+               [ call_ "analysis" [ v "f" ];
+                 call_ "quantise" [ v "f" ];
+                 call_ "entropy" [ v "f" ] ] ] ])
+
+(* FaceDetection (Fig. 4.10): grab frame -> two independent feature filters ->
+   merge -> per-window classifier cascade -> aggregate. The filters give MPMD
+   width 2; the window loop is the SPMD part. *)
+let facedetect size =
+  let n = size in
+  number
+    (program ~entry:"main" "facedetect"
+       ~globals:
+         [ garray "frame" n; garray "edges" n; garray "skin" n;
+           garray "feat" n; garray "hits" n; gscalar "faces" 0 ]
+       [ func "edge_filter" ~arrays:[]
+           [ for_ "x" (i 1) (i (n -$ 1))
+               [ seti "edges" (v "x")
+                   (call "abs" [ "frame".%[v "x" + i 1] - "frame".%[v "x" - i 1] ]) ];
+             return_unit ];
+         func "skin_filter" ~arrays:[]
+           [ for_ "x" (i 0) (i n)
+               [ seti "skin" (v "x")
+                   (max_ (i 0) ("frame".%[v "x"] - i 96)) ];
+             return_unit ];
+         func "classify" ~params:[ "w" ]
+           [ decl "score" (i 0);
+             for_ "s" (i 0) (i 8)
+               [ set "score" ((v "score" + ("feat".%[v "w"] * (v "s" + i 1))) % i 257) ];
+             return (v "score") ];
+         func "main"
+           [ for_ "x" (i 0) (i n) [ seti "frame" (v "x") (call "rand" [ i 256 ]) ];
+             (* two independent filters: the MPMD stage pair *)
+             call_ "edge_filter" [];
+             call_ "skin_filter" [];
+             (* merge *)
+             for_ "x" (i 0) (i n)
+               [ seti "feat" (v "x") (("edges".%[v "x"] + "skin".%[v "x"]) / i 2) ];
+             (* sliding-window classification: SPMD *)
+             for_ "w" (i 0) (i n)
+               [ seti "hits" (v "w") (call "classify" [ v "w" ]);
+                 when_ ("hits".%[v "w"] > i 200) [ set "faces" (v "faces" + i 1) ] ] ] ])
+
+(* PARSEC-style dedup: chunk -> fingerprint -> (duplicate check against a
+   shared table: locked) -> compress unique chunks. Pipeline + taskloop mix. *)
+let dedup size =
+  let chunks = size and cs = 24 in
+  number
+    (program ~entry:"main" "dedup"
+       ~globals:
+         [ garray "stream" (chunks *$ cs); garray "fps" chunks;
+           garray "table" 128; gscalar "unique" 0 ]
+       [ func "fingerprint" ~params:[ "c" ]
+           [ decl "h" (i 0);
+             for_ "x" (i 0) (i cs)
+               [ set "h" (((v "h" * i 31) + "stream".%[(v "c" * i cs) + v "x"]) % i 8191) ];
+             return (v "h") ];
+         func "compress_chunk" ~params:[ "c" ]
+           [ decl "acc" (i 0);
+             for_ "x" (i 0) (i cs)
+               [ set "acc" ((v "acc" * i 2) + "stream".%[(v "c" * i cs) + v "x"]) ];
+             return (v "acc" % i 65536) ];
+         func "main"
+           [ for_ "x" (i 0) (i (chunks *$ cs))
+               [ seti "stream" (v "x") (call "rand" [ i 16 ]) ];
+             (* the dedup pipeline: fingerprint -> duplicate check ->
+                compress, per streamed chunk *)
+             for_ "c" (i 0) (i chunks)
+               [ decl "fp" (call "fingerprint" [ v "c" ]);
+                 seti "fps" (v "c") (v "fp");
+                 decl "slot" (v "fp" % i 128);
+                 when_ ("table".%[v "slot"] != v "fp")
+                   [ seti "table" (v "slot") (v "fp");
+                     set "unique" (v "unique" + call "compress_chunk" [ v "c" ] % i 2
+                                  + i 1) ] ];
+             return (v "unique") ] ])
+
+let all : R.t list =
+  [ R.make_workload ~suite:"apps" ~default_size:60 "gzip" gzip
+      (* loops in source order: the two in-block scan whiles (recurrences on
+         their own control variables), the input fill, the hot block loop *)
+      ~expected_loops:[ R.Eseq; R.Eseq; R.Edoall; R.Edoall_reduction ]
+      ~expected_tasks:[ R.Staskloop ];
+    R.make_workload ~suite:"apps" ~default_size:40 "bzip2" bzip2
+      ~expected_loops:
+        [ R.Edoall; R.Eany; R.Eany; R.Edoall_reduction; R.Edoall;
+          R.Edoall_reduction ]
+      ~expected_tasks:[ R.Staskloop ];
+    R.make_workload ~suite:"apps" ~default_size:50 "vorbis" vorbis
+      ~expected_tasks:[ R.Staskloop ];
+    R.make_workload ~suite:"apps" ~default_size:400 "facedetect" facedetect
+      ~expected_tasks:[ R.Smpmd 2; R.Staskloop ];
+    R.make_workload ~suite:"apps" ~default_size:80 "dedup" dedup
+      ~expected_tasks:[ R.Spipeline 3 ] ]

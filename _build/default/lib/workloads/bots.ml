@@ -1,0 +1,264 @@
+(* MIL analogues of the Barcelona OpenMP Task Suite (BOTS) programs the paper
+   evaluates SPMD-style task discovery on (Table 4.6): ten programs, each with
+   the hot spots the paper's 20-hot-spot study covers — either a loop spawning
+   independent heavy work (taskloop) or independent recursive calls
+   (fork-join, as in Fig. 4.3 / 4.9). *)
+
+open Mil.Builder
+module R = Registry
+
+(* fib: the canonical two-way recursive fork-join (Fig. 4.3). *)
+let fib size =
+  number
+    (program ~entry:"main" "fib"
+       [ func "fib" ~params:[ "n" ]
+           [ when_ (v "n" < i 2) [ return (v "n") ];
+             decl "x" (call "fib" [ v "n" - i 1 ]);
+             decl "y" (call "fib" [ v "n" - i 2 ]);
+             return (v "x" + v "y") ];
+         func "main" [ return (call "fib" [ i size ]) ] ])
+
+(* nqueens: recursive search; the placement loop spawns independent subtrees
+   counting solutions by reduction (Fig. 4.2). *)
+let nqueens size =
+  let n = size in
+  number
+    (program ~entry:"main" "nqueens" ~globals:[ garray "cols" 16 ]
+       [ func "ok" ~params:[ "row"; "col" ]
+           [ decl "q" (i 0);
+             decl "good" (i 1);
+             while_ (v "q" < v "row")
+               [ decl "c" ("cols".%[v "q"]);
+                 when_
+                   (v "c" == v "col"
+                   || call "abs" [ v "c" - v "col" ] == v "row" - v "q")
+                   [ set "good" (i 0) ];
+                 set "q" (v "q" + i 1) ];
+             return (v "good") ];
+         func "solve" ~params:[ "row" ]
+           [ when_ (v "row" == i n) [ return (i 1) ];
+             decl "count" (i 0);
+             for_ "col" (i 0) (i n)
+               [ when_ (call "ok" [ v "row"; v "col" ] == i 1)
+                   [ seti "cols" (v "row") (v "col");
+                     set "count" (v "count" + call "solve" [ v "row" + i 1 ]) ] ];
+             return (v "count") ];
+         func "main" [ return (call "solve" [ i 0 ]) ] ])
+
+(* sort: merge sort — two independent recursive sorts, then a merge. *)
+let sort size =
+  let n = size in
+  number
+    (program ~entry:"main" "sort"
+       ~globals:[ garray "a" n; garray "tmp" n ]
+       [ func "merge" ~params:[ "lo"; "mid"; "hi" ]
+           [ decl "l" (v "lo");
+             decl "r" (v "mid");
+             decl "k" (v "lo");
+             (* MIL has no short-circuit evaluation: guard the index reads
+                with nested branches instead of && / || chains *)
+             while_ (v "k" < v "hi")
+               [ if_ (v "l" >= v "mid")
+                   [ seti "tmp" (v "k") ("a".%[v "r"]); set "r" (v "r" + i 1) ]
+                   [ if_ (v "r" >= v "hi")
+                       [ seti "tmp" (v "k") ("a".%[v "l"]); set "l" (v "l" + i 1) ]
+                       [ if_ ("a".%[v "l"] <= "a".%[v "r"])
+                           [ seti "tmp" (v "k") ("a".%[v "l"]); set "l" (v "l" + i 1) ]
+                           [ seti "tmp" (v "k") ("a".%[v "r"]); set "r" (v "r" + i 1) ] ] ];
+                 set "k" (v "k" + i 1) ];
+             for_ "j" (v "lo") (v "hi") [ seti "a" (v "j") ("tmp".%[v "j"]) ];
+             return_unit ];
+         func "msort" ~params:[ "lo"; "hi" ]
+           [ when_ (v "hi" - v "lo" < i 2) [ return_unit ];
+             decl "mid" ((v "lo" + v "hi") / i 2);
+             call_ "msort" [ v "lo"; v "mid" ];
+             call_ "msort" [ v "mid"; v "hi" ];
+             call_ "merge" [ v "lo"; v "mid"; v "hi" ];
+             return_unit ];
+         func "main"
+           [ for_ "j" (i 0) (i n) [ seti "a" (v "j") (call "rand" [ i 10000 ]) ];
+             call_ "msort" [ i 0; i n ] ] ])
+
+(* fft: recursive split plus the fft_twiddle-style independent work loop
+   (Fig. 4.9). *)
+let fft size =
+  let n = size in
+  number
+    (program ~entry:"main" "fft"
+       ~globals:[ garray "re" n; garray "im" n ]
+       [ func "twiddle" ~params:[ "lo"; "hi" ]
+           [ for_ "k" (v "lo") (v "hi")
+               [ decl "a" ("re".%[v "k"]);
+                 decl "b" ("im".%[v "k"]);
+                 seti "re" (v "k") (((v "a" * i 3) - v "b") % i 65536);
+                 seti "im" (v "k") (((v "b" * i 3) + v "a") % i 65536) ];
+             return_unit ];
+         func "fft_rec" ~params:[ "lo"; "hi" ]
+           [ when_ (v "hi" - v "lo" < i 8) [ call_ "twiddle" [ v "lo"; v "hi" ]; return_unit ];
+             decl "mid" ((v "lo" + v "hi") / i 2);
+             call_ "fft_rec" [ v "lo"; v "mid" ];
+             call_ "fft_rec" [ v "mid"; v "hi" ];
+             call_ "twiddle" [ v "lo"; v "hi" ];
+             return_unit ];
+         func "main"
+           [ for_ "k" (i 0) (i n)
+               [ seti "re" (v "k") (v "k" % i 256); seti "im" (v "k") (v "k" % i 128) ];
+             call_ "fft_rec" [ i 0; i n ] ] ])
+
+(* strassen: block multiply with independent recursive sub-multiplies. *)
+let strassen size =
+  let n = size in
+  number
+    (program ~entry:"main" "strassen"
+       ~globals:[ garray "ma" (n *$ n); garray "mb" (n *$ n); garray "mc" (n *$ n) ]
+       [ func "mult_block" ~params:[ "r0"; "c0"; "sz" ]
+           [ for_ "r" (i 0) (v "sz")
+               [ for_ "c" (i 0) (v "sz")
+                   [ decl "acc" (i 0);
+                     for_ "k" (i 0) (v "sz")
+                       [ set "acc"
+                           (v "acc"
+                           + ("ma".%[((v "r0" + v "r") * i n) + v "k"]
+                             * "mb".%[(v "k" * i n) + v "c0" + v "c"])) ];
+                     seti "mc" (((v "r0" + v "r") * i n) + v "c0" + v "c") (v "acc") ] ];
+             return_unit ];
+         func "strassen_rec" ~params:[ "r0"; "c0"; "sz" ]
+           [ when_ (v "sz" <= i 4)
+               [ call_ "mult_block" [ v "r0"; v "c0"; v "sz" ]; return_unit ];
+             decl "h" (v "sz" / i 2);
+             call_ "strassen_rec" [ v "r0"; v "c0"; v "h" ];
+             call_ "strassen_rec" [ v "r0"; v "c0" + v "h"; v "h" ];
+             call_ "strassen_rec" [ v "r0" + v "h"; v "c0"; v "h" ];
+             call_ "strassen_rec" [ v "r0" + v "h"; v "c0" + v "h"; v "h" ];
+             return_unit ];
+         func "main"
+           [ for_ "x" (i 0) (i (n *$ n))
+               [ seti "ma" (v "x") (v "x" % i 7); seti "mb" (v "x") (v "x" % i 5) ];
+             call_ "strassen_rec" [ i 0; i 0; i n ] ] ])
+
+(* sparselu: factorisation over a block grid; the bmod block updates within
+   one step are independent tasks. *)
+let sparselu size =
+  let nb = size in
+  let bs = 8 in
+  number
+    (program ~entry:"main" "sparselu"
+       ~globals:[ garray "blocks" (nb *$ nb *$ bs) ]
+       [ func "lu0" ~params:[ "b" ]
+           [ for_ "x" (i 1) (i bs)
+               [ seti "blocks" ((v "b" * i bs) + v "x")
+                   (("blocks".%[(v "b" * i bs) + v "x"]
+                    + "blocks".%[(v "b" * i bs) + v "x" - i 1])
+                   % i 65536) ];
+             return_unit ];
+         func "bmod" ~params:[ "b"; "d" ]
+           [ for_ "x" (i 0) (i bs)
+               [ seti "blocks" ((v "b" * i bs) + v "x")
+                   (("blocks".%[(v "b" * i bs) + v "x"]
+                    + ("blocks".%[(v "d" * i bs) + v "x"] / i 2))
+                   % i 65536) ];
+             return_unit ];
+         func "main"
+           [ for_ "x" (i 0) (i (nb *$ nb *$ bs))
+               [ seti "blocks" (v "x") ((v "x" % i 97) + i 1) ];
+             for_ "kk" (i 0) (i nb)
+               [ call_ "lu0" [ (v "kk" * i nb) + v "kk" ];
+                 (* independent trailing-block updates: the taskloop *)
+                 for_ "jj" (i 0) (i nb)
+                   [ when_ (v "jj" != v "kk")
+                       [ call_ "bmod" [ (v "kk" * i nb) + v "jj"; (v "kk" * i nb) + v "kk" ] ] ] ] ] ])
+
+(* health: per-village simulation steps are independent tasks per round. *)
+let health size =
+  let villages = size in
+  number
+    (program ~entry:"main" "health"
+       ~globals:[ garray "patients" villages; garray "waiting" villages ]
+       [ func "sim_village" ~params:[ "vg" ]
+           [ decl "load" ("patients".%[v "vg"]);
+             decl "acc" (i 0);
+             for_ "s" (i 0) (i 20)
+               [ set "acc" ((v "acc" + (v "load" * v "s")) % i 10007) ];
+             seti "waiting" (v "vg") (v "acc");
+             return_unit ];
+         func "main"
+           [ for_ "vg" (i 0) (i villages)
+               [ seti "patients" (v "vg") (call "rand" [ i 50 ]) ];
+             for_ "round" (i 0) (i 4)
+               [ for_ "vg" (i 0) (i villages) [ call_ "sim_village" [ v "vg" ] ] ] ] ])
+
+(* alignment: all sequence pairs aligned independently; scores reduce. *)
+let alignment size =
+  let seqs = size and len = 12 in
+  number
+    (program ~entry:"main" "alignment"
+       ~globals:[ garray "seqs" (seqs *$ len); garray "scores" (seqs *$ seqs) ]
+       [ func "align_pair" ~params:[ "s1"; "s2" ]
+           [ decl "score" (i 0);
+             for_ "x" (i 0) (i len)
+               [ when_
+                   ("seqs".%[(v "s1" * i len) + v "x"]
+                   == "seqs".%[(v "s2" * i len) + v "x"])
+                   [ set "score" (v "score" + i 1) ] ];
+             return (v "score") ];
+         func "main"
+           [ for_ "x" (i 0) (i (seqs *$ len))
+               [ seti "seqs" (v "x") (call "rand" [ i 4 ]) ];
+             for_ "s1" (i 0) (i seqs)
+               [ for_ "s2" (i 0) (i seqs)
+                   [ seti "scores" ((v "s1" * i seqs) + v "s2")
+                       (call "align_pair" [ v "s1"; v "s2" ]) ] ] ] ])
+
+(* floorplan: recursive placement enumeration with a best-cost reduction. *)
+let floorplan size =
+  let cells = size in
+  number
+    (program ~entry:"main" "floorplan"
+       ~globals:[ garray "areas" 16; gscalar "best" 1000000 ]
+       [ func "place" ~params:[ "cell"; "cost" ]
+           [ when_ (v "cell" == i cells)
+               [ set "best" (min_ (v "best") (v "cost")); return_unit ];
+             (* two placements per cell: two independent subtrees *)
+             call_ "place" [ v "cell" + i 1; v "cost" + "areas".%[v "cell"] ];
+             call_ "place" [ v "cell" + i 1; v "cost" + ("areas".%[v "cell"] / i 2) + i 1 ];
+             return_unit ];
+         func "main"
+           [ for_ "x" (i 0) (i 16) [ seti "areas" (v "x") (call "rand" [ i 30 ] + i 1) ];
+             call_ "place" [ i 0; i 0 ] ] ])
+
+(* uts: unbalanced tree search — children explored as independent tasks,
+   node count reduced. *)
+let uts size =
+  number
+    (program ~entry:"main" "uts" ~globals:[ gscalar "nodes" 0 ]
+       [ func "explore" ~params:[ "depth"; "seed" ]
+           [ set "nodes" (v "nodes" + i 1);
+             when_ (v "depth" >= i size) [ return_unit ];
+             decl "kids" ((v "seed" % i 3) + i 1);
+             for_ "k" (i 0) (v "kids")
+               [ call_ "explore"
+                   [ v "depth" + i 1; ((v "seed" * i 1103) + v "k" + i 12345) % i 65536 ] ];
+             return_unit ];
+         func "main" [ call_ "explore" [ i 0; i 7 ] ] ])
+
+let all : R.t list =
+  [ R.make_workload ~suite:"bots" ~default_size:13 "fib" fib
+      ~expected_tasks:[ R.Sforkjoin "fib" ];
+    R.make_workload ~suite:"bots" ~default_size:6 "nqueens" nqueens
+      ~expected_tasks:[ R.Staskloop ];
+    R.make_workload ~suite:"bots" ~default_size:512 "sort" sort
+      ~expected_tasks:[ R.Sforkjoin "msort" ];
+    R.make_workload ~suite:"bots" ~default_size:256 "fft" fft
+      ~expected_tasks:[ R.Sforkjoin "fft_rec" ];
+    R.make_workload ~suite:"bots" ~default_size:16 "strassen" strassen
+      ~expected_tasks:[ R.Sforkjoin "strassen_rec" ];
+    R.make_workload ~suite:"bots" ~default_size:6 "sparselu" sparselu
+      ~expected_tasks:[ R.Staskloop ];
+    R.make_workload ~suite:"bots" ~default_size:60 "health" health
+      ~expected_tasks:[ R.Staskloop ];
+    R.make_workload ~suite:"bots" ~default_size:24 "alignment" alignment
+      ~expected_tasks:[ R.Staskloop ];
+    R.make_workload ~suite:"bots" ~default_size:10 "floorplan" floorplan
+      ~expected_tasks:[ R.Sforkjoin "place" ];
+    R.make_workload ~suite:"bots" ~default_size:8 "uts" uts
+      ~expected_tasks:[ R.Staskloop ] ]

@@ -1,0 +1,253 @@
+(* MIL analogues of the (SNU) NAS Parallel Benchmarks used throughout the
+   paper's evaluation. Each kernel reproduces the *dependence shape* of its
+   namesake — which loops are independent, which carry reductions, which are
+   recurrences — rather than its numerics (per DESIGN.md's substitution
+   table): EP's embarrassingly-parallel accumulation, CG's sparse mat-vec and
+   dot products, FT's independent evolve loops plus the Fig. 2.14 `dummy`
+   WAW-generating initialisation, IS's bucket sort with its sequential prefix
+   scan, MG's multigrid relaxations, BT/SP's independent line solves with
+   sequential inner recurrences, and LU's wavefront sweep. *)
+
+open Mil.Builder
+module R = Registry
+
+(* EP: independent random experiments, counts gathered by reduction. *)
+let abs_bin t = Mil.Ast.Bin (Mil.Ast.Mod, Mil.Ast.Call ("abs", [ t ]), Mil.Ast.Int 10)
+
+let ep size =
+  number
+    (program ~entry:"main" "EP" ~globals:[ garray "qbins" 10 ]
+       [ func "main"
+           [ decl "sx" (i 0);
+             decl "sy" (i 0);
+             for_ "k" (i 0) (i size)
+               [ decl "x" (call "rand" [ i 2000 ] - i 1000);
+                 decl "y" (call "rand" [ i 2000 ] - i 1000);
+                 decl "t" ((v "x" * v "x") + (v "y" * v "y"));
+                 when_ (v "t" < i 1000000)
+                   [ decl "b" (abs_bin (v "t"));
+                     seti "qbins" (v "b") ("qbins".%[v "b"] + i 1);
+                     set "sx" (v "sx" + v "x");
+                     set "sy" (v "sy" + v "y") ] ];
+             return (v "sx" + v "sy") ] ])
+
+(* CG: conjugate-gradient iteration — outer solver loop is a recurrence, the
+   sparse mat-vec rows and vector updates are DOALL, dot products reduce. *)
+let cg size =
+  let n = size in
+  let nnz = 4 in
+  number
+    (program ~entry:"main" "CG"
+       ~globals:
+         [ garray "colidx" (n *$ nnz); garray "aval" (n *$ nnz); garray "x" n;
+           garray "q" n; garray "z" n; garray "r" n; garray "p" n ]
+       [ func "matvec" ~arrays:[ "src"; "dst" ]
+           [ for_ "row" (i 0) (i n)
+               [ decl "acc" (i 0);
+                 for_ "j" (i 0) (i nnz)
+                   [ decl "idx" ((v "row" * i nnz) + v "j");
+                     set "acc"
+                       (v "acc" + ("aval".%[v "idx"] * "src".%["colidx".%[v "idx"]])) ];
+                 seti "dst" (v "row") (v "acc" / i 16) ] ];
+         func "dot" ~arrays:[ "u"; "w" ]
+           [ decl "acc" (i 0);
+             for_ "k" (i 0) (i n) [ set "acc" (v "acc" + ("u".%[v "k"] * "w".%[v "k"])) ];
+             return (v "acc") ];
+         func "main"
+           [ for_ "k" (i 0) (i (n *$ nnz))
+               [ seti "colidx" (v "k") (call "rand" [ i n ]);
+                 seti "aval" (v "k") ((v "k" % i 7) + i 1) ];
+             for_ "k" (i 0) (i n)
+               [ seti "x" (v "k") (i 1); seti "p" (v "k") (i 1); seti "r" (v "k") (i 1) ];
+             decl "rho" (i 1);
+             for_ "it" (i 0) (i 8)
+               [ call_ "matvec" [ v "p"; v "q" ];
+                 decl "alpha" (call "dot" [ v "p"; v "q" ] + i 1);
+                 for_ "k" (i 0) (i n)
+                   [ seti "z" (v "k") ("z".%[v "k"] + ("p".%[v "k"] / (v "alpha" + i 1)));
+                     seti "r" (v "k") ("r".%[v "k"] - ("q".%[v "k"] / (v "alpha" + i 1))) ];
+                 set "rho" (call "dot" [ v "r"; v "r" ] + v "rho" / i 2);
+                 for_ "k" (i 0) (i n)
+                   [ seti "p" (v "k") ("r".%[v "k"] + (("p".%[v "k"] * v "rho") / i 1024)) ] ];
+             return (v "rho") ] ])
+
+(* FT: evolve's nested loops are fully independent (Fig. 4.1); the random
+   initialisation carries a seed recurrence and writes a `dummy` variable
+   that is never read — the source of FT's WAW anomaly (Fig. 2.14). *)
+let ft size =
+  let n = size in
+  let starts = max 64 (n /$ 4) in
+  number
+    (program ~entry:"main" "FT"
+       ~globals:[ garray "u_re" n; garray "u_im" n; garray "ran_starts" starts ]
+       [ func "main"
+           [ decl "start" (i 1);
+             decl "dummy" (i 0);
+             (* Fig 2.14: [dummy] holds randlc's return value but is never
+                read — every iteration's write pairs with the previous one
+                into a WAW dependence *)
+             for_ "k" (i 0) (i starts)
+               [ set "start" (((v "start" * i 1237) + i 101) % i 65536);
+                 set "dummy" (v "start" / i 7);
+                 seti "ran_starts" (v "k") (v "start") ];
+             for_ "k" (i 0) (i n)
+               [ seti "u_re" (v "k") ("ran_starts".%[v "k" % i starts] % i 256);
+                 seti "u_im" (v "k") ((v "k" * i 31) % i 256) ];
+             (* evolve: independent element-wise twiddle (Fig. 4.1); like the
+                real FT, a checksum-style scratch value is stored each step
+                and never read (the paper's dummy-variable pattern recurs
+                at several places in FT) *)
+             for_ "t" (i 0) (i 6)
+               [ for_ "k" (i 0) (i n)
+                   [ decl "re" ("u_re".%[v "k"]);
+                     decl "im" ("u_im".%[v "k"]);
+                     seti "u_re" (v "k") (((v "re" * i 3) - v "im") % i 65536);
+                     seti "u_im" (v "k") (((v "im" * i 3) + v "re") % i 65536);
+                     set "dummy" ((v "re" + v "im") / i 7) ] ];
+             (* checksum: reduction *)
+             decl "chk" (i 0);
+             for_ "k" (i 0) (i n) [ set "chk" (v "chk" + "u_re".%[v "k"]) ];
+             return (v "chk") ] ])
+
+(* IS: bucket sort — counting reduces into buckets, the bucket prefix scan is
+   a recurrence, the final scatter writes disjoint positions. *)
+let is_bench size =
+  let n = size in
+  let buckets = 64 in
+  number
+    (program ~entry:"main" "IS"
+       ~globals:
+         [ garray "keys" n; garray "bcount" buckets; garray "bstart" buckets;
+           garray "sorted" n ]
+       [ func "main"
+           [ for_ "k" (i 0) (i n) [ seti "keys" (v "k") (call "rand" [ i buckets ]) ];
+             for_ "k" (i 0) (i n)
+               [ decl "b" ("keys".%[v "k"]);
+                 seti "bcount" (v "b") ("bcount".%[v "b"] + i 1) ];
+             seti "bstart" (i 0) (i 0);
+             for_ "b" (i 1) (i buckets)
+               [ seti "bstart" (v "b")
+                   ("bstart".%[v "b" - i 1] + "bcount".%[v "b" - i 1]) ];
+             (* scatter: sequential here (shared cursor per bucket) *)
+             for_ "k" (i 0) (i n)
+               [ decl "b" ("keys".%[v "k"]);
+                 decl "pos" ("bstart".%[v "b"]);
+                 seti "sorted" (v "pos") ("keys".%[v "k"]);
+                 seti "bstart" (v "b") (v "pos" + i 1) ];
+             return ("sorted".%[i (n -$ 1)]) ] ])
+
+(* MG: V-cycle-ish — smoothing sweeps are element-wise independent per level,
+   level recursion is sequential. *)
+let mg size =
+  let n = size in
+  number
+    (program ~entry:"main" "MG"
+       ~globals:[ garray "v" n; garray "u" n; garray "res" n ]
+       [ func "smooth" ~arrays:[ "src"; "dst" ]
+           [ for_ "k" (i 1) (i (n -$ 1))
+               [ seti "dst" (v "k")
+                   (("src".%[v "k" - i 1] + (i 2 * "src".%[v "k"])
+                    + "src".%[v "k" + i 1])
+                   / i 4) ] ];
+         func "main"
+           [ for_ "k" (i 0) (i n) [ seti "v" (v "k") (v "k" % i 19) ];
+             for_ "cycle" (i 0) (i 4)
+               [ call_ "smooth" [ v "v"; v "u" ];
+                 call_ "smooth" [ v "u"; v "res" ];
+                 for_ "k" (i 0) (i n)
+                   [ seti "v" (v "k") ("v".%[v "k"] + ("res".%[v "k"] / i 2)) ] ];
+             decl "norm" (i 0);
+             for_ "k" (i 0) (i n) [ set "norm" (v "norm" + call "abs" [ "v".%[v "k"] ]) ];
+             return (v "norm") ] ])
+
+(* BT: block-tridiagonal line solves — lines (rows) are independent, the
+   forward/backward substitution along a line is a recurrence. *)
+let bt size =
+  let rows = size and cols = 24 in
+  number
+    (program ~entry:"main" "BT"
+       ~globals:[ garray "grid" (rows *$ cols); garray "rhs" (rows *$ cols) ]
+       [ func "main"
+           [ for_ "k" (i 0) (i (rows *$ cols))
+               [ seti "grid" (v "k") ((v "k" % i 23) + i 1);
+                 seti "rhs" (v "k") (v "k" % i 17) ];
+             (* independent line solves: DOALL over rows *)
+             for_ "r" (i 0) (i rows)
+               [ (* forward elimination along the line: recurrence in c *)
+                 for_ "c" (i 1) (i cols)
+                   [ decl "idx" ((v "r" * i cols) + v "c");
+                     seti "rhs" (v "idx")
+                       ("rhs".%[v "idx"]
+                       - (("rhs".%[v "idx" - i 1] * "grid".%[v "idx"]) / i 32)) ];
+                 (* back substitution: recurrence walking the line backwards *)
+                 for_ "c2" (i 1) (i cols)
+                   [ decl "idx" ((v "r" * i cols) + (i (cols -$ 1) - v "c2"));
+                     seti "rhs" (v "idx")
+                       (("rhs".%[v "idx"] + ("rhs".%[v "idx" + i 1] / i 2)) % i 65536) ] ] ] ])
+
+(* SP: scalar-pentadiagonal — same line-sweep structure as BT plus an
+   element-wise update and a residual reduction. *)
+let sp size =
+  let rows = size and cols = 24 in
+  number
+    (program ~entry:"main" "SP"
+       ~globals:[ garray "q" (rows *$ cols); garray "speed" (rows *$ cols) ]
+       [ func "main"
+           [ for_ "k" (i 0) (i (rows *$ cols))
+               [ seti "q" (v "k") ((v "k" % i 29) + i 1);
+                 seti "speed" (v "k") ((v "k" % i 13) + i 1) ];
+             for_ "r" (i 0) (i rows)
+               [ for_ "c" (i 2) (i cols)
+                   [ decl "idx" ((v "r" * i cols) + v "c");
+                     seti "q" (v "idx")
+                       ("q".%[v "idx"]
+                       - ((("q".%[v "idx" - i 1] + "q".%[v "idx" - i 2])
+                          * "speed".%[v "idx"])
+                         / i 64)) ] ];
+             for_ "k" (i 0) (i (rows *$ cols))
+               [ seti "speed" (v "k") (("speed".%[v "k"] * i 3) % i 4096) ];
+             decl "rms" (i 0);
+             for_ "k" (i 0) (i (rows *$ cols)) [ set "rms" (v "rms" + "q".%[v "k"]) ];
+             return (v "rms") ] ])
+
+(* LU: wavefront SSOR sweep — both grid dimensions carry dependences. *)
+let lu size =
+  let n = size in
+  number
+    (program ~entry:"main" "LU" ~globals:[ garray "g" (n *$ n) ]
+       [ func "main"
+           [ for_ "k" (i 0) (i (n *$ n)) [ seti "g" (v "k") ((v "k" % i 31) + i 1) ];
+             for_ "sweep" (i 0) (i 3)
+               [ for_ "r" (i 1) (i n)
+                   [ for_ "c" (i 1) (i n)
+                       [ decl "idx" ((v "r" * i n) + v "c");
+                         seti "g" (v "idx")
+                           (("g".%[v "idx"] + "g".%[v "idx" - i 1]
+                            + "g".%[v "idx" - i n])
+                           / i 3) ] ] ];
+             decl "norm" (i 0);
+             for_ "k" (i 0) (i (n *$ n)) [ set "norm" (v "norm" + "g".%[v "k"]) ];
+             return (v "norm") ] ])
+
+let all : R.t list =
+  [ (* loop order is source order; Eany marks loops the paper doesn't score *)
+    R.make_workload ~suite:"nas" ~default_size:2500 "EP" ep
+      ~expected_loops:[ R.Edoall_reduction ];
+    R.make_workload ~suite:"nas" ~default_size:60 "CG" cg
+      ~expected_loops:
+        [ (* matvec row loop; inner nnz loop; dot loop; init x2; solver it;
+             update; p-update *)
+          R.Edoall; R.Edoall_reduction; R.Edoall_reduction; R.Edoall; R.Edoall;
+          R.Eseq; R.Edoall; R.Edoall ];
+    R.make_workload ~suite:"nas" ~default_size:3000 "FT" ft
+      ~expected_loops:[ R.Eseq; R.Edoall; R.Eany; R.Edoall; R.Edoall_reduction ];
+    R.make_workload ~suite:"nas" ~default_size:3000 "IS" is_bench
+      ~expected_loops:[ R.Edoall; R.Edoall_reduction; R.Eseq; R.Eseq ];
+    R.make_workload ~suite:"nas" ~default_size:1200 "MG" mg
+      ~expected_loops:[ R.Edoall; R.Edoall; R.Eany; R.Edoall; R.Edoall_reduction ];
+    R.make_workload ~suite:"nas" ~default_size:80 "BT" bt
+      ~expected_loops:[ R.Edoall; R.Edoall; R.Eseq; R.Eseq ];
+    R.make_workload ~suite:"nas" ~default_size:80 "SP" sp
+      ~expected_loops:[ R.Edoall; R.Edoall; R.Eseq; R.Edoall; R.Edoall_reduction ];
+    R.make_workload ~suite:"nas" ~default_size:40 "LU" lu
+      ~expected_loops:[ R.Edoall; R.Eany; R.Eseq; R.Eseq; R.Edoall_reduction ] ]

@@ -1,0 +1,130 @@
+(* Additional numerical kernels widening the loop corpus (and the ML training
+   set of §5.1): classic shapes whose parallel/sequential status is textbook
+   knowledge — n-body forces, CSR sparse mat-vec, 2D convolution,
+   Floyd-Warshall, and an LCS dynamic program. *)
+
+open Mil.Builder
+module R = Registry
+
+(* n-body: all-pairs forces (independent per body, inner reduction), then an
+   independent position update. *)
+let nbody size =
+  let n = size in
+  number
+    (program ~entry:"main" "nbody"
+       ~globals:[ garray "posx" n; garray "vel" n; garray "force" n ]
+       [ func "main"
+           [ for_ "b" (i 0) (i n)
+               [ seti "posx" (v "b") (call "rand" [ i 1000 ]);
+                 seti "vel" (v "b") (i 0) ];
+             for_ "step" (i 0) (i 3)
+               [ for_ "b" (i 0) (i n)
+                   [ decl "f" (i 0);
+                     for_ "o" (i 0) (i n)
+                       [ decl "d" ("posx".%[v "o"] - "posx".%[v "b"]);
+                         set "f" (v "f" + (v "d" / (call "abs" [ v "d" ] + i 1))) ];
+                     seti "force" (v "b") (v "f") ];
+                 for_ "b" (i 0) (i n)
+                   [ seti "vel" (v "b") ("vel".%[v "b"] + "force".%[v "b"]);
+                     seti "posx" (v "b") ("posx".%[v "b"] + "vel".%[v "b"]) ] ] ] ])
+
+(* CSR sparse matrix-vector product: rows independent, inner dot reduces. *)
+let spmv size =
+  let rows = size and nnz_per_row = 5 in
+  let nnz = rows *$ nnz_per_row in
+  number
+    (program ~entry:"main" "spmv"
+       ~globals:
+         [ garray "rowptr" (rows +$ 1); garray "colidx" nnz; garray "vals" nnz;
+           garray "x" rows; garray "y" rows ]
+       [ func "main"
+           [ for_ "r" (i 0) (i (rows +$ 1))
+               [ seti "rowptr" (v "r") (v "r" * i nnz_per_row) ];
+             for_ "e" (i 0) (i nnz)
+               [ seti "colidx" (v "e") (call "rand" [ i rows ]);
+                 seti "vals" (v "e") ((v "e" % i 9) + i 1) ];
+             for_ "r" (i 0) (i rows) [ seti "x" (v "r") ((v "r" % i 7) + i 1) ];
+             for_ "r" (i 0) (i rows)
+               [ decl "acc" (i 0);
+                 for_ "e" ("rowptr".%[v "r"]) ("rowptr".%[v "r" + i 1])
+                   [ set "acc" (v "acc" + ("vals".%[v "e"] * "x".%["colidx".%[v "e"]])) ];
+                 seti "y" (v "r") (v "acc") ] ] ])
+
+(* 2D convolution with a 3x3 kernel: output pixels independent. *)
+let conv2d size =
+  let n = size in
+  number
+    (program ~entry:"main" "conv2d"
+       ~globals:[ garray "img" (n *$ n); garray "out" (n *$ n); garray "kern" 9 ]
+       [ func "main"
+           [ for_ "p" (i 0) (i (n *$ n)) [ seti "img" (v "p") (call "rand" [ i 256 ]) ];
+             for_ "p" (i 0) (i 9) [ seti "kern" (v "p") ((v "p" % i 3) + i 1) ];
+             for_ "y" (i 1) (i (n -$ 1))
+               [ for_ "x" (i 1) (i (n -$ 1))
+                   [ decl "acc" (i 0);
+                     for_ "ky" (i 0) (i 3)
+                       [ for_ "kx" (i 0) (i 3)
+                           [ set "acc"
+                               (v "acc"
+                               + ("kern".%[(v "ky" * i 3) + v "kx"]
+                                 * "img".%[((v "y" + v "ky" - i 1) * i n) + v "x"
+                                           + v "kx" - i 1])) ] ];
+                     seti "out" ((v "y" * i n) + v "x") (v "acc" / i 9) ] ] ] ])
+
+(* Floyd-Warshall: the k loop is a true recurrence; with the row/column-k
+   updates guarded out, the i and j sweeps of one k step are independent. *)
+let floyd_warshall size =
+  let n = size in
+  number
+    (program ~entry:"main" "floyd_warshall" ~globals:[ garray "dist" (n *$ n) ]
+       [ func "main"
+           [ for_ "p" (i 0) (i (n *$ n))
+               [ seti "dist" (v "p") (call "rand" [ i 100 ] + i 1) ];
+             for_ "k" (i 0) (i n)
+               [ for_ "r" (i 0) (i n)
+                   [ when_ (v "r" != v "k")
+                       [ for_ "c" (i 0) (i n)
+                           [ when_ (v "c" != v "k")
+                               [ seti "dist" ((v "r" * i n) + v "c")
+                                   (min_
+                                      ("dist".%[(v "r" * i n) + v "c"])
+                                      ("dist".%[(v "r" * i n) + v "k"]
+                                      + "dist".%[(v "k" * i n) + v "c"])) ] ] ] ] ] ] ])
+
+(* Longest common subsequence DP: each cell needs up/left/diagonal — both
+   sweeps are recurrences. *)
+let lcs size =
+  let n = size in
+  number
+    (program ~entry:"main" "lcs"
+       ~globals:[ garray "sa" n; garray "sb" n; garray "dp" ((n +$ 1) *$ (n +$ 1)) ]
+       [ func "main"
+           [ for_ "p" (i 0) (i n)
+               [ seti "sa" (v "p") (call "rand" [ i 4 ]);
+                 seti "sb" (v "p") (call "rand" [ i 4 ]) ];
+             for_ "r" (i 1) (i (n +$ 1))
+               [ for_ "c" (i 1) (i (n +$ 1))
+                   [ if_ ("sa".%[v "r" - i 1] == "sb".%[v "c" - i 1])
+                       [ seti "dp" ((v "r" * i (n +$ 1)) + v "c")
+                           ("dp".%[((v "r" - i 1) * i (n +$ 1)) + v "c" - i 1] + i 1) ]
+                       [ seti "dp" ((v "r" * i (n +$ 1)) + v "c")
+                           (max_
+                              ("dp".%[((v "r" - i 1) * i (n +$ 1)) + v "c"])
+                              ("dp".%[(v "r" * i (n +$ 1)) + v "c" - i 1])) ] ] ];
+             return ("dp".%[i ((n *$ (n +$ 1)) +$ n)]) ] ])
+
+let all : R.t list =
+  [ R.make_workload ~suite:"numerics" ~default_size:60 "nbody" nbody
+      ~expected_loops:
+        [ R.Edoall; R.Eany (* step *); R.Edoall; R.Edoall_reduction; R.Edoall ];
+    R.make_workload ~suite:"numerics" ~default_size:200 "spmv" spmv
+      ~expected_loops:[ R.Edoall; R.Edoall; R.Edoall; R.Edoall; R.Edoall_reduction ];
+    R.make_workload ~suite:"numerics" ~default_size:22 "conv2d" conv2d
+      ~expected_loops:
+        [ R.Edoall; R.Edoall; R.Edoall; R.Edoall; R.Edoall_reduction;
+          R.Edoall_reduction ];
+    R.make_workload ~suite:"numerics" ~default_size:14 "floyd_warshall"
+      floyd_warshall
+      ~expected_loops:[ R.Edoall; R.Eseq; R.Edoall; R.Edoall ];
+    R.make_workload ~suite:"numerics" ~default_size:40 "lcs" lcs
+      ~expected_loops:[ R.Edoall; R.Eseq; R.Eseq ] ]

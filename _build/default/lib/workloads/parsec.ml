@@ -1,0 +1,121 @@
+(* MIL analogues of the PARSEC programs Table 4.7 evaluates MPMD detection
+   on: blackscholes' independent option pricing, swaptions' simulation
+   sweep, ferret's similarity-search pipeline, and fluidanimate's
+   neighbour-coupled grid. *)
+
+open Mil.Builder
+module R = Registry
+
+(* blackscholes: every option priced independently (fixed-point surrogate of
+   the closed-form formula). *)
+let blackscholes size =
+  let opts = size in
+  number
+    (program ~entry:"main" "blackscholes"
+       ~globals:
+         [ garray "spot" opts; garray "strike" opts; garray "price" opts ]
+       [ func "bs_price" ~params:[ "s"; "k" ]
+           [ decl "d1" (((v "s" - v "k") * i 100) / (v "k" + i 1));
+             decl "nd" (i 50 + (v "d1" / i 4));
+             decl "acc" (i 0);
+             for_ "term" (i 0) (i 8)
+               [ set "acc" (v "acc" + ((v "nd" * (v "term" + i 1)) % i 10007)) ];
+             return ((v "s" * (v "acc" % i 10007)) / i 10007) ];
+         func "main"
+           [ for_ "o" (i 0) (i opts)
+               [ seti "spot" (v "o") (call "rand" [ i 200 ] + i 50);
+                 seti "strike" (v "o") (call "rand" [ i 200 ] + i 50) ];
+             for_ "o" (i 0) (i opts)
+               [ seti "price" (v "o")
+                   (call "bs_price" [ "spot".%[v "o"]; "strike".%[v "o"] ]) ] ] ])
+
+(* swaptions: Monte-Carlo simulation per swaption; paths reduce into the
+   price, swaptions are independent. *)
+let swaptions size =
+  let n = size and paths = 24 in
+  number
+    (program ~entry:"main" "swaptions"
+       ~globals:[ garray "params" n; garray "prices" n ]
+       [ func "simulate" ~params:[ "p"; "path" ]
+           [ decl "r" (v "p");
+             for_ "t" (i 0) (i 10)
+               [ set "r" (((v "r" * i 31) + (v "path" * i 7) + v "t") % i 4093) ];
+             return (v "r") ];
+         func "main"
+           [ for_ "s" (i 0) (i n) [ seti "params" (v "s") (call "rand" [ i 512 ] + i 1) ];
+             for_ "s" (i 0) (i n)
+               [ decl "sum" (i 0);
+                 for_ "p" (i 0) (i paths)
+                   [ set "sum" (v "sum" + call "simulate" [ "params".%[v "s"]; v "p" ]) ];
+                 seti "prices" (v "s") (v "sum" / i paths) ] ] ])
+
+(* ferret: the four-stage similarity-search pipeline — segment, extract,
+   index probe, rank — each query flowing through all stages. *)
+let ferret size =
+  let queries = size and fdim = 16 in
+  number
+    (program ~entry:"main" "ferret"
+       ~globals:
+         [ garray "images" (size *$ fdim); garray "segs" (size *$ fdim);
+           garray "feats" (size *$ fdim); garray "cands" size;
+           garray "ranks" size; garray "table" 64 ]
+       [ func "segment" ~params:[ "q" ]
+           [ for_ "x" (i 0) (i fdim)
+               [ decl "idx" ((v "q" * i fdim) + v "x");
+                 seti "segs" (v "idx") ("images".%[v "idx"] / i 2) ];
+             return_unit ];
+         func "extract" ~params:[ "q" ]
+           [ for_ "x" (i 0) (i fdim)
+               [ decl "idx" ((v "q" * i fdim) + v "x");
+                 seti "feats" (v "idx") (("segs".%[v "idx"] * i 13) % i 64) ];
+             return_unit ];
+         func "probe" ~params:[ "q" ]
+           [ decl "best" (i 0);
+             for_ "x" (i 0) (i fdim)
+               [ set "best" (v "best" + "table".%["feats".%[(v "q" * i fdim) + v "x"]]) ];
+             seti "cands" (v "q") (v "best");
+             return_unit ];
+         func "rank" ~params:[ "q" ]
+           [ seti "ranks" (v "q") (("cands".%[v "q"] * i 7) % i 101); return_unit ];
+         func "main"
+           [ for_ "x" (i 0) (i (size *$ fdim))
+               [ seti "images" (v "x") (call "rand" [ i 256 ]) ];
+             for_ "x" (i 0) (i 64) [ seti "table" (v "x") (call "rand" [ i 32 ]) ];
+             for_ "q" (i 0) (i queries)
+               [ call_ "segment" [ v "q" ];
+                 call_ "extract" [ v "q" ];
+                 call_ "probe" [ v "q" ];
+                 call_ "rank" [ v "q" ] ] ] ])
+
+(* fluidanimate: particles in a grid interact with neighbouring cells —
+   in-place updates couple consecutive cells (DOACROSS-ish). *)
+let fluidanimate size =
+  let cells = size in
+  number
+    (program ~entry:"main" "fluidanimate"
+       ~globals:[ garray "density" cells; garray "velocity" cells ]
+       [ func "main"
+           [ for_ "c" (i 0) (i cells)
+               [ seti "density" (v "c") (call "rand" [ i 100 ] + i 1);
+                 seti "velocity" (v "c") (i 0) ];
+             for_ "step" (i 0) (i 4)
+               [ (* density exchange with the left neighbour, in place *)
+                 for_ "c" (i 1) (i cells)
+                   [ decl "flow" (("density".%[v "c" - i 1] - "density".%[v "c"]) / i 4);
+                     seti "density" (v "c") ("density".%[v "c"] + v "flow") ];
+                 (* velocity update: independent per cell *)
+                 for_ "c" (i 0) (i cells)
+                   [ seti "velocity" (v "c")
+                       (("velocity".%[v "c"] + "density".%[v "c"]) % i 65536) ] ] ] ])
+
+let all : R.t list =
+  [ R.make_workload ~suite:"parsec" ~default_size:300 "blackscholes" blackscholes
+      ~expected_loops:[ R.Edoall_reduction; R.Edoall; R.Edoall ]
+      ~expected_tasks:[ R.Staskloop ];
+    R.make_workload ~suite:"parsec" ~default_size:80 "swaptions" swaptions
+      ~expected_loops:[ R.Eseq; R.Edoall; R.Edoall; R.Edoall_reduction ]
+      ~expected_tasks:[ R.Staskloop ];
+    R.make_workload ~suite:"parsec" ~default_size:60 "ferret" ferret
+      ~expected_tasks:[ R.Staskloop; R.Spipeline 3 ];
+    R.make_workload ~suite:"parsec" ~default_size:500 "fluidanimate" fluidanimate
+      ~expected_loops:[ R.Edoall; R.Eany; R.Eseq; R.Edoall ] ]

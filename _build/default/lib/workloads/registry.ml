@@ -1,0 +1,46 @@
+(* Workload registry: every benchmark program ships with its ground truth —
+   the expected classification of each executed loop in source order — so the
+   discovery experiments (Tables 4.1/4.4, etc.) can score detection accuracy
+   exactly like the paper scores DiscoPoP against the hand-parallelised
+   reference versions of NAS and BOTS. *)
+
+type expectation =
+  | Edoall            (* parallelisable with no transformation *)
+  | Edoall_reduction  (* parallelisable given a reduction clause *)
+  | Edoacross         (* inter-iteration deps, partial overlap possible *)
+  | Eseq              (* must stay sequential *)
+  | Eany              (* not scored *)
+
+let expectation_to_string = function
+  | Edoall -> "DOALL"
+  | Edoall_reduction -> "DOALL(red)"
+  | Edoacross -> "DOACROSS"
+  | Eseq -> "seq"
+  | Eany -> "-"
+
+(* Expected task-parallelism findings (Table 4.6 / 4.7 ground truth). *)
+type task_expectation =
+  | Sforkjoin of string   (* recursive fork-join in the named function *)
+  | Staskloop             (* at least one SPMD task loop *)
+  | Smpmd of int          (* an MPMD task graph of at least this width *)
+  | Spipeline of int      (* an MPMD pipeline of at least this many stages *)
+
+type t = {
+  name : string;
+  suite : string;                        (* "nas", "starbench", "bots", ... *)
+  make : int -> Mil.Ast.program;         (* size-parameterised builder *)
+  default_size : int;
+  (* Expected class per executed loop, in source order. Shorter lists leave
+     trailing loops unscored. *)
+  expected_loops : expectation list;
+  expected_tasks : task_expectation list;
+  parallel_target : bool;                (* uses par/lock (pthread-style) *)
+}
+
+let make_workload ?(suite = "misc") ?(expected_loops = []) ?(expected_tasks = [])
+    ?(parallel_target = false) ~default_size name make =
+  { name; suite; make; default_size; expected_loops; expected_tasks;
+    parallel_target }
+
+let program ?size (w : t) : Mil.Ast.program =
+  w.make (match size with Some s -> s | None -> w.default_size)

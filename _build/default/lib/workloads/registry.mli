@@ -1,0 +1,44 @@
+(** Workload registry: every benchmark program ships with its ground truth —
+    expected loop classifications (in source order) and expected task
+    findings — so the discovery experiments score detection accuracy the way
+    the paper scores DiscoPoP against hand-parallelised references. *)
+
+type expectation =
+  | Edoall            (** parallelisable with no transformation *)
+  | Edoall_reduction  (** parallelisable given a reduction clause *)
+  | Edoacross         (** inter-iteration deps, partial overlap possible *)
+  | Eseq              (** must stay sequential *)
+  | Eany              (** not scored *)
+
+val expectation_to_string : expectation -> string
+
+(** Expected task-parallelism findings (Table 4.6 / 4.7 ground truth). *)
+type task_expectation =
+  | Sforkjoin of string   (** recursive fork-join in the named function *)
+  | Staskloop             (** at least one SPMD task loop *)
+  | Smpmd of int          (** an MPMD task graph of at least this width *)
+  | Spipeline of int      (** an MPMD pipeline of at least this many stages *)
+
+type t = {
+  name : string;
+  suite : string;
+  make : int -> Mil.Ast.program;   (** size-parameterised builder *)
+  default_size : int;
+  expected_loops : expectation list;
+      (** per executed loop, in source order; shorter lists leave trailing
+          loops unscored *)
+  expected_tasks : task_expectation list;
+  parallel_target : bool;          (** uses par/lock (pthread-style) *)
+}
+
+val make_workload :
+  ?suite:string ->
+  ?expected_loops:expectation list ->
+  ?expected_tasks:task_expectation list ->
+  ?parallel_target:bool ->
+  default_size:int ->
+  string ->
+  (int -> Mil.Ast.program) ->
+  t
+
+val program : ?size:int -> t -> Mil.Ast.program

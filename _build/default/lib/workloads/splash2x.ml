@@ -1,0 +1,208 @@
+(* MIL analogues of the splash2x programs whose communication patterns the
+   paper derives from the DiscoPoP profiler (Fig. 5.1). Each program is a
+   phase-structured `par` computation over [nthreads] threads with barriers
+   between phases, engineered to reproduce its namesake's characteristic
+   thread-to-thread communication shape:
+
+   - ocean / water-spatial: block-partitioned grids exchanging halo cells
+     with neighbouring threads -> banded (neighbour) matrices;
+   - barnes / raytrace / volrend: workers read a structure the main thread
+     built -> master-worker (hub column);
+   - water-nsquared / fmm: all-pairs interactions -> all-to-all;
+   - radiosity: a lock-protected shared work counter -> hub + diffuse. *)
+
+open Mil.Builder
+module R = Registry
+
+let nthreads = 4
+
+let par_threads body = par (List.init nthreads body)
+
+(* ocean: red-black-ish grid relaxation; each thread owns a block and reads
+   the boundary cells of its neighbours after a barrier. *)
+let ocean size =
+  let block = size in
+  let n = nthreads *$ block in
+  number
+    (program ~entry:"main" "ocean" ~globals:[ garray "grid" n; garray "acc" nthreads ]
+       [ func "main"
+           [ (* threads initialise their own blocks (as real ocean does) and
+                then iterate time steps with a two-barrier halo-exchange
+                protocol — cross-thread traffic is only the halo cells *)
+             par_threads (fun t ->
+                 let lo = t *$ block and hi = (t +$ 1) *$ block in
+                 [ for_ "k" (i lo) (i hi) [ seti "grid" (v "k") (v "k" % i 97) ];
+                   barrier "init";
+                   for_ "step" (i 0) (i 3)
+                     [ (* phase 1: relax the interior of the owned block *)
+                       for_ "k" (i (lo +$ 1)) (i (hi -$ 1))
+                         [ seti "grid" (v "k")
+                             (("grid".%[v "k" - i 1] + "grid".%[v "k"]
+                              + "grid".%[v "k" + i 1])
+                             / i 3) ];
+                       barrier "halo";
+                       (* phase 2: read the halo cells of the neighbours *)
+                       decl "left" (if t = 0 then i 0 else "grid".%[i (lo -$ 1)]);
+                       decl "right"
+                         (if t = nthreads -$ 1 then i 0 else "grid".%[i hi]);
+                       seti "acc" (i t) ("acc".%[i t] + v "left" + v "right");
+                       barrier "tick" ] ]) ] ])
+
+(* barnes: main thread builds the tree; workers traverse it read-only and
+   update their own bodies. *)
+let barnes size =
+  let bodies = size in
+  number
+    (program ~entry:"main" "barnes"
+       ~globals:[ garray "tree" 64; garray "bodies" bodies; garray "forces" bodies ]
+       [ func "main"
+           [ for_ "k" (i 0) (i 64) [ seti "tree" (v "k") (call "rand" [ i 512 ]) ];
+             for_ "k" (i 0) (i bodies) [ seti "bodies" (v "k") (call "rand" [ i 512 ]) ];
+             par_threads (fun t ->
+                 let lo = t *$ bodies /$ nthreads in
+                 let hi = (t +$ 1) *$ bodies /$ nthreads in
+                 [ for_ "b" (i lo) (i hi)
+                     [ decl "f" (i 0);
+                       for_ "c" (i 0) (i 64)
+                         [ set "f"
+                             (v "f"
+                             + (call "abs" [ "bodies".%[v "b"] - "tree".%[v "c"] ]
+                               / i 8)) ];
+                       seti "forces" (v "b") (v "f") ] ]) ] ])
+
+(* water-nsquared: all-pairs molecular interactions — every thread reads
+   every other thread's molecules after the position update. *)
+let water_nsq size =
+  let mols = nthreads *$ size in
+  number
+    (program ~entry:"main" "water-nsq"
+       ~globals:[ garray "pos" mols; garray "force" mols ]
+       [ func "main"
+           [ for_ "k" (i 0) (i mols) [ seti "pos" (v "k") (call "rand" [ i 256 ]) ];
+             par_threads (fun t ->
+                 let lo = t *$ size and hi = (t +$ 1) *$ size in
+                 [ (* update own molecules *)
+                   for_ "k" (i lo) (i hi)
+                     [ seti "pos" (v "k") (("pos".%[v "k"] * i 3) % i 256) ];
+                   barrier "positions";
+                   (* all-pairs force against every molecule *)
+                   for_ "k" (i lo) (i hi)
+                     [ decl "f" (i 0);
+                       for_ "j" (i 0) (i mols)
+                         [ set "f" (v "f" + call "abs" [ "pos".%[v "k"] - "pos".%[v "j"] ]) ];
+                       seti "force" (v "k") (v "f") ] ]) ] ])
+
+(* radiosity: a lock-protected shared work queue cursor — every thread
+   contends on the same counter (hub) while doing private patch work. *)
+let radiosity size =
+  let patches = size in
+  number
+    (program ~entry:"main" "radiosity"
+       ~globals:[ garray "patch" patches; gscalar "cursor" 0; gscalar "energy" 0 ]
+       [ func "main"
+           [ for_ "k" (i 0) (i patches) [ seti "patch" (v "k") (call "rand" [ i 64 ]) ];
+             par_threads (fun _ ->
+                 [ decl "mine" (i 0);
+                   while_ (v "mine" >= i 0)
+                     [ lock "queue";
+                       if_ (v "cursor" < i patches)
+                         [ set "mine" (v "cursor");
+                           set "cursor" (v "cursor" + i 1) ]
+                         [ set "mine" (i 0 - i 1) ];
+                       unlock "queue";
+                       when_ (v "mine" >= i 0)
+                         [ decl "e" ("patch".%[v "mine"] * i 3);
+                           lock "energy";
+                           set "energy" (v "energy" + v "e");
+                           unlock "energy" ] ] ]) ] ])
+
+(* raytrace: workers trace disjoint pixel ranges against the shared scene. *)
+let raytrace size =
+  let pixels = nthreads *$ size in
+  number
+    (program ~entry:"main" "raytrace"
+       ~globals:[ garray "scene" 32; garray "img" pixels ]
+       [ func "main"
+           [ for_ "k" (i 0) (i 32) [ seti "scene" (v "k") (call "rand" [ i 128 ]) ];
+             par_threads (fun t ->
+                 let lo = t *$ size and hi = (t +$ 1) *$ size in
+                 [ for_ "p" (i lo) (i hi)
+                     [ decl "c" (i 0);
+                       for_ "s" (i 0) (i 32)
+                         [ set "c" (v "c" + (("scene".%[v "s"] * v "p") % i 61)) ];
+                       seti "img" (v "p") (v "c") ] ]) ] ])
+
+(* fmm: hierarchical interactions — neighbour exchange at the fine level
+   plus a shared coarse summary everyone reads (mixed pattern). *)
+let fmm size =
+  let cells = nthreads *$ size in
+  number
+    (program ~entry:"main" "fmm"
+       ~globals:[ garray "fine" cells; garray "coarse" nthreads; gscalar "root" 0 ]
+       [ func "main"
+           [ for_ "k" (i 0) (i cells) [ seti "fine" (v "k") (call "rand" [ i 64 ]) ];
+             par_threads (fun t ->
+                 let lo = t *$ size and hi = (t +$ 1) *$ size in
+                 [ (* upward pass: summarise own cells *)
+                   decl "sum" (i 0);
+                   for_ "k" (i lo) (i hi) [ set "sum" (v "sum" + "fine".%[v "k"]) ];
+                   seti "coarse" (i t) (v "sum");
+                   barrier "up";
+                   (* root combines on thread 0's data path *)
+                   (if t = 0 then
+                      set "root"
+                        ("coarse".%[i 0] + "coarse".%[i 1] + "coarse".%[i 2]
+                        + "coarse".%[i 3])
+                    else set "sum" (v "sum"));
+                   barrier "root";
+                   (* downward pass: everyone reads the root and neighbours *)
+                   for_ "k" (i lo) (i hi)
+                     [ seti "fine" (v "k")
+                         (("fine".%[v "k"] + (v "root" / i cells)
+                          + "coarse".%[i ((t +$ 1) mod nthreads)])
+                         % i 4096) ] ]) ] ])
+
+(* volrend: independent ray casting over a shared read-only volume. *)
+let volrend size =
+  let rays = nthreads *$ size in
+  number
+    (program ~entry:"main" "volrend"
+       ~globals:[ garray "volume" 128; garray "shade" rays ]
+       [ func "main"
+           [ for_ "k" (i 0) (i 128) [ seti "volume" (v "k") (call "rand" [ i 256 ]) ];
+             par_threads (fun t ->
+                 let lo = t *$ size and hi = (t +$ 1) *$ size in
+                 [ for_ "r" (i lo) (i hi)
+                     [ decl "acc" (i 0);
+                       for_ "d" (i 0) (i 16)
+                         [ set "acc"
+                             (v "acc" + "volume".%[((v "r" * i 7) + (v "d" * i 13)) % i 128]) ];
+                       seti "shade" (v "r") (v "acc") ] ]) ] ])
+
+(* water-spatial: like ocean, block-partitioned with halo exchange. *)
+let water_spatial size =
+  let block = size in
+  let n = nthreads *$ block in
+  number
+    (program ~entry:"main" "water-spatial"
+       ~globals:[ garray "cells" n; garray "flux" n ]
+       [ func "main"
+           [ par_threads (fun t ->
+                 let lo = t *$ block and hi = (t +$ 1) *$ block in
+                 [ for_ "k" (i lo) (i hi)
+                     [ seti "cells" (v "k") (((v "k" + i 3) * i 5) % i 512) ];
+                   barrier "sync";
+                   for_ "k" (i (max 1 lo)) (i (min (n -$ 1) hi))
+                     [ seti "flux" (v "k")
+                         (("cells".%[v "k" - i 1] + "cells".%[v "k" + i 1]) / i 2) ] ]) ] ])
+
+let all : R.t list =
+  let mk name f size = R.make_workload ~suite:"splash2x" ~default_size:size name f ~parallel_target:true in
+  [ mk "ocean" ocean 200;
+    mk "barnes" barnes 150;
+    mk "water-nsq" water_nsq 60;
+    mk "radiosity" radiosity 300;
+    mk "raytrace" raytrace 120;
+    mk "fmm" fmm 200;
+    mk "volrend" volrend 120;
+    mk "water-spatial" water_spatial 250 ]

@@ -1,0 +1,468 @@
+(* MIL analogues of the Starbench parallel benchmark suite (§2.5): image
+   processing, information security, machine learning, and media kernels.
+   Each program exists in a sequential version and — where the paper profiles
+   the pthread version (Fig. 2.10/2.11) — a `-par` variant in which the hot
+   loop is split across four MIL threads with explicitly locked shared
+   accumulators, exactly the explicit-locking discipline §2.3.4 requires. *)
+
+open Mil.Builder
+module R = Registry
+
+let nthreads = 4
+
+(* Split [0, n) into [nthreads] chunks and run [body lo hi] in parallel. *)
+let par_chunks n body =
+  par
+    (List.init nthreads (fun t ->
+         let lo = t *$ n /$ nthreads in
+         let hi = (t +$ 1) *$ n /$ nthreads in
+         body lo hi))
+
+(* c-ray: ray tracing — every pixel independent; per-pixel sphere loop finds
+   the nearest hit (a min-reduction over a local). *)
+let cray_body n =
+  [ func "trace" ~params:[ "px" ]
+      [ decl "best" (i 1000000);
+        for_ "s" (i 0) (i 8)
+          [ decl "d" (call "abs" [ (v "px" * i 7) - ("spheres".%[v "s"] * i 11) ]);
+            set "best" (min_ (v "best") (v "d")) ];
+        return (v "best") ];
+    func "main"
+      [ for_ "s" (i 0) (i 8) [ seti "spheres" (v "s") (call "rand" [ i 100 ]) ];
+        for_ "p" (i 0) (i n) [ seti "fb" (v "p") (call "trace" [ v "p" ]) ] ] ]
+
+let cray size =
+  number
+    (program ~entry:"main" "c-ray"
+       ~globals:[ garray "spheres" 8; garray "fb" size ]
+       (cray_body size))
+
+let cray_par size =
+  let n = size in
+  number
+    (program ~entry:"main" "c-ray-par"
+       ~globals:[ garray "spheres" 8; garray "fb" n ]
+       [ func "trace" ~params:[ "px" ]
+           [ decl "best" (i 1000000);
+             for_ "s" (i 0) (i 8)
+               [ decl "d" (call "abs" [ (v "px" * i 7) - ("spheres".%[v "s"] * i 11) ]);
+                 set "best" (min_ (v "best") (v "d")) ];
+             return (v "best") ];
+         func "main"
+           [ for_ "s" (i 0) (i 8) [ seti "spheres" (v "s") (call "rand" [ i 100 ]) ];
+             par_chunks n (fun lo hi ->
+                 [ for_ "p" (i lo) (i hi) [ seti "fb" (v "p") (call "trace" [ v "p" ]) ] ]) ] ])
+
+(* kmeans: assign points to nearest centre (DOALL + locked accumulation),
+   recompute centres, iterate. *)
+let kmeans_funcs n k par_version =
+  let assign_body lo hi locked =
+    [ for_ "p" (i lo) (i hi)
+        [ decl "best" (i 0);
+          decl "bestd" (i 1000000);
+          for_ "c" (i 0) (i k)
+            [ decl "d" (call "abs" [ "points".%[v "p"] - "centres".%[v "c"] ]);
+              when_ (v "d" < v "bestd") [ set "bestd" (v "d"); set "best" (v "c") ] ];
+          seti "assign" (v "p") (v "best");
+          (if locked then lock "m" else set "zero" (i 0));
+          seti "csum" (v "best") ("csum".%[v "best"] + "points".%[v "p"]);
+          seti "ccount" (v "best") ("ccount".%[v "best"] + i 1);
+          (if locked then unlock "m" else set "zero" (i 0)) ] ]
+  in
+  [ func "main"
+      ([ decl "zero" (i 0);
+         for_ "p" (i 0) (i n) [ seti "points" (v "p") (call "rand" [ i 1000 ]) ];
+         for_ "c" (i 0) (i k) [ seti "centres" (v "c") (call "rand" [ i 1000 ]) ] ]
+      @ [ for_ "it" (i 0) (i 5)
+            ([ for_ "c" (i 0) (i k)
+                 [ seti "csum" (v "c") (i 0); seti "ccount" (v "c") (i 0) ] ]
+            @ (if par_version then
+                 [ par_chunks n (fun lo hi -> assign_body lo hi true) ]
+               else assign_body 0 n false)
+            @ [ for_ "c" (i 0) (i k)
+                  [ when_ ("ccount".%[v "c"] > i 0)
+                      [ seti "centres" (v "c") ("csum".%[v "c"] / "ccount".%[v "c"]) ] ] ]) ])
+  ]
+
+let kmeans_globals n k =
+  [ garray "points" n; garray "centres" k; garray "csum" k; garray "ccount" k;
+    garray "assign" n ]
+
+let kmeans size =
+  number
+    (program ~entry:"main" "kmeans" ~globals:(kmeans_globals size 8)
+       (kmeans_funcs size 8 false))
+
+let kmeans_par size =
+  number
+    (program ~entry:"main" "kmeans-par" ~globals:(kmeans_globals size 8)
+       (kmeans_funcs size 8 true))
+
+(* md5: many independent buffers, each hashed by a sequential round chain. *)
+let md5_funcs n bufs par_version =
+  let digest_one =
+    func "digest" ~params:[ "b" ]
+      [ decl "h" (i 0x67452301);
+        for_ "r" (i 0) (i n)
+          [ set "h"
+              ((((v "h" lsl i 3) lxor v "h") + "blocks".%[(v "b" * i n) + v "r"])
+              % i 1048576) ];
+        return (v "h") ]
+  in
+  let hash_range lo hi =
+    [ for_ "b" (i lo) (i hi) [ seti "digests" (v "b") (call "digest" [ v "b" ]) ] ]
+  in
+  [ digest_one;
+    func "main"
+      ([ for_ "x" (i 0) (i (bufs *$ n)) [ seti "blocks" (v "x") (call "rand" [ i 256 ]) ] ]
+      @ (if par_version then [ par_chunks bufs hash_range ] else hash_range 0 bufs)) ]
+
+let md5 size =
+  let bufs = 16 in
+  number
+    (program ~entry:"main" "md5"
+       ~globals:[ garray "blocks" (size *$ bufs); garray "digests" bufs ]
+       (md5_funcs size bufs false))
+
+let md5_par size =
+  let bufs = 16 in
+  number
+    (program ~entry:"main" "md5-par"
+       ~globals:[ garray "blocks" (size *$ bufs); garray "digests" bufs ]
+       (md5_funcs size bufs true))
+
+(* rotate: pure index remap, per-pixel independent. *)
+let rotate_funcs w h par_version =
+  let body lo hi =
+    [ for_ "y" (i lo) (i hi)
+        [ for_ "x" (i 0) (i w)
+            [ seti "dst" ((v "x" * i h) + (i (h -$ 1) - v "y"))
+                ("src".%[(v "y" * i w) + v "x"]) ] ] ]
+  in
+  [ func "main"
+      ([ for_ "p" (i 0) (i (w *$ h)) [ seti "src" (v "p") (v "p" % i 256) ] ]
+      @ (if par_version then [ par_chunks h body ] else body 0 h)) ]
+
+let rotate size =
+  let w = size and h = size in
+  number
+    (program ~entry:"main" "rotate"
+       ~globals:[ garray "src" (w *$ h); garray "dst" (w *$ h) ]
+       (rotate_funcs w h false))
+
+let rotate_par size =
+  let w = size and h = size in
+  number
+    (program ~entry:"main" "rotate-par"
+       ~globals:[ garray "src" (w *$ h); garray "dst" (w *$ h) ]
+       (rotate_funcs w h true))
+
+(* rgbyuv: colour conversion with global channel accumulators — the Fig 4.7
+   loop: element-wise map plus scalar sums that need reduction/locks. *)
+let rgbyuv_funcs n par_version =
+  let body locked lo hi =
+    [ for_ "p" (i lo) (i hi)
+        [ decl "r" ("rgb".%[v "p" * i 3]);
+          decl "g" ("rgb".%[(v "p" * i 3) + i 1]);
+          decl "b" ("rgb".%[(v "p" * i 3) + i 2]);
+          decl "yv" (((i 66 * v "r") + (i 129 * v "g") + (i 25 * v "b")) / i 256);
+          seti "yout" (v "p") (v "yv");
+          seti "uout" (v "p") ((((i 112 * v "b") - (i 74 * v "g")) / i 256) + i 128);
+          seti "vout" (v "p") ((((i 112 * v "r") - (i 94 * v "g")) / i 256) + i 128);
+          (if locked then lock "m" else set "pad" (i 0));
+          set "ysum" (v "ysum" + v "yv");
+          (if locked then unlock "m" else set "pad" (i 0)) ] ]
+  in
+  [ func "main"
+      ([ decl "pad" (i 0);
+         for_ "x" (i 0) (i (n *$ 3)) [ seti "rgb" (v "x") (call "rand" [ i 256 ]) ] ]
+      @ (if par_version then [ par_chunks n (body true) ] else body false 0 n)
+      @ [ return (v "ysum") ]) ]
+
+let rgbyuv_globals n =
+  [ garray "rgb" (n *$ 3); garray "yout" n; garray "uout" n; garray "vout" n;
+    gscalar "ysum" 0 ]
+
+let rgbyuv size =
+  number
+    (program ~entry:"main" "rgbyuv" ~globals:(rgbyuv_globals size)
+       (rgbyuv_funcs size false))
+
+let rgbyuv_par size =
+  number
+    (program ~entry:"main" "rgbyuv-par" ~globals:(rgbyuv_globals size)
+       (rgbyuv_funcs size true))
+
+(* ray-rot parallel: both stages split across threads with a barrier at the
+   stage boundary. *)
+let rayrot_par size =
+  let w = size and h = size in
+  number
+    (program ~entry:"main" "ray-rot-par"
+       ~globals:[ garray "spheres" 8; garray "fb" (w *$ h); garray "out" (w *$ h) ]
+       [ func "trace" ~params:[ "px" ]
+           [ decl "best" (i 1000000);
+             for_ "s" (i 0) (i 8)
+               [ set "best"
+                   (min_ (v "best")
+                      (call "abs" [ (v "px" * i 7) - ("spheres".%[v "s"] * i 11) ])) ];
+             return (v "best") ];
+         func "main"
+           [ for_ "s" (i 0) (i 8) [ seti "spheres" (v "s") (call "rand" [ i 100 ]) ];
+             par
+               (List.init nthreads (fun t ->
+                    let ylo = t *$ h /$ nthreads and yhi = (t +$ 1) *$ h /$ nthreads in
+                    [ for_ "p" (i (ylo *$ w)) (i (yhi *$ w))
+                        [ seti "fb" (v "p") (call "trace" [ v "p" ]) ];
+                      barrier "stage";
+                      for_ "y" (i ylo) (i yhi)
+                        [ for_ "x" (i 0) (i w)
+                            [ seti "out" ((v "x" * i h) + (i (h -$ 1) - v "y"))
+                                ("fb".%[(v "y" * i w) + v "x"]) ] ] ])) ] ])
+
+(* streamcluster parallel: per-thread point ranges with a locked cost sum. *)
+let streamcluster_par size =
+  let n = size and k = 6 in
+  number
+    (program ~entry:"main" "streamcluster-par"
+       ~globals:[ garray "pts" n; garray "ctr" k; gscalar "cost" 0 ]
+       [ func "dist" ~params:[ "a"; "b" ] [ return (call "abs" [ v "a" - v "b" ]) ];
+         func "main"
+           [ for_ "p" (i 0) (i n) [ seti "pts" (v "p") (call "rand" [ i 4096 ]) ];
+             for_ "c" (i 0) (i k) [ seti "ctr" (v "c") (call "rand" [ i 4096 ]) ];
+             par_chunks n (fun lo hi ->
+                 [ decl "local" (i 0);
+                   for_ "p" (i lo) (i hi)
+                     [ decl "best" (i 1000000);
+                       for_ "c" (i 0) (i k)
+                         [ set "best"
+                             (min_ (v "best")
+                                (call "dist" [ "pts".%[v "p"]; "ctr".%[v "c"] ])) ];
+                       set "local" (v "local" + v "best") ];
+                   lock "m";
+                   set "cost" (v "cost" + v "local");
+                   unlock "m" ]) ] ])
+
+(* bodytrack parallel: per-particle weights in parallel, locked weight sum,
+   sequential resampling left on the main thread. *)
+let bodytrack_par size =
+  let n = size in
+  number
+    (program ~entry:"main" "bodytrack-par"
+       ~globals:[ garray "particles" n; garray "weights" n; gscalar "wsum" 0 ]
+       [ func "likelihood" ~params:[ "x" ]
+           [ decl "acc" (i 0);
+             for_ "f" (i 0) (i 6)
+               [ set "acc" (v "acc" + call "abs" [ (v "x" * v "f") % i 97 ]) ];
+             return (v "acc" + i 1) ];
+         func "main"
+           [ for_ "p" (i 0) (i n) [ seti "particles" (v "p") (call "rand" [ i 1024 ]) ];
+             par_chunks n (fun lo hi ->
+                 [ decl "local" (i 0);
+                   for_ "p" (i lo) (i hi)
+                     [ decl "wt" (call "likelihood" [ "particles".%[v "p"] ]);
+                       seti "weights" (v "p") (v "wt");
+                       set "local" (v "local" + v "wt") ];
+                   lock "m";
+                   set "wsum" (v "wsum" + v "local");
+                   unlock "m" ]);
+             return (v "wsum") ] ])
+
+(* h264dec parallel: rows assigned round-robin; a barrier per row wave keeps
+   the top neighbour available (the wavefront schedule). *)
+let h264dec_par size =
+  let n = size in
+  number
+    (program ~entry:"main" "h264dec-par"
+       ~globals:[ garray "mb" (n *$ n); garray "residual" (n *$ n) ]
+       [ func "main"
+           [ for_ "x" (i 0) (i (n *$ n)) [ seti "residual" (v "x") (call "rand" [ i 64 ]) ];
+             par
+               (List.init nthreads (fun t ->
+                    [ for_ "r" (i 0) (i n)
+                        [ when_ (v "r" % i nthreads == i t)
+                            [ for_ "c" (i 0) (i n)
+                                [ decl "left" (i 128);
+                                  decl "top" (i 128);
+                                  when_ (v "c" > i 0)
+                                    [ set "left" ("mb".%[(v "r" * i n) + v "c" - i 1]) ];
+                                  when_ (v "r" > i 0)
+                                    [ set "top" ("mb".%[((v "r" - i 1) * i n) + v "c"]) ];
+                                  seti "mb" ((v "r" * i n) + v "c")
+                                    (((v "left" + v "top") / i 2)
+                                    + "residual".%[(v "r" * i n) + v "c"]) ] ];
+                          barrier "wave" ] ])) ] ])
+
+(* ray-rot: c-ray followed by rotate, per-pixel independent throughout. *)
+let rayrot size =
+  let w = size and h = size in
+  number
+    (program ~entry:"main" "ray-rot"
+       ~globals:[ garray "spheres" 8; garray "fb" (w *$ h); garray "out" (w *$ h) ]
+       [ func "trace" ~params:[ "px" ]
+           [ decl "best" (i 1000000);
+             for_ "s" (i 0) (i 8)
+               [ set "best"
+                   (min_ (v "best")
+                      (call "abs" [ (v "px" * i 7) - ("spheres".%[v "s"] * i 11) ])) ];
+             return (v "best") ];
+         func "main"
+           [ for_ "s" (i 0) (i 8) [ seti "spheres" (v "s") (call "rand" [ i 100 ]) ];
+             for_ "p" (i 0) (i (w *$ h)) [ seti "fb" (v "p") (call "trace" [ v "p" ]) ];
+             for_ "y" (i 0) (i h)
+               [ for_ "x" (i 0) (i w)
+                   [ seti "out" ((v "x" * i h) + (i (h -$ 1) - v "y"))
+                       ("fb".%[(v "y" * i w) + v "x"]) ] ] ] ])
+
+(* rot-cc: rotate then colour-convert — the three-step barrier structure of
+   Fig 3.6. *)
+let rotcc size =
+  let w = size and h = size in
+  let n = w *$ h in
+  number
+    (program ~entry:"main" "rot-cc"
+       ~globals:[ garray "src" n; garray "mid" n; garray "yout" n ]
+       [ func "main"
+           [ for_ "p" (i 0) (i n) [ seti "src" (v "p") (v "p" % i 256) ];
+             for_ "y" (i 0) (i h)
+               [ for_ "x" (i 0) (i w)
+                   [ seti "mid" ((v "x" * i h) + (i (h -$ 1) - v "y"))
+                       ("src".%[(v "y" * i w) + v "x"]) ] ];
+             for_ "p" (i 0) (i n)
+               [ seti "yout" (v "p") (((i 66 * "mid".%[v "p"]) + i 4096) / i 256) ] ] ])
+
+(* streamcluster: nearest-centre cost — distance loops reduce into a cost. *)
+let streamcluster size =
+  let n = size and k = 6 in
+  number
+    (program ~entry:"main" "streamcluster"
+       ~globals:[ garray "pts" n; garray "ctr" k; gscalar "cost" 0 ]
+       [ func "dist" ~params:[ "a"; "b" ] [ return (call "abs" [ v "a" - v "b" ]) ];
+         func "main"
+           [ for_ "p" (i 0) (i n) [ seti "pts" (v "p") (call "rand" [ i 4096 ]) ];
+             for_ "c" (i 0) (i k) [ seti "ctr" (v "c") (call "rand" [ i 4096 ]) ];
+             for_ "p" (i 0) (i n)
+               [ decl "best" (i 1000000);
+                 for_ "c" (i 0) (i k)
+                   [ set "best"
+                       (min_ (v "best") (call "dist" [ "pts".%[v "p"]; "ctr".%[v "c"] ])) ];
+                 set "cost" (v "cost" + v "best") ];
+             return (v "cost") ] ])
+
+(* tinyjpeg: sequential bitstream decode per block, independent IDCT after. *)
+let tinyjpeg size =
+  let blocks = size and blk = 16 in
+  number
+    (program ~entry:"main" "tinyjpeg"
+       ~globals:
+         [ garray "bits" (blocks *$ blk); garray "coef" (blocks *$ blk);
+           garray "pix" (blocks *$ blk); gscalar "bitpos" 0 ]
+       [ func "main"
+           [ for_ "x" (i 0) (i (blocks *$ blk))
+               [ seti "bits" (v "x") (call "rand" [ i 64 ]) ];
+             (* Huffman-style decode: shared bit cursor makes this a chain *)
+             for_ "b" (i 0) (i blocks)
+               [ for_ "t" (i 0) (i blk)
+                   [ decl "code" ("bits".%[v "bitpos" % i (blocks *$ blk)]);
+                     seti "coef" ((v "b" * i blk) + v "t") (v "code");
+                     set "bitpos" (v "bitpos" + (v "code" % i 3) + i 1) ] ];
+             (* IDCT: per-block independent *)
+             for_ "b" (i 0) (i blocks)
+               [ for_ "t" (i 0) (i blk)
+                   [ decl "idx" ((v "b" * i blk) + v "t");
+                     seti "pix" (v "idx")
+                       ((("coef".%[v "idx"] * i 181) + i 128) / i 256) ] ] ] ])
+
+(* bodytrack: per-particle likelihood (DOALL), weight normalisation
+   (reduction), sequential resampling. *)
+let bodytrack size =
+  let n = size in
+  number
+    (program ~entry:"main" "bodytrack"
+       ~globals:[ garray "particles" n; garray "weights" n; garray "resampled" n ]
+       [ func "likelihood" ~params:[ "x" ]
+           [ decl "acc" (i 0);
+             for_ "f" (i 0) (i 6)
+               [ set "acc" (v "acc" + call "abs" [ (v "x" * v "f") % i 97 ]) ];
+             return (v "acc" + i 1) ];
+         func "main"
+           [ for_ "p" (i 0) (i n) [ seti "particles" (v "p") (call "rand" [ i 1024 ]) ];
+             for_ "p" (i 0) (i n)
+               [ seti "weights" (v "p") (call "likelihood" [ "particles".%[v "p"] ]) ];
+             decl "wsum" (i 0);
+             for_ "p" (i 0) (i n) [ set "wsum" (v "wsum" + "weights".%[v "p"]) ];
+             (* systematic resampling: cumulative scan — sequential *)
+             decl "cum" (i 0);
+             decl "j" (i 0);
+             for_ "p" (i 0) (i n)
+               [ set "cum" (v "cum" + "weights".%[v "p"]);
+                 while_ ((v "j" * (v "wsum" / i n)) < v "cum" && v "j" < i n)
+                   [ seti "resampled" (v "j") ("particles".%[v "p"]);
+                     set "j" (v "j" + i 1) ] ] ] ])
+
+(* h264dec: intra-prediction over macroblocks — each block depends on its
+   left and top neighbours: a wavefront (DOACROSS) structure. *)
+let h264dec size =
+  let n = size in
+  number
+    (program ~entry:"main" "h264dec"
+       ~globals:[ garray "mb" (n *$ n); garray "residual" (n *$ n) ]
+       [ func "main"
+           [ for_ "x" (i 0) (i (n *$ n)) [ seti "residual" (v "x") (call "rand" [ i 64 ]) ];
+             for_ "r" (i 0) (i n)
+               [ for_ "c" (i 0) (i n)
+                   [ decl "left" (i 128);
+                     decl "top" (i 128);
+                     when_ (v "c" > i 0) [ set "left" ("mb".%[(v "r" * i n) + v "c" - i 1]) ];
+                     when_ (v "r" > i 0) [ set "top" ("mb".%[((v "r" - i 1) * i n) + v "c"]) ];
+                     seti "mb" ((v "r" * i n) + v "c")
+                       (((v "left" + v "top") / i 2) + "residual".%[(v "r" * i n) + v "c"]) ] ] ] ])
+
+let all : R.t list =
+  [ R.make_workload ~suite:"starbench" ~default_size:1500 "c-ray" cray
+      ~expected_loops:[ R.Edoall_reduction; R.Edoall; R.Edoall ];
+    R.make_workload ~suite:"starbench" ~default_size:1500 "c-ray-par" cray_par
+      ~parallel_target:true;
+    (* loops: point fill, centre fill, solver iteration, accumulator reset,
+       assignment (array reduction), nearest-centre scan (conditional min —
+       not a recognisable reduction), centre update *)
+    R.make_workload ~suite:"starbench" ~default_size:600 "kmeans" kmeans
+      ~expected_loops:
+        [ R.Edoall; R.Edoall; R.Eany; R.Edoall; R.Edoall_reduction; R.Eany;
+          R.Edoall ];
+    R.make_workload ~suite:"starbench" ~default_size:600 "kmeans-par" kmeans_par
+      ~parallel_target:true;
+    R.make_workload ~suite:"starbench" ~default_size:120 "md5" md5
+      ~expected_loops:[ R.Eseq; R.Edoall; R.Edoall ];
+    R.make_workload ~suite:"starbench" ~default_size:120 "md5-par" md5_par
+      ~parallel_target:true;
+    R.make_workload ~suite:"starbench" ~default_size:42 "rotate" rotate
+      ~expected_loops:[ R.Edoall; R.Edoall; R.Edoall ];
+    R.make_workload ~suite:"starbench" ~default_size:42 "rotate-par" rotate_par
+      ~parallel_target:true;
+    R.make_workload ~suite:"starbench" ~default_size:1200 "rgbyuv" rgbyuv
+      ~expected_loops:[ R.Edoall; R.Edoall_reduction ];
+    R.make_workload ~suite:"starbench" ~default_size:1200 "rgbyuv-par" rgbyuv_par
+      ~parallel_target:true;
+    R.make_workload ~suite:"starbench" ~default_size:36 "ray-rot" rayrot
+      ~expected_loops:[ R.Edoall_reduction; R.Edoall; R.Edoall; R.Edoall; R.Edoall ];
+    R.make_workload ~suite:"starbench" ~default_size:24 "ray-rot-par" rayrot_par
+      ~parallel_target:true;
+    R.make_workload ~suite:"starbench" ~default_size:600 "streamcluster-par"
+      streamcluster_par ~parallel_target:true;
+    R.make_workload ~suite:"starbench" ~default_size:400 "bodytrack-par"
+      bodytrack_par ~parallel_target:true;
+    R.make_workload ~suite:"starbench" ~default_size:20 "h264dec-par" h264dec_par
+      ~parallel_target:true;
+    R.make_workload ~suite:"starbench" ~default_size:40 "rot-cc" rotcc
+      ~expected_loops:[ R.Edoall; R.Edoall; R.Edoall; R.Edoall ];
+    R.make_workload ~suite:"starbench" ~default_size:800 "streamcluster"
+      streamcluster
+      ~expected_loops:[ R.Edoall; R.Edoall; R.Edoall_reduction; R.Edoall_reduction ];
+    R.make_workload ~suite:"starbench" ~default_size:100 "tinyjpeg" tinyjpeg
+      ~expected_loops:[ R.Edoall; R.Eseq; R.Eseq; R.Edoall; R.Edoall ];
+    R.make_workload ~suite:"starbench" ~default_size:500 "bodytrack" bodytrack
+      ~expected_loops:
+        [ R.Edoall_reduction; R.Edoall; R.Edoall; R.Edoall_reduction; R.Eseq; R.Eany ];
+    R.make_workload ~suite:"starbench" ~default_size:28 "h264dec" h264dec
+      ~expected_loops:[ R.Edoall; R.Eseq; R.Eseq ] ]

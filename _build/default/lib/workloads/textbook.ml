@@ -1,0 +1,208 @@
+(* Textbook programs (Table 4.2 / 4.3): the small classics the paper uses to
+   show that following the framework's suggestions yields real speedups.
+   All arithmetic is integer (fixed-point where the original uses floats);
+   the dependence structure is what matters. *)
+
+open Mil.Builder
+module R = Registry
+
+let histogram size =
+  number
+    (program ~entry:"main" "histogram"
+       ~globals:[ garray "data" size; garray "hist" 32 ]
+       [ func "main"
+           [ (* fill: DOALL *)
+             for_ "i" (i 0) (i size) [ seti "data" (v "i") (call "rand" [ i 32 ]) ];
+             (* count: DOALL with array reduction *)
+             for_ "i" (i 0) (i size)
+               [ decl "b" ("data".%[v "i"]);
+                 seti "hist" (v "b") ("hist".%[v "b"] + i 1) ];
+             (* max bucket: scalar reduction *)
+             decl "mx" (i 0);
+             for_ "i" (i 0) (i 32) [ set "mx" (max_ (v "mx") ("hist".%[v "i"])) ];
+             return (v "mx") ] ])
+
+(* Fixed-point Mandelbrot-style escape iteration: each pixel independent. *)
+let mandelbrot size =
+  let w = size and h = size in
+  number
+    (program ~entry:"main" "mandelbrot"
+       ~globals:[ garray "image" (w *$ h) ]
+       [ func "escape" ~params:[ "cx"; "cy" ]
+           [ decl "zx" (i 0);
+             decl "zy" (i 0);
+             decl "n" (i 0);
+             while_ (v "n" < i 32 && (v "zx" * v "zx" + v "zy" * v "zy") / i 256 < i 1024)
+               [ decl "tx" ((v "zx" * v "zx" - v "zy" * v "zy") / i 256 + v "cx");
+                 set "zy" (i 2 * v "zx" * v "zy" / i 256 + v "cy");
+                 set "zx" (v "tx");
+                 incr "n" ];
+             return (v "n") ];
+         func "main"
+           [ for_ "y" (i 0) (i h)
+               [ for_ "x" (i 0) (i w)
+                   [ decl "cx" ((v "x" - i (w /$ 2)) * i 4);
+                     decl "cy" ((v "y" - i (h /$ 2)) * i 4);
+                     seti "image" ((v "y" * i w) + v "x")
+                       (call "escape" [ v "cx"; v "cy" ]) ] ] ] ])
+
+let matmul size =
+  let n = size in
+  number
+    (program ~entry:"main" "matmul"
+       ~globals:[ garray "ma" (n *$ n); garray "mb" (n *$ n); garray "mc" (n *$ n) ]
+       [ func "main"
+           [ for_ "i" (i 0) (i (n *$ n))
+               [ seti "ma" (v "i") (v "i" % i 17);
+                 seti "mb" (v "i") (v "i" % i 13) ];
+             for_ "r" (i 0) (i n)
+               [ for_ "c" (i 0) (i n)
+                   [ decl "acc" (i 0);
+                     for_ "k" (i 0) (i n)
+                       [ set "acc"
+                           (v "acc"
+                           + ("ma".%[(v "r" * i n) + v "k"]
+                             * "mb".%[(v "k" * i n) + v "c"])) ];
+                     seti "mc" ((v "r" * i n) + v "c") (v "acc") ] ] ] ])
+
+let dot_product size =
+  number
+    (program ~entry:"main" "dotprod"
+       ~globals:[ garray "xs" size; garray "ys" size ]
+       [ func "main"
+           [ for_ "i" (i 0) (i size)
+               [ seti "xs" (v "i") (v "i" % i 7); seti "ys" (v "i") (v "i" % i 5) ];
+             decl "acc" (i 0);
+             for_ "i" (i 0) (i size)
+               [ set "acc" (v "acc" + ("xs".%[v "i"] * "ys".%[v "i"])) ];
+             return (v "acc") ] ])
+
+(* Sequential recurrence: the control case every detector must NOT suggest. *)
+let prefix_sum size =
+  number
+    (program ~entry:"main" "prefix_sum" ~globals:[ garray "a" size ]
+       [ func "main"
+           [ for_ "i" (i 0) (i size) [ seti "a" (v "i") (v "i" % i 9) ];
+             for_ "i" (i 1) (i size)
+               [ seti "a" (v "i") ("a".%[v "i"] + "a".%[v "i" - i 1]) ];
+             return ("a".%[i (size -$ 1)]) ] ])
+
+(* Monte-Carlo pi estimation: embarrassingly parallel with one reduction. *)
+let monte_carlo size =
+  number
+    (program ~entry:"main" "monte_carlo"
+       [ func "main"
+           [ decl "hits" (i 0);
+             for_ "t" (i 0) (i size)
+               [ decl "x" (call "rand" [ i 1000 ]);
+                 decl "y" (call "rand" [ i 1000 ]);
+                 when_ ((v "x" * v "x") + (v "y" * v "y") < i 1000000)
+                   [ set "hits" (v "hits" + i 1) ] ];
+             return (v "hits") ] ])
+
+(* Jacobi sweep over a double buffer: DOALL per sweep. *)
+let jacobi size =
+  let n = size in
+  number
+    (program ~entry:"main" "jacobi"
+       ~globals:[ garray "grid" n; garray "next" n ]
+       [ func "main"
+           [ for_ "i" (i 0) (i n) [ seti "grid" (v "i") (v "i" % i 11) ];
+             for_ "sweep" (i 0) (i 10)
+               [ for_ "i" (i 1) (i (n -$ 1))
+                   [ seti "next" (v "i")
+                       (("grid".%[v "i" - i 1] + "grid".%[v "i"]
+                        + "grid".%[v "i" + i 1])
+                       / i 3) ];
+                 for_ "i" (i 1) (i (n -$ 1))
+                   [ seti "grid" (v "i") ("next".%[v "i"]) ] ] ] ])
+
+(* Gauss-Seidel sweep: in-place update, loop-carried RAW — sequential. *)
+let gauss_seidel size =
+  let n = size in
+  number
+    (program ~entry:"main" "gauss_seidel" ~globals:[ garray "grid" n ]
+       [ func "main"
+           [ for_ "i" (i 0) (i n) [ seti "grid" (v "i") (v "i" % i 11) ];
+             for_ "sweep" (i 0) (i 10)
+               [ for_ "i" (i 1) (i (n -$ 1))
+                   [ seti "grid" (v "i")
+                       (("grid".%[v "i" - i 1] + "grid".%[v "i"]
+                        + "grid".%[v "i" + i 1])
+                       / i 3) ] ] ] ])
+
+(* Histogram visualization (Table 4.3): read values, bucket them, then draw
+   rows whose lengths depend on the bucket counts. *)
+let histo_visualization size =
+  number
+    (program ~entry:"main" "histo_vis"
+       ~globals:
+         [ garray "values" size; garray "buckets" 16; garray "canvas" 1024 ]
+       [ func "main"
+           [ (* input generation: DOALL *)
+             for_ "i" (i 0) (i size)
+               [ seti "values" (v "i") (call "rand" [ i 64 ]) ];
+             (* bucketing: DOALL + array reduction *)
+             for_ "i" (i 0) (i size)
+               [ decl "b" ("values".%[v "i"] / i 4);
+                 seti "buckets" (v "b") ("buckets".%[v "b"] + i 1) ];
+             (* drawing: DOALL over rows (inner loop bound is data-dependent) *)
+             for_ "r" (i 0) (i 16)
+               [ decl "len" (min_ ("buckets".%[v "r"]) (i 64));
+                 for_ "c" (i 0) (v "len")
+                   [ seti "canvas" ((v "r" * i 64) + v "c") (i 1) ] ] ] ])
+
+(* Iterative Fibonacci: a pure recurrence chain. *)
+let fib_iterative size =
+  number
+    (program ~entry:"main" "fib_iter"
+       [ func "main"
+           [ decl "a" (i 0);
+             decl "b" (i 1);
+             for_ "k" (i 0) (i size)
+               [ decl "tmp" (v "a" + v "b"); set "a" (v "b"); set "b" (v "tmp") ];
+             return (v "a") ] ])
+
+(* String match count: reduction over a scanning loop. *)
+let match_count size =
+  number
+    (program ~entry:"main" "match_count"
+       ~globals:[ garray "text" size; garray "pat" 4 ]
+       [ func "main"
+           [ for_ "i" (i 0) (i size) [ seti "text" (v "i") (call "rand" [ i 4 ]) ];
+             for_ "i" (i 0) (i 4) [ seti "pat" (v "i") (v "i" % i 4) ];
+             decl "hits" (i 0);
+             for_ "i" (i 0) (i (size -$ 4))
+               [ decl "ok" (i 1);
+                 for_ "j" (i 0) (i 4)
+                   [ when_ ("text".%[v "i" + v "j"] != "pat".%[v "j"])
+                       [ set "ok" (i 0) ] ];
+                 when_ (v "ok" == i 1) [ set "hits" (v "hits" + i 1) ] ];
+             return (v "hits") ] ])
+
+let all : R.t list =
+  [ R.make_workload ~suite:"textbook" ~default_size:2000 "histogram" histogram
+      ~expected_loops:[ R.Edoall; R.Edoall_reduction; R.Edoall_reduction ];
+    (* loops in source order: escape's while, then the y and x pixel loops *)
+    R.make_workload ~suite:"textbook" ~default_size:24 "mandelbrot" mandelbrot
+      ~expected_loops:[ R.Eany; R.Edoall; R.Edoall ];
+    R.make_workload ~suite:"textbook" ~default_size:14 "matmul" matmul
+      ~expected_loops:[ R.Edoall; R.Edoall; R.Edoall; R.Edoall_reduction ];
+    R.make_workload ~suite:"textbook" ~default_size:4000 "dotprod" dot_product
+      ~expected_loops:[ R.Edoall; R.Edoall_reduction ];
+    R.make_workload ~suite:"textbook" ~default_size:2000 "prefix_sum" prefix_sum
+      ~expected_loops:[ R.Edoall; R.Eseq ];
+    R.make_workload ~suite:"textbook" ~default_size:3000 "monte_carlo" monte_carlo
+      ~expected_loops:[ R.Edoall_reduction ];
+    R.make_workload ~suite:"textbook" ~default_size:800 "jacobi" jacobi
+      ~expected_loops:[ R.Edoall; R.Eany; R.Edoall; R.Edoall ];
+    R.make_workload ~suite:"textbook" ~default_size:800 "gauss_seidel" gauss_seidel
+      ~expected_loops:[ R.Edoall; R.Eany; R.Eseq ];
+    R.make_workload ~suite:"textbook" ~default_size:1500 "histo_vis"
+      histo_visualization
+      ~expected_loops:
+        [ R.Edoall; R.Edoall_reduction; R.Edoall; R.Edoall ];
+    R.make_workload ~suite:"textbook" ~default_size:2000 "fib_iter" fib_iterative
+      ~expected_loops:[ R.Eseq ];
+    R.make_workload ~suite:"textbook" ~default_size:1500 "match_count" match_count
+      ~expected_loops:[ R.Edoall; R.Edoall; R.Edoall_reduction; R.Eany ] ]

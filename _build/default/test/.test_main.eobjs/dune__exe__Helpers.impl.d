@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Ast Builder List Mil Pretty Printf Profiler QCheck String

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Array Astring_contains Discovery Float Helpers List Mil Printf Profiler Workloads

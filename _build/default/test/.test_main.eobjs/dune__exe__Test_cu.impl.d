@@ -1,0 +1,1 @@
+test/test_cu.ml: Alcotest Array Ast Astring_contains Builder Cunit Hashtbl Helpers List Mil Profiler QCheck QCheck_alcotest Static Test

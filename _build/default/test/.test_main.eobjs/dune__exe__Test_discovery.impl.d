@@ -1,0 +1,1 @@
+test/test_discovery.ml: Alcotest Astring_contains Discovery List Mil Printf Profiler Workloads

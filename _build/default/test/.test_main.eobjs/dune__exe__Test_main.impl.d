@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_apps Test_cu Test_discovery Test_mil Test_profiler Test_schedule Test_sigmem Test_trace

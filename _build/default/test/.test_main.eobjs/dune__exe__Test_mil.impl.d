@@ -1,0 +1,1 @@
+test/test_mil.ml: Alcotest Ast Astring_contains Builder Hashtbl Helpers Interp List Mil Option Pretty QCheck QCheck_alcotest Static Stdlib Test Trace

@@ -1,0 +1,1 @@
+test/test_profiler.ml: Alcotest Astring_contains Builder Domain Filename Fun Hashtbl Helpers List Mil Printf Profiler QCheck QCheck_alcotest String Sys Test Workloads

@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Array Cunit Discovery Gen Helpers List Mil Printf Profiler QCheck QCheck_alcotest Test Workloads

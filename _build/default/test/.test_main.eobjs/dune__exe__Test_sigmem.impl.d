@@ -1,0 +1,1 @@
+test/test_sigmem.ml: Alcotest Gen Hashtbl List Printf QCheck QCheck_alcotest Sigmem Test

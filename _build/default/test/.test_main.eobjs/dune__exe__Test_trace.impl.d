@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Gen List QCheck QCheck_alcotest Test Trace

@@ -1,0 +1,139 @@
+(* Tests for the Chapter-5 applications: feature extraction, AdaBoost,
+   STM transaction analysis, and communication-pattern detection. *)
+
+module F = Apps.Features
+module A = Apps.Adaboost
+
+let synthetic_samples =
+  (* A linearly separable toy set: positive iff feature 2 (carried_raw) is
+     zero. *)
+  List.init 40 (fun k ->
+      let carried = if k mod 2 = 0 then 0.0 else float_of_int (1 + (k mod 3)) in
+      let x = Array.make F.dim 0.0 in
+      x.(0) <- float_of_int (10 + k);
+      x.(2) <- carried;
+      x.(9) <- float_of_int (k mod 5) /. 5.0;
+      { F.x; y = carried = 0.0; tag = "syn" ^ string_of_int k })
+
+let test_adaboost_learns_separable () =
+  let m = A.train synthetic_samples in
+  let sc = A.evaluate m synthetic_samples in
+  Alcotest.(check (float 1e-9)) "perfect on separable data" 1.0 sc.A.accuracy
+
+let test_adaboost_importance () =
+  let m = A.train synthetic_samples in
+  let imp = A.feature_importance m in
+  let total = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 imp in
+  Alcotest.(check (float 1e-6)) "importances sum to 1" 1.0 total;
+  match imp with
+  | (top, _) :: _ ->
+      Alcotest.(check string) "carried_raw is the decisive feature" "carried_raw" top
+  | [] -> Alcotest.fail "no importance"
+
+let test_feature_corpus () =
+  let corpus = F.corpus Workloads.Textbook.all in
+  Alcotest.(check bool) "corpus non-trivial" true (List.length corpus > 15);
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "feature dimension" F.dim (Array.length s.F.x);
+      Array.iter
+        (fun v ->
+          Alcotest.(check bool) "finite features" true
+            (Float.is_finite v))
+        s.F.x)
+    corpus
+
+let test_classifier_on_real_corpus () =
+  let corpus =
+    F.corpus (Workloads.Textbook.all @ Workloads.Nas.all)
+  in
+  let train, test = A.split corpus in
+  let m = A.train train in
+  let sc = A.evaluate m test in
+  Alcotest.(check bool)
+    (Printf.sprintf "held-out accuracy %.2f reasonable" sc.A.accuracy)
+    true (sc.A.accuracy > 0.6)
+
+let test_stm_counts () =
+  (* EP has a single hot reduction loop -> at least one transaction; a plain
+     DOALL-only program has none. *)
+  let ep = List.find (fun (w : Workloads.Registry.t) -> w.name = "EP") Workloads.Nas.all in
+  let report = Discovery.Suggestion.analyze (Workloads.Registry.program ep) in
+  let stm = Apps.Stm.analyze report in
+  Alcotest.(check bool) "EP has transactions" true (Apps.Stm.count stm >= 1);
+  let pure =
+    let open Mil.Builder in
+    number
+      (program ~entry:"main" "t" ~globals:[ garray "a" 32 ]
+         [ func "main" [ for_ "k" (i 0) (i 32) [ seti "a" (v "k") (v "k") ] ] ])
+  in
+  let report2 = Discovery.Suggestion.analyze pure in
+  Alcotest.(check int) "pure DOALL has none" 0
+    (Apps.Stm.count (Apps.Stm.analyze report2))
+
+let test_comm_matrix () =
+  (* thread t+1 reads what thread t wrote (handoff through stage buffers):
+     neighbour-ish pattern; here all threads read thread 0's data. *)
+  let p =
+    let open Mil.Builder in
+    Helpers.prog_of_main ~globals:[ garray "buf" 16 ]
+      [ for_ "k" (i 0) (i 16) [ seti "buf" (v "k") (v "k") ];
+        par
+          (List.init 3 (fun t ->
+               [ decl "s" (i 0);
+                 for_ "k" (i 0) (i 16) [ set "s" (v "s" + "buf".%[v "k"]) ];
+                 seti "buf" (i t) (v "s") ])) ]
+  in
+  let r = Helpers.profile p in
+  let m = Apps.Comm.of_deps r.Profiler.Serial.deps in
+  Alcotest.(check bool) "several threads" true (m.Apps.Comm.threads >= 4);
+  (* all workers consume main-thread data: master-worker *)
+  Alcotest.(check string) "pattern" "master-worker"
+    (Apps.Comm.pattern_to_string (Apps.Comm.classify m));
+  let rendered = Apps.Comm.render m in
+  Alcotest.(check bool) "renders" true (Astring_contains.contains rendered "producer")
+
+let test_comm_classify_synthetic () =
+  let mk counts = { Apps.Comm.threads = Array.length counts; counts } in
+  let uncoupled = mk [| [| 5; 0 |]; [| 0; 5 |] |] in
+  Alcotest.(check string) "uncoupled" "uncoupled"
+    (Apps.Comm.pattern_to_string (Apps.Comm.classify uncoupled));
+  let master = mk [| [| 0; 9; 9 |]; [| 9; 0; 0 |]; [| 9; 0; 0 |] |] in
+  Alcotest.(check string) "master-worker" "master-worker"
+    (Apps.Comm.pattern_to_string (Apps.Comm.classify master));
+  let neighbour =
+    mk [| [| 0; 9; 0; 0 |]; [| 9; 0; 9; 0 |]; [| 0; 9; 0; 9 |]; [| 0; 0; 9; 0 |] |]
+  in
+  Alcotest.(check string) "neighbour" "neighbour"
+    (Apps.Comm.pattern_to_string (Apps.Comm.classify neighbour));
+  let a2a = mk (Array.make_matrix 4 4 3) in
+  Alcotest.(check string) "all-to-all" "all-to-all"
+    (Apps.Comm.pattern_to_string (Apps.Comm.classify a2a))
+
+let test_splash2x_patterns () =
+  let pattern name =
+    let w =
+      List.find
+        (fun (w : Workloads.Registry.t) -> w.name = name)
+        Workloads.Splash2x.all
+    in
+    let r = Profiler.Serial.profile (Workloads.Registry.program w) in
+    Apps.Comm.pattern_to_string
+      (Apps.Comm.classify (Apps.Comm.of_deps r.Profiler.Serial.deps))
+  in
+  Alcotest.(check string) "ocean is a neighbour band" "neighbour" (pattern "ocean");
+  Alcotest.(check string) "water-spatial too" "neighbour" (pattern "water-spatial");
+  Alcotest.(check string) "barnes is master-worker" "master-worker" (pattern "barnes");
+  Alcotest.(check string) "raytrace too" "master-worker" (pattern "raytrace");
+  Alcotest.(check string) "water-nsq is all-to-all" "all-to-all" (pattern "water-nsq")
+
+let tests =
+  [ Alcotest.test_case "adaboost separable" `Quick test_adaboost_learns_separable;
+    Alcotest.test_case "adaboost importance" `Quick test_adaboost_importance;
+    Alcotest.test_case "feature corpus" `Slow test_feature_corpus;
+    Alcotest.test_case "classifier on real corpus" `Slow
+      test_classifier_on_real_corpus;
+    Alcotest.test_case "STM transaction counts" `Quick test_stm_counts;
+    Alcotest.test_case "comm matrix from deps" `Quick test_comm_matrix;
+    Alcotest.test_case "comm classification" `Quick test_comm_classify_synthetic;
+    Alcotest.test_case "splash2x patterns (Fig 5.1)" `Slow test_splash2x_patterns ]

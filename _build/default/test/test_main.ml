@@ -1,0 +1,10 @@
+let () =
+  Alcotest.run "discopop"
+    [ ("mil", Test_mil.tests);
+      ("trace", Test_trace.tests);
+      ("sigmem", Test_sigmem.tests);
+      ("profiler", Test_profiler.tests);
+      ("cu", Test_cu.tests);
+      ("discovery", Test_discovery.tests);
+      ("schedule", Test_schedule.tests);
+      ("apps", Test_apps.tests) ]

@@ -1,0 +1,577 @@
+(* Tests for the profiler: Algorithm 2 semantics (Table 2.2/2.3 ground
+   truth), INIT handling, loop-carried tagging, merging, lifetime analysis,
+   the §2.4 skip optimization, the PET, races, the report format, and
+   serial/parallel/lock-based equivalence — including property tests over
+   random programs. *)
+
+open Mil
+module B = Builder
+module Dep = Profiler.Dep
+
+let has_dep deps ~sink ~dtype ~src ~var ~carried =
+  List.exists
+    (fun (d, _) ->
+      d.Dep.sink_line = sink && d.Dep.dtype = dtype && d.Dep.src_line = src
+      && d.Dep.var = var
+      && (match carried with
+         | None -> d.Dep.carrier = None
+         | Some l -> d.Dep.carrier = Some l))
+    (Dep.Set_.to_list deps)
+
+(* Figure 2.7 / Table 2.2: the while loop's dependence set. Lines:
+   1 func, 2 decl k, 3 decl sum, 4 while, 5 sum+=k*2, 6 k-=1. *)
+let test_fig27_deps () =
+  let r = Helpers.profile Helpers.fig27 in
+  let d = r.Profiler.Serial.deps in
+  (* dependence 1: WAR sum at line 5 (intra-iteration) *)
+  Alcotest.(check bool) "WAR sum@5" true
+    (has_dep d ~sink:5 ~dtype:Dep.War ~src:5 ~var:"sum" ~carried:None);
+  (* dependence 5-8 of Table 2.2 are the loop-carried RAWs *)
+  Alcotest.(check bool) "RAW k: condition reads last iteration's k" true
+    (has_dep d ~sink:4 ~dtype:Dep.Raw ~src:6 ~var:"k" ~carried:(Some 4));
+  Alcotest.(check bool) "RAW sum carried" true
+    (has_dep d ~sink:5 ~dtype:Dep.Raw ~src:5 ~var:"sum" ~carried:(Some 4));
+  Alcotest.(check bool) "RAW k carried into body" true
+    (has_dep d ~sink:5 ~dtype:Dep.Raw ~src:6 ~var:"k" ~carried:(Some 4));
+  Alcotest.(check bool) "RAW k self carried" true
+    (has_dep d ~sink:6 ~dtype:Dep.Raw ~src:6 ~var:"k" ~carried:(Some 4));
+  (* intra-iteration chain: sum@5 reads decl sum@3 on iteration 0 *)
+  Alcotest.(check bool) "RAW sum from init" true
+    (has_dep d ~sink:5 ~dtype:Dep.Raw ~src:3 ~var:"sum" ~carried:None);
+  (* first writes are INITs *)
+  Alcotest.(check bool) "INIT at decl k" true
+    (has_dep d ~sink:2 ~dtype:Dep.Init ~src:0 ~var:"*" ~carried:None)
+
+let test_rar_ignored () =
+  let p =
+    let open B in
+    Helpers.prog_of_main
+      [ decl "x" (i 1); decl "a" (v "x"); decl "b" (v "x"); return (v "a" + v "b") ]
+  in
+  let r = Helpers.profile p in
+  (* No dependence between the two reads of x; both RAW from the decl. *)
+  Alcotest.(check bool) "no read-to-read dep" true
+    (List.for_all
+       (fun (d, _) ->
+         not (d.Dep.dtype = Dep.Raw && d.Dep.src_line = 3 && d.Dep.var = "x"))
+       (Dep.Set_.to_list r.Profiler.Serial.deps))
+
+let test_waw_init () =
+  let p =
+    let open B in
+    Helpers.prog_of_main ~globals:[ B.gscalar "x" 0 ]
+      [ set "x" (i 1); set "x" (i 2); set "x" (i 3) ]
+  in
+  let r = Helpers.profile p in
+  let d = r.Profiler.Serial.deps in
+  Alcotest.(check bool) "first write is INIT" true
+    (has_dep d ~sink:2 ~dtype:Dep.Init ~src:0 ~var:"*" ~carried:None);
+  Alcotest.(check bool) "WAW 3<-2" true
+    (has_dep d ~sink:3 ~dtype:Dep.Waw ~src:2 ~var:"x" ~carried:None);
+  Alcotest.(check bool) "WAW 4<-3" true
+    (has_dep d ~sink:4 ~dtype:Dep.Waw ~src:3 ~var:"x" ~carried:None)
+
+let test_merging () =
+  let r = Helpers.profile Helpers.fig27 in
+  Alcotest.(check bool) "100 iterations merge into few records" true
+    (Dep.Set_.cardinal r.Profiler.Serial.deps < 25);
+  Alcotest.(check bool) "merging factor substantial" true
+    (r.Profiler.Serial.merging_factor > 10.0)
+
+let test_lifetime_analysis () =
+  (* Block locals are recycled; without lifetime removal the recycled address
+     would link iterations through a false dependence. With removal, `tmp`
+     shows INIT each iteration and no carried RAW. *)
+  let p =
+    let open B in
+    Helpers.prog_of_main
+      [ for_ "k" (i 0) (i 10) [ decl "tmp" (v "k"); set "tmp" (v "tmp" + i 1) ] ]
+  in
+  let r = Helpers.profile p in
+  Alcotest.(check bool) "no carried RAW on recycled local" true
+    (List.for_all
+       (fun (d, _) ->
+         not (d.Dep.var = "tmp" && d.Dep.dtype = Dep.Raw && d.Dep.carrier <> None))
+       (Dep.Set_.to_list r.Profiler.Serial.deps))
+
+let test_loop_carried_tagging () =
+  let p =
+    let open B in
+    Helpers.prog_of_main ~globals:[ B.garray "a" 8 ]
+      [ for_ "s" (i 0) (i 3)
+          [ for_ "k" (i 1) (i 7)
+              [ seti "a" (v "k") ("a".%[v "k" - i 1] + "a".%[v "k" + i 1]) ] ] ]
+  in
+  let r = Helpers.profile p in
+  let d = r.Profiler.Serial.deps in
+  (* a[k-1] was written in the previous k-iteration: carried at the inner
+     loop (line 3); a[k+1] was last written in the previous sweep: carried at
+     the outer loop (line 2). *)
+  Alcotest.(check bool) "carried at inner loop" true
+    (List.exists
+       (fun (dd, _) ->
+         dd.Dep.var = "a" && dd.Dep.dtype = Dep.Raw && dd.Dep.carrier = Some 3)
+       (Dep.Set_.to_list d));
+  Alcotest.(check bool) "carried at outer loop" true
+    (List.exists
+       (fun (dd, _) ->
+         dd.Dep.var = "a" && dd.Dep.dtype = Dep.Raw && dd.Dep.carrier = Some 2)
+       (Dep.Set_.to_list d))
+
+(* ---- §2.4 skipping ---- *)
+
+let test_skip_preserves_deps () =
+  List.iter
+    (fun p ->
+      let plain = Helpers.profile ~skip:false p in
+      let skip = Helpers.profile ~skip:true p in
+      Helpers.check_same_deps "skip changes deps" plain.Profiler.Serial.deps
+        skip.Profiler.Serial.deps;
+      Alcotest.(check bool) "something was skipped" true
+        (skip.Profiler.Serial.skip_stats.Profiler.Engine.reads_skipped > 0))
+    [ Helpers.fig27; Helpers.fig28; Helpers.fig34 ]
+
+let test_skip_rates () =
+  let r = Helpers.profile ~skip:true Helpers.fig27 in
+  let s = r.Profiler.Serial.skip_stats in
+  let open Profiler.Engine in
+  Alcotest.(check bool) "most dep-leading reads skipped" true
+    (s.reads_skipped * 2 > s.reads_total);
+  Alcotest.(check bool) "skip classification covers all skips" true
+    (s.skipped_raw = s.reads_skipped
+    && s.skipped_war + s.skipped_waw >= s.writes_skipped)
+
+let test_fig28_skip_table () =
+  (* Fig 2.8 / Table 2.4-2.5: after the first two iterations the four memory
+     operations on x are all skippable; only 4 distinct deps + INITs are in
+     the final set. *)
+  let plain = Helpers.profile ~skip:false Helpers.fig28 in
+  let skip = Helpers.profile ~skip:true Helpers.fig28 in
+  Helpers.check_same_deps "fig28" plain.Profiler.Serial.deps
+    skip.Profiler.Serial.deps;
+  let s = skip.Profiler.Serial.skip_stats in
+  Alcotest.(check bool) "steady state skips reads and writes" true
+    Profiler.Engine.(s.reads_skipped > 40 && s.writes_skipped > 40)
+
+let qcheck_skip_equivalence =
+  let open QCheck in
+  Test.make ~name:"skip optimization never changes the dependence set"
+    ~count:120 Helpers.Gen.arbitrary_program (fun p ->
+      let plain = Helpers.profile ~skip:false p in
+      let skip = Helpers.profile ~skip:true p in
+      let fpr, fnr =
+        Dep.Set_.accuracy ~truth:plain.Profiler.Serial.deps
+          ~got:skip.Profiler.Serial.deps
+      in
+      fpr = 0.0 && fnr = 0.0)
+
+(* ---- signature accuracy ---- *)
+
+let test_signature_accuracy_improves_with_slots () =
+  let p = Workloads.Registry.program ~size:300 (List.hd Workloads.Textbook.all) in
+  let perfect = Helpers.profile ~shadow:Profiler.Engine.Perfect p in
+  let err slots =
+    let r = Helpers.profile ~shadow:(Profiler.Engine.Signature slots) p in
+    let fpr, fnr =
+      Dep.Set_.accuracy_weighted ~truth:perfect.Profiler.Serial.deps
+        ~got:r.Profiler.Serial.deps
+    in
+    fpr +. fnr
+  in
+  let tiny = err 13 and big = err 1_000_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "tiny sig err %.3f >= big sig err %.3f" tiny big)
+    true (tiny >= big);
+  (* even a huge signature has a small birthday-collision probability; the
+     paper's Table 2.6 shows the same sub-percent residual error — weighted
+     by dynamic occurrences a rare collision is negligible *)
+  Alcotest.(check bool) (Printf.sprintf "big signature err %.4f < 1%%" big) true
+    (big < 0.01)
+
+(* ---- PET ---- *)
+
+let test_pet_structure () =
+  let r = Helpers.profile Helpers.fig27 in
+  let pet = r.Profiler.Serial.pet in
+  let root = Profiler.Pet.node pet 0 in
+  (match root.Profiler.Pet.kind with
+  | Profiler.Pet.Fnode f -> Alcotest.(check string) "root is main" "main" f
+  | _ -> Alcotest.fail "root not a function");
+  let loops = ref [] in
+  Profiler.Pet.iter
+    (fun n ->
+      match n.Profiler.Pet.kind with
+      | Profiler.Pet.Lnode l -> loops := (l, n.Profiler.Pet.iterations) :: !loops
+      | _ -> ())
+    pet;
+  Alcotest.(check (list (pair int int))) "one loop, 100 iterations" [ (4, 100) ]
+    !loops;
+  Alcotest.(check int) "instructions counted" r.Profiler.Serial.accesses
+    (Profiler.Pet.total_instructions pet)
+
+let test_pet_merges_instances () =
+  let p =
+    let open B in
+    B.number
+      (B.program ~entry:"main" "t"
+         [ B.func "leaf" ~params:[ "x" ] [ return (v "x" + i 1) ];
+           B.func "main"
+             [ decl "s" (i 0);
+               for_ "k" (i 0) (i 5) [ set "s" (call "leaf" [ v "s" ]) ];
+               return (v "s") ] ])
+  in
+  let r = Helpers.profile p in
+  let count = ref 0 in
+  Profiler.Pet.iter
+    (fun n ->
+      match n.Profiler.Pet.kind with
+      | Profiler.Pet.Fnode "leaf" ->
+          incr count;
+          Alcotest.(check int) "5 instances merged" 5 n.Profiler.Pet.instances
+      | _ -> ())
+    r.Profiler.Serial.pet;
+  Alcotest.(check int) "exactly one merged node" 1 !count
+
+(* ---- report format ---- *)
+
+let test_report_format () =
+  let r = Helpers.profile Helpers.fig27 in
+  let s = Profiler.Serial.report r in
+  Alcotest.(check bool) "BGN loop line" true
+    (Astring_contains.contains s "1:4 BGN loop");
+  Alcotest.(check bool) "END with iteration count" true
+    (Astring_contains.contains s "END loop 100");
+  Alcotest.(check bool) "NOM record with RAW" true
+    (Astring_contains.contains s "NOM");
+  Alcotest.(check bool) "INIT record" true (Astring_contains.contains s "{INIT *}")
+
+(* ---- races (§2.3.4) ---- *)
+
+let racy_program locked =
+  let open B in
+  Helpers.prog_of_main ~globals:[ B.gscalar "shared" 0 ]
+    [ par
+        (List.init 2 (fun _ ->
+             if locked then
+               [ lock "m"; set "shared" (v "shared" + i 1); unlock "m" ]
+             else [ set "shared" (v "shared" + i 1) ])) ]
+
+let test_race_detection () =
+  (* With scrambled unlocked pushes, the unlocked version must produce
+     timestamp reversals on some seed; the locked version never does. *)
+  let races locked seed =
+    let r = Helpers.profile ~scramble_unlocked:true ~seed (racy_program locked) in
+    List.length r.Profiler.Serial.races
+  in
+  let unlocked_total =
+    List.fold_left (fun acc s -> acc + races false s) 0 [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  Alcotest.(check bool) "unlocked program exposes potential races" true
+    (unlocked_total > 0);
+  List.iter
+    (fun s -> Alcotest.(check int) "locked program clean" 0 (races true s))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_thread_ids_recorded () =
+  let r = Helpers.profile (racy_program true) in
+  let threads = Hashtbl.create 4 in
+  Dep.Set_.iter
+    (fun d _ -> Hashtbl.replace threads d.Dep.sink_thread ())
+    r.Profiler.Serial.deps;
+  Alcotest.(check bool) "multiple thread ids in deps" true (Hashtbl.length threads >= 2)
+
+(* ---- parallel profiler ---- *)
+
+let parallel_matches ~queue ~workers p =
+  let serial = Helpers.profile p in
+  let par =
+    Profiler.Parallel.profile ~queue ~workers ~perfect:true p
+  in
+  Helpers.check_same_deps
+    (Printf.sprintf "parallel(%d workers) differs from serial" workers)
+    serial.Profiler.Serial.deps par.Profiler.Parallel.deps;
+  Alcotest.(check int) "same access count" serial.Profiler.Serial.accesses
+    par.Profiler.Parallel.accesses
+
+let test_parallel_equivalence () =
+  List.iter
+    (fun p ->
+      List.iter (fun w -> parallel_matches ~queue:Profiler.Parallel.Lockfree ~workers:w p) [ 1; 2; 4 ])
+    [ Helpers.fig27; Helpers.fig34 ]
+
+let test_lock_based_equivalence () =
+  parallel_matches ~queue:Profiler.Parallel.Lock_based ~workers:4 Helpers.fig27
+
+let test_parallel_on_workload () =
+  let p = Workloads.Registry.program ~size:200 (List.hd Workloads.Textbook.all) in
+  parallel_matches ~queue:Profiler.Parallel.Lockfree ~workers:8 p
+
+let test_parallel_rebalancing_runs () =
+  (* A heavily skewed single-address workload exercises the hot-address path;
+     correctness must hold regardless of whether redistribution fired. *)
+  let p =
+    let open B in
+    Helpers.prog_of_main ~globals:[ B.gscalar "hot" 0 ]
+      [ for_ "k" (i 0) (i 3000) [ set "hot" (v "hot" + i 1) ] ]
+  in
+  parallel_matches ~queue:Profiler.Parallel.Lockfree ~workers:4 p
+
+let qcheck_parallel_equivalence =
+  let open QCheck in
+  Test.make ~name:"parallel profiler equals serial on random programs"
+    ~count:40 Helpers.Gen.arbitrary_program (fun p ->
+      let serial = Helpers.profile p in
+      let par = Profiler.Parallel.profile ~workers:3 ~perfect:true p in
+      let fpr, fnr =
+        Dep.Set_.accuracy ~truth:serial.Profiler.Serial.deps
+          ~got:par.Profiler.Parallel.deps
+      in
+      fpr = 0.0 && fnr = 0.0)
+
+(* ---- dependence files ---- *)
+
+let test_depfile_roundtrip () =
+  let r = Helpers.profile Helpers.fig27 in
+  let rendered = Profiler.Depfile.render r.Profiler.Serial.deps in
+  let parsed = Profiler.Depfile.parse rendered in
+  Helpers.check_same_deps "depfile round trip" r.Profiler.Serial.deps parsed;
+  Alcotest.(check int) "occurrences preserved"
+    (Dep.Set_.occurrences r.Profiler.Serial.deps)
+    (Dep.Set_.occurrences parsed);
+  let s = Profiler.Depfile.measure r.Profiler.Serial.deps in
+  Alcotest.(check bool) "merging shrinks the file" true
+    (s.Profiler.Depfile.reduction > 5.0)
+
+let test_depfile_disk () =
+  let r = Helpers.profile Helpers.fig34 in
+  let path = Filename.temp_file "discopop" ".deps" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Profiler.Depfile.write path r.Profiler.Serial.deps;
+      let back = Profiler.Depfile.read path in
+      Helpers.check_same_deps "disk round trip" r.Profiler.Serial.deps back)
+
+(* ---- shadow backends agree ---- *)
+
+let test_paged_shadow_agrees () =
+  List.iter
+    (fun p ->
+      let exact = Helpers.profile ~shadow:Profiler.Engine.Perfect p in
+      let paged = Helpers.profile ~shadow:Profiler.Engine.Paged p in
+      Helpers.check_same_deps "paged shadow differs from hashtable"
+        exact.Profiler.Serial.deps paged.Profiler.Serial.deps)
+    [ Helpers.fig27; Helpers.fig28; Helpers.fig34 ]
+
+(* ---- lifetime analysis ablation ---- *)
+
+let test_lifetime_off_creates_false_deps () =
+  (* With scope recycling but lifetime analysis disabled, dead locals' stale
+     shadow entries manufacture dependences between unrelated variables. *)
+  let p =
+    let open B in
+    Helpers.prog_of_main
+      [ for_ "k" (i 0) (i 10)
+          [ decl "first" (v "k"); set "first" (v "first" + i 1) ];
+        for_ "k" (i 0) (i 10)
+          [ decl "second" (v "k"); set "second" (v "second" * i 2) ] ]
+  in
+  let on = Helpers.profile p in
+  let off = Profiler.Serial.profile ~lifetime:false p in
+  let cross deps =
+    List.exists
+      (fun (d, _) -> d.Dep.var = "first" && d.Dep.sink_line > 4)
+      (Dep.Set_.to_list deps)
+  in
+  Alcotest.(check bool) "no cross-variable deps with lifetime on" false
+    (cross on.Profiler.Serial.deps);
+  Alcotest.(check bool) "stale deps appear with lifetime off" true
+    (cross off.Profiler.Serial.deps)
+
+(* ---- queues ---- *)
+
+let test_spsc_queue () =
+  let q = Profiler.Spsc_queue.create ~capacity:8 in
+  Alcotest.(check bool) "empty" true (Profiler.Spsc_queue.is_empty q);
+  for k = 1 to 8 do
+    Alcotest.(check bool) "push" true (Profiler.Spsc_queue.try_push q k)
+  done;
+  Alcotest.(check bool) "full rejects" false (Profiler.Spsc_queue.try_push q 9);
+  for k = 1 to 8 do
+    Alcotest.(check (option int)) "fifo" (Some k) (Profiler.Spsc_queue.try_pop q)
+  done;
+  Alcotest.(check (option int)) "drained" None (Profiler.Spsc_queue.try_pop q)
+
+let test_spsc_cross_domain () =
+  let q = Profiler.Spsc_queue.create ~capacity:16 in
+  let n = 10_000 in
+  let consumer =
+    Domain.spawn (fun () ->
+        let sum = ref 0 and got = ref 0 in
+        while !got < n do
+          match Profiler.Spsc_queue.try_pop q with
+          | Some x ->
+              sum := !sum + x;
+              incr got
+          | None -> Domain.cpu_relax ()
+        done;
+        !sum)
+  in
+  for k = 1 to n do
+    Profiler.Spsc_queue.push q k
+  done;
+  Alcotest.(check int) "all items transferred in order-preserving stream"
+    (n * (n + 1) / 2)
+    (Domain.join consumer)
+
+let test_mpsc_queue_single () =
+  let q = Profiler.Mpsc_queue.create () in
+  for k = 1 to 600 do
+    Profiler.Mpsc_queue.push q k
+  done;
+  let out = ref [] in
+  let rec drain () =
+    match Profiler.Mpsc_queue.try_pop q with
+    | Some x ->
+        out := x :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "all items (across node boundaries)" 600
+    (List.length !out);
+  Alcotest.(check bool) "single-producer order preserved" true
+    (List.rev !out = List.init 600 (fun k -> k + 1))
+
+let test_mpsc_queue_multi_domain () =
+  let q = Profiler.Mpsc_queue.create () in
+  let producers = 4 and per = 2_000 in
+  let doms =
+    List.init producers (fun p ->
+        Domain.spawn (fun () ->
+            for k = 0 to per - 1 do
+              Profiler.Mpsc_queue.push q ((p * per) + k)
+            done))
+  in
+  let seen = Hashtbl.create 1024 in
+  let got = ref 0 in
+  while !got < producers * per do
+    match Profiler.Mpsc_queue.try_pop q with
+    | Some x ->
+        Alcotest.(check bool) "no duplicates" false (Hashtbl.mem seen x);
+        Hashtbl.replace seen x ();
+        incr got
+    | None -> Domain.cpu_relax ()
+  done;
+  List.iter Domain.join doms;
+  Alcotest.(check int) "all items from all producers" (producers * per)
+    (Hashtbl.length seen)
+
+let tests =
+  [ Alcotest.test_case "Table 2.2 dependence set" `Quick test_fig27_deps;
+    Alcotest.test_case "RAR ignored" `Quick test_rar_ignored;
+    Alcotest.test_case "WAW and INIT" `Quick test_waw_init;
+    Alcotest.test_case "runtime merging" `Quick test_merging;
+    Alcotest.test_case "variable lifetime analysis" `Quick test_lifetime_analysis;
+    Alcotest.test_case "loop-carried tagging" `Quick test_loop_carried_tagging;
+    Alcotest.test_case "skip preserves dep sets" `Quick test_skip_preserves_deps;
+    Alcotest.test_case "skip rates" `Quick test_skip_rates;
+    Alcotest.test_case "Fig 2.8 skip behaviour" `Quick test_fig28_skip_table;
+    Alcotest.test_case "signature accuracy vs slots" `Quick
+      test_signature_accuracy_improves_with_slots;
+    Alcotest.test_case "PET structure" `Quick test_pet_structure;
+    Alcotest.test_case "PET merges instances" `Quick test_pet_merges_instances;
+    Alcotest.test_case "report format" `Quick test_report_format;
+    Alcotest.test_case "race detection" `Quick test_race_detection;
+    Alcotest.test_case "thread ids recorded" `Quick test_thread_ids_recorded;
+    Alcotest.test_case "parallel == serial" `Quick test_parallel_equivalence;
+    Alcotest.test_case "lock-based == serial" `Quick test_lock_based_equivalence;
+    Alcotest.test_case "parallel on workload" `Quick test_parallel_on_workload;
+    Alcotest.test_case "hot-address rebalancing" `Quick
+      test_parallel_rebalancing_runs;
+    Alcotest.test_case "depfile round trip" `Quick test_depfile_roundtrip;
+    Alcotest.test_case "depfile on disk" `Quick test_depfile_disk;
+    Alcotest.test_case "paged shadow agrees" `Quick test_paged_shadow_agrees;
+    Alcotest.test_case "lifetime ablation" `Quick test_lifetime_off_creates_false_deps;
+    Alcotest.test_case "SPSC queue" `Quick test_spsc_queue;
+    Alcotest.test_case "SPSC cross-domain" `Quick test_spsc_cross_domain;
+    Alcotest.test_case "MPSC queue" `Quick test_mpsc_queue_single;
+    Alcotest.test_case "MPSC multi-domain" `Quick test_mpsc_queue_multi_domain;
+    QCheck_alcotest.to_alcotest qcheck_skip_equivalence;
+    QCheck_alcotest.to_alcotest qcheck_parallel_equivalence ]
+
+(* ---- additional coverage ---- *)
+
+let test_report_threads_mode () =
+  let r = Helpers.profile (racy_program true) in
+  let s = Profiler.Serial.report ~threads:true r in
+  (* sinks carry thread ids in the |thread form (Fig 2.3) *)
+  Alcotest.(check bool) "threaded sink form" true
+    (Astring_contains.contains s "|1 NOM" || Astring_contains.contains s "|2 NOM")
+
+let test_depfile_rejects_garbage () =
+  Alcotest.check_raises "malformed line"
+    (Profiler.Depfile.Parse_error "Depfile: malformed line: D oops") (fun () ->
+      ignore (Profiler.Depfile.parse "D oops"))
+
+let test_pet_to_string () =
+  let r = Helpers.profile Helpers.fig27 in
+  let s = Profiler.Pet.to_string r.Profiler.Serial.pet in
+  Alcotest.(check bool) "func line" true (Astring_contains.contains s "func main");
+  Alcotest.(check bool) "loop with iterations" true
+    (Astring_contains.contains s "100 iterations")
+
+let test_engine_word_footprint_grows () =
+  let small = Helpers.profile ~shadow:(Profiler.Engine.Signature 100) Helpers.fig27 in
+  let big = Helpers.profile ~shadow:(Profiler.Engine.Signature 100_000) Helpers.fig27 in
+  Alcotest.(check bool) "footprint scales with slots" true
+    (big.Profiler.Serial.footprint_words > small.Profiler.Serial.footprint_words)
+
+let tests =
+  tests
+  @ [ Alcotest.test_case "report threads mode" `Quick test_report_threads_mode;
+      Alcotest.test_case "depfile rejects garbage" `Quick test_depfile_rejects_garbage;
+      Alcotest.test_case "PET rendering" `Quick test_pet_to_string;
+      Alcotest.test_case "footprint scales" `Quick test_engine_word_footprint_grows ]
+
+(* ---- final property batch ---- *)
+
+let qcheck_huge_signature_matches_perfect =
+  let open QCheck in
+  Test.make ~name:"a huge signature is occurrence-indistinguishable from exact"
+    ~count:60 Helpers.Gen.arbitrary_program (fun p ->
+      let exact = Helpers.profile ~shadow:Profiler.Engine.Perfect p in
+      let sig_ =
+        Helpers.profile ~shadow:(Profiler.Engine.Signature 4_000_000) p
+      in
+      let fpr, fnr =
+        Dep.Set_.accuracy_weighted ~truth:exact.Profiler.Serial.deps
+          ~got:sig_.Profiler.Serial.deps
+      in
+      fpr < 0.001 && fnr < 0.001)
+
+let qcheck_report_renders =
+  let open QCheck in
+  Test.make ~name:"report rendering is total on random programs" ~count:80
+    Helpers.Gen.arbitrary_program (fun p ->
+      let r = Helpers.profile p in
+      (* a program that only reads pre-initialised globals legitimately has
+         an empty dependence report *)
+      (String.length (Profiler.Serial.report r) > 0
+      || Dep.Set_.cardinal r.Profiler.Serial.deps = 0)
+      && String.length (Profiler.Pet.to_string r.Profiler.Serial.pet) > 0)
+
+let qcheck_depfile_roundtrip_random =
+  let open QCheck in
+  Test.make ~name:"depfile round-trips random programs" ~count:60
+    Helpers.Gen.arbitrary_program (fun p ->
+      let r = Helpers.profile p in
+      let back = Profiler.Depfile.parse (Profiler.Depfile.render r.Profiler.Serial.deps) in
+      Dep.Set_.accuracy ~truth:r.Profiler.Serial.deps ~got:back = (0.0, 0.0)
+      && Dep.Set_.occurrences back = Dep.Set_.occurrences r.Profiler.Serial.deps)
+
+let tests =
+  tests
+  @ [ QCheck_alcotest.to_alcotest qcheck_huge_signature_matches_perfect;
+      QCheck_alcotest.to_alcotest qcheck_report_renders;
+      QCheck_alcotest.to_alcotest qcheck_depfile_roundtrip_random ]

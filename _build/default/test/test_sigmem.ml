@@ -1,0 +1,119 @@
+(* Tests for shadow memories: signature semantics, collisions, lifetime
+   removal, the perfect baseline, and the Eq. 2.2 FPR predictor. *)
+
+module Sig = Sigmem.Signature
+module Perf = Sigmem.Perfect
+module Cell = Sigmem.Cell
+
+let cell line =
+  { Cell.line; var = "v"; thread = 0; time = line + 1; op = line; lstack = [];
+    locked = false }
+
+let test_signature_basic () =
+  let s = Sig.create ~slots:64 in
+  Alcotest.(check bool) "initially empty" true (Cell.is_empty (Sig.last_read s ~addr:5));
+  Sig.set_read s ~addr:5 (cell 10);
+  Alcotest.(check int) "read slot" 10 (Sig.last_read s ~addr:5).Cell.line;
+  Alcotest.(check bool) "write slot still empty" true
+    (Cell.is_empty (Sig.last_write s ~addr:5));
+  Sig.set_write s ~addr:5 (cell 20);
+  Alcotest.(check int) "write slot" 20 (Sig.last_write s ~addr:5).Cell.line;
+  Alcotest.(check int) "slots used" 2 (Sig.slots_used s);
+  Sig.remove s ~addr:5;
+  Alcotest.(check bool) "removed" true (Cell.is_empty (Sig.last_read s ~addr:5));
+  Alcotest.(check int) "slots used after removal" 0 (Sig.slots_used s)
+
+let test_signature_collision () =
+  (* With a single slot every address collides: membership checks see the
+     other address's entry — the false-positive mechanism of §2.3.2. *)
+  let s = Sig.create ~slots:1 in
+  Sig.set_write s ~addr:1 (cell 11);
+  Alcotest.(check int) "collision visible" 11 (Sig.last_write s ~addr:2).Cell.line;
+  (* removal through a colliding address also clears the slot *)
+  Sig.remove s ~addr:2;
+  Alcotest.(check bool) "collision removal" true
+    (Cell.is_empty (Sig.last_write s ~addr:1))
+
+let test_signature_distribution () =
+  (* The hash must behave like a random function on dense bump-allocator
+     addresses: 512 balls into 1024 bins occupy ~403 bins in expectation
+     (1 - (1 - 1/m)^n). Injective low-bit hashing would occupy 512. *)
+  let slots = 1024 in
+  let seen = Hashtbl.create 256 in
+  for a = 0 to 511 do
+    Hashtbl.replace seen (Sig.hash_addr a slots) ()
+  done;
+  let d = Hashtbl.length seen in
+  Alcotest.(check bool)
+    (Printf.sprintf "occupancy %d near the binomial expectation 403" d)
+    true (d > 340 && d < 470)
+
+let test_perfect () =
+  let s = Perf.create ~slots:0 in
+  Perf.set_write s ~addr:1 (cell 11);
+  Perf.set_write s ~addr:1025 (cell 12);
+  Alcotest.(check int) "no collisions ever" 11 (Perf.last_write s ~addr:1).Cell.line;
+  Alcotest.(check int) "second addr separate" 12
+    (Perf.last_write s ~addr:1025).Cell.line;
+  Perf.remove s ~addr:1;
+  Alcotest.(check bool) "removed" true (Cell.is_empty (Perf.last_write s ~addr:1));
+  Alcotest.(check int) "other untouched" 12 (Perf.last_write s ~addr:1025).Cell.line
+
+let test_fpr_predictor () =
+  (* Eq. 2.2: monotone in n, anti-monotone in m, exact at the extremes. *)
+  let p = Sigmem.Shadow.predicted_fpr in
+  Alcotest.(check (float 1e-9)) "n=0" 0.0 (p ~slots:100 ~addresses:0);
+  Alcotest.(check bool) "monotone in addresses" true
+    (p ~slots:100 ~addresses:50 < p ~slots:100 ~addresses:200);
+  Alcotest.(check bool) "anti-monotone in slots" true
+    (p ~slots:1000 ~addresses:100 < p ~slots:100 ~addresses:100);
+  Alcotest.(check bool) "valid probability" true
+    (let v = p ~slots:7 ~addresses:1000 in v >= 0.0 && v <= 1.0)
+
+let test_fpr_predictor_vs_measured () =
+  (* Insert n random addresses into m slots; the measured probability that a
+     fresh probe hits an occupied slot should be near Eq. 2.2's prediction. *)
+  let slots = 256 and n = 128 in
+  let s = Sig.create ~slots in
+  let rng = ref 123456789 in
+  let next () =
+    rng := (!rng * 1103515245 + 12345) land 0x3FFFFFFF;
+    !rng
+  in
+  for _ = 1 to n do
+    Sig.set_write s ~addr:(next ()) (cell 1)
+  done;
+  let occupied = float_of_int (Sig.slots_used s) /. float_of_int slots in
+  let predicted = Sigmem.Shadow.predicted_fpr ~slots ~addresses:n in
+  Alcotest.(check bool)
+    (Printf.sprintf "measured %.3f within 0.1 of predicted %.3f" occupied predicted)
+    true
+    (abs_float (occupied -. predicted) < 0.1)
+
+let qcheck_signature_last_write_wins =
+  let open QCheck in
+  Test.make ~name:"signature returns the most recent write for an address"
+    ~count:200
+    (make Gen.(list_size (int_range 1 50) (pair (int_bound 31) (int_bound 1000))))
+    (fun writes ->
+      (* big enough signature that these few addresses never collide *)
+      let s = Sig.create ~slots:4096 in
+      let last = Hashtbl.create 8 in
+      List.iter
+        (fun (addr, line) ->
+          Sig.set_write s ~addr (cell line);
+          Hashtbl.replace last addr line)
+        writes;
+      Hashtbl.fold
+        (fun addr line ok -> ok && (Sig.last_write s ~addr).Cell.line = line)
+        last true)
+
+let tests =
+  [ Alcotest.test_case "signature basics" `Quick test_signature_basic;
+    Alcotest.test_case "signature collisions" `Quick test_signature_collision;
+    Alcotest.test_case "hash distribution" `Quick test_signature_distribution;
+    Alcotest.test_case "perfect shadow" `Quick test_perfect;
+    Alcotest.test_case "Eq 2.2 predictor" `Quick test_fpr_predictor;
+    Alcotest.test_case "Eq 2.2 vs measured occupancy" `Quick
+      test_fpr_predictor_vs_measured;
+    QCheck_alcotest.to_alcotest qcheck_signature_last_write_wins ]

@@ -1,0 +1,92 @@
+(* Tests for the trace layer: loop-carrier computation and chunks. *)
+
+module Event = Trace.Event
+module Chunk = Trace.Chunk
+
+let frame loop_line inst iter = { Event.loop_line; inst; iter }
+
+let carrier_line src snk =
+  match Event.carrier ~src ~snk with
+  | Some f -> Some f.Event.loop_line
+  | None -> None
+
+let test_carrier_basic () =
+  (* same iteration of the same loop instance: not carried *)
+  Alcotest.(check (option int))
+    "same iteration" None
+    (carrier_line [ frame 5 1 3 ] [ frame 5 1 3 ]);
+  (* different iterations: carried at that loop *)
+  Alcotest.(check (option int))
+    "different iterations" (Some 5)
+    (carrier_line [ frame 5 1 3 ] [ frame 5 1 4 ]);
+  (* no common loops: not carried *)
+  Alcotest.(check (option int))
+    "different instances" None
+    (carrier_line [ frame 5 1 3 ] [ frame 5 2 0 ]);
+  Alcotest.(check (option int)) "empty stacks" None (carrier_line [] [])
+
+let test_carrier_nested () =
+  let outer = frame 2 1 in
+  let inner i1 it = { Event.loop_line = 4; inst = i1; iter = it } in
+  (* same outer iteration, different inner iterations: carried at inner *)
+  Alcotest.(check (option int))
+    "carried at inner" (Some 4)
+    (carrier_line [ outer 0; inner 7 1 ] [ outer 0; inner 7 2 ]);
+  (* different outer iterations (inner instances differ): carried at outer *)
+  Alcotest.(check (option int))
+    "carried at outer" (Some 2)
+    (carrier_line [ outer 0; inner 7 1 ] [ outer 1; inner 8 0 ]);
+  (* source outside the loop, sink inside: not loop-carried *)
+  Alcotest.(check (option int))
+    "entry from outside" None
+    (carrier_line [] [ outer 0; inner 7 0 ])
+
+let test_chunks () =
+  let c = Chunk.create ~capacity:4 ~dummy:0 () in
+  Alcotest.(check bool) "empty" true (Chunk.is_empty c);
+  Chunk.push c 10;
+  Chunk.push c 20;
+  Alcotest.(check int) "length" 2 (Chunk.length c);
+  Alcotest.(check int) "get" 20 (Chunk.get c 1);
+  Chunk.push c 30;
+  Chunk.push c 40;
+  Alcotest.(check bool) "full" true (Chunk.is_full c);
+  let sum = ref 0 in
+  Chunk.iter (fun x -> sum := !sum + x) c;
+  Alcotest.(check int) "iter" 100 !sum;
+  Chunk.reset c;
+  Alcotest.(check bool) "reset empties" true (Chunk.is_empty c);
+  Alcotest.(check int) "capacity preserved" 4 (Chunk.capacity c)
+
+let qcheck_carrier_symmetry =
+  let open QCheck in
+  let frame_gen =
+    Gen.(
+      map3
+        (fun l inst iter -> { Event.loop_line = 1 + (l mod 4); inst = inst mod 3; iter = iter mod 4 })
+        (int_bound 10) (int_bound 10) (int_bound 10))
+  in
+  let stack_gen = Gen.(list_size (int_range 0 3) frame_gen) in
+  Test.make ~name:"carrier is at a common loop with differing iterations"
+    ~count:300
+    (make Gen.(pair stack_gen stack_gen))
+    (fun (src, snk) ->
+      match Event.carrier ~src ~snk with
+      | None -> true
+      | Some f ->
+          (* The carrying frame must appear in both stacks with the same
+             instance and differing iterations. *)
+          let find st =
+            List.find_opt
+              (fun g -> g.Event.loop_line = f.Event.loop_line && g.Event.inst = f.Event.inst)
+              st
+          in
+          (match (find src, find snk) with
+          | Some a, Some b -> a.Event.iter <> b.Event.iter
+          | _ -> false))
+
+let tests =
+  [ Alcotest.test_case "carrier basics" `Quick test_carrier_basic;
+    Alcotest.test_case "carrier nesting" `Quick test_carrier_nested;
+    Alcotest.test_case "chunks" `Quick test_chunks;
+    QCheck_alcotest.to_alcotest qcheck_carrier_symmetry ]
