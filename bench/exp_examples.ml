@@ -24,10 +24,17 @@ let fig28 =
                  decl "b" (v "x" + i 1);    (* op3: read x *)
                  set "x" (v "a" + v "b") ] ] ])  (* op4: write x *)
 
-let show name prog =
+let show ~tag name prog =
   Printf.printf "\n--- %s ---\n" name;
   print_string (Mil.Pretty.render_program prog);
   let plain = Profiler.Serial.profile prog in
+  let ndeps = Profiler.Dep.Set_.cardinal plain.deps in
+  Printf.printf "accesses: %d  deps: %d\n" plain.accesses ndeps;
+  (* Mirror the printed numbers into named counters so the
+     BENCH_skip-example.json summary carries exactly what the table shows. *)
+  Obs.Counter.add (Obs.counter (Printf.sprintf "example.%s.accesses" tag))
+    plain.accesses;
+  Obs.Counter.add (Obs.counter (Printf.sprintf "example.%s.deps" tag)) ndeps;
   print_endline "dependences:";
   print_string (Profiler.Serial.report plain);
   let skip = Profiler.Serial.profile ~skip:true prog in
@@ -41,8 +48,8 @@ let show name prog =
 
 let run () =
   Util.header "Tables 2.2-2.5: the paper's worked skipping examples";
-  show "Figure 2.7 (Table 2.2)" fig27;
-  show "Figure 2.8 (Tables 2.3-2.5)" fig28;
+  show ~tag:"fig27" "Figure 2.7 (Table 2.2)" fig27;
+  show ~tag:"fig28" "Figure 2.8 (Tables 2.3-2.5)" fig28;
   print_endline
     "\n(paper: Fig 2.8's four operations are all skippable from the third\n\
     \ iteration on; the dependence storage is touched exactly four times)"

@@ -3,7 +3,12 @@
 
    Run everything:        dune exec bench/main.exe
    Run one experiment:    dune exec bench/main.exe -- -e doall-nas
-   List experiments:      dune exec bench/main.exe -- -l *)
+   List experiments:      dune exec bench/main.exe -- -l
+
+   Besides the human-readable tables, every experiment run writes a
+   machine-readable BENCH_<experiment>.json summary (wall time plus the full
+   observability snapshot: accesses, deps found, footprint, phase timings) —
+   the perf trajectory CI regresses against. *)
 
 let experiments : (string * string * (unit -> unit)) list =
   [ ("skip-example", "Tables 2.2-2.5: the paper's worked examples",
@@ -38,6 +43,29 @@ let experiments : (string * string * (unit -> unit)) list =
     ("ablation", "Ablations: shadow backend, lifetime, merging", Exp_ablation.run);
     ("micro", "Bechamel micro-benchmarks", Exp_micro.run) ]
 
+(* Run one experiment under the observability layer and write its
+   BENCH_<id>.json summary. The registry is reset per experiment so each
+   summary is self-contained. *)
+let run_experiment (id, _, run) =
+  Obs.reset ();
+  Obs.enable ();
+  let t0 = Unix.gettimeofday () in
+  run ();
+  let wall = Unix.gettimeofday () -. t0 in
+  let path = Printf.sprintf "BENCH_%s.json" id in
+  let summary =
+    Obs.Json.Obj
+      [ ("schema_version", Obs.Json.Int 1);
+        ("experiment", Obs.Json.String id);
+        ("wall_s", Obs.Json.Float wall);
+        ("metrics", Obs.snapshot ()) ]
+  in
+  let oc = open_out path in
+  output_string oc (Obs.Json.pretty summary);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "[bench] wrote %s (%.2fs)\n" path wall
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
@@ -45,13 +73,13 @@ let () =
       List.iter (fun (id, doc, _) -> Printf.printf "%-20s %s\n" id doc) experiments
   | [ "-e"; id ] | [ id ] -> (
       match List.find_opt (fun (i, _, _) -> i = id) experiments with
-      | Some (_, _, run) -> run ()
+      | Some exp -> run_experiment exp
       | None ->
           Printf.eprintf "unknown experiment %s; use -l to list\n" id;
           exit 1)
   | [] ->
       let t0 = Unix.gettimeofday () in
-      List.iter (fun (_, _, run) -> run ()) experiments;
+      List.iter run_experiment experiments;
       Printf.printf "\nall experiments completed in %.1fs\n"
         (Unix.gettimeofday () -. t0)
   | _ ->

@@ -45,6 +45,28 @@ let or_die = function
       prerr_endline msg;
       exit 1
 
+(* --stats: enable the observability layer for the run and write the
+   collected phase timings / counters / gauges to FILE as JSON. *)
+let stats_arg =
+  Arg.(value & opt (some string) None & info [ "stats" ] ~docv:"FILE"
+         ~doc:"Write machine-readable run statistics (phase timings, \
+               counters, gauges; see README \"Observability & CI\") to FILE \
+               as JSON.")
+
+let with_stats stats f =
+  (match stats with Some _ -> Obs.enable () | None -> ());
+  let r = f () in
+  (match stats with
+  | Some path -> (
+      try
+        Obs.write_json path;
+        Printf.eprintf "wrote %s\n" path
+      with Sys_error msg ->
+        Printf.eprintf "cannot write stats file: %s\n" msg;
+        exit 1)
+  | None -> ());
+  r
+
 let shadow_of = function
   | Some slots -> Profiler.Engine.Signature slots
   | None -> Profiler.Engine.Perfect
@@ -78,7 +100,7 @@ let out_arg =
 
 let profile_cmd =
   let doc = "Run the data-dependence profiler and print the dependence report." in
-  let run name size signature skip workers output =
+  let run name size signature skip workers output stats =
     let w = or_die (find_workload name) in
     let prog = Workloads.Registry.program ?size w in
     let save deps =
@@ -88,42 +110,57 @@ let profile_cmd =
           Profiler.Depfile.write path deps;
           Printf.eprintf "wrote %s\n" path
     in
-    if workers > 0 then begin
-      let r =
-        Profiler.Parallel.profile ~workers
-          ~perfect:(signature = None)
-          ?shadow_slots:signature ~skip prog
+    with_stats stats @@ fun () ->
+    let deps, pet =
+      if workers > 0 then begin
+        let r =
+          Profiler.Parallel.profile ~workers
+            ~perfect:(signature = None)
+            ?shadow_slots:signature ~skip prog
+        in
+        save r.deps;
+        Printf.printf
+          "# parallel profiler: %d workers, %d accesses, %d deps, %d redistributions\n"
+          workers r.accesses
+          (Profiler.Dep.Set_.cardinal r.deps)
+          r.redistributions;
+        print_string
+          (Profiler.Report.render
+             ~threads:w.parallel_target
+             ~control:(Profiler.Report.control_of_pet r.pet)
+             r.deps);
+        (r.deps, r.pet)
+      end
+      else begin
+        let r = Profiler.Serial.profile ~shadow:(shadow_of signature) ~skip prog in
+        save r.deps;
+        Printf.printf "# serial profiler: %d accesses, %d deps (merging %.1fx)\n"
+          r.accesses
+          (Profiler.Dep.Set_.cardinal r.deps)
+          r.merging_factor;
+        if skip then
+          Printf.printf "# skipped: %d reads, %d writes\n"
+            r.skip_stats.Profiler.Engine.reads_skipped
+            r.skip_stats.Profiler.Engine.writes_skipped;
+        print_string (Profiler.Serial.report ~threads:w.parallel_target r);
+        (r.deps, r.pet)
+      end
+    in
+    (* With --stats, also run the downstream phases over the profiled
+       dependences so the export carries the complete pipeline cost
+       breakdown (profiling, CU construction, discovery). *)
+    if stats <> None then begin
+      let st =
+        Obs.Span.with_ ~phase:"static" (fun () -> Mil.Static.analyze prog)
       in
-      save r.deps;
-      Printf.printf
-        "# parallel profiler: %d workers, %d accesses, %d deps, %d redistributions\n"
-        workers r.accesses
-        (Profiler.Dep.Set_.cardinal r.deps)
-        r.redistributions;
-      print_string
-        (Profiler.Report.render
-           ~threads:w.parallel_target
-           ~control:(Profiler.Report.control_of_pet r.pet)
-           r.deps)
-    end
-    else begin
-      let r = Profiler.Serial.profile ~shadow:(shadow_of signature) ~skip prog in
-      save r.deps;
-      Printf.printf "# serial profiler: %d accesses, %d deps (merging %.1fx)\n"
-        r.accesses
-        (Profiler.Dep.Set_.cardinal r.deps)
-        r.merging_factor;
-      if skip then
-        Printf.printf "# skipped: %d reads, %d writes\n"
-          r.skip_stats.Profiler.Engine.reads_skipped
-          r.skip_stats.Profiler.Engine.writes_skipped;
-      print_string (Profiler.Serial.report ~threads:w.parallel_target r)
+      let cures = Cunit.Top_down.build st in
+      ignore (Discovery.Loops.analyze_all st cures deps pet)
     end
   in
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(
       const run $ workload_arg $ size_arg $ sig_arg $ skip_arg $ workers_arg
-      $ out_arg)
+      $ out_arg $ stats_arg)
 
 (* read-deps *)
 let read_deps_cmd =
@@ -157,10 +194,11 @@ let cus_cmd =
     Arg.(value & flag & info [ "dot" ] ~doc:"Emit the whole-program CU graph \
                                              as graphviz.")
   in
-  let run name size dot =
+  let run name size dot stats =
     let w = or_die (find_workload name) in
     let prog = Workloads.Registry.program ?size w in
-    let st = Mil.Static.analyze prog in
+    with_stats stats @@ fun () ->
+    let st = Obs.Span.with_ ~phase:"static" (fun () -> Mil.Static.analyze prog) in
     let res = Cunit.Top_down.build st in
     if dot then begin
       let r = Profiler.Serial.profile prog in
@@ -174,7 +212,8 @@ let cus_cmd =
         (fun cu -> print_endline (Cunit.Cu.to_string cu))
         res.Cunit.Top_down.cus
   in
-  Cmd.v (Cmd.info "cus" ~doc) Term.(const run $ workload_arg $ size_arg $ dot_arg)
+  Cmd.v (Cmd.info "cus" ~doc)
+    Term.(const run $ workload_arg $ size_arg $ dot_arg $ stats_arg)
 
 (* discover *)
 let discover_cmd =
@@ -183,8 +222,9 @@ let discover_cmd =
     Arg.(value & opt int 4 & info [ "threads" ] ~docv:"T"
            ~doc:"Thread count assumed by the local-speedup metric.")
   in
-  let run name size threads =
+  let run name size threads stats =
     let w = or_die (find_workload name) in
+    with_stats stats @@ fun () ->
     let report =
       Discovery.Suggestion.analyze ~threads (Workloads.Registry.program ?size w)
     in
@@ -195,7 +235,7 @@ let discover_cmd =
       report.Discovery.Suggestion.loops
   in
   Cmd.v (Cmd.info "discover" ~doc)
-    Term.(const run $ workload_arg $ size_arg $ threads_arg)
+    Term.(const run $ workload_arg $ size_arg $ threads_arg $ stats_arg)
 
 (* races *)
 let races_cmd =

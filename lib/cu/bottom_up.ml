@@ -17,8 +17,11 @@ type t = {
   raw_edges : (int * int) list;          (* group -> group true dependences *)
 }
 
+let c_groups = Obs.counter "cu.bottom_up.groups"
+
 (* Union-find over lines. *)
 let build ?(exclude_vars = SS.empty) ~lo ~hi (deps : Dep.Set_.t) : t =
+  Obs.Span.with_ ~phase:"cu.bottom_up" @@ fun () ->
   let parent : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let rec find l =
     match Hashtbl.find_opt parent l with
@@ -68,6 +71,7 @@ let build ?(exclude_vars = SS.empty) ~lo ~hi (deps : Dep.Set_.t) : t =
         raw_edges := (gs, gd) :: !raw_edges
       end)
     deps;
+  Obs.Counter.add c_groups (Hashtbl.length groups);
   { group_of_line; groups; raw_edges = List.sort_uniq compare !raw_edges }
 
 let n_groups t = Hashtbl.length t.groups
@@ -89,6 +93,7 @@ type dynamic = {
 
 let build_dynamic ?(exclude_vars = SS.empty) (events : Trace.Event.t list) :
     dynamic =
+  Obs.Span.with_ ~phase:"cu.bottom_up" @@ fun () ->
   let parent : (int, int) Hashtbl.t = Hashtbl.create 256 in
   let rec find o =
     match Hashtbl.find_opt parent o with

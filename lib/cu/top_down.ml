@@ -207,7 +207,10 @@ let partition_items items : item list list =
   if !current <> [] then segments := List.rev !current :: !segments;
   List.rev !segments
 
+let c_cus = Obs.counter "cu.top_down.cus"
+
 let build (st : Static.t) : result =
+  Obs.Span.with_ ~phase:"cu.top_down" @@ fun () ->
   let by_region = Hashtbl.create 16 in
   let all = ref [] in
   let next_id = ref 0 in
@@ -251,6 +254,7 @@ let build (st : Static.t) : result =
   Array.iter
     (fun (r : Static.region) -> if r.parent = -1 then build_region r.id)
     st.regions;
+  Obs.Counter.add c_cus !next_id;
   { cus = List.rev !all; by_region; static = st }
 
 let cus_of_region (res : result) rid =

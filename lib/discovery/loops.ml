@@ -164,15 +164,26 @@ let analyze_loop ?global_reductions (st : Static.t)
   { region = r; loop_line; cls; blocking; reduction_vars; private_vars;
     body_cus; free_cus; iterations; instructions }
 
+let class_counter = function
+  | Doall -> Obs.counter "discovery.loops.doall"
+  | Doall_reduction -> Obs.counter "discovery.loops.doall_reduction"
+  | Doacross -> Obs.counter "discovery.loops.doacross"
+  | Sequential -> Obs.counter "discovery.loops.sequential"
+
 (* Analyse every loop of the program that was actually executed. *)
 let analyze_all (st : Static.t) (cures : Cunit.Top_down.result)
     (deps : Dep.Set_.t) (pet : Profiler.Pet.t) : analysis list =
+  Obs.Span.with_ ~phase:"discovery.loops" @@ fun () ->
   let global_reductions = Static.reduction_only_vars st.Static.program in
-  Static.loop_regions st
-  |> List.filter_map (fun r ->
-         let iters, _ = pet_stats pet r.Static.first_line in
-         if iters = 0 then None
-         else Some (analyze_loop ~global_reductions st cures deps pet r))
+  let analyses =
+    Static.loop_regions st
+    |> List.filter_map (fun r ->
+           let iters, _ = pet_stats pet r.Static.first_line in
+           if iters = 0 then None
+           else Some (analyze_loop ~global_reductions st cures deps pet r))
+  in
+  List.iter (fun a -> Obs.Counter.incr (class_counter a.cls)) analyses;
+  analyses
 
 let to_string a =
   Printf.sprintf

@@ -127,8 +127,12 @@ let imbalance_of_cus (g : Cunit.Graph.t) : float =
     min 1.0 !worst
   end
 
+let c_scored = Obs.counter "discovery.ranking.regions_scored"
+
 let score_region (st : Static.t) (cures : Cunit.Top_down.result)
     (deps : Dep.Set_.t) (pet : Profiler.Pet.t) (rid : int) : score =
+  Obs.Span.with_ ~phase:"discovery.ranking" @@ fun () ->
+  Obs.Counter.incr c_scored;
   let cus = Cunit.Top_down.cus_of_region cures rid in
   let g = Cunit.Graph.build ~cus ~deps () in
   let coverage = coverage_of_region st pet rid in

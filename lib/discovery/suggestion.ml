@@ -30,13 +30,16 @@ let kind_to_string = function
   | Sspmd s -> Tasks.spmd_to_string s
   | Smpmd m -> Tasks.mpmd_to_string m
 
+let c_suggestions = Obs.counter "discovery.suggestions"
+
 let analyze ?(shadow = Profiler.Engine.Perfect) ?(skip = true) ?seed
     ?(threads = 4) (prog : Mil.Ast.program) : report =
   let profile = Profiler.Serial.profile ~shadow ~skip ?seed prog in
-  let static = Static.analyze prog in
+  let static = Obs.Span.with_ ~phase:"static" (fun () -> Static.analyze prog) in
   let cures = Cunit.Top_down.build static in
   let deps = profile.Profiler.Serial.deps in
   let pet = profile.Profiler.Serial.pet in
+  Obs.Span.with_ ~phase:"discovery" @@ fun () ->
   let loops = Loops.analyze_all static cures deps pet in
   let t = float_of_int (max 1 threads) in
   (* Kind-aware local speedup: DOALL iterations scale with the thread count;
@@ -113,6 +116,7 @@ let analyze ?(shadow = Profiler.Engine.Perfect) ?(skip = true) ?seed
     |> List.sort (fun a b ->
            compare b.score.Ranking.combined a.score.Ranking.combined)
   in
+  Obs.Counter.add c_suggestions (List.length suggestions);
   { program = prog; static; cures; profile; loops; suggestions }
 
 let render (r : report) : string =

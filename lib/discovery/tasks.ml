@@ -67,9 +67,14 @@ let call_sites_to (f : string) (block : Mil.Ast.block) : int list =
    divide-and-conquer receive) are task inputs, captured by value at spawn,
    and do not serialise the tasks; neither does RAW flow through
    reduction-only variables (a best-cost bound or a node counter). *)
+let c_spmd = Obs.counter "discovery.tasks.spmd"
+let c_mpmd = Obs.counter "discovery.tasks.mpmd"
+
 let recursive_forkjoin (st : Static.t) (cures : Cunit.Top_down.result)
     (deps : Dep.Set_.t) : spmd list =
+  Obs.Span.with_ ~phase:"discovery.tasks" @@ fun () ->
   let global_reductions = Static.reduction_only_vars st.Static.program in
+  let found =
   List.filter_map
     (fun (f : Mil.Ast.func) ->
       let sites = call_sites_to f.Mil.Ast.fname f.Mil.Ast.body in
@@ -115,24 +120,34 @@ let recursive_forkjoin (st : Static.t) (cures : Cunit.Top_down.result)
         else None
       end)
     cures.Cunit.Top_down.static.Static.program.Mil.Ast.funcs
+  in
+  Obs.Counter.add c_spmd (List.length found);
+  found
 
 (* Loop-body tasks: a DOALL(-with-reduction) loop whose body performs heavy
    work through calls becomes an SPMD task loop (one task per iteration). *)
 let loop_tasks (loops : Loops.analysis list) : spmd list =
-  List.filter_map
-    (fun (a : Loops.analysis) ->
-      let heavy =
-        List.exists (fun (cu : Cunit.Cu.t) -> cu.Cunit.Cu.contains_call) a.Loops.body_cus
-      in
-      match a.Loops.cls with
-      | Loops.Doall | Loops.Doall_reduction when heavy ->
-          Some
-            { s_kind = `Loop_tasks a.Loops.loop_line;
-              s_region = a.Loops.region.Static.id;
-              s_task_lines = [ a.Loops.loop_line ];
-              s_evidence = "independent iterations calling worker functions" }
-      | _ -> None)
-    loops
+  Obs.Span.with_ ~phase:"discovery.tasks" @@ fun () ->
+  let found =
+    List.filter_map
+      (fun (a : Loops.analysis) ->
+        let heavy =
+          List.exists
+            (fun (cu : Cunit.Cu.t) -> cu.Cunit.Cu.contains_call)
+            a.Loops.body_cus
+        in
+        match a.Loops.cls with
+        | Loops.Doall | Loops.Doall_reduction when heavy ->
+            Some
+              { s_kind = `Loop_tasks a.Loops.loop_line;
+                s_region = a.Loops.region.Static.id;
+                s_task_lines = [ a.Loops.loop_line ];
+                s_evidence = "independent iterations calling worker functions" }
+        | _ -> None)
+      loops
+  in
+  Obs.Counter.add c_spmd (List.length found);
+  found
 
 (* ---- MPMD ---- *)
 
@@ -149,6 +164,7 @@ let loop_tasks (loops : Loops.analysis list) : spmd list =
    chain a pipeline. *)
 let mpmd_of_region (cures : Cunit.Top_down.result) (deps : Dep.Set_.t)
     (rid : int) : mpmd option =
+  Obs.Span.with_ ~phase:"discovery.tasks" @@ fun () ->
   ignore deps;
   let st = cures.Cunit.Top_down.static in
   (* Dataflow between a region's items also travels through its direct
@@ -200,6 +216,7 @@ let mpmd_of_region (cures : Cunit.Top_down.result) (deps : Dep.Set_.t)
         Array.to_list (Array.map (fun ls -> List.sort compare ls) members)
       in
       let shape = if width >= 2 then Taskgraph else Pipeline in
+      Obs.Counter.incr c_mpmd;
       Some
         { m_region = rid;
           m_shape = shape;

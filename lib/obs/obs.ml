@@ -1,0 +1,497 @@
+(* Lightweight observability for the profiling pipeline.
+
+   One global, domain-safe registry of named counters, gauges, timing spans
+   and throughput meters. The registry starts *disabled*: every update is a
+   single atomic flag load plus a branch, so instrumentation can live in hot
+   paths (the dependence engine, the parallel profiler's producer loop)
+   without perturbing the slowdown numbers the benchmarks measure. When
+   enabled — by `--stats` on the CLI or by the bench harness — a run yields a
+   phase-by-phase cost breakdown exportable as one JSON document or as JSONL
+   (one metric per line).
+
+   Counters are atomic so profiler worker domains can publish concurrently;
+   registration takes a mutex but happens once per metric name. *)
+
+(* ---- JSON ---- *)
+
+(* A deliberately small JSON implementation (no external dependency): value
+   type, compact and indented printers, and a recursive-descent parser used
+   by the exporter round-trip tests and by consumers of BENCH_*.json files. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let add_escaped b s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s
+
+  (* Floats must re-parse as floats: keep a decimal point (or exponent), and
+     never emit the non-JSON tokens inf/nan. *)
+  let float_repr x =
+    if not (Float.is_finite x) then "0"
+    else if Float.is_integer x && Float.abs x < 1e15 then
+      Printf.sprintf "%.1f" x
+    else Printf.sprintf "%.12g" x
+
+  let rec write b = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (string_of_bool v)
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float x -> Buffer.add_string b (float_repr x)
+    | String s ->
+        Buffer.add_char b '"';
+        add_escaped b s;
+        Buffer.add_char b '"'
+    | List xs ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char b ',';
+            write b x)
+          xs;
+        Buffer.add_char b ']'
+    | Obj kvs ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_char b '"';
+            add_escaped b k;
+            Buffer.add_string b "\":";
+            write b v)
+          kvs;
+        Buffer.add_char b '}'
+
+  let to_string v =
+    let b = Buffer.create 256 in
+    write b v;
+    Buffer.contents b
+
+  let pretty v =
+    let b = Buffer.create 256 in
+    let pad n = Buffer.add_string b (String.make n ' ') in
+    let rec go indent = function
+      | (Null | Bool _ | Int _ | Float _ | String _) as v -> write b v
+      | List [] -> Buffer.add_string b "[]"
+      | List xs ->
+          Buffer.add_string b "[\n";
+          List.iteri
+            (fun i x ->
+              if i > 0 then Buffer.add_string b ",\n";
+              pad (indent + 2);
+              go (indent + 2) x)
+            xs;
+          Buffer.add_char b '\n';
+          pad indent;
+          Buffer.add_char b ']'
+      | Obj [] -> Buffer.add_string b "{}"
+      | Obj kvs ->
+          Buffer.add_string b "{\n";
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then Buffer.add_string b ",\n";
+              pad (indent + 2);
+              Buffer.add_char b '"';
+              add_escaped b k;
+              Buffer.add_string b "\": ";
+              go (indent + 2) v)
+            kvs;
+          Buffer.add_char b '\n';
+          pad indent;
+          Buffer.add_char b '}'
+    in
+    go 0 v;
+    Buffer.contents b
+
+  exception Parse_error of string
+
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg =
+      raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos))
+    in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let skip_ws () =
+      while
+        !pos < n
+        && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        incr pos
+      done
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then incr pos
+      else fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal lit v =
+      let l = String.length lit in
+      if !pos + l <= n && String.sub s !pos l = lit then (
+        pos := !pos + l;
+        v)
+      else fail "bad literal"
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        let c = s.[!pos] in
+        incr pos;
+        if c = '"' then Buffer.contents b
+        else if c = '\\' then begin
+          if !pos >= n then fail "truncated escape";
+          let e = s.[!pos] in
+          incr pos;
+          (match e with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let code =
+                match int_of_string_opt ("0x" ^ String.sub s !pos 4) with
+                | Some c -> c
+                | None -> fail "bad \\u escape"
+              in
+              pos := !pos + 4;
+              (* encode the code point as UTF-8 *)
+              if code < 0x80 then Buffer.add_char b (Char.chr code)
+              else if code < 0x800 then begin
+                Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+                Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+              end
+              else begin
+                Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+                Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+              end
+          | _ -> fail "bad escape");
+          go ()
+        end
+        else begin
+          Buffer.add_char b c;
+          go ()
+        end
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let in_number c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && in_number s.[!pos] do
+        incr pos
+      done;
+      let tok = String.sub s start (!pos - start) in
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt tok with
+          | Some f -> Float f
+          | None -> fail "bad number")
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some '}' then (
+            incr pos;
+            Obj [])
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  incr pos;
+                  members ((k, v) :: acc)
+              | Some '}' ->
+                  incr pos;
+                  List.rev ((k, v) :: acc)
+              | _ -> fail "expected ',' or '}'"
+            in
+            Obj (members [])
+          end
+      | Some '[' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some ']' then (
+            incr pos;
+            List [])
+          else begin
+            let rec elements acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  incr pos;
+                  elements (v :: acc)
+              | Some ']' ->
+                  incr pos;
+                  List.rev (v :: acc)
+              | _ -> fail "expected ',' or ']'"
+            in
+            List (elements [])
+          end
+      | Some '"' -> String (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+      | None -> fail "empty input"
+    in
+    try
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then Error "trailing characters after value" else Ok v
+    with Parse_error m -> Error m
+
+  let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+  let get_int = function Int i -> Some i | _ -> None
+
+  let get_float = function
+    | Float f -> Some f
+    | Int i -> Some (float_of_int i)
+    | _ -> None
+
+  let get_string = function String s -> Some s | _ -> None
+end
+
+(* ---- registry ---- *)
+
+type counter = { c_name : string; c_v : int Atomic.t }
+type gauge = { g_name : string; g_v : float Atomic.t }
+
+type span = {
+  s_name : string;
+  s_ns : int Atomic.t;     (* accumulated elapsed nanoseconds *)
+  s_calls : int Atomic.t;
+}
+
+type meter = { m_name : string; m_per : string; m_count : int Atomic.t }
+
+let enabled = Atomic.make false
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false
+let is_enabled () = Atomic.get enabled
+
+(* Registration is rare (once per metric name, usually at module init); a
+   single mutex over the four tables is plenty. *)
+let lock = Mutex.create ()
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 64
+let spans : (string, span) Hashtbl.t = Hashtbl.create 64
+let meters : (string, meter) Hashtbl.t = Hashtbl.create 16
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let find_or_add tbl name make =
+  locked (fun () ->
+      match Hashtbl.find_opt tbl name with
+      | Some x -> x
+      | None ->
+          let x = make () in
+          Hashtbl.replace tbl name x;
+          x)
+
+let counter name =
+  find_or_add counters name (fun () ->
+      { c_name = name; c_v = Atomic.make 0 })
+
+let gauge name =
+  find_or_add gauges name (fun () -> { g_name = name; g_v = Atomic.make 0.0 })
+
+let span_of name =
+  find_or_add spans name (fun () ->
+      { s_name = name; s_ns = Atomic.make 0; s_calls = Atomic.make 0 })
+
+let meter name ~per =
+  find_or_add meters name (fun () ->
+      { m_name = name; m_per = per; m_count = Atomic.make 0 })
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.c_v 0) counters;
+      Hashtbl.iter (fun _ g -> Atomic.set g.g_v 0.0) gauges;
+      Hashtbl.iter
+        (fun _ s ->
+          Atomic.set s.s_ns 0;
+          Atomic.set s.s_calls 0)
+        spans;
+      Hashtbl.iter (fun _ m -> Atomic.set m.m_count 0) meters)
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+module Counter = struct
+  let add c n = if Atomic.get enabled then ignore (Atomic.fetch_and_add c.c_v n)
+  let incr c = add c 1
+  let value c = Atomic.get c.c_v
+end
+
+module Gauge = struct
+  let set g x = if Atomic.get enabled then Atomic.set g.g_v x
+  let set_int g i = set g (float_of_int i)
+  let value g = Atomic.get g.g_v
+end
+
+module Span = struct
+  let with_ ~phase f =
+    if not (Atomic.get enabled) then f ()
+    else begin
+      let s = span_of phase in
+      let t0 = now_ns () in
+      Fun.protect
+        ~finally:(fun () ->
+          ignore (Atomic.fetch_and_add s.s_ns (now_ns () - t0));
+          ignore (Atomic.fetch_and_add s.s_calls 1))
+        f
+    end
+
+  let ns phase =
+    match locked (fun () -> Hashtbl.find_opt spans phase) with
+    | Some s -> Atomic.get s.s_ns
+    | None -> 0
+
+  let calls phase =
+    match locked (fun () -> Hashtbl.find_opt spans phase) with
+    | Some s -> Atomic.get s.s_calls
+    | None -> 0
+end
+
+module Meter = struct
+  let mark m n =
+    if Atomic.get enabled then ignore (Atomic.fetch_and_add m.m_count n)
+
+  let count m = Atomic.get m.m_count
+
+  (* Events per second against the accumulated wall time of the [per] span;
+     0 when the span never ran. *)
+  let rate m =
+    let ns = Span.ns m.m_per in
+    if ns <= 0 then 0.0
+    else float_of_int (Atomic.get m.m_count) /. (float_of_int ns /. 1e9)
+end
+
+let counter_value name =
+  match locked (fun () -> Hashtbl.find_opt counters name) with
+  | Some c -> Atomic.get c.c_v
+  | None -> 0
+
+let gauge_value name =
+  match locked (fun () -> Hashtbl.find_opt gauges name) with
+  | Some g -> Atomic.get g.g_v
+  | None -> 0.0
+
+(* ---- export ---- *)
+
+(* Snapshot lists are sorted by metric name so exports are deterministic
+   regardless of registration order. *)
+let sorted_entries tbl =
+  locked (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let span_json (s : span) =
+  let ns = Atomic.get s.s_ns in
+  Json.Obj
+    [ ("ns", Json.Int ns);
+      ("s", Json.Float (float_of_int ns /. 1e9));
+      ("calls", Json.Int (Atomic.get s.s_calls)) ]
+
+let meter_json (m : meter) =
+  Json.Obj
+    [ ("count", Json.Int (Atomic.get m.m_count));
+      ("per", Json.String m.m_per);
+      ("rate_per_s", Json.Float (Meter.rate m)) ]
+
+let snapshot () =
+  Json.Obj
+    [ ("counters",
+       Json.Obj
+         (List.map
+            (fun (k, c) -> (k, Json.Int (Atomic.get c.c_v)))
+            (sorted_entries counters)));
+      ("gauges",
+       Json.Obj
+         (List.map
+            (fun (k, g) -> (k, Json.Float (Atomic.get g.g_v)))
+            (sorted_entries gauges)));
+      ("spans",
+       Json.Obj
+         (List.map (fun (k, s) -> (k, span_json s)) (sorted_entries spans)));
+      ("meters",
+       Json.Obj
+         (List.map (fun (k, m) -> (k, meter_json m)) (sorted_entries meters)))
+    ]
+
+(* JSONL: one self-describing object per line, parseable line by line. *)
+let to_jsonl () =
+  let b = Buffer.create 1024 in
+  let line kind name fields =
+    Buffer.add_string b
+      (Json.to_string
+         (Json.Obj
+            (("kind", Json.String kind) :: ("name", Json.String name) :: fields)));
+    Buffer.add_char b '\n'
+  in
+  List.iter
+    (fun (k, c) -> line "counter" k [ ("value", Json.Int (Atomic.get c.c_v)) ])
+    (sorted_entries counters);
+  List.iter
+    (fun (k, g) -> line "gauge" k [ ("value", Json.Float (Atomic.get g.g_v)) ])
+    (sorted_entries gauges);
+  List.iter
+    (fun (k, s) ->
+      line "span" k
+        [ ("ns", Json.Int (Atomic.get s.s_ns));
+          ("calls", Json.Int (Atomic.get s.s_calls)) ])
+    (sorted_entries spans);
+  List.iter
+    (fun (k, m) ->
+      line "meter" k
+        [ ("count", Json.Int (Atomic.get m.m_count));
+          ("per", Json.String m.m_per);
+          ("rate_per_s", Json.Float (Meter.rate m)) ])
+    (sorted_entries meters);
+  Buffer.contents b
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let write_json path = write_file path (Json.pretty (snapshot ()) ^ "\n")
+let write_jsonl path = write_file path (to_jsonl ())

@@ -1,0 +1,103 @@
+(** Lightweight observability for the profiling pipeline: named counters,
+    gauges, monotonic timing spans and per-phase throughput meters in one
+    global, domain-safe registry, with JSON / JSONL exporters.
+
+    The registry starts {e disabled}: every update is a single atomic flag
+    load plus a branch, so instrumentation can sit in hot paths without
+    perturbing the slowdown numbers the benchmarks measure. Enable it (CLI
+    [--stats], bench harness) and a run yields a phase-by-phase cost
+    breakdown. Counters are atomic, so profiler worker domains can publish
+    concurrently. *)
+
+(** Minimal JSON value type with compact/indented printers and a parser —
+    used by the exporters, the bench harness's [BENCH_*.json] files, and
+    their round-trip tests. No external dependency. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact single-line rendering. *)
+
+  val pretty : t -> string
+  (** Indented rendering. *)
+
+  val of_string : string -> (t, string) result
+  val member : string -> t -> t option
+  val get_int : t -> int option
+  val get_float : t -> float option
+  val get_string : t -> string option
+end
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+val reset : unit -> unit
+(** Zero every metric's value; registrations survive. *)
+
+type counter
+type gauge
+type span
+type meter
+
+val counter : string -> counter
+(** Find or register the counter [name]. Cheap after the first call. *)
+
+val gauge : string -> gauge
+val meter : string -> per:string -> meter
+(** A throughput meter: events counted against the accumulated wall time of
+    the span named [per]. *)
+
+module Counter : sig
+  val incr : counter -> unit
+  val add : counter -> int -> unit
+  val value : counter -> int
+end
+
+module Gauge : sig
+  val set : gauge -> float -> unit
+  val set_int : gauge -> int -> unit
+  val value : gauge -> float
+end
+
+module Span : sig
+  val with_ : phase:string -> (unit -> 'a) -> 'a
+  (** Time [f] with the monotonic clock and accumulate into the span named
+      [phase] (created on first use). When disabled, calls [f] directly. *)
+
+  val ns : string -> int
+  (** Accumulated nanoseconds of a phase; 0 if it never ran. *)
+
+  val calls : string -> int
+end
+
+module Meter : sig
+  val mark : meter -> int -> unit
+  val count : meter -> int
+
+  val rate : meter -> float
+  (** Events per second over the [per] span's elapsed time; 0 when the span
+      never ran. *)
+end
+
+val counter_value : string -> int
+(** Current value of a counter by name; 0 if unregistered. *)
+
+val gauge_value : string -> float
+
+val snapshot : unit -> Json.t
+(** All metrics as one JSON object with [counters]/[gauges]/[spans]/[meters]
+    sections, each sorted by name. *)
+
+val to_jsonl : unit -> string
+(** One self-describing JSON object per line per metric. *)
+
+val write_json : string -> unit
+val write_jsonl : string -> unit

@@ -19,6 +19,9 @@ type shadow_ops = {
   remove : addr:int -> unit;
   slots_used : unit -> int;
   word_footprint : unit -> int;
+  extra_stats : unit -> (string * int) list;
+  (* backend-specific observability: collision proxy and per-signature
+     occupancy for Signature, page count for Paged; published as gauges *)
 }
 
 type shadow_kind =
@@ -35,7 +38,12 @@ let make_shadow = function
         set_write = (fun ~addr c -> Sigmem.Signature.set_write s ~addr c);
         remove = (fun ~addr -> Sigmem.Signature.remove s ~addr);
         slots_used = (fun () -> Sigmem.Signature.slots_used s);
-        word_footprint = (fun () -> Sigmem.Signature.word_footprint s) }
+        word_footprint = (fun () -> Sigmem.Signature.word_footprint s);
+        extra_stats =
+          (fun () ->
+            [ ("occupied_reads", Sigmem.Signature.occupied_reads s);
+              ("occupied_writes", Sigmem.Signature.occupied_writes s);
+              ("takeovers", Sigmem.Signature.takeovers s) ]) }
   | Perfect ->
       let s = Sigmem.Perfect.create ~slots:0 in
       { last_read = (fun ~addr -> Sigmem.Perfect.last_read s ~addr);
@@ -44,7 +52,8 @@ let make_shadow = function
         set_write = (fun ~addr c -> Sigmem.Perfect.set_write s ~addr c);
         remove = (fun ~addr -> Sigmem.Perfect.remove s ~addr);
         slots_used = (fun () -> Sigmem.Perfect.slots_used s);
-        word_footprint = (fun () -> Sigmem.Perfect.word_footprint s) }
+        word_footprint = (fun () -> Sigmem.Perfect.word_footprint s);
+        extra_stats = (fun () -> []) }
   | Paged ->
       let s = Sigmem.Two_level.create ~slots:0 in
       { last_read = (fun ~addr -> Sigmem.Two_level.last_read s ~addr);
@@ -53,7 +62,9 @@ let make_shadow = function
         set_write = (fun ~addr c -> Sigmem.Two_level.set_write s ~addr c);
         remove = (fun ~addr -> Sigmem.Two_level.remove s ~addr);
         slots_used = (fun () -> Sigmem.Two_level.slots_used s);
-        word_footprint = (fun () -> Sigmem.Two_level.word_footprint s) }
+        word_footprint = (fun () -> Sigmem.Two_level.word_footprint s);
+        extra_stats =
+          (fun () -> [ ("pages", Sigmem.Two_level.pages_allocated s) ]) }
 
 (* Counters for Table 2.7 / Fig 2.13: skipped instructions, classified by the
    dependence type they would have created. *)
@@ -286,3 +297,28 @@ let word_footprint t =
   t.shadow.word_footprint ()
   + (3 * Array.length t.last_addr)
   + (8 * Dep.Set_.cardinal t.deps)
+
+(* Publish this engine's end-of-run statistics into the observability
+   registry under [prefix]. Counters accumulate across engines (the parallel
+   profiler's workers all observe under their own prefix AND the shared
+   aggregate one), gauges record the last observed store shape. No-op when
+   observability is disabled. *)
+let observe ?(prefix = "engine") t =
+  if Obs.is_enabled () then begin
+    let c name v = Obs.Counter.add (Obs.counter (prefix ^ name)) v in
+    let g name v = Obs.Gauge.set_int (Obs.gauge (prefix ^ name)) v in
+    c ".accesses" t.n_processed;
+    c ".deps" (Dep.Set_.cardinal t.deps);
+    c ".lifetime.removals" t.lifetime_removals;
+    c ".skip.reads_total" t.sstats.reads_total;
+    c ".skip.writes_total" t.sstats.writes_total;
+    c ".skip.reads_skipped" t.sstats.reads_skipped;
+    c ".skip.writes_skipped" t.sstats.writes_skipped;
+    c ".skip.raw" t.sstats.skipped_raw;
+    c ".skip.war" t.sstats.skipped_war;
+    c ".skip.waw" t.sstats.skipped_waw;
+    c ".skip.shadow_update_elided" t.sstats.shadow_update_elided;
+    g ".shadow.slots_used" (t.shadow.slots_used ());
+    g ".shadow.words" (t.shadow.word_footprint ());
+    List.iter (fun (k, v) -> g (".shadow." ^ k) v) (t.shadow.extra_stats ())
+  end

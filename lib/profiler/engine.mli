@@ -17,6 +17,9 @@ type shadow_ops = {
   remove : addr:int -> unit;
   slots_used : unit -> int;
   word_footprint : unit -> int;
+  extra_stats : unit -> (string * int) list;
+      (** Backend-specific observability (collision proxy, per-signature
+          occupancy, page count), published as [<prefix>.shadow.*] gauges. *)
 }
 
 type shadow_kind =
@@ -63,3 +66,8 @@ val skip_stats : t -> skip_stats
 val processed : t -> int
 val word_footprint : t -> int
 (** Resident words: shadow store + per-op skip state + dependence table. *)
+
+val observe : ?prefix:string -> t -> unit
+(** Publish end-of-run statistics (accesses, deps, skip stats, shadow slot
+    usage and footprint) into the {!Obs} registry under [prefix] (default
+    ["engine"]). No-op when observability is disabled. *)

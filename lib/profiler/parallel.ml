@@ -37,15 +37,18 @@ module Locked_queue = struct
     q : 'a Queue.t;
     m : Mutex.t;
     capacity : int;
+    mutable stalls : int;    (* producer-owned: full-queue backoff rounds *)
   }
 
-  let create ~capacity = { q = Queue.create (); m = Mutex.create (); capacity }
+  let create ~capacity =
+    { q = Queue.create (); m = Mutex.create (); capacity; stalls = 0 }
 
   let push t x =
     let rec go () =
       Mutex.lock t.m;
       if Queue.length t.q >= t.capacity then begin
         Mutex.unlock t.m;
+        t.stalls <- t.stalls + 1;
         Domain.cpu_relax ();
         go ()
       end
@@ -61,6 +64,12 @@ module Locked_queue = struct
     let r = Queue.take_opt t.q in
     Mutex.unlock t.m;
     r
+
+  let length t =
+    Mutex.lock t.m;
+    let n = Queue.length t.q in
+    Mutex.unlock t.m;
+    n
 end
 
 type channel =
@@ -77,12 +86,24 @@ let channel_try_pop c =
   | Cfree q -> Spsc_queue.try_pop q
   | Clocked q -> Locked_queue.try_pop q
 
+let channel_stalls c =
+  match c with
+  | Cfree q -> Spsc_queue.stalls q
+  | Clocked q -> q.Locked_queue.stalls
+
+let channel_depth c =
+  match c with
+  | Cfree q -> Spsc_queue.length q
+  | Clocked q -> Locked_queue.length q
+
 type worker_result = {
   w_deps : Dep.Set_.t;
   w_races : (string * int * int) list;
   w_processed : int;
   w_footprint : int;
   w_skip : Engine.skip_stats;
+  w_chunks : int;          (* chunks consumed by this worker *)
+  w_idle_spins : int;      (* empty-queue backoff rounds (consumer stalls) *)
 }
 
 type result = {
@@ -108,11 +129,14 @@ let sum_skip (a : Engine.skip_stats) (b : Engine.skip_stats) : Engine.skip_stats
     skipped_waw = a.skipped_waw + b.skipped_waw;
     shadow_update_elided = a.shadow_update_elided + b.shadow_update_elided }
 
-let worker_loop (queue : channel) ~shadow ~skip () : worker_result =
+let worker_loop (queue : channel) ~index ~shadow ~skip () : worker_result =
   let engine = Engine.create ~skip shadow in
+  let chunks = ref 0 in
+  let idle_spins = ref 0 in
   let rec loop backoff =
     match channel_try_pop queue with
     | Some (Ichunk chunk) ->
+        incr chunks;
         Chunk.iter
           (fun e ->
             match e with
@@ -121,12 +145,19 @@ let worker_loop (queue : channel) ~shadow ~skip () : worker_result =
           chunk;
         loop 1
     | Some Istop ->
+        (* Per-worker shadow/skip statistics go out under this worker's own
+           prefix; Atomic counters make cross-domain publishing safe. *)
+        Engine.observe ~prefix:(Printf.sprintf "profiler.worker.%d" index)
+          engine;
         { w_deps = Engine.deps engine;
           w_races = Engine.races engine;
           w_processed = Engine.processed engine;
           w_footprint = Engine.word_footprint engine;
-          w_skip = Engine.skip_stats engine }
+          w_skip = Engine.skip_stats engine;
+          w_chunks = !chunks;
+          w_idle_spins = !idle_spins }
     | None ->
+        incr idle_spins;
         for _ = 1 to backoff do
           Domain.cpu_relax ()
         done;
@@ -143,6 +174,7 @@ let profile ?(workers = 4) ?(shadow_slots = 100_000) ?(perfect = false)
     ?(skip = false) ?(queue = Lockfree) ?(chunk_capacity = Chunk.default_capacity)
     ?(queue_capacity = 64) ?(seed = 42) ?(scramble_unlocked = false)
     (prog : Mil.Ast.program) : result =
+  Obs.Span.with_ ~phase:"profile" @@ fun () ->
   let w = max 1 workers in
   let shadow_kind =
     if perfect then Engine.Perfect else Engine.Signature (max 1 (shadow_slots / w))
@@ -154,10 +186,13 @@ let profile ?(workers = 4) ?(shadow_slots = 100_000) ?(perfect = false)
         | Lock_based -> Clocked (Locked_queue.create ~capacity:queue_capacity))
   in
   let domains =
-    Array.map
-      (fun c -> Domain.spawn (worker_loop c ~shadow:shadow_kind ~skip))
+    Array.mapi
+      (fun i c -> Domain.spawn (worker_loop c ~index:i ~shadow:shadow_kind ~skip))
       channels
   in
+  (* Deepest queue fill level seen at chunk-push time; sampled only when the
+     observability layer is on, so the disabled hot path is untouched. *)
+  let max_depth = ref 0 in
   (* Producer state *)
   let open_chunks =
     Array.init w (fun _ -> ref (Chunk.create ~capacity:chunk_capacity ~dummy:dummy_entry ()))
@@ -176,6 +211,8 @@ let profile ?(workers = 4) ?(shadow_slots = 100_000) ?(perfect = false)
     Chunk.push c e;
     if Chunk.is_full c then begin
       channel_push channels.(worker) (Ichunk c);
+      if Obs.is_enabled () then
+        max_depth := max !max_depth (channel_depth channels.(worker));
       open_chunks.(worker) :=
         Chunk.create ~capacity:chunk_capacity ~dummy:dummy_entry ()
     end
@@ -242,15 +279,39 @@ let profile ?(workers = 4) ?(shadow_slots = 100_000) ?(perfect = false)
         shadow_update_elided = 0 }
       results
   in
-  { deps;
-    pet;
-    races = Array.to_list results |> List.concat_map (fun r -> r.w_races);
-    accesses = Array.fold_left (fun acc r -> acc + r.w_processed) 0 results;
-    per_worker = Array.map (fun r -> r.w_processed) results;
-    footprint_words =
-      Array.fold_left (fun acc r -> acc + r.w_footprint) 0 results
-      + (8 * Hashtbl.length counts);
-    merging_factor = Dep.Set_.merging_factor deps;
-    redistributions = !redistributions;
-    skip_stats;
-    interp }
+  let r =
+    { deps;
+      pet;
+      races = Array.to_list results |> List.concat_map (fun r -> r.w_races);
+      accesses = Array.fold_left (fun acc r -> acc + r.w_processed) 0 results;
+      per_worker = Array.map (fun r -> r.w_processed) results;
+      footprint_words =
+        Array.fold_left (fun acc r -> acc + r.w_footprint) 0 results
+        + (8 * Hashtbl.length counts);
+      merging_factor = Dep.Set_.merging_factor deps;
+      redistributions = !redistributions;
+      skip_stats;
+      interp }
+  in
+  if Obs.is_enabled () then begin
+    (* Same run-level names as Serial.publish: the registry hands back the
+       identical counter instances, keeping serial and parallel comparable. *)
+    Serial.publish ~accesses:r.accesses ~deps ~footprint_words:r.footprint_words
+      ~merging_factor:r.merging_factor;
+    Obs.Counter.add (Obs.counter "profiler.rebalance.events") !redistributions;
+    Obs.Gauge.set_int (Obs.gauge "profiler.queue.max_depth") !max_depth;
+    Obs.Counter.add
+      (Obs.counter "profiler.queue.push_stalls")
+      (Array.fold_left (fun acc c -> acc + channel_stalls c) 0 channels);
+    Array.iteri
+      (fun i (wr : worker_result) ->
+        let c name v =
+          Obs.Counter.add
+            (Obs.counter (Printf.sprintf "profiler.worker.%d.%s" i name))
+            v
+        in
+        c "chunks" wr.w_chunks;
+        c "idle_spins" wr.w_idle_spins)
+      results
+  end;
+  r

@@ -15,8 +15,27 @@ type result = {
   interp : Mil.Interp.run_result;
 }
 
+(* Run-level metrics shared with the parallel profiler, so serial and
+   parallel runs of the same workload are directly comparable in a stats
+   export ("profiler.accesses" and "profiler.deps" must agree). *)
+let c_accesses = Obs.counter "profiler.accesses"
+let c_deps = Obs.counter "profiler.deps"
+let g_footprint = Obs.gauge "profiler.footprint_words"
+let g_merging = Obs.gauge "profiler.merging_factor"
+let m_access_rate = Obs.meter "profiler.access_rate" ~per:"profile"
+
+let publish ~accesses ~deps ~footprint_words ~merging_factor =
+  if Obs.is_enabled () then begin
+    Obs.Counter.add c_accesses accesses;
+    Obs.Counter.add c_deps (Dep.Set_.cardinal deps);
+    Obs.Meter.mark m_access_rate accesses;
+    Obs.Gauge.set_int g_footprint footprint_words;
+    Obs.Gauge.set g_merging merging_factor
+  end
+
 let profile ?(shadow = Engine.Perfect) ?(skip = false) ?(lifetime = true)
     ?(seed = 42) ?(scramble_unlocked = false) (prog : Mil.Ast.program) : result =
+  Obs.Span.with_ ~phase:"profile" @@ fun () ->
   let engine = Engine.create ~skip ~lifetime shadow in
   let petb = Pet.create_builder () in
   let emit ev =
@@ -27,14 +46,20 @@ let profile ?(shadow = Engine.Perfect) ?(skip = false) ?(lifetime = true)
   let pet = Pet.finish petb in
   let deps = Engine.deps engine in
   Pet.attach_deps pet deps;
-  { deps;
-    pet;
-    races = Engine.races engine;
-    accesses = Engine.processed engine;
-    skip_stats = Engine.skip_stats engine;
-    footprint_words = Engine.word_footprint engine;
-    merging_factor = Dep.Set_.merging_factor deps;
-    interp }
+  let r =
+    { deps;
+      pet;
+      races = Engine.races engine;
+      accesses = Engine.processed engine;
+      skip_stats = Engine.skip_stats engine;
+      footprint_words = Engine.word_footprint engine;
+      merging_factor = Dep.Set_.merging_factor deps;
+      interp }
+  in
+  publish ~accesses:r.accesses ~deps ~footprint_words:r.footprint_words
+    ~merging_factor:r.merging_factor;
+  Engine.observe engine;
+  r
 
 (* Convenience: render the profile in the paper's text format. *)
 let report ?(threads = false) (r : result) : string =

@@ -25,3 +25,14 @@ val profile :
 
 val report : ?threads:bool -> result -> string
 (** The profile in the paper's text format. *)
+
+val publish :
+  accesses:int ->
+  deps:Dep.Set_.t ->
+  footprint_words:int ->
+  merging_factor:float ->
+  unit
+(** Publish run-level metrics ([profiler.accesses], [profiler.deps],
+    footprint and merging-factor gauges) into the {!Obs} registry. Shared
+    with {!Parallel.profile} so serial and parallel runs of the same workload
+    report under identical names. No-op when observability is disabled. *)

@@ -11,6 +11,7 @@ type 'a t = {
   mask : int;                (* capacity - 1; capacity is a power of two *)
   head : int Atomic.t;       (* next index to pop  (consumer-owned) *)
   tail : int Atomic.t;       (* next index to push (producer-owned) *)
+  mutable stalls : int;      (* producer-owned: full-queue backoff rounds *)
 }
 
 let create ~capacity =
@@ -21,7 +22,8 @@ let create ~capacity =
   { slots = Array.make cap None;
     mask = cap - 1;
     head = Atomic.make 0;
-    tail = Atomic.make 0 }
+    tail = Atomic.make 0;
+    stalls = 0 }
 
 let capacity t = t.mask + 1
 let length t = Atomic.get t.tail - Atomic.get t.head
@@ -43,6 +45,7 @@ let try_push t x =
 let push t x =
   let rec go backoff =
     if not (try_push t x) then begin
+      t.stalls <- t.stalls + 1;
       for _ = 1 to backoff do
         Domain.cpu_relax ()
       done;
@@ -50,6 +53,10 @@ let push t x =
     end
   in
   go 1
+
+(* Producer-side stall count: only the producer writes it, so a plain read
+   after the workers are joined is exact. *)
+let stalls t = t.stalls
 
 (* Consumer side. *)
 let try_pop t =

@@ -21,3 +21,8 @@ val push : 'a t -> 'a -> unit
 
 val try_pop : 'a t -> 'a option
 (** Consumer side; [None] when empty. *)
+
+val stalls : 'a t -> int
+(** Full-queue backoff rounds the blocking {!push} went through — the
+    producer-side stall pressure the profiler's observability layer reports.
+    Producer-owned; exact once the producer is done. *)

@@ -16,6 +16,10 @@ type t = {
   writes : Cell.t array;
   mutable occupied_reads : int;
   mutable occupied_writes : int;
+  (* Occupied-slot overwrites where the stored variable differs from the
+     incoming one: a cheap proxy for hash collisions (cells do not retain the
+     address), i.e. for the false-positive pressure of Table 2.6. *)
+  mutable takeovers : int;
 }
 
 (* Splitmix-style bit mixing: dense bump-allocator addresses must land in
@@ -34,19 +38,24 @@ let create ~slots =
     reads = Array.make slots Cell.empty;
     writes = Array.make slots Cell.empty;
     occupied_reads = 0;
-    occupied_writes = 0 }
+    occupied_writes = 0;
+    takeovers = 0 }
 
 let last_read t ~addr = t.reads.(hash_addr addr t.slots)
 let last_write t ~addr = t.writes.(hash_addr addr t.slots)
 
 let set_read t ~addr cell =
   let i = hash_addr addr t.slots in
-  if Cell.is_empty t.reads.(i) then t.occupied_reads <- t.occupied_reads + 1;
+  let old = t.reads.(i) in
+  if Cell.is_empty old then t.occupied_reads <- t.occupied_reads + 1
+  else if old.Cell.var <> cell.Cell.var then t.takeovers <- t.takeovers + 1;
   t.reads.(i) <- cell
 
 let set_write t ~addr cell =
   let i = hash_addr addr t.slots in
-  if Cell.is_empty t.writes.(i) then t.occupied_writes <- t.occupied_writes + 1;
+  let old = t.writes.(i) in
+  if Cell.is_empty old then t.occupied_writes <- t.occupied_writes + 1
+  else if old.Cell.var <> cell.Cell.var then t.takeovers <- t.takeovers + 1;
   t.writes.(i) <- cell
 
 let remove t ~addr =
@@ -61,6 +70,9 @@ let remove t ~addr =
   end
 
 let slots_used t = t.occupied_reads + t.occupied_writes
+let occupied_reads t = t.occupied_reads
+let occupied_writes t = t.occupied_writes
+let takeovers t = t.takeovers
 
 (* Each slot holds one boxed record pointer; count array words. *)
 let word_footprint t = 2 * t.slots

@@ -27,5 +27,13 @@ val remove : t -> addr:int -> unit
 val slots_used : t -> int
 (** Occupied slots across both signatures. *)
 
+val occupied_reads : t -> int
+val occupied_writes : t -> int
+
+val takeovers : t -> int
+(** Occupied-slot overwrites whose stored variable differs from the incoming
+    one — a cheap collision proxy for the false-positive pressure of
+    Table 2.6 (cells do not retain the hashed address). *)
+
 val word_footprint : t -> int
 (** Approximate resident words of the store itself. *)

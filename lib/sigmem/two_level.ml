@@ -74,6 +74,11 @@ let remove t ~addr =
       p.writes.(offset t addr) <- Cell.empty
   | None -> ()
 
+let pages_allocated t =
+  Array.fold_left
+    (fun acc page -> match page with None -> acc | Some _ -> acc + 1)
+    0 t.pages
+
 let slots_used t =
   Array.fold_left
     (fun acc page ->

@@ -17,3 +17,6 @@ val set_write : t -> addr:int -> Cell.t -> unit
 val remove : t -> addr:int -> unit
 val slots_used : t -> int
 val word_footprint : t -> int
+
+val pages_allocated : t -> int
+(** Pages materialised by first-touch allocation so far. *)

@@ -7,4 +7,5 @@ let () =
       ("cu", Test_cu.tests);
       ("discovery", Test_discovery.tests);
       ("schedule", Test_schedule.tests);
-      ("apps", Test_apps.tests) ]
+      ("apps", Test_apps.tests);
+      ("obs", Test_obs.tests) ]

@@ -1,0 +1,177 @@
+(* Tests for the observability layer (lib/obs): the JSON value type
+   round-trips through its own parser, the JSONL export is parseable line by
+   line, disabled mode is a no-op, and the serial and parallel profilers
+   publish identical deterministic counters for the same workload. *)
+
+module J = Obs.Json
+
+(* Every test owns the global registry: start clean, leave clean. *)
+let fresh () =
+  Obs.disable ();
+  Obs.reset ();
+  Obs.enable ()
+
+let teardown () =
+  Obs.disable ();
+  Obs.reset ()
+
+let with_registry f =
+  fresh ();
+  Fun.protect ~finally:teardown f
+
+(* --- JSON value round-trips --- *)
+
+let roundtrip v =
+  match J.of_string (J.to_string v) with
+  | Ok v' -> v'
+  | Error msg -> Alcotest.failf "parse error: %s" msg
+
+let test_json_roundtrip () =
+  let cases =
+    [ J.Null;
+      J.Bool true;
+      J.Int (-42);
+      J.Float 3.5;
+      J.String "plain";
+      J.String "esc \" \\ \n \t quote";
+      J.List [ J.Int 1; J.String "two"; J.Null ];
+      J.Obj
+        [ ("a", J.Int 1);
+          ("nested", J.Obj [ ("b", J.List [ J.Float 0.25; J.Bool false ]) ]) ]
+    ]
+  in
+  List.iter
+    (fun v ->
+      Alcotest.(check string) "roundtrip" (J.to_string v)
+        (J.to_string (roundtrip v)))
+    cases;
+  (* pretty output parses back to the same value too *)
+  let v = J.Obj [ ("xs", J.List [ J.Int 1; J.Int 2 ]); ("s", J.String "hi") ] in
+  match J.of_string (J.pretty v) with
+  | Ok v' -> Alcotest.(check string) "pretty" (J.to_string v) (J.to_string v')
+  | Error msg -> Alcotest.failf "pretty parse error: %s" msg
+
+let test_json_floats_stay_floats () =
+  (* floats must keep a decimal marker so they re-parse as floats *)
+  match roundtrip (J.Float 2.0) with
+  | J.Float f -> Alcotest.(check (float 0.0)) "2.0" 2.0 f
+  | _ -> Alcotest.fail "Float 2.0 did not round-trip as a float"
+
+(* --- registry basics --- *)
+
+let test_disabled_is_noop () =
+  Obs.disable ();
+  Obs.reset ();
+  let c = Obs.counter "t.disabled" in
+  Obs.Counter.add c 5;
+  Obs.Gauge.set (Obs.gauge "t.disabled_g") 1.5;
+  Alcotest.(check int) "counter untouched" 0 (Obs.Counter.value c);
+  Alcotest.(check (float 0.0)) "gauge untouched" 0.0
+    (Obs.gauge_value "t.disabled_g");
+  with_registry @@ fun () ->
+  Obs.Counter.add c 5;
+  Alcotest.(check int) "counter counts when enabled" 5 (Obs.Counter.value c)
+
+let test_span_and_meter () =
+  with_registry @@ fun () ->
+  let m = Obs.meter "t.events" ~per:"t.work" in
+  Obs.Span.with_ ~phase:"t.work" (fun () ->
+      for _ = 1 to 10 do
+        Obs.Meter.mark m 1
+      done);
+  Alcotest.(check int) "span ran once" 1 (Obs.Span.calls "t.work");
+  Alcotest.(check bool) "span took time" true (Obs.Span.ns "t.work" >= 0);
+  Alcotest.(check int) "meter counted" 10 (Obs.Meter.count m)
+
+(* --- JSONL exporter --- *)
+
+let test_jsonl_parses () =
+  with_registry @@ fun () ->
+  Obs.Counter.add (Obs.counter "t.c") 3;
+  Obs.Gauge.set (Obs.gauge "t.g") 0.5;
+  Obs.Span.with_ ~phase:"t.s" (fun () -> ());
+  Obs.Meter.mark (Obs.meter "t.m" ~per:"t.s") 1;
+  let lines =
+    String.split_on_char '\n' (Obs.to_jsonl ())
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  Alcotest.(check bool) "has lines" true (List.length lines >= 4);
+  List.iter
+    (fun line ->
+      match J.of_string line with
+      | Ok (J.Obj fields) ->
+          Alcotest.(check bool) "has kind" true (List.mem_assoc "kind" fields);
+          Alcotest.(check bool) "has name" true (List.mem_assoc "name" fields)
+      | Ok _ -> Alcotest.failf "JSONL line is not an object: %s" line
+      | Error msg -> Alcotest.failf "JSONL line unparseable (%s): %s" msg line)
+    lines;
+  (* the counter's value survives the round trip *)
+  let counter_line =
+    List.find
+      (fun l ->
+        match J.of_string l with
+        | Ok o ->
+            J.member "kind" o = Some (J.String "counter")
+            && J.member "name" o = Some (J.String "t.c")
+        | Error _ -> false)
+      lines
+  in
+  match J.of_string counter_line with
+  | Ok o -> Alcotest.(check (option int)) "value" (Some 3)
+              (Option.map J.get_int (J.member "value" o) |> Option.join)
+  | Error _ -> assert false
+
+let test_snapshot_shape () =
+  with_registry @@ fun () ->
+  Obs.Counter.add (Obs.counter "t.c") 1;
+  Obs.Span.with_ ~phase:"t.s" (fun () -> ());
+  let snap = Obs.snapshot () in
+  List.iter
+    (fun section ->
+      match J.member section snap with
+      | Some (J.Obj _) -> ()
+      | _ -> Alcotest.failf "snapshot missing %s section" section)
+    [ "counters"; "gauges"; "spans"; "meters" ]
+
+(* --- serial vs parallel profiler determinism --- *)
+
+let test_serial_parallel_counters_agree () =
+  with_registry @@ fun () ->
+  let prog = Helpers.fig27 in
+  let _ = Profiler.Serial.profile prog in
+  let s_acc = Obs.counter_value "profiler.accesses" in
+  let s_deps = Obs.counter_value "profiler.deps" in
+  Alcotest.(check bool) "serial counted accesses" true (s_acc > 0);
+  Alcotest.(check bool) "serial counted deps" true (s_deps > 0);
+  Obs.reset ();
+  let workers = 3 in
+  let _ = Profiler.Parallel.profile ~workers ~perfect:true prog in
+  Alcotest.(check int) "accesses agree" s_acc
+    (Obs.counter_value "profiler.accesses");
+  Alcotest.(check int) "deps agree" s_deps
+    (Obs.counter_value "profiler.deps");
+  (* per-worker access counters partition the total *)
+  let per_worker =
+    List.init workers (fun i ->
+        Obs.counter_value (Printf.sprintf "profiler.worker.%d.accesses" i))
+  in
+  Alcotest.(check int) "worker accesses sum to total" s_acc
+    (List.fold_left ( + ) 0 per_worker)
+
+let test_reset_zeroes () =
+  with_registry @@ fun () ->
+  Obs.Counter.add (Obs.counter "t.r") 7;
+  Obs.reset ();
+  Alcotest.(check int) "zeroed" 0 (Obs.counter_value "t.r")
+
+let tests =
+  [ Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json float stays float" `Quick
+      test_json_floats_stay_floats;
+    Alcotest.test_case "disabled is a no-op" `Quick test_disabled_is_noop;
+    Alcotest.test_case "span and meter" `Quick test_span_and_meter;
+    Alcotest.test_case "jsonl lines parse" `Quick test_jsonl_parses;
+    Alcotest.test_case "snapshot sections" `Quick test_snapshot_shape;
+    Alcotest.test_case "serial/parallel counters agree" `Quick
+      test_serial_parallel_counters_agree;
+    Alcotest.test_case "reset zeroes values" `Quick test_reset_zeroes ]
