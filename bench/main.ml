@@ -43,14 +43,25 @@ let experiments : (string * string * (unit -> unit)) list =
     ("ablation", "Ablations: shadow backend, lifetime, merging", Exp_ablation.run);
     ("micro", "Bechamel micro-benchmarks", Exp_micro.run) ]
 
+(* With --trace, each experiment additionally records a per-domain timeline
+   and writes it as TRACE_<id>.json (Chrome Trace Event format, validated by
+   `discopop trace-check` in CI). Off by default: tracing every experiment
+   would perturb the slowdown numbers the harness exists to measure. *)
+let tracing = ref false
+
 (* Run one experiment under the observability layer and write its
-   BENCH_<id>.json summary. The registry is reset per experiment so each
-   summary is self-contained. *)
+   BENCH_<id>.json summary. Both the metrics registry and the trace buffers
+   are reset per experiment so each summary/timeline is self-contained. *)
 let run_experiment (id, _, run) =
   Obs.reset ();
+  Obs.Trace.reset ();
   Obs.enable ();
+  if !tracing then begin
+    Obs.Trace.enable ();
+    Obs.Trace.set_track "bench (main)"
+  end;
   let t0 = Unix.gettimeofday () in
-  run ();
+  Obs.Trace.with_span ("experiment." ^ id) run;
   let wall = Unix.gettimeofday () -. t0 in
   let path = Printf.sprintf "BENCH_%s.json" id in
   let summary =
@@ -64,10 +75,27 @@ let run_experiment (id, _, run) =
   output_string oc (Obs.Json.pretty summary);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "[bench] wrote %s (%.2fs)\n" path wall
+  Printf.printf "[bench] wrote %s (%.2fs)\n" path wall;
+  if !tracing then begin
+    let tpath = Printf.sprintf "TRACE_%s.json" id in
+    Obs.Trace.write tpath;
+    Printf.printf "[bench] wrote %s (%d events)\n" tpath
+      (Obs.Trace.event_count ());
+    Obs.Trace.disable ()
+  end
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--trace" then begin
+          tracing := true;
+          false
+        end
+        else true)
+      args
+  in
   match args with
   | [ "-l" ] | [ "--list" ] ->
       List.iter (fun (id, doc, _) -> Printf.printf "%-20s %s\n" id doc) experiments
@@ -83,5 +111,5 @@ let () =
       Printf.printf "\nall experiments completed in %.1fs\n"
         (Unix.gettimeofday () -. t0)
   | _ ->
-      prerr_endline "usage: bench/main.exe [-l | -e <experiment>]";
+      prerr_endline "usage: bench/main.exe [-l | -e <experiment>] [--trace]";
       exit 1

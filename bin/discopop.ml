@@ -53,19 +53,36 @@ let stats_arg =
                counters, gauges; see README \"Observability & CI\") to FILE \
                as JSON.")
 
-let with_stats stats f =
+(* --trace: enable per-domain timeline tracing for the run and write the
+   collected events to FILE as Chrome Trace Event JSON (chrome://tracing /
+   Perfetto-loadable; validate with `discopop trace-check`). *)
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write a per-domain event timeline (phase spans, worker chunk \
+               consumption, queue depths; see README \"Tracing & explain\") \
+               to FILE as Chrome Trace Event JSON, loadable in \
+               chrome://tracing or Perfetto.")
+
+let with_obs ~stats ~trace f =
   (match stats with Some _ -> Obs.enable () | None -> ());
-  let r = f () in
-  (match stats with
-  | Some path -> (
-      try
-        Obs.write_json path;
-        Printf.eprintf "wrote %s\n" path
-      with Sys_error msg ->
-        Printf.eprintf "cannot write stats file: %s\n" msg;
-        exit 1)
+  (match trace with
+  | Some _ ->
+      Obs.Trace.enable ();
+      Obs.Trace.set_track "main"
   | None -> ());
+  let r = f () in
+  let write what path write_fn =
+    try
+      write_fn path;
+      Printf.eprintf "wrote %s\n" path
+    with Sys_error msg ->
+      Printf.eprintf "cannot write %s file: %s\n" what msg;
+      exit 1
+  in
+  Option.iter (fun p -> write "stats" p Obs.write_json) stats;
+  Option.iter (fun p -> write "trace" p Obs.Trace.write) trace;
   r
+
 
 let shadow_of = function
   | Some slots -> Profiler.Engine.Signature slots
@@ -100,7 +117,7 @@ let out_arg =
 
 let profile_cmd =
   let doc = "Run the data-dependence profiler and print the dependence report." in
-  let run name size signature skip workers output stats =
+  let run name size signature skip workers output stats trace =
     let w = or_die (find_workload name) in
     let prog = Workloads.Registry.program ?size w in
     let save deps =
@@ -110,7 +127,7 @@ let profile_cmd =
           Profiler.Depfile.write path deps;
           Printf.eprintf "wrote %s\n" path
     in
-    with_stats stats @@ fun () ->
+    with_obs ~stats ~trace @@ fun () ->
     let deps, pet =
       if workers > 0 then begin
         let r =
@@ -160,7 +177,7 @@ let profile_cmd =
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(
       const run $ workload_arg $ size_arg $ sig_arg $ skip_arg $ workers_arg
-      $ out_arg $ stats_arg)
+      $ out_arg $ stats_arg $ trace_arg)
 
 (* read-deps *)
 let read_deps_cmd =
@@ -180,12 +197,14 @@ let read_deps_cmd =
 (* pet *)
 let pet_cmd =
   let doc = "Print the program execution tree (§2.3.6)." in
-  let run name size =
+  let run name size trace =
     let w = or_die (find_workload name) in
+    with_obs ~stats:None ~trace @@ fun () ->
     let r = Profiler.Serial.profile (Workloads.Registry.program ?size w) in
     print_string (Profiler.Pet.to_string r.pet)
   in
-  Cmd.v (Cmd.info "pet" ~doc) Term.(const run $ workload_arg $ size_arg)
+  Cmd.v (Cmd.info "pet" ~doc)
+    Term.(const run $ workload_arg $ size_arg $ trace_arg)
 
 (* cus *)
 let cus_cmd =
@@ -194,10 +213,10 @@ let cus_cmd =
     Arg.(value & flag & info [ "dot" ] ~doc:"Emit the whole-program CU graph \
                                              as graphviz.")
   in
-  let run name size dot stats =
+  let run name size dot stats trace =
     let w = or_die (find_workload name) in
     let prog = Workloads.Registry.program ?size w in
-    with_stats stats @@ fun () ->
+    with_obs ~stats ~trace @@ fun () ->
     let st = Obs.Span.with_ ~phase:"static" (fun () -> Mil.Static.analyze prog) in
     let res = Cunit.Top_down.build st in
     if dot then begin
@@ -213,7 +232,7 @@ let cus_cmd =
         res.Cunit.Top_down.cus
   in
   Cmd.v (Cmd.info "cus" ~doc)
-    Term.(const run $ workload_arg $ size_arg $ dot_arg $ stats_arg)
+    Term.(const run $ workload_arg $ size_arg $ dot_arg $ stats_arg $ trace_arg)
 
 (* discover *)
 let discover_cmd =
@@ -222,9 +241,9 @@ let discover_cmd =
     Arg.(value & opt int 4 & info [ "threads" ] ~docv:"T"
            ~doc:"Thread count assumed by the local-speedup metric.")
   in
-  let run name size threads stats =
+  let run name size threads stats trace =
     let w = or_die (find_workload name) in
-    with_stats stats @@ fun () ->
+    with_obs ~stats ~trace @@ fun () ->
     let report =
       Discovery.Suggestion.analyze ~threads (Workloads.Registry.program ?size w)
     in
@@ -235,7 +254,139 @@ let discover_cmd =
       report.Discovery.Suggestion.loops
   in
   Cmd.v (Cmd.info "discover" ~doc)
-    Term.(const run $ workload_arg $ size_arg $ threads_arg $ stats_arg)
+    Term.(const run $ workload_arg $ size_arg $ threads_arg $ stats_arg
+          $ trace_arg)
+
+(* explain *)
+let explain_cmd =
+  let doc =
+    "Profile a workload and explain every reported dependence: a ranked \
+     provenance table with each record's first dynamic witness and \
+     false-positive risk, or (with --dot) a risk-annotated CU graph."
+  in
+  let top_arg =
+    Arg.(value & opt int 0 & info [ "top" ] ~docv:"N"
+           ~doc:"Show only the N hottest records (0 = all).")
+  in
+  let dot_arg =
+    Arg.(value & flag & info [ "dot" ]
+           ~doc:"Emit the CU graph as graphviz with risk-annotated \
+                 dependence edges instead of the table; edges at or above \
+                 the risk threshold render dashed.")
+  in
+  let threshold_arg =
+    Arg.(value & opt float 0.5 & info [ "risk-threshold" ] ~docv:"R"
+           ~doc:"Risk at or above which a --dot edge renders dashed.")
+  in
+  let run name size signature skip workers top dot threshold stats trace =
+    let w = or_die (find_workload name) in
+    let prog = Workloads.Registry.program ?size w in
+    with_obs ~stats ~trace @@ fun () ->
+    let deps, shadow_name =
+      if workers > 0 then begin
+        let r =
+          Profiler.Parallel.profile ~workers
+            ~perfect:(signature = None)
+            ?shadow_slots:signature ~skip prog
+        in
+        ( r.deps,
+          match signature with
+          | Some s -> Printf.sprintf "signature(%d slots, %d workers)" s workers
+          | None -> Printf.sprintf "perfect (%d workers)" workers )
+      end
+      else begin
+        let r = Profiler.Serial.profile ~shadow:(shadow_of signature) ~skip prog in
+        ( r.deps,
+          match signature with
+          | Some s -> Printf.sprintf "signature(%d slots)" s
+          | None -> "perfect" )
+      end
+    in
+    if dot then begin
+      let st = Obs.Span.with_ ~phase:"static" (fun () -> Mil.Static.analyze prog) in
+      let res = Cunit.Top_down.build st in
+      let g = Cunit.Graph.build ~cus:res.Cunit.Top_down.cus ~deps () in
+      print_string (Cunit.Graph.to_dot ~risk_threshold:threshold g)
+    end
+    else begin
+      Printf.printf "# explain %s: shadow=%s%s\n" w.name shadow_name
+        (if skip then ", skip" else "");
+      print_string
+        (Profiler.Report.render_explain ~top ~threads:w.parallel_target deps)
+    end
+  in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(
+      const run $ workload_arg $ size_arg $ sig_arg $ skip_arg $ workers_arg
+      $ top_arg $ dot_arg $ threshold_arg $ stats_arg $ trace_arg)
+
+(* trace-check *)
+let trace_check_cmd =
+  let doc =
+    "Validate a Chrome Trace Event file produced by --trace: parseable by \
+     the bundled JSON parser, non-empty, required fields present, \
+     timestamps monotone per track."
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let run file =
+    let contents =
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let die msg =
+      Printf.eprintf "%s: %s\n" file msg;
+      exit 1
+    in
+    match Obs.Json.of_string contents with
+    | Error msg -> die (Printf.sprintf "unparseable JSON (%s)" msg)
+    | Ok j -> (
+        match Obs.Json.member "traceEvents" j with
+        | Some (Obs.Json.List []) -> die "traceEvents is empty"
+        | Some (Obs.Json.List evs) ->
+            (* Buffers are appended in clock order, so within one (pid, tid)
+               track the exported ts sequence must be non-decreasing. *)
+            let last_ts : (int * int, float) Hashtbl.t = Hashtbl.create 8 in
+            List.iteri
+              (fun i ev ->
+                let field name =
+                  match Obs.Json.member name ev with
+                  | Some v -> v
+                  | None ->
+                      die (Printf.sprintf "event %d lacks field %S" i name)
+                in
+                let int_field name =
+                  match Obs.Json.get_int (field name) with
+                  | Some v -> v
+                  | None -> die (Printf.sprintf "event %d: %S not an int" i name)
+                in
+                ignore (field "name");
+                (match Obs.Json.get_string (field "ph") with
+                | Some ("B" | "E" | "i" | "C" | "M" | "X") -> ()
+                | _ -> die (Printf.sprintf "event %d: bad \"ph\"" i));
+                let ts =
+                  match Obs.Json.get_float (field "ts") with
+                  | Some t -> t
+                  | None -> die (Printf.sprintf "event %d: \"ts\" not a number" i)
+                in
+                let track = (int_field "pid", int_field "tid") in
+                (match Hashtbl.find_opt last_ts track with
+                | Some prev when ts < prev ->
+                    die
+                      (Printf.sprintf
+                         "event %d: ts %.3f goes backwards on track %d/%d" i ts
+                         (fst track) (snd track))
+                | _ -> ());
+                Hashtbl.replace last_ts track ts)
+              evs;
+            Printf.printf "trace ok: %d events, %d tracks\n" (List.length evs)
+              (Hashtbl.length last_ts)
+        | _ -> die "no traceEvents list")
+  in
+  Cmd.v (Cmd.info "trace-check" ~doc) Term.(const run $ file_arg)
 
 (* races *)
 let races_cmd =
@@ -244,9 +395,10 @@ let races_cmd =
     Arg.(value & opt int 5 & info [ "schedules" ] ~docv:"N"
            ~doc:"Number of thread schedules to try.")
   in
-  let run name size seeds =
+  let run name size seeds trace =
     let w = or_die (find_workload name) in
     let prog = Workloads.Registry.program ?size w in
+    with_obs ~stats:None ~trace @@ fun () ->
     let found = Hashtbl.create 8 in
     for seed = 1 to seeds do
       let r = Profiler.Serial.profile ~scramble_unlocked:true ~seed prog in
@@ -260,7 +412,8 @@ let races_cmd =
           Printf.printf "potential race on %s between lines %d and %d\n" var l1 l2)
         found
   in
-  Cmd.v (Cmd.info "races" ~doc) Term.(const run $ workload_arg $ size_arg $ seeds_arg)
+  Cmd.v (Cmd.info "races" ~doc)
+    Term.(const run $ workload_arg $ size_arg $ seeds_arg $ trace_arg)
 
 let () =
   let doc = "DiscoPoP: discovery of potential parallelism in sequential programs" in
@@ -269,4 +422,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; source_cmd; profile_cmd; read_deps_cmd; pet_cmd; cus_cmd;
-            discover_cmd; races_cmd ]))
+            discover_cmd; explain_cmd; trace_check_cmd; races_cmd ]))

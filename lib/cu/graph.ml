@@ -15,6 +15,7 @@ type edge = {
   e_var : string;            (* variable at the dependence's source *)
   e_carried : int option;    (* carrying loop header line, if loop-carried *)
   e_count : int;             (* merged occurrence count *)
+  e_risk : float;            (* max false-positive risk of the merged deps *)
 }
 
 type t = {
@@ -43,7 +44,7 @@ let build ?(static_edges = true) ~(cus : Cu.t list) ~(deps : Dep.Set_.t) () : t 
   let index_of = Hashtbl.create (Array.length arr) in
   Array.iteri (fun i cu -> Hashtbl.replace index_of cu.Cu.id i) arr;
   let lines = line_map cus in
-  let tbl : (int * int * Dep.dtype * string * int option, int) Hashtbl.t =
+  let tbl : (int * int * Dep.dtype * string * int option, int * float) Hashtbl.t =
     Hashtbl.create 64
   in
   Dep.Set_.iter
@@ -65,16 +66,21 @@ let build ?(static_edges = true) ~(cus : Cu.t list) ~(deps : Dep.Set_.t) () : t 
               in
               if keep then begin
                 let key = (c_sink, c_src, d.Dep.dtype, d.Dep.var, d.Dep.carrier) in
-                let prev = try Hashtbl.find tbl key with Not_found -> 0 in
-                Hashtbl.replace tbl key (prev + count)
+                let prev_n, prev_r =
+                  try Hashtbl.find tbl key with Not_found -> (0, 0.0)
+                in
+                (* An edge merging several records is as suspect as its most
+                   collision-prone witness. *)
+                Hashtbl.replace tbl key
+                  (prev_n + count, Float.max prev_r (Dep.Set_.risk_of deps d))
               end
           | _ -> ()))
     deps;
   let edges =
     Hashtbl.fold
-      (fun (f, t_, ty, var, ca) n acc ->
+      (fun (f, t_, ty, var, ca) (n, risk) acc ->
         { e_from = f; e_to = t_; e_type = ty; e_var = var; e_carried = ca;
-          e_count = n }
+          e_count = n; e_risk = risk }
         :: acc)
       tbl []
   in
@@ -108,7 +114,8 @@ let build ?(static_edges = true) ~(cus : Cu.t list) ~(deps : Dep.Set_.t) () : t 
                       with
                       | Some var ->
                           { e_from = b.Cu.id; e_to = a.Cu.id; e_type = Dep.Raw;
-                            e_var = var; e_carried = None; e_count = 0 }
+                            e_var = var; e_carried = None; e_count = 0;
+                            e_risk = 0.0 }
                           :: acc
                       | None -> acc)
                     acc rest
@@ -164,7 +171,11 @@ let self_raw g =
     g.edges
   |> List.sort_uniq compare
 
-let to_dot g =
+(* [risk_threshold]: edges whose false-positive risk reaches it render dashed
+   (with the risk in the label), so a signature-shadow run's suspect edges
+   are visually separable from trustworthy ones. Risk is 0 everywhere under
+   exact shadows, reproducing the old output byte for byte. *)
+let to_dot ?(risk_threshold = 0.5) g =
   let buf = Buffer.create 256 in
   Buffer.add_string buf "digraph cu_graph {\n";
   Array.iteri
@@ -179,10 +190,13 @@ let to_dot g =
     (fun e ->
       match (Hashtbl.find_opt g.index_of e.e_from, Hashtbl.find_opt g.index_of e.e_to) with
       | Some i, Some j ->
+          let risky = e.e_risk > 0.0 && e.e_risk >= risk_threshold in
           Buffer.add_string buf
-            (Printf.sprintf "  n%d -> n%d [label=\"%s%s\"];\n" i j
+            (Printf.sprintf "  n%d -> n%d [label=\"%s%s%s\"%s];\n" i j
                (Dep.dtype_to_string e.e_type)
-               (match e.e_carried with Some _ -> "*" | None -> ""))
+               (match e.e_carried with Some _ -> "*" | None -> "")
+               (if risky then Printf.sprintf " r=%.2f" e.e_risk else "")
+               (if risky then ", style=dashed" else ""))
       | _ -> ())
     g.edges;
   Buffer.add_string buf "}\n";

@@ -12,6 +12,8 @@ type edge = {
   e_var : string;            (** variable at the dependence's source *)
   e_carried : int option;    (** carrying loop header line, if loop-carried *)
   e_count : int;             (** merged occurrence count *)
+  e_risk : float;            (** max false-positive risk of the merged deps
+                                 (from {!Dep.prov}; 0 under exact shadows) *)
 }
 
 type t = {
@@ -39,4 +41,8 @@ val raw_succ : ?exclude_vars:(string -> bool) -> t -> int list array
 val self_raw : t -> int list
 (** Positions of CUs with RAW self-edges: iterative feedback (Fig. 3.4). *)
 
-val to_dot : t -> string
+val to_dot : ?risk_threshold:float -> t -> string
+(** Graphviz rendering. Edges whose false-positive risk reaches
+    [risk_threshold] (default 0.5) render dashed with the risk in the label —
+    `discopop explain --dot`'s risk overlay. Under exact shadows all risks
+    are 0 and the output is unchanged. *)

@@ -288,6 +288,158 @@ module Json = struct
   let get_string = function String s -> Some s | _ -> None
 end
 
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+(* ---- timeline tracing ---- *)
+
+(* A lock-free per-domain buffer of timestamped events, exported as Chrome
+   Trace Event JSON (chrome://tracing / Perfetto). Each domain appends only
+   to its own buffer — the hot path is a flag load, a DLS read and an array
+   store — so worker domains of the parallel profiler can trace concurrently
+   without synchronisation. The global buffer list is only locked at domain
+   registration (once per domain) and at export/reset time. *)
+module Trace = struct
+  type ev = {
+    e_ph : char;   (* 'B' begin | 'E' end | 'i' instant | 'C' counter *)
+    e_name : string;
+    e_ts : int;    (* monotonic nanoseconds *)
+    e_value : int; (* counter value; 0 otherwise *)
+  }
+
+  let dummy_ev = { e_ph = 'i'; e_name = ""; e_ts = 0; e_value = 0 }
+
+  type buf = {
+    b_tid : int;                    (* the owning domain's id *)
+    mutable b_track : string option;(* display name of this domain's track *)
+    mutable b_evs : ev array;
+    mutable b_len : int;
+  }
+
+  let tracing = Atomic.make false
+  let enable () = Atomic.set tracing true
+  let disable () = Atomic.set tracing false
+  let is_enabled () = Atomic.get tracing
+
+  let bufs_lock = Mutex.create ()
+  let bufs : buf list ref = ref []
+
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let b =
+          { b_tid = (Domain.self () :> int);
+            b_track = None;
+            b_evs = Array.make 256 dummy_ev;
+            b_len = 0 }
+        in
+        Mutex.lock bufs_lock;
+        bufs := b :: !bufs;
+        Mutex.unlock bufs_lock;
+        b)
+
+  (* Only the owning domain pushes, so no synchronisation is needed. *)
+  let push ph name value =
+    let b = Domain.DLS.get key in
+    if b.b_len = Array.length b.b_evs then begin
+      let a = Array.make (2 * b.b_len) dummy_ev in
+      Array.blit b.b_evs 0 a 0 b.b_len;
+      b.b_evs <- a
+    end;
+    b.b_evs.(b.b_len) <-
+      { e_ph = ph; e_name = name; e_ts = now_ns (); e_value = value };
+    b.b_len <- b.b_len + 1
+
+  let set_track name =
+    if Atomic.get tracing then (Domain.DLS.get key).b_track <- Some name
+
+  let begin_ name = if Atomic.get tracing then push 'B' name 0
+  let end_ name = if Atomic.get tracing then push 'E' name 0
+  let instant name = if Atomic.get tracing then push 'i' name 0
+  let counter name v = if Atomic.get tracing then push 'C' name v
+
+  let with_span name f =
+    if not (Atomic.get tracing) then f ()
+    else begin
+      push 'B' name 0;
+      Fun.protect ~finally:(fun () -> push 'E' name 0) f
+    end
+
+  let snapshot_bufs () =
+    Mutex.lock bufs_lock;
+    let bs = !bufs in
+    Mutex.unlock bufs_lock;
+    bs
+
+  (* Call only when no other domain is tracing (between runs / experiments):
+     buffers are truncated in place. *)
+  let reset () =
+    List.iter
+      (fun b ->
+        b.b_len <- 0;
+        b.b_track <- None)
+      (snapshot_bufs ())
+
+  let event_count () =
+    List.fold_left (fun acc b -> acc + b.b_len) 0 (snapshot_bufs ())
+
+  (* ---- Chrome Trace Event export ----
+
+     One JSON object per event; [ts] is in microseconds as the format
+     requires. Each domain becomes one track (tid); a thread_name metadata
+     record carries the track's display name. *)
+
+  let pid = 1
+
+  let ev_json ~tid e =
+    let base =
+      [ ("name", Json.String e.e_name);
+        ("ph", Json.String (String.make 1 e.e_ph));
+        ("ts", Json.Float (float_of_int e.e_ts /. 1e3));
+        ("pid", Json.Int pid);
+        ("tid", Json.Int tid) ]
+    in
+    match e.e_ph with
+    | 'C' ->
+        Json.Obj (base @ [ ("args", Json.Obj [ ("value", Json.Int e.e_value) ]) ])
+    | 'i' -> Json.Obj (base @ [ ("s", Json.String "t") ])
+    | _ -> Json.Obj base
+
+  let export () =
+    let bs =
+      snapshot_bufs ()
+      |> List.filter (fun b -> b.b_len > 0 || b.b_track <> None)
+      |> List.sort (fun a b -> compare a.b_tid b.b_tid)
+    in
+    let events =
+      List.concat_map
+        (fun b ->
+          let meta =
+            match b.b_track with
+            | Some name ->
+                [ Json.Obj
+                    [ ("name", Json.String "thread_name");
+                      ("ph", Json.String "M");
+                      ("ts", Json.Float 0.0);
+                      ("pid", Json.Int pid);
+                      ("tid", Json.Int b.b_tid);
+                      ("args", Json.Obj [ ("name", Json.String name) ]) ] ]
+            | None -> []
+          in
+          meta @ List.init b.b_len (fun i -> ev_json ~tid:b.b_tid b.b_evs.(i)))
+        bs
+    in
+    Json.Obj
+      [ ("traceEvents", Json.List events);
+        ("displayTimeUnit", Json.String "ms") ]
+
+  let write path = write_file path (Json.to_string (export ()) ^ "\n")
+end
+
 (* ---- registry ---- *)
 
 type counter = { c_name : string; c_v : int Atomic.t }
@@ -353,8 +505,6 @@ let reset () =
         spans;
       Hashtbl.iter (fun _ m -> Atomic.set m.m_count 0) meters)
 
-let now_ns () = Int64.to_int (Monotonic_clock.now ())
-
 module Counter = struct
   let add c n = if Atomic.get enabled then ignore (Atomic.fetch_and_add c.c_v n)
   let incr c = add c 1
@@ -368,15 +518,25 @@ module Gauge = struct
 end
 
 module Span = struct
+  (* Spans serve both layers: they accumulate into the metrics registry when
+     stats are enabled AND appear as begin/end slices on the timeline when
+     tracing is enabled. Both disabled (the default) costs two atomic loads. *)
   let with_ ~phase f =
-    if not (Atomic.get enabled) then f ()
+    let stats_on = Atomic.get enabled in
+    let trace_on = Atomic.get Trace.tracing in
+    if not (stats_on || trace_on) then f ()
     else begin
-      let s = span_of phase in
+      if trace_on then Trace.push 'B' phase 0;
+      let s = if stats_on then Some (span_of phase) else None in
       let t0 = now_ns () in
       Fun.protect
         ~finally:(fun () ->
-          ignore (Atomic.fetch_and_add s.s_ns (now_ns () - t0));
-          ignore (Atomic.fetch_and_add s.s_calls 1))
+          (match s with
+          | Some s ->
+              ignore (Atomic.fetch_and_add s.s_ns (now_ns () - t0));
+              ignore (Atomic.fetch_and_add s.s_calls 1)
+          | None -> ());
+          if Atomic.get Trace.tracing then Trace.push 'E' phase 0)
         f
     end
 
@@ -486,12 +646,6 @@ let to_jsonl () =
           ("rate_per_s", Json.Float (Meter.rate m)) ])
     (sorted_entries meters);
   Buffer.contents b
-
-let write_file path contents =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc contents)
 
 let write_json path = write_file path (Json.pretty (snapshot ()) ^ "\n")
 let write_jsonl path = write_file path (to_jsonl ())

@@ -35,6 +35,50 @@ module Json : sig
   val get_string : t -> string option
 end
 
+(** Per-domain timeline tracing, exported as Chrome Trace Event JSON
+    (loadable in chrome://tracing or Perfetto).
+
+    Each domain owns a lock-free append-only buffer of timestamped events and
+    becomes one track of the exported timeline; the parallel profiler's
+    worker domains name their tracks via {!set_track}. Like the metrics
+    registry, tracing starts {e disabled} and every emission is gated on one
+    atomic flag load, so trace points can sit in hot paths for free. Enable
+    it with [--trace FILE] on the CLI or [--trace] on the bench harness. *)
+module Trace : sig
+  val enable : unit -> unit
+  val disable : unit -> unit
+  val is_enabled : unit -> bool
+
+  val reset : unit -> unit
+  (** Truncate every domain's buffer and forget track names. Only call when
+      no other domain is tracing (between runs / experiments). *)
+
+  val set_track : string -> unit
+  (** Name the calling domain's track in the exported timeline. *)
+
+  val begin_ : string -> unit
+  (** Open a duration slice on the calling domain's track. *)
+
+  val end_ : string -> unit
+  val instant : string -> unit
+
+  val counter : string -> int -> unit
+  (** A sample of a named counter track (e.g. a queue depth). *)
+
+  val with_span : string -> (unit -> 'a) -> 'a
+  (** [begin_]/[end_] around [f]; calls [f] directly when disabled. *)
+
+  val event_count : unit -> int
+  (** Buffered events across all domains. *)
+
+  val export : unit -> Json.t
+  (** The buffered events as one Chrome Trace Event JSON document:
+      [{"traceEvents": [...], "displayTimeUnit": "ms"}], with [ts] in
+      microseconds and one [thread_name] metadata record per named track. *)
+
+  val write : string -> unit
+end
+
 val enable : unit -> unit
 val disable : unit -> unit
 val is_enabled : unit -> bool
@@ -70,7 +114,9 @@ end
 module Span : sig
   val with_ : phase:string -> (unit -> 'a) -> 'a
   (** Time [f] with the monotonic clock and accumulate into the span named
-      [phase] (created on first use). When disabled, calls [f] directly. *)
+      [phase] (created on first use); also emits a begin/end slice on the
+      calling domain's {!Trace} track when tracing is enabled. When both
+      layers are disabled, calls [f] directly. *)
 
   val ns : string -> int
   (** Accumulated nanoseconds of a phase; 0 if it never ran. *)

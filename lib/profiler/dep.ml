@@ -44,23 +44,58 @@ let to_string ?(threads = false) d =
         (match d.carrier with Some l -> Printf.sprintf "|carried@%d" l | None -> "")
         (if d.racy then "|racy" else "")
 
+(* Provenance of a merged dependence record: the first dynamic instance that
+   witnessed it, and how collision-prone the shadow slot that produced it was
+   at that moment. The source-line pair and variable live in the record
+   itself (they are part of its identity); provenance adds the when/where/how
+   that makes a reported dependence auditable. *)
+type prov = {
+  first_time : int;     (* interpreter timestamp of the witnessing sink access *)
+  first_index : int;    (* engine-local dynamic access index of that witness *)
+  witness_domain : int; (* profiler domain that built the record *)
+  risk : float;         (* shadow false-positive risk at witness time; 0 = exact *)
+}
+
 (* A merged multiset of dependences: each distinct dependence is stored once
-   with its occurrence count. *)
+   with its occurrence count, plus (when profiled with provenance) its
+   first-witness record. *)
 module Set_ = struct
   type dep = t
 
   type t = {
     tbl : (dep, int) Hashtbl.t;
+    provs : (dep, prov) Hashtbl.t;
     mutable raw_occurrences : int;  (* pre-merge instance count *)
   }
 
-  let create () = { tbl = Hashtbl.create 256; raw_occurrences = 0 }
+  let create () =
+    { tbl = Hashtbl.create 256; provs = Hashtbl.create 256; raw_occurrences = 0 }
 
   let add t d =
     t.raw_occurrences <- t.raw_occurrences + 1;
     match Hashtbl.find_opt t.tbl d with
     | Some n -> Hashtbl.replace t.tbl d (n + 1)
     | None -> Hashtbl.replace t.tbl d 1
+
+  (* Like [add], but record first-witness provenance when [d] is new. Within
+     one engine, accesses arrive in increasing timestamp order, so the first
+     instance is the earliest witness; [risk] is a thunk so backends only pay
+     for it on new records. *)
+  let add_witness t d ~time ~index ~domain ~risk =
+    t.raw_occurrences <- t.raw_occurrences + 1;
+    match Hashtbl.find_opt t.tbl d with
+    | Some n -> Hashtbl.replace t.tbl d (n + 1)
+    | None ->
+        Hashtbl.replace t.tbl d 1;
+        Hashtbl.replace t.provs d
+          { first_time = time; first_index = index; witness_domain = domain;
+            risk = risk () }
+
+  let prov t d = Hashtbl.find_opt t.provs d
+
+  (* Risk of a record, defaulting to 0 when it was added without provenance
+     (files read back from disk, hand-built sets in tests). *)
+  let risk_of t d = match prov t d with Some p -> p.risk | None -> 0.0
 
   let mem t d = Hashtbl.mem t.tbl d
   let cardinal t = Hashtbl.length t.tbl
@@ -78,6 +113,14 @@ module Set_ = struct
     Hashtbl.fold (fun d n acc -> (d, n) :: acc) t.tbl []
     |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+  (* Records ranked hottest-first (by merged occurrence count, ties broken by
+     {!compare} for determinism), with provenance where available — the order
+     `discopop explain` presents. *)
+  let to_ranked t =
+    Hashtbl.fold (fun d n acc -> (d, n, prov t d) :: acc) t.tbl []
+    |> List.sort (fun (a, na, _) (b, nb, _) ->
+           match Stdlib.compare nb na with 0 -> compare a b | c -> c)
+
   let union into from =
     Hashtbl.iter
       (fun d n ->
@@ -85,6 +128,14 @@ module Set_ = struct
         | Some m -> Hashtbl.replace into.tbl d (m + n)
         | None -> Hashtbl.replace into.tbl d n)
       from.tbl;
+    (* The earliest witness wins: after a hot-address redistribution the same
+       record can be witnessed by two workers. *)
+    Hashtbl.iter
+      (fun d p ->
+        match Hashtbl.find_opt into.provs d with
+        | Some q when q.first_time <= p.first_time -> ()
+        | _ -> Hashtbl.replace into.provs d p)
+      from.provs;
     into.raw_occurrences <- into.raw_occurrences + from.raw_occurrences
 
   (* Accuracy of an approximate dependence set [got] against the exact set

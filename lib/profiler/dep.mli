@@ -29,14 +29,38 @@ val to_string : ?threads:bool -> t -> string
 (** The paper's [{TYPE file:line|var}] source form; [threads] adds thread ids
     (Fig. 2.3). *)
 
+(** Provenance of a merged record: its first dynamic witness and the shadow
+    backend's false-positive risk at that moment. Makes every reported
+    dependence explainable ([discopop explain]). *)
+type prov = {
+  first_time : int;     (** interpreter timestamp of the witnessing sink access *)
+  first_index : int;    (** engine-local dynamic access index of that witness *)
+  witness_domain : int; (** profiler domain that built the record *)
+  risk : float;         (** shadow false-positive risk at witness time; 0 = exact *)
+}
+
 (** A merged multiset of dependences: each distinct record stored once with
-    its occurrence count. *)
+    its occurrence count, plus first-witness provenance when profiled. *)
 module Set_ : sig
   type dep = t
   type t
 
   val create : unit -> t
   val add : t -> dep -> unit
+
+  val add_witness :
+    t -> dep -> time:int -> index:int -> domain:int -> risk:(unit -> float) ->
+    unit
+  (** Like {!add}, recording first-witness provenance when [dep] is new;
+      [risk] is only evaluated then. Accesses must arrive in increasing
+      [time] order (as every engine produces them) for the stored witness to
+      be the earliest. *)
+
+  val prov : t -> dep -> prov option
+
+  val risk_of : t -> dep -> float
+  (** [prov]'s risk, or 0 for records added without provenance. *)
+
   val mem : t -> dep -> bool
   val cardinal : t -> int
   (** Distinct records. *)
@@ -51,9 +75,14 @@ module Set_ : sig
   val to_list : t -> (dep * int) list
   (** Sorted by {!compare}. *)
 
+  val to_ranked : t -> (dep * int * prov option) list
+  (** Hottest-first (occurrence count descending, ties by {!compare}) — the
+      order [discopop explain] presents. *)
+
   val union : t -> t -> unit
   (** [union into from] merges [from] into [into] — the cheap final step of
-      the parallel profiler (Fig. 2.2). *)
+      the parallel profiler (Fig. 2.2). Provenance keeps the earliest
+      witness. *)
 
   val strip : dep -> dep
   (** Clears the race flag, which is not part of identity for accuracy

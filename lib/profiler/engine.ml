@@ -22,6 +22,10 @@ type shadow_ops = {
   extra_stats : unit -> (string * int) list;
   (* backend-specific observability: collision proxy and per-signature
      occupancy for Signature, page count for Paged; published as gauges *)
+  fp_risk : unit -> float;
+  (* false-positive risk attribution for the dependence being recorded right
+     now: slot-occupancy collision proxy for Signature, 0 for exact
+     backends; stored in each record's first-witness provenance *)
 }
 
 type shadow_kind =
@@ -41,9 +45,11 @@ let make_shadow = function
         word_footprint = (fun () -> Sigmem.Signature.word_footprint s);
         extra_stats =
           (fun () ->
-            [ ("occupied_reads", Sigmem.Signature.occupied_reads s);
+            [ ("slots", Sigmem.Signature.slots s);
+              ("occupied_reads", Sigmem.Signature.occupied_reads s);
               ("occupied_writes", Sigmem.Signature.occupied_writes s);
-              ("takeovers", Sigmem.Signature.takeovers s) ]) }
+              ("takeovers", Sigmem.Signature.takeovers s) ]);
+        fp_risk = (fun () -> Sigmem.Signature.collision_risk s) }
   | Perfect ->
       let s = Sigmem.Perfect.create ~slots:0 in
       { last_read = (fun ~addr -> Sigmem.Perfect.last_read s ~addr);
@@ -53,7 +59,8 @@ let make_shadow = function
         remove = (fun ~addr -> Sigmem.Perfect.remove s ~addr);
         slots_used = (fun () -> Sigmem.Perfect.slots_used s);
         word_footprint = (fun () -> Sigmem.Perfect.word_footprint s);
-        extra_stats = (fun () -> []) }
+        extra_stats = (fun () -> []);
+        fp_risk = (fun () -> 0.0) }
   | Paged ->
       let s = Sigmem.Two_level.create ~slots:0 in
       { last_read = (fun ~addr -> Sigmem.Two_level.last_read s ~addr);
@@ -64,7 +71,8 @@ let make_shadow = function
         slots_used = (fun () -> Sigmem.Two_level.slots_used s);
         word_footprint = (fun () -> Sigmem.Two_level.word_footprint s);
         extra_stats =
-          (fun () -> [ ("pages", Sigmem.Two_level.pages_allocated s) ]) }
+          (fun () -> [ ("pages", Sigmem.Two_level.pages_allocated s) ]);
+        fp_risk = (fun () -> 0.0) }
 
 (* Counters for Table 2.7 / Fig 2.13: skipped instructions, classified by the
    dependence type they would have created. *)
@@ -170,7 +178,16 @@ let make_dep (a : Event.access) dtype (src : Cell.t) =
     src_line = src.line; src_thread = src.thread; var = src.var; carrier; racy }
 
 let note_race t (a : Event.access) (src : Cell.t) =
-  t.races <- (a.var, src.line, a.line) :: t.races
+  t.races <- (a.var, src.line, a.line) :: t.races;
+  if Obs.Trace.is_enabled () then Obs.Trace.instant ("race:" ^ a.var)
+
+(* Record one dependence with first-witness provenance: the sink access's
+   global timestamp and this engine's dynamic access index, the profiling
+   domain, and the shadow backend's current false-positive risk (evaluated
+   only when the record is new). *)
+let record_dep t (a : Event.access) d =
+  Dep.Set_.add_witness t.deps d ~time:a.time ~index:t.n_processed
+    ~domain:(Domain.self () :> int) ~risk:t.shadow.fp_risk
 
 let feed_access t (a : Event.access) =
   t.n_processed <- t.n_processed + 1;
@@ -223,7 +240,7 @@ let feed_access t (a : Event.access) =
         if status_write <> no_op then begin
           let d = make_dep a Dep.Raw w in
           if d.racy then note_race t a w;
-          Dep.Set_.add t.deps d
+          record_dep t a d
         end;
         t.shadow.set_read ~addr cell;
         t.last_addr.(a.op) <- addr;
@@ -249,16 +266,15 @@ let feed_access t (a : Event.access) =
         if status_read <> no_op then begin
           let d = make_dep a Dep.War r in
           if d.racy then note_race t a r;
-          Dep.Set_.add t.deps d
+          record_dep t a d
         end;
         if waw_applies then begin
           let d = make_dep a Dep.Waw w in
           if d.racy then note_race t a w;
-          Dep.Set_.add t.deps d
+          record_dep t a d
         end
         else if status_write = no_op then
-          Dep.Set_.add t.deps
-            (Dep.init_dep ~sink_line:a.line ~sink_thread:a.thread);
+          record_dep t a (Dep.init_dep ~sink_line:a.line ~sink_thread:a.thread);
         t.shadow.set_write ~addr cell;
         t.last_addr.(a.op) <- addr;
         t.last_status_read.(a.op) <- status_read;

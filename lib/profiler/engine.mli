@@ -20,6 +20,10 @@ type shadow_ops = {
   extra_stats : unit -> (string * int) list;
       (** Backend-specific observability (collision proxy, per-signature
           occupancy, page count), published as [<prefix>.shadow.*] gauges. *)
+  fp_risk : unit -> float;
+      (** False-positive risk attribution for the dependence being recorded
+          right now: slot-occupancy collision proxy for [Signature], 0 for
+          exact backends. Stored in each record's {!Dep.prov}. *)
 }
 
 type shadow_kind =

@@ -130,6 +130,9 @@ let sum_skip (a : Engine.skip_stats) (b : Engine.skip_stats) : Engine.skip_stats
     shadow_update_elided = a.shadow_update_elided + b.shadow_update_elided }
 
 let worker_loop (queue : channel) ~index ~shadow ~skip () : worker_result =
+  (* Name this domain's track on the trace timeline (no-op when tracing is
+     off); each worker then appears as its own row in chrome://tracing. *)
+  Obs.Trace.set_track (Printf.sprintf "worker %d" index);
   let engine = Engine.create ~skip shadow in
   let chunks = ref 0 in
   let idle_spins = ref 0 in
@@ -137,18 +140,27 @@ let worker_loop (queue : channel) ~index ~shadow ~skip () : worker_result =
     match channel_try_pop queue with
     | Some (Ichunk chunk) ->
         incr chunks;
-        Chunk.iter
-          (fun e ->
-            match e with
-            | Acc a -> Engine.feed_access engine a
-            | Remove addr -> Engine.feed_dealloc engine [ (addr, 1, "") ])
-          chunk;
+        let consume () =
+          Chunk.iter
+            (fun e ->
+              match e with
+              | Acc a -> Engine.feed_access engine a
+              | Remove addr -> Engine.feed_dealloc engine [ (addr, 1, "") ])
+            chunk
+        in
+        if Obs.Trace.is_enabled () then
+          Obs.Trace.with_span
+            (Printf.sprintf "chunk.%d" (Chunk.seq chunk))
+            consume
+        else consume ();
         loop 1
     | Some Istop ->
-        (* Per-worker shadow/skip statistics go out under this worker's own
-           prefix; Atomic counters make cross-domain publishing safe. *)
-        Engine.observe ~prefix:(Printf.sprintf "profiler.worker.%d" index)
-          engine;
+        (* Per-worker shadow/skip statistics go out under a per-worker engine
+           prefix (engine.w0, engine.w1, …): concurrent workers must not
+           overwrite each other's shadow gauges under the shared default
+           "engine" prefix. Atomic counters make cross-domain publishing
+           safe. *)
+        Engine.observe ~prefix:(Printf.sprintf "engine.w%d" index) engine;
         { w_deps = Engine.deps engine;
           w_races = Engine.races engine;
           w_processed = Engine.processed engine;
@@ -175,6 +187,7 @@ let profile ?(workers = 4) ?(shadow_slots = 100_000) ?(perfect = false)
     ?(queue_capacity = 64) ?(seed = 42) ?(scramble_unlocked = false)
     (prog : Mil.Ast.program) : result =
   Obs.Span.with_ ~phase:"profile" @@ fun () ->
+  Obs.Trace.set_track "producer (main)";
   let w = max 1 workers in
   let shadow_kind =
     if perfect then Engine.Perfect else Engine.Signature (max 1 (shadow_slots / w))
@@ -194,9 +207,15 @@ let profile ?(workers = 4) ?(shadow_slots = 100_000) ?(perfect = false)
      observability layer is on, so the disabled hot path is untouched. *)
   let max_depth = ref 0 in
   (* Producer state *)
-  let open_chunks =
-    Array.init w (fun _ -> ref (Chunk.create ~capacity:chunk_capacity ~dummy:dummy_entry ()))
+  let next_seq = ref 0 in
+  let fresh_chunk () =
+    incr next_seq;
+    Chunk.create ~capacity:chunk_capacity ~seq:!next_seq ~dummy:dummy_entry ()
   in
+  let open_chunks = Array.init w (fun _ -> ref (fresh_chunk ())) in
+  (* Counter-track names for per-queue depth samples, allocated up front so
+     the traced push path does no formatting. *)
+  let depth_tracks = Array.init w (Printf.sprintf "queue.%d.depth") in
   let rules : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let counts : (int, int ref) Hashtbl.t = Hashtbl.create 4096 in
   let since_rebalance = ref 0 in
@@ -213,8 +232,10 @@ let profile ?(workers = 4) ?(shadow_slots = 100_000) ?(perfect = false)
       channel_push channels.(worker) (Ichunk c);
       if Obs.is_enabled () then
         max_depth := max !max_depth (channel_depth channels.(worker));
-      open_chunks.(worker) :=
-        Chunk.create ~capacity:chunk_capacity ~dummy:dummy_entry ()
+      if Obs.Trace.is_enabled () then
+        Obs.Trace.counter depth_tracks.(worker)
+          (channel_depth channels.(worker));
+      open_chunks.(worker) := fresh_chunk ()
     end
   in
   let rebalance () =
@@ -310,6 +331,7 @@ let profile ?(workers = 4) ?(shadow_slots = 100_000) ?(perfect = false)
             (Obs.counter (Printf.sprintf "profiler.worker.%d.%s" i name))
             v
         in
+        c "accesses" wr.w_processed;
         c "chunks" wr.w_chunks;
         c "idle_spins" wr.w_idle_spins)
       results

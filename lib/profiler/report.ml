@@ -76,3 +76,55 @@ let render ?(threads = false) ?(control = empty_control ()) (deps : Dep.Set_.t)
       | None -> ())
     sinks;
   Buffer.contents buf
+
+(* Ranked provenance table for `discopop explain`: one row per merged record,
+   hottest first, each carrying its first dynamic witness and the shadow
+   backend's false-positive risk at that moment (0 under exact shadows). *)
+let render_explain ?(top = 0) ?(threads = false) (deps : Dep.Set_.t) : string =
+  let rows = Dep.Set_.to_ranked deps in
+  let shown = if top > 0 then List.filteri (fun i _ -> i < top) rows else rows in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf "# %d records, %d instances (merging %.1fx)%s\n"
+       (Dep.Set_.cardinal deps)
+       (Dep.Set_.occurrences deps)
+       (Dep.Set_.merging_factor deps)
+       (if top > 0 && List.length rows > top then
+          Printf.sprintf ", showing top %d" top
+        else ""));
+  Buffer.add_string buf
+    (Printf.sprintf "%4s  %-4s  %-12s  %-12s  %-10s  %9s  %-10s  %12s  %10s  %6s  %s\n"
+       "#" "type" "sink" "source" "var" "count" "carried" "first-time"
+       "first-idx" "dom" "risk");
+  List.iteri
+    (fun i ((d : Dep.t), count, prov) ->
+      let loc line thread =
+        if threads then Printf.sprintf "1:%d|%d" line thread
+        else Printf.sprintf "1:%d" line
+      in
+      let src =
+        if d.Dep.dtype = Dep.Init then "-" else loc d.Dep.src_line d.Dep.src_thread
+      in
+      let carried =
+        match d.Dep.carrier with
+        | Some l -> Printf.sprintf "@%d" l
+        | None -> "-"
+      in
+      let first_time, first_idx, dom, risk =
+        match (prov : Dep.prov option) with
+        | Some p ->
+            ( string_of_int p.Dep.first_time,
+              string_of_int p.Dep.first_index,
+              string_of_int p.Dep.witness_domain,
+              Printf.sprintf "%.4f" p.Dep.risk )
+        | None -> ("-", "-", "-", "0.0000")
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%4d  %-4s  %-12s  %-12s  %-10s  %9d  %-10s  %12s  %10s  %6s  %s%s\n"
+           (i + 1)
+           (Dep.dtype_to_string d.Dep.dtype)
+           (loc d.Dep.sink_line d.Dep.sink_thread)
+           src d.Dep.var count carried first_time first_idx dom risk
+           (if d.Dep.racy then "  RACY" else "")))
+    shown;
+  Buffer.contents buf

@@ -18,3 +18,9 @@ val control_of_pet : Pet.t -> control
 val render : ?threads:bool -> ?control:control -> Dep.Set_.t -> string
 (** [threads] switches sinks and sources to the [file:line|thread] form used
     for multi-threaded targets (Fig. 2.3). *)
+
+val render_explain : ?top:int -> ?threads:bool -> Dep.Set_.t -> string
+(** The [discopop explain] table: merged records ranked hottest-first, each
+    with its first-witness provenance (timestamp, dynamic access index,
+    profiling domain) and false-positive risk (0 under exact shadows).
+    [top > 0] limits the rows shown. *)

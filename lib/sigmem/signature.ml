@@ -73,6 +73,16 @@ let slots_used t = t.occupied_reads + t.occupied_writes
 let occupied_reads t = t.occupied_reads
 let occupied_writes t = t.occupied_writes
 let takeovers t = t.takeovers
+let slots t = t.slots
+
+(* Current false-positive risk attribution: the occupied fraction across both
+   signatures — the probability that a fresh address's membership probe hits
+   a stale colliding cell (the per-witness analogue of Eq. 2.2's predicted
+   FPR, which integrates over a whole run). 0 when empty, → 1 as slots
+   fill. *)
+let collision_risk t =
+  float_of_int (t.occupied_reads + t.occupied_writes)
+  /. float_of_int (2 * t.slots)
 
 (* Each slot holds one boxed record pointer; count array words. *)
 let word_footprint t = 2 * t.slots

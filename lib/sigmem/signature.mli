@@ -35,5 +35,13 @@ val takeovers : t -> int
     one — a cheap collision proxy for the false-positive pressure of
     Table 2.6 (cells do not retain the hashed address). *)
 
+val slots : t -> int
+
+val collision_risk : t -> float
+(** Current false-positive risk: the occupied fraction across both
+    signatures, i.e. the probability a fresh address's probe hits a stale
+    colliding cell right now — the per-witness analogue of Eq. 2.2. Feeds
+    the per-dependence risk column of [discopop explain]. *)
+
 val word_footprint : t -> int
 (** Approximate resident words of the store itself. *)

@@ -3,12 +3,20 @@
    is configurable in the interest of scalability, and empty chunks are
    recycled to avoid allocation churn. *)
 
-type 'a t = { mutable used : int; slots : 'a array; dummy : 'a }
+type 'a t = {
+  mutable used : int;
+  mutable seq : int;  (* producer-assigned sequence number, for tracing *)
+  slots : 'a array;
+  dummy : 'a;
+}
 
 let default_capacity = 512
 
-let create ?(capacity = default_capacity) ~dummy () =
-  { used = 0; slots = Array.make capacity dummy; dummy }
+let create ?(capacity = default_capacity) ?(seq = 0) ~dummy () =
+  { used = 0; seq; slots = Array.make capacity dummy; dummy }
+
+let seq c = c.seq
+let set_seq c s = c.seq <- s
 
 let capacity c = Array.length c.slots
 let length c = c.used

@@ -5,8 +5,15 @@ type 'a t
 
 val default_capacity : int
 
-val create : ?capacity:int -> dummy:'a -> unit -> 'a t
-(** A fresh chunk; [dummy] fills unused slots. *)
+val create : ?capacity:int -> ?seq:int -> dummy:'a -> unit -> 'a t
+(** A fresh chunk; [dummy] fills unused slots; [seq] (default 0) is the
+    producer-assigned sequence number. *)
+
+val seq : 'a t -> int
+(** The producer-assigned sequence number — labels this chunk's consumption
+    span on a worker's trace timeline. *)
+
+val set_seq : 'a t -> int -> unit
 
 val capacity : 'a t -> int
 val length : 'a t -> int

@@ -8,4 +8,5 @@ let () =
       ("discovery", Test_discovery.tests);
       ("schedule", Test_schedule.tests);
       ("apps", Test_apps.tests);
-      ("obs", Test_obs.tests) ]
+      ("obs", Test_obs.tests);
+      ("explain", Test_explain.tests) ]
