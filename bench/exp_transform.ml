@@ -1,0 +1,128 @@
+(* Table 4.2, applied: where Exp_speedup models the speedup a suggestion
+   *should* give, this experiment actually rewrites each program with
+   lib/transform, differentially validates the result, and measures the
+   work distribution of the transformed program under the cooperative
+   scheduler.
+
+   Columns: the transform kind chosen by apply_first, the modeled speedup of
+   that suggestion (Amdahl x imbalance, from the ranking), the measured
+   "applied" speedup (serial accesses over the critical-path proxy of the
+   transformed run), and the differential-validation verdict.
+
+   The applied number trails the model for DOACROSS rows by construction:
+   the transform serializes the carried suffix through lock hand-offs chunk
+   to chunk, while the model assumes perfectly overlapped stages. *)
+
+module P = Transform.Parallelize
+module V = Transform.Validate
+module R = Workloads.Registry
+module S = Discovery.Suggestion
+
+let threads = 4
+
+let workloads =
+  [ "histogram"; "mandelbrot"; "matmul"; "dotprod"; "jacobi"; "match_count";
+    "prefix_sum"; "fib"; "uts"; "floorplan" ]
+
+let find name =
+  List.find (fun (w : R.t) -> w.name = name)
+    (Workloads.Textbook.all @ Workloads.Nas.all @ Workloads.Starbench.all
+   @ Workloads.Bots.all @ Workloads.Apps.all @ Workloads.Splash2x.all
+   @ Workloads.Numerics.all @ Workloads.Parsec.all)
+
+(* p_kind is the full suggestion string; compress to the construct tag. *)
+let short_kind k =
+  let contains needle =
+    let h = String.length k and n = String.length needle in
+    let rec at i = i + n <= h && (String.sub k i n = needle || at (i + 1)) in
+    at 0
+  in
+  if contains "DOALL" then "DOALL"
+  else if contains "DOACROSS" then "DOACROSS"
+  else if contains "fork-join" || contains "SPMD" then "SPMD"
+  else if contains "MPMD" then "MPMD"
+  else "?"
+
+(* No registry workload has a transformable DOACROSS (their carried chains
+   run through arrays, which the rewriter refuses to hand off); this
+   synthetic recurrence exercises the pipelined path: a dependence-free
+   prefix feeding a scalar chain, fissioned and serialized through locks. *)
+let pipeline_prog =
+  let open Mil.Builder in
+  number
+    (program
+       ~globals:[ garray "a" 4096; garray "b" 4096; gscalar "s" 1 ]
+       ~entry:"main" "pipeline"
+       [ func "main"
+           [ for_ "i" (i 0) (i 4096) [ seti "a" (v "i") (v "i" + i 3) ];
+             for_ "i" (i 0) (i 4096)
+               [ decl "t" (("a".%[v "i"] * i 5) % i 97);
+                 set "s" ((v "s" * i 3 + v "t") % i 1009);
+                 seti "b" (v "i") (v "s") ];
+             return (v "s" + "b".%[i 4000]) ] ])
+
+let transform_row name report applied =
+  match applied with
+  | Error _ -> [ name; "-"; "-"; "-"; "not transformable" ]
+  | Ok (t : P.t) ->
+      let modeled =
+        match
+          List.find_opt
+            (fun (s : S.t) ->
+              s.region = t.plan.P.p_region
+              && S.kind_to_string s.kind = t.plan.P.p_kind)
+            report.S.suggestions
+        with
+        | Some s -> Printf.sprintf "%.2fx" s.score.Discovery.Ranking.combined
+        | None -> "-"
+      in
+      let d = V.measure ~original:t.original t.transformed in
+      let v = V.differential ~original:t.original ~transformed:t.transformed () in
+      [ name;
+        short_kind t.plan.P.p_kind;
+        modeled;
+        Printf.sprintf "%.2fx" d.V.d_measured_speedup;
+        (if v.V.v_ok then "PASS"
+         else
+           Printf.sprintf "FAIL (%d issues)"
+             (List.length v.V.v_mismatches + List.length v.V.v_new_racy)) ]
+
+let run () =
+  Util.header "Table 4.2 (applied): transform, validate, measure";
+  let rows =
+    List.map
+      (fun name ->
+        let w = find name in
+        let report = S.analyze ~threads (R.program w) in
+        transform_row name report
+          (Result.map fst (P.apply_first ~chunks:threads report)))
+      workloads
+  in
+  let doacross_row =
+    let report = S.analyze ~threads pipeline_prog in
+    let applied =
+      match
+        List.find_opt
+          (fun (s : S.t) ->
+            match s.kind with S.Sdoacross _ -> true | _ -> false)
+          report.S.suggestions
+      with
+      | Some s -> P.apply ~chunks:threads report s
+      | None -> Error "no DOACROSS suggestion"
+    in
+    transform_row "pipeline*" report applied
+  in
+  Util.table
+    ~columns:[ "program"; "transform"; "modeled"; "applied"; "validation" ]
+    (rows @ [ doacross_row ]);
+  print_newline ();
+  print_endline
+    "* synthetic scalar recurrence; registry DOACROSS candidates carry their\n\
+    \  chains through arrays, which the rewriter conservatively refuses.";
+  print_endline
+    "applied < modeled on the DOACROSS row: the lock hand-off serializes the\n\
+     carried suffix chunk-to-chunk, where the model assumes overlapped stages.";
+  print_endline
+    "applied >> modeled on fork-join rows: the critical-path proxy\n\
+     (main-thread work + heaviest single task) understates the spawn-chain\n\
+     depth of recursive decompositions."

@@ -28,6 +28,8 @@ let experiments : (string * string * (unit -> unit)) list =
     ("cu-graphs", "Fig 3.6/3.7: CU-graph granularity", Exp_cugraphs.run);
     ("doall-nas", "Table 4.1: DOALL detection in NAS", Exp_doall.run_nas);
     ("speedup-textbook", "Table 4.2: textbook speedups", Exp_speedup.run_textbook);
+    ("transform", "Table 4.2 applied: transformed, validated, measured speedups",
+     Exp_transform.run);
     ("histogram-suggest", "Table 4.3: histogram suggestions",
      Exp_doall.run_histogram);
     ("doacross", "Table 4.4: DOACROSS detection", Exp_doall.run_doacross);

@@ -185,14 +185,21 @@ let read_deps_cmd =
   let file_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
   in
-  let run file =
+  let explain_arg =
+    Arg.(value & flag & info [ "explain" ]
+           ~doc:"Print the ranked provenance table (as `discopop explain`) \
+                 instead of the dependence report; witness columns are \
+                 populated from the provenance persisted in v2 files.")
+  in
+  let run file explain =
     let deps = Profiler.Depfile.read file in
     Printf.printf "# %d records, %d instances\n"
       (Profiler.Dep.Set_.cardinal deps)
       (Profiler.Dep.Set_.occurrences deps);
-    print_string (Profiler.Report.render deps)
+    if explain then print_string (Profiler.Report.render_explain deps)
+    else print_string (Profiler.Report.render deps)
   in
-  Cmd.v (Cmd.info "read-deps" ~doc) Term.(const run $ file_arg)
+  Cmd.v (Cmd.info "read-deps" ~doc) Term.(const run $ file_arg $ explain_arg)
 
 (* pet *)
 let pet_cmd =
@@ -388,6 +395,148 @@ let trace_check_cmd =
   in
   Cmd.v (Cmd.info "trace-check" ~doc) Term.(const run $ file_arg)
 
+(* parallelize *)
+let parallelize_cmd =
+  let doc =
+    "Apply a ranked suggestion to the workload: DOALL loops become chunked \
+     Par blocks with privatization and reduction rewriting, DOACROSS loops \
+     pipelined chunks with locked hand-offs, SPMD/MPMD tasks Par-spawned \
+     bodies. With --validate the transformed program is checked \
+     differentially against the serial original (state equivalence under \
+     several interleaving seeds, plus a re-profiling race check); a failed \
+     validation exits non-zero."
+  in
+  let suggestion_arg =
+    Arg.(value & opt int 0 & info [ "suggestion" ] ~docv:"K"
+           ~doc:"1-based rank of the suggestion to apply (as printed by \
+                 `discopop discover`); 0 applies the best transformable one.")
+  in
+  let chunks_arg =
+    Arg.(value & opt int 4 & info [ "chunks" ] ~docv:"C"
+           ~doc:"Chunk/thread count for chunked loop transforms.")
+  in
+  let validate_arg =
+    Arg.(value & flag & info [ "validate" ]
+           ~doc:"Differentially validate the transformed program; failure \
+                 exits non-zero (like trace-check).")
+  in
+  let seeds_arg =
+    Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"S"
+           ~doc:"Number of scheduler seeds for --validate.")
+  in
+  let emit_arg =
+    Arg.(value & flag & info [ "emit" ]
+           ~doc:"Print the transformed program's numbered source.")
+  in
+  let threads_arg =
+    Arg.(value & opt int 4 & info [ "threads" ] ~docv:"T"
+           ~doc:"Thread count assumed by the modeled-speedup metric.")
+  in
+  let report_out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Also write the transform report to FILE.")
+  in
+  let seed_list n =
+    List.init n (fun k ->
+        match List.nth_opt Transform.Validate.default_seeds k with
+        | Some s -> s
+        | None -> (k * 99991) + 17)
+  in
+  let run name size suggestion chunks validate seeds emit output threads stats
+      trace =
+    let w = or_die (find_workload name) in
+    let prog = Workloads.Registry.program ?size w in
+    let code =
+      with_obs ~stats ~trace @@ fun () ->
+      let report = Discovery.Suggestion.analyze ~threads prog in
+      let buf = Buffer.create 1024 in
+      let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+      out "# parallelize %s (size %d, %d chunks)\n" w.name
+        (match size with Some s -> s | None -> w.default_size)
+        chunks;
+      let skip (s : Discovery.Suggestion.t) reason =
+        out "  skipped %s @ region %d: %s\n"
+          (Discovery.Suggestion.kind_to_string s.kind)
+          s.region reason
+      in
+      let applied =
+        if suggestion = 0 then
+          match Transform.Parallelize.apply_first ~chunks report with
+          | Ok (t, skipped) ->
+              List.iter (fun (s, e) -> skip s e) skipped;
+              Ok t
+          | Error skipped ->
+              List.iter (fun (s, e) -> skip s e) skipped;
+              Error "no transformable suggestion"
+        else
+          match
+            List.nth_opt report.Discovery.Suggestion.suggestions
+              (suggestion - 1)
+          with
+          | None ->
+              Error
+                (Printf.sprintf "no suggestion #%d (%d available)" suggestion
+                   (List.length report.Discovery.Suggestion.suggestions))
+          | Some s -> (
+              match Transform.Parallelize.apply ~chunks report s with
+              | Ok t -> Ok t
+              | Error e ->
+                  skip s e;
+                  Error (Printf.sprintf "suggestion #%d not transformable" suggestion))
+      in
+      let code =
+        match applied with
+        | Error msg ->
+            out "error: %s\n" msg;
+            1
+        | Ok t ->
+            out "%s" (Transform.Parallelize.plan_to_string t.plan);
+            if emit then
+              out "\n%s\n" (Mil.Pretty.render_program t.transformed);
+            let modeled =
+              List.find_opt
+                (fun (s : Discovery.Suggestion.t) ->
+                  s.region = t.plan.Transform.Parallelize.p_region
+                  && Discovery.Suggestion.kind_to_string s.kind
+                     = t.plan.Transform.Parallelize.p_kind)
+                report.Discovery.Suggestion.suggestions
+            in
+            (match modeled with
+            | Some s ->
+                out "modeled speedup (Amdahl x imbalance): %.2fx\n"
+                  s.score.Discovery.Ranking.combined
+            | None -> ());
+            let d =
+              Transform.Validate.measure ~original:t.original t.transformed
+            in
+            out "%s" (Transform.Validate.distribution_to_string d);
+            if validate then begin
+              let v =
+                Transform.Validate.differential ~seeds:(seed_list seeds)
+                  ~original:t.original ~transformed:t.transformed ()
+              in
+              out "%s" (Transform.Validate.verdict_to_string v);
+              if v.Transform.Validate.v_ok then 0 else 1
+            end
+            else 0
+      in
+      print_string (Buffer.contents buf);
+      (match output with
+      | None -> ()
+      | Some path ->
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc (Buffer.contents buf));
+          Printf.eprintf "wrote %s\n" path);
+      code
+    in
+    if code <> 0 then exit code
+  in
+  Cmd.v (Cmd.info "parallelize" ~doc)
+    Term.(
+      const run $ workload_arg $ size_arg $ suggestion_arg $ chunks_arg
+      $ validate_arg $ seeds_arg $ emit_arg $ report_out_arg $ threads_arg
+      $ stats_arg $ trace_arg)
+
 (* races *)
 let races_cmd =
   let doc = "Profile a multi-threaded target and report potential data races." in
@@ -422,4 +571,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; source_cmd; profile_cmd; read_deps_cmd; pet_cmd; cus_cmd;
-            discover_cmd; explain_cmd; trace_check_cmd; races_cmd ]))
+            discover_cmd; explain_cmd; parallelize_cmd; trace_check_cmd;
+            races_cmd ]))

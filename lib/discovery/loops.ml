@@ -85,9 +85,17 @@ let analyze_loop ?global_reductions (st : Static.t)
     | _ -> None
   in
   let reductions = loop_level_reductions st r.id in
+  (* A dependence carried by this loop can live entirely inside a callee,
+     outside the region's own line range (a recursive task counter updated
+     three frames down still blocks — or reduces over — the loop). The
+     carrier attribution already proves both endpoints executed inside an
+     iteration pair of this loop, so collect by carrier, not line range. *)
   let carried =
-    Dep.Set_.in_range deps ~lo:r.first_line ~hi:r.last_line
-    |> List.filter (fun d -> d.Dep.carrier = Some loop_line)
+    let acc = ref [] in
+    Dep.Set_.iter
+      (fun d _ -> if d.Dep.carrier = Some loop_line then acc := d :: !acc)
+      deps;
+    List.rev !acc
   in
   let is_index v = index_var = Some v in
   let carried_raw =

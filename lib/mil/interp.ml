@@ -88,6 +88,7 @@ type state = {
   mutable occ : int;              (* occurrence counter within a statement *)
   rng : Rng.t;
   globals_env : (string, binding) Hashtbl.t;
+  on_print : int list -> unit;
   mutable loop_inst : int;
   mutable cur : tcb;
   mutable live_threads : int;
@@ -139,18 +140,34 @@ let free_array st base size =
 (* ---- event emission ---- *)
 
 let flush_pending st =
-  (* Emit delayed unlocked accesses in scrambled order. *)
-  let rec drain = function
-    | [] -> ()
-    | evs ->
-        let n = List.length evs in
-        let k = Rng.int st.rng n in
-        let ev = List.nth evs k in
-        st.emit ev;
-        drain (List.filteri (fun i _ -> i <> k) evs)
+  (* Emit delayed unlocked accesses in a scrambled cross-thread
+     interleaving. A profiling thread pushes its own accesses in program
+     order — only the interleaving between threads is nondeterministic
+     (§2.3.4) — so per-thread order is preserved and timestamp reversals
+     (the race signal) are only ever manufactured across threads. *)
+  let evs = List.rev st.pending in
+  st.pending <- [];
+  let tid = function
+    | Event.Access a -> a.Event.thread
+    | Event.Region _ -> -1
   in
-  drain (List.rev st.pending);
-  st.pending <- []
+  let tids = List.sort_uniq compare (List.map tid evs) in
+  let queues =
+    List.map (fun t -> ref (List.filter (fun e -> tid e = t) evs)) tids
+  in
+  let rec drain () =
+    match List.filter (fun q -> !q <> []) queues with
+    | [] -> ()
+    | qs ->
+        let q = List.nth qs (Rng.int st.rng (List.length qs)) in
+        (match !q with
+        | ev :: rest ->
+            st.emit ev;
+            q := rest
+        | [] -> assert false);
+        drain ()
+  in
+  drain ()
 
 let intern_op st line kind =
   let key = (line * 64 + st.occ) * 2 + (match kind with Event.Read -> 0 | Event.Write -> 1) in
@@ -185,7 +202,17 @@ let emit_access st ~kind ~addr ~var ~line =
     end
   end
 
-let emit_region st r = if st.instrument then st.emit (Event.Region r)
+let emit_region st r =
+  if st.instrument then begin
+    (* A deallocation ends the addresses' lifetime: delayed accesses still
+       pending from before it must not be emitted after it, or the engine's
+       lifetime analysis would attribute them to the slot's next owner and
+       manufacture cross-thread dependences on reused stack slots. *)
+    (match r with
+    | Event.Dealloc _ when st.pending <> [] -> flush_pending st
+    | _ -> ());
+    st.emit (Event.Region r)
+  end
 
 (* ---- variable lookup ---- *)
 
@@ -274,7 +301,7 @@ and call_builtin st env line f args =
   | "rand", [] -> Rng.next st.rng land 0xFFFF
   | "abs", [ e ] -> abs (eval st env line e)
   | "print", _ ->
-      ignore (evals ());
+      st.on_print (evals ());
       0
   | _ -> error "unknown function %s (line %d)" f line
 
@@ -481,6 +508,10 @@ and exec_stmt st env (s : stmt) : unit =
           blocks
       in
       ignore parent;
+      (* Forking is a synchronization edge: the children must observe the
+         parent's accesses already pushed, so delayed unlocked accesses
+         cannot be scrambled past the fork. *)
+      if st.pending <> [] then flush_pending st;
       Effect.perform (Spawn thunks)
 
 (* Execute a block in a child scope: locals declared here die on exit, and
@@ -516,6 +547,9 @@ type run_result = {
   result : int;
   r_stats : stats;
   dynamic_ops : int;  (* distinct static memory operations executed *)
+  final_globals : (string * int array) list;
+      (* snapshot of every global's final value, scalars as 1-element
+         arrays; the observable state differential validation compares *)
 }
 
 exception Deadlock
@@ -525,12 +559,13 @@ type work =
   | Start of (unit -> unit) * tcb
 
 let run ?(seed = 42) ?(instrument = true) ?(scramble_unlocked = false)
-    ?(emit = fun (_ : Event.t) -> ()) (prog : program) : run_result =
+    ?(emit = fun (_ : Event.t) -> ())
+    ?(on_print = fun (_ : int list) -> ()) (prog : program) : run_result =
   let st =
     { prog; emit; instrument; mem = Array.make 4096 0; brk = 1;
       free_scalars = Stack.create (); free_arrays = Hashtbl.create 16; time = 0;
       op_ids = Hashtbl.create 256; n_ops = 0; occ = 0; rng = Rng.create seed;
-      globals_env = Hashtbl.create 16; loop_inst = 0;
+      globals_env = Hashtbl.create 16; on_print; loop_inst = 0;
       cur =
         { tid = 0; lstack = []; held = 0; finished = false; group = 0;
           group_live = ref 1 };
@@ -641,6 +676,11 @@ let run ?(seed = 42) ?(instrument = true) ?(scramble_unlocked = false)
                             st.emit
                               (Event.Region (Event.Thread_start { thread = child.tid }));
                           (try child_thunk () with Return_exc _ -> ());
+                          (* Thread termination is a synchronization edge:
+                             whoever joins on this thread must observe its
+                             accesses already pushed, so delayed unlocked
+                             accesses cannot be scrambled past the join. *)
+                          if st.pending <> [] then flush_pending st;
                           if st.instrument then
                             st.emit
                               (Event.Region (Event.Thread_end { thread = child.tid }));
@@ -714,7 +754,17 @@ let run ?(seed = 42) ?(instrument = true) ?(scramble_unlocked = false)
     if st.pending <> [] then flush_pending st
   in
   run_fiber main_tcb main;
-  { result = !result; r_stats = st.stats; dynamic_ops = st.n_ops }
+  let final_globals =
+    List.map
+      (fun g ->
+        let name = match g with Gscalar (n, _) | Garray (n, _) -> n in
+        match Hashtbl.find st.globals_env name with
+        | Bscalar addr -> (name, [| st.mem.(addr) |])
+        | Barray { base; len } -> (name, Array.sub st.mem base len))
+      prog.globals
+  in
+  { result = !result; r_stats = st.stats; dynamic_ops = st.n_ops;
+    final_globals }
 
 (* Run and collect all events into a list; convenient for tests and for the
    offline (phase-2) analyses. *)

@@ -35,6 +35,10 @@ type run_result = {
   result : int;            (** the entry function's return value *)
   r_stats : stats;
   dynamic_ops : int;       (** distinct static memory operations executed *)
+  final_globals : (string * int array) list;
+      (** final value of every global, in declaration order; scalars as
+          1-element arrays. Together with [result] and the [print] stream
+          this is the observable state differential validation compares. *)
 }
 
 val run :
@@ -42,13 +46,15 @@ val run :
   ?instrument:bool ->
   ?scramble_unlocked:bool ->
   ?emit:(Trace.Event.t -> unit) ->
+  ?on_print:(int list -> unit) ->
   Ast.program ->
   run_result
 (** Execute the program. [instrument:false] skips event construction (the
     native baseline for slowdown measurements). [scramble_unlocked] delays
     and reorders the emission of unlocked accesses from concurrent threads,
     modelling the access/push atomicity violation that exposes potential
-    data races (§2.3.4). *)
+    data races (§2.3.4). [on_print] observes each [print] builtin call's
+    evaluated arguments. *)
 
 val trace :
   ?seed:int -> ?scramble_unlocked:bool -> Ast.program ->

@@ -2,13 +2,16 @@
 
    DiscoPoP writes the merged dependences to a file that the phase-2
    parallelism-discovery tool reads back (§1.5); runtime merging is what
-   shrinks these files from gigabytes to kilobytes (§2.3.5). The format is
-   one line per record:
+   shrinks these files from gigabytes to kilobytes (§2.3.5). The v2 format
+   is one line per record:
 
      D <sink_line> <sink_thread> <TYPE> <src_line> <src_thread> <var> \
-       <carrier|-> <racy:0|1> <count>
+       <carrier|-> <racy:0|1> <count> <first_time> <first_index> <domain> \
+       <risk>
 
-   plus a small header. [measure] reports what the file sizes would be with
+   where the last four fields are the record's first-witness provenance
+   ("-" when the record was built without it). v1 files (no provenance
+   fields) still parse. [measure] reports what the file sizes would be with
    and without merging — the Table-in-§2.3.5 ablation. *)
 
 let type_tag = Dep.dtype_to_string
@@ -28,14 +31,23 @@ let record_line (d : Dep.t) count =
     (if d.Dep.racy then 1 else 0)
     count
 
+let prov_fields (p : Dep.prov option) =
+  match p with
+  | None -> "- - - -"
+  | Some p ->
+      Printf.sprintf "%d %d %d %.6g" p.Dep.first_time p.Dep.first_index
+        p.Dep.witness_domain p.Dep.risk
+
 let render (deps : Dep.Set_.t) : string =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
-    (Printf.sprintf "# discopop-deps v1 records=%d instances=%d\n"
+    (Printf.sprintf "# discopop-deps v2 records=%d instances=%d\n"
        (Dep.Set_.cardinal deps) (Dep.Set_.occurrences deps));
   List.iter
     (fun (d, n) ->
       Buffer.add_string buf (record_line d n);
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (prov_fields (Dep.Set_.prov deps d));
       Buffer.add_char buf '\n')
     (Dep.Set_.to_list deps);
   Buffer.contents buf
@@ -48,22 +60,38 @@ let write path deps =
 
 exception Parse_error of string
 
-let parse_line line : (Dep.t * int) option =
+let parse_line line : (Dep.t * int * Dep.prov option) option =
   if line = "" || line.[0] = '#' then None
   else
+    let record sink sthr ty src srcthr var carrier racy count prov =
+      Some
+        ( { Dep.sink_line = int_of_string sink;
+            sink_thread = int_of_string sthr;
+            dtype = tag_type ty;
+            src_line = int_of_string src;
+            src_thread = int_of_string srcthr;
+            var = (if var = "_" then "" else var);
+            carrier =
+              (if carrier = "-" then None else Some (int_of_string carrier));
+            racy = racy = "1" },
+          int_of_string count,
+          prov )
+    in
     match String.split_on_char ' ' line with
     | [ "D"; sink; sthr; ty; src; srcthr; var; carrier; racy; count ] ->
-        Some
-          ( { Dep.sink_line = int_of_string sink;
-              sink_thread = int_of_string sthr;
-              dtype = tag_type ty;
-              src_line = int_of_string src;
-              src_thread = int_of_string srcthr;
-              var = (if var = "_" then "" else var);
-              carrier =
-                (if carrier = "-" then None else Some (int_of_string carrier));
-              racy = racy = "1" },
-            int_of_string count )
+        (* v1: no provenance fields *)
+        record sink sthr ty src srcthr var carrier racy count None
+    | [ "D"; sink; sthr; ty; src; srcthr; var; carrier; racy; count; "-"; "-";
+        "-"; "-" ] ->
+        record sink sthr ty src srcthr var carrier racy count None
+    | [ "D"; sink; sthr; ty; src; srcthr; var; carrier; racy; count; ftime;
+        findex; domain; risk ] ->
+        record sink sthr ty src srcthr var carrier racy count
+          (Some
+             { Dep.first_time = int_of_string ftime;
+               first_index = int_of_string findex;
+               witness_domain = int_of_string domain;
+               risk = float_of_string risk })
     | _ -> raise (Parse_error ("Depfile: malformed line: " ^ line))
 
 let parse (s : string) : Dep.Set_.t =
@@ -71,8 +99,14 @@ let parse (s : string) : Dep.Set_.t =
   String.split_on_char '\n' s
   |> List.iter (fun line ->
          match parse_line line with
-         | Some (d, n) ->
-             for _ = 1 to n do
+         | Some (d, n, prov) ->
+             (match prov with
+             | Some p ->
+                 Dep.Set_.add_witness deps d ~time:p.Dep.first_time
+                   ~index:p.Dep.first_index ~domain:p.Dep.witness_domain
+                   ~risk:(fun () -> p.Dep.risk)
+             | None -> Dep.Set_.add deps d);
+             for _ = 2 to n do
                Dep.Set_.add deps d
              done
          | None -> ());

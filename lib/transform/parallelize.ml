@@ -1,0 +1,910 @@
+(* Suggestion-driven auto-parallelization of MIL (Table 4.2).
+
+   The paper validates Phase-3 suggestions by hand-parallelizing the
+   suggested regions; MIL already has [Par]/[Lock]/[Atomic_assign] and an
+   interpreter, so this subsystem closes the loop mechanically. Each
+   transform consumes a {!Discovery.Suggestion.t} and rewrites a deep copy
+   of the program:
+
+   - DOALL: the loop becomes one [Par] statement of C chunk blocks, each
+     running a contiguous slice of the iteration space; recognised
+     reductions accumulate into per-chunk locals combined atomically (or,
+     when the update lives in a callee, the callee's reduction statement is
+     made atomic in place); carried WAR/WAW scalars are privatised with a
+     guarded lastprivate write-back.
+   - DOACROSS: the body is fissioned into a dependence-free prefix A and
+     the carried suffix B at statement granularity; every chunk runs its
+     A-slice concurrently, while B-slices execute in chunk order, passing
+     the carried scalars from chunk to chunk through lock-protected
+     hand-off sections gated by ready flags.
+   - SPMD (recursive fork-join): consecutive recursive task statements
+     become [Par]-spawned bodies with declared results hoisted.
+   - MPMD (task graph): a contiguous, pairwise-independent run of
+     same-stage items becomes one [Par] statement.
+
+   A transform that cannot be proven shape-safe returns [Error] with the
+   reason; differential validation ({!Validate}) is the backstop for
+   everything the static checks cannot see. *)
+
+module Ast = Mil.Ast
+module B = Mil.Builder
+module R = Mil.Rewrite
+module Static = Mil.Static
+module SS = Static.SS
+module TD = Cunit.Top_down
+module Dep = Profiler.Dep
+module Loops = Discovery.Loops
+module Tasks = Discovery.Tasks
+module Suggestion = Discovery.Suggestion
+
+let c_applied = Obs.counter "transform.applied"
+let c_unsupported = Obs.counter "transform.unsupported"
+
+let ( let* ) = Result.bind
+
+type plan = {
+  p_kind : string;
+  p_region : int;
+  p_line : int;  (* header line of the transformed construct (original) *)
+  p_chunks : int;
+  p_notes : string list;
+}
+
+type t = {
+  original : Ast.program;
+  transformed : Ast.program;
+  plan : plan;
+}
+
+(* ---- small helpers ---- *)
+
+(* Probe for any syntactic occurrence of [x]: renaming to a name that can
+   never appear in a program ('\000' is not produced by any builder) changes
+   the block iff [x] occurs. *)
+let mentions_var (b : Ast.block) x =
+  R.rename_block ~from:x ~to_:"\000probe" b <> b
+
+let array_names (p : Ast.program) : SS.t =
+  let acc = ref SS.empty in
+  List.iter
+    (function Ast.Garray (n, _) -> acc := SS.add n !acc | Ast.Gscalar _ -> ())
+    p.globals;
+  let rec scan_block b = List.iter scan_stmt b
+  and scan_stmt (s : Ast.stmt) =
+    match s.node with
+    | Decl_arr (x, _) -> acc := SS.add x !acc
+    | If (_, t, e) -> scan_block t; scan_block e
+    | While (_, b) | For { body = b; _ } -> scan_block b
+    | Par bs -> List.iter scan_block bs
+    | _ -> ()
+  in
+  List.iter
+    (fun (f : Ast.func) ->
+      List.iter (fun a -> acc := SS.add a !acc) f.arr_params;
+      scan_block f.body)
+    p.funcs;
+  !acc
+
+let identity_of_op (op : Ast.binop) =
+  match op with
+  | Add | Bor | Bxor -> Some 0
+  | Mul -> Some 1
+  | Band -> Some (-1)
+  | Min -> Some max_int
+  | Max -> Some min_int
+  | _ -> None
+
+(* Rename [from] only within the statements at the given lines (used to
+   redirect reduction statements to a per-chunk accumulator while leaving
+   the rest of the body alone). *)
+let rec rename_at_lines ~from ~to_ lines (b : Ast.block) : Ast.block =
+  List.map
+    (fun (s : Ast.stmt) ->
+      if List.mem s.line lines then R.rename_stmt ~from ~to_ s
+      else
+        let node =
+          match s.node with
+          | Ast.If (c, t, e) ->
+              Ast.If (c, rename_at_lines ~from ~to_ lines t,
+                      rename_at_lines ~from ~to_ lines e)
+          | While (c, body) ->
+              While (c, rename_at_lines ~from ~to_ lines body)
+          | For f -> For { f with body = rename_at_lines ~from ~to_ lines f.body }
+          | Par bs -> Par (List.map (rename_at_lines ~from ~to_ lines) bs)
+          | n -> n
+        in
+        { s with node })
+    b
+
+let rec reduction_lines_in r op (b : Ast.block) : int list =
+  List.concat_map
+    (fun (s : Ast.stmt) ->
+      let here =
+        match Static.reduction_of_stmt s with
+        | Some (r', op') when r' = r && op' = op -> [ s.line ]
+        | _ -> []
+      in
+      let nested =
+        match s.node with
+        | Ast.If (_, t, e) ->
+            reduction_lines_in r op t @ reduction_lines_in r op e
+        | While (_, body) | For { body; _ } -> reduction_lines_in r op body
+        | Par bs -> List.concat_map (reduction_lines_in r op) bs
+        | _ -> []
+      in
+      here @ nested)
+    b
+
+let atomicize prog line =
+  match
+    R.replace_by_line prog ~line ~f:(fun s ->
+        match s.Ast.node with
+        | Ast.Assign (l, e) -> [ { s with node = Ast.Atomic_assign (l, e) } ]
+        | _ -> [ s ])
+  with
+  | Some p -> p
+  | None -> prog
+
+(* ---- loop chunking (shared by DOALL and DOACROSS) ----
+
+   A chunk k of C covers iterations [lo + floor(k*n/C)*step,
+   lo + floor((k+1)*n/C)*step) with n the trip count; the boundaries are
+   monotone and reach lo + n*step, so exactly the last non-empty chunk
+   satisfies [__c1 == __end] — the guard the lastprivate write-back uses. *)
+
+let bounds_prelude (f : Ast.for_loop) ~step ~chunks ~k =
+  B.[
+    decl "__n" ((f.hi - f.lo + i (step -$ 1)) / i step);
+    decl "__c0" (f.lo + (i k * v "__n" / i chunks) * i step);
+    decl "__c1" (f.lo + (i (k +$ 1) * v "__n" / i chunks) * i step);
+    decl "__end" (f.lo + (v "__n" * i step));
+  ]
+
+let check_loop_shape prog (la : Loops.analysis) (stmt : Ast.stmt) =
+  match stmt.Ast.node with
+  | Ast.For f ->
+      let* step =
+        match f.step with
+        | Ast.Int s when s > 0 -> Ok s
+        | _ -> Error "non-constant or non-positive step"
+      in
+      if R.expr_has_call f.lo || R.expr_has_call f.hi then
+        Error "calls in loop bounds"
+      else if R.has_sync f.body then
+        Error "body already contains synchronization"
+      else if R.has_return f.body then
+        Error "body returns from the enclosing function"
+      else if R.has_toplevel_break f.body then Error "body breaks out of the loop"
+      else if la.Loops.region.Static.index_written_in_body then
+        Error "loop index written in body"
+      else if R.calls_transitively prog f.body "rand" then
+        Error "body calls rand (chunking would perturb the stream)"
+      else Ok (f, step)
+  | _ -> Error "suggested region is not a for loop"
+
+(* ---- DOALL ---- *)
+
+let doall ~chunks prog (la : Loops.analysis) :
+    (Ast.program * string list, string) result =
+  let* () =
+    match la.Loops.cls with
+    | Loops.Doall | Loops.Doall_reduction -> Ok ()
+    | _ -> Error "loop is not classified DOALL"
+  in
+  let* stmt =
+    match R.find_by_line prog ~line:la.Loops.loop_line with
+    | Some (s, _) -> Ok s
+    | None -> Error "loop line not found"
+  in
+  let* f, step = check_loop_shape prog la stmt in
+  let arrays = array_names prog in
+  let bound_reads =
+    Static.expr_read_vars f.lo (Static.expr_read_vars f.hi SS.empty)
+  in
+  let* () =
+    if List.exists (fun pv -> SS.mem pv arrays) la.private_vars then
+      Error "array privatization unsupported"
+    else if List.exists (fun pv -> SS.mem pv bound_reads) la.private_vars then
+      Error "privatizable variable feeds the loop bounds"
+    else Ok ()
+  in
+  let global_reductions = Static.reduction_only_vars prog in
+  (* Reduction plan: per variable either a per-chunk accumulator (update in
+     the body) or in-place atomicization of a callee's reduction statement. *)
+  let* red_plans =
+    List.fold_left
+      (fun acc (r, op) ->
+        let* acc = acc in
+        let* ident =
+          match identity_of_op op with
+          | Some n -> Ok n
+          | None -> Error ("no identity for reduction op on " ^ r)
+        in
+        let body_lines = reduction_lines_in r op f.body in
+        if body_lines <> [] then Ok ((`Local (r, op, ident, body_lines)) :: acc)
+        else
+          match Hashtbl.find_opt global_reductions r with
+          | Some (op', lines) when op' = op -> Ok (`Atomic (r, lines) :: acc)
+          | _ -> Error ("no reduction statement found for " ^ r))
+      (Ok []) la.reduction_vars
+  in
+  let red_plans = List.rev red_plans in
+  (* Rewrite the body: reduction statements to accumulators, private scalars
+     to per-chunk names. *)
+  let* body =
+    List.fold_left
+      (fun body plan ->
+        let* body = body in
+        match plan with
+        | `Atomic (r, _) ->
+            if mentions_var body r then
+              Error ("callee-reduced variable " ^ r ^ " also accessed in body")
+            else Ok body
+        | `Local (r, _, _, lines) ->
+            let body =
+              rename_at_lines ~from:r ~to_:("__red_" ^ r) lines body
+            in
+            if mentions_var body r then
+              Error ("reduction variable " ^ r ^ " accessed outside its reduction")
+            else Ok body)
+      (Ok f.body) red_plans
+  in
+  let* () =
+    let unconditional p =
+      List.exists
+        (fun (s : Ast.stmt) ->
+          match s.node with
+          | Ast.Assign (Lvar x, _) | Ast.Atomic_assign (Lvar x, _) -> x = p
+          | Ast.Decl (x, _) -> x = p
+          | _ -> false)
+        body
+    in
+    match List.find_opt (fun p -> not (unconditional p)) la.private_vars with
+    | Some p -> Error ("conditionally-written private variable " ^ p)
+    | None -> Ok ()
+  in
+  let body =
+    List.fold_left
+      (fun b p -> R.rename_block ~from:p ~to_:("__pv_" ^ p) b)
+      body la.private_vars
+  in
+  (* Per-chunk pieces. All names are [Decl]s local to the chunk's thread, so
+     the same names can be reused across chunks. *)
+  let red_decls () =
+    List.concat_map
+      (function
+        | `Atomic _ -> []
+        | `Local (r, _, ident, _) ->
+            if SS.mem r arrays then
+              [ B.decl_arr ("__red_" ^ r) (B.len r);
+                B.for_ "__ri" (B.i 0) (B.len r)
+                  [ B.seti ("__red_" ^ r) (B.v "__ri") (B.i ident) ] ]
+            else [ B.decl ("__red_" ^ r) (B.i ident) ])
+      red_plans
+  in
+  let red_combines () =
+    List.concat_map
+      (function
+        | `Atomic _ -> []
+        | `Local (r, op, _, _) ->
+            if SS.mem r arrays then
+              [ B.for_ "__ri" (B.i 0) (B.len r)
+                  [ B.atomic_seti r (B.v "__ri")
+                      (Ast.Bin (op, Ast.Idx (r, Ast.Var "__ri"),
+                                Ast.Idx ("__red_" ^ r, Ast.Var "__ri"))) ] ]
+            else
+              [ B.atomic_set r (Ast.Bin (op, Ast.Var r, Ast.Var ("__red_" ^ r))) ])
+      red_plans
+  in
+  let lastprivates () =
+    List.map
+      (fun p ->
+        B.when_
+          B.(v "__c1" == v "__end" && v "__c0" < v "__c1")
+          [ B.atomic_set p (B.v ("__pv_" ^ p)) ])
+      la.private_vars
+  in
+  let priv_decls () = List.map (fun p -> B.decl ("__pv_" ^ p) (B.i 0)) la.private_vars in
+  let chunk k =
+    bounds_prelude f ~step ~chunks ~k
+    @ red_decls () @ priv_decls ()
+    @ [ B.for_step f.index (B.v "__c0") (B.v "__c1") (B.i step)
+          (R.copy_block body) ]
+    @ red_combines () @ lastprivates ()
+  in
+  let par_stmt = B.par (List.init chunks chunk) in
+  let* prog =
+    match R.replace_by_line prog ~line:la.loop_line ~f:(fun _ -> [ par_stmt ]) with
+    | Some p -> Ok p
+    | None -> Error "loop statement vanished during rewriting"
+  in
+  let prog =
+    List.fold_left
+      (fun prog plan ->
+        match plan with
+        | `Atomic (_, lines) -> List.fold_left atomicize prog lines
+        | `Local _ -> prog)
+      prog red_plans
+  in
+  let notes =
+    Printf.sprintf "%d chunks over iteration space" chunks
+    :: List.map
+         (function
+           | `Local (r, op, _, _) ->
+               Printf.sprintf "reduction %s (%s) via per-chunk accumulator" r
+                 (Ast.string_of_binop op)
+           | `Atomic (r, lines) ->
+               Printf.sprintf "reduction %s made atomic at callee line(s) %s" r
+                 (String.concat "," (List.map string_of_int lines)))
+         red_plans
+    @ List.map (fun p -> "privatized " ^ p ^ " (guarded lastprivate)") la.private_vars
+  in
+  Ok (prog, notes)
+
+(* ---- DOACROSS ---- *)
+
+let doacross ~chunks ~deps prog (la : Loops.analysis) :
+    (Ast.program * string list, string) result =
+  let* stmt =
+    match R.find_by_line prog ~line:la.Loops.loop_line with
+    | Some (s, _) -> Ok s
+    | None -> Error "loop line not found"
+  in
+  let* f, step = check_loop_shape prog la stmt in
+  let body_lines = List.concat_map TD.stmt_lines f.body in
+  let carried =
+    Dep.Set_.in_range deps ~lo:la.region.Static.first_line
+      ~hi:la.region.Static.last_line
+    |> List.filter (fun (d : Dep.t) ->
+           d.carrier = Some la.loop_line && d.var <> f.index && d.dtype <> Dep.Init)
+  in
+  let* () = if carried = [] then Error "no carried dependences recorded" else Ok () in
+  let endpoints =
+    List.concat_map (fun (d : Dep.t) -> [ d.src_line; d.sink_line ]) carried
+    |> List.sort_uniq compare
+  in
+  let* () =
+    if List.for_all (fun l -> List.mem l body_lines) endpoints then Ok ()
+    else Error "carried dependence endpoint outside the loop body (callee?)"
+  in
+  let arrays = array_names prog in
+  let handoff =
+    List.filter_map
+      (fun (d : Dep.t) -> if d.dtype = Dep.Raw then Some d.var else None)
+      carried
+    |> List.sort_uniq compare
+  in
+  let* () =
+    match List.find_opt (fun v -> SS.mem v arrays) handoff with
+    | Some v -> Error ("array-carried dependence on " ^ v)
+    | None -> Ok ()
+  in
+  (* Fission point: the shortest suffix of the body covering every carried
+     endpoint. The prefix A is then dependence-free across iterations and
+     runs as DOALL; the suffix B executes serialized in chunk order. *)
+  let stmt_line_sets = List.map (fun s -> TD.stmt_lines s) f.body in
+  let n_stmts = List.length f.body in
+  let covered_from p =
+    let lines =
+      List.concat (List.filteri (fun i _ -> i >= p) stmt_line_sets)
+    in
+    List.for_all (fun l -> List.mem l lines) endpoints
+  in
+  let rec find_p p = if p < n_stmts && covered_from (p + 1) then find_p (p + 1) else p in
+  let p = find_p 0 in
+  let* () =
+    if p = 0 then Error "no dependence-free prefix to overlap with the carried chain"
+    else Ok ()
+  in
+  let a_stmts = List.filteri (fun i _ -> i < p) f.body in
+  let b_stmts = List.filteri (fun i _ -> i >= p) f.body in
+  (* Values produced by top-level [Decl]s in A and consumed in B travel
+     through a per-chunk buffer indexed by iteration offset. *)
+  let* buffered =
+    List.fold_left
+      (fun acc (s : Ast.stmt) ->
+        let* acc = acc in
+        match s.node with
+        | Ast.Decl (x, _) when mentions_var b_stmts x -> Ok (x :: acc)
+        | Ast.Decl_arr (x, _) when mentions_var b_stmts x ->
+            Error ("local array " ^ x ^ " flows from prefix into carried suffix")
+        | _ -> Ok acc)
+      (Ok []) a_stmts
+  in
+  let buffered = List.rev buffered in
+  let buf x = "__dx_buf_" ^ x in
+  let a_body =
+    List.concat_map
+      (fun (s : Ast.stmt) ->
+        match s.node with
+        | Ast.Decl (x, _) when List.mem x buffered ->
+            [ s; B.seti (buf x) B.(v f.index - v "__c0") (B.v x) ]
+        | _ -> [ s ])
+      a_stmts
+  in
+  let b_body =
+    List.map (fun x -> B.decl x B.((buf x).%[v f.index - v "__c0"])) buffered
+    @ List.fold_left
+        (fun b v -> R.rename_block ~from:v ~to_:("__dx_" ^ v) b)
+        b_stmts handoff
+  in
+  let mutex = "__dx_m" in
+  let rdy k = "__dx_rdy" ^ string_of_int k in
+  let chunk k =
+    bounds_prelude f ~step ~chunks ~k
+    @ List.map (fun x -> B.decl_arr (buf x) B.(v "__c1" - v "__c0")) buffered
+    @ [ B.for_step f.index (B.v "__c0") (B.v "__c1") (B.i step)
+          (R.copy_block a_body) ]
+    @ (if k = 0 then []
+       else
+         [ B.decl "__dx_t" (B.i 0);
+           B.while_
+             B.(v "__dx_t" == i 0)
+             [ B.lock mutex; B.set "__dx_t" (B.v (rdy k)); B.unlock mutex ] ])
+    @ [ B.lock mutex ]
+    @ List.map (fun v -> B.decl ("__dx_" ^ v) (B.v v)) handoff
+    @ [ B.unlock mutex ]
+    @ [ B.for_step f.index (B.v "__c0") (B.v "__c1") (B.i step)
+          (R.copy_block b_body) ]
+    @ [ B.lock mutex ]
+    @ List.map (fun v -> B.set v (B.v ("__dx_" ^ v))) handoff
+    @ (if k < chunks - 1 then [ B.set (rdy (k + 1)) (B.i 1) ] else [])
+    @ [ B.unlock mutex ]
+  in
+  let par_stmt = B.par (List.init chunks chunk) in
+  let* prog =
+    match R.replace_by_line prog ~line:la.loop_line ~f:(fun _ -> [ par_stmt ]) with
+    | Some p -> Ok p
+    | None -> Error "loop statement vanished during rewriting"
+  in
+  let prog =
+    { prog with
+      globals =
+        prog.globals
+        @ List.init (chunks - 1) (fun k -> Ast.Gscalar (rdy (k + 1), 0)) }
+  in
+  let notes =
+    [ Printf.sprintf
+        "%d pipelined chunks: %d free statement(s) overlap, %d carried statement(s) serialized"
+        chunks p (n_stmts - p);
+      Printf.sprintf "carried scalar(s) %s handed off through locked sections"
+        (String.concat "," handoff) ]
+    @ (if buffered <> [] then
+         [ Printf.sprintf "prefix value(s) %s buffered per chunk"
+             (String.concat "," buffered) ]
+       else [])
+  in
+  Ok (prog, notes)
+
+(* ---- SPMD: recursive fork-join and taskloops ---- *)
+
+(* Full read/write effect of one statement, including callee effects mapped
+   through call sites (array-parameter writes become writes of the actual
+   argument arrays). The top-down item sets only cover the region's
+   construction variables at the direct level; task statements that touch
+   shared state inside callees need this interprocedural view. *)
+let stmt_effects (static : Static.t) (prog : Ast.program) (s : Ast.stmt) :
+    SS.t * SS.t =
+  let reads = ref SS.empty and writes = ref SS.empty in
+  let add_call (callee, args) =
+    match
+      ( Static.summary static callee,
+        List.find_opt
+          (fun (fn : Ast.func) -> fn.Ast.fname = callee)
+          prog.Ast.funcs )
+    with
+    | Some sum, Some fn ->
+        let r, w = Static.apply_call_summary ~callee_sum:sum ~callee:fn ~args in
+        reads := SS.union r !reads;
+        writes := SS.union w !writes
+    | _ -> ()
+  in
+  let expr e =
+    reads := Static.expr_read_vars e !reads;
+    List.iter add_call (Static.expr_callees e [])
+  in
+  let lhs l =
+    writes := SS.add (Static.lhs_written l) !writes;
+    reads := SS.union (Static.lhs_index_reads l) !reads
+  in
+  let rec stmt (s : Ast.stmt) =
+    match s.Ast.node with
+    | Ast.Decl (x, e) | Ast.Decl_arr (x, e) ->
+        writes := SS.add x !writes;
+        expr e
+    | Assign (l, e) | Atomic_assign (l, e) ->
+        lhs l;
+        expr e
+    | Call_stmt (callee, args) ->
+        List.iter expr args;
+        add_call (callee, args)
+    | If (c, t, e) ->
+        expr c;
+        List.iter stmt t;
+        List.iter stmt e
+    | While (c, b) ->
+        expr c;
+        List.iter stmt b
+    | For f ->
+        writes := SS.add f.index !writes;
+        reads := SS.add f.index !reads;
+        expr f.lo;
+        expr f.hi;
+        expr f.step;
+        List.iter stmt f.body
+    | Par bs -> List.iter (List.iter stmt) bs
+    | Return (Some e) -> expr e
+    | Return None | Break | Lock _ | Unlock _ | Barrier _ | Free _ -> ()
+  in
+  stmt s;
+  (!reads, !writes)
+
+let task_eligible prog task_lines (s : Ast.stmt) =
+  List.mem s.Ast.line task_lines
+  && (match s.Ast.node with
+     | Ast.Decl _ | Ast.Call_stmt _ | Ast.Assign _ | Ast.Atomic_assign _ -> true
+     | _ -> false)
+  && not (R.calls_transitively prog [ s ] "rand")
+
+(* Replace the first run of >= 2 consecutive task statements in the
+   function body with hoisted result declarations plus a [Par]. *)
+let forkjoin prog fname task_lines : (Ast.program * string list, string) result =
+  let eligible = task_eligible prog task_lines in
+  let captured = ref None in
+  let parize run =
+    captured := Some run;
+    let hoists, threads =
+      List.fold_right
+        (fun (ts : Ast.stmt) (hs, bs) ->
+          match ts.node with
+          | Ast.Decl (x, e) -> (B.decl x (B.i 0) :: hs, [ B.set x e ] :: bs)
+          | _ -> (hs, [ ts ] :: bs))
+        run ([], [])
+    in
+    hoists @ [ B.par threads ]
+  in
+  let rec go b : Ast.block * bool =
+    match b with
+    | [] -> ([], false)
+    | s :: rest when eligible s ->
+        let rec take acc = function
+          | t :: more when eligible t -> take (t :: acc) more
+          | more -> (List.rev acc, more)
+        in
+        let run, rest' = take [ s ] rest in
+        if List.length run >= 2 then (parize run @ rest', true)
+        else
+          let rest2, hit = go rest' in
+          (run @ rest2, hit)
+    | s :: rest ->
+        let s', hit = descend s in
+        if hit then (s' :: rest, true)
+        else
+          let rest', hit = go rest in
+          (s :: rest', hit)
+  and descend (s : Ast.stmt) : Ast.stmt * bool =
+    let wrap node = { s with Ast.node } in
+    match s.node with
+    | Ast.If (c, t, e) ->
+        let t', hit = go t in
+        if hit then (wrap (Ast.If (c, t', e)), true)
+        else
+          let e', hit = go e in
+          (wrap (Ast.If (c, t, e')), hit)
+    | While (c, body) ->
+        let body', hit = go body in
+        (wrap (Ast.While (c, body')), hit)
+    | For fl ->
+        let body', hit = go fl.body in
+        (wrap (Ast.For { fl with body = body' }), hit)
+    | _ -> (s, false)
+  in
+  match List.find_opt (fun (fn : Ast.func) -> fn.fname = fname) prog.Ast.funcs with
+  | None -> Error ("no function " ^ fname)
+  | Some fn -> (
+      let body', hit = go fn.body in
+      if not hit then Error "no consecutive pair of task statements"
+      else
+        (* The forked tasks run unsynchronized, so any variable one task
+           writes and another touches must be a reduction-only global (a
+           recursive branch-and-bound minimum, a task counter): its update
+           statements are made atomic; any other shared write rejects the
+           fork. *)
+        let run = match !captured with Some r -> r | None -> [] in
+        let static = Static.analyze prog in
+        let effs = List.map (stmt_effects static prog) run in
+        let conflicts =
+          let rec pairs acc = function
+            | [] -> acc
+            | (r1, w1) :: rest ->
+                let acc =
+                  List.fold_left
+                    (fun acc (r2, w2) ->
+                      SS.union (SS.inter w1 w2)
+                        (SS.union (SS.inter w1 r2)
+                           (SS.union (SS.inter r1 w2) acc)))
+                    acc rest
+                in
+                pairs acc rest
+          in
+          pairs SS.empty effs
+        in
+        let greds = Static.reduction_only_vars prog in
+        let* atomic_lines =
+          SS.fold
+            (fun v acc ->
+              let* ls = acc in
+              match Hashtbl.find_opt greds v with
+              | Some (_, lines) -> Ok (lines @ ls)
+              | None -> Error ("tasks share non-reduction variable " ^ v))
+            conflicts (Ok [])
+        in
+        let funcs =
+          List.map
+            (fun (g : Ast.func) ->
+              if g.fname = fname then { g with body = body' } else g)
+            prog.funcs
+        in
+        let prog = List.fold_left atomicize { prog with funcs } atomic_lines in
+        let notes =
+          Printf.sprintf "recursive tasks of %s spawned as Par threads" fname
+          ::
+          (if atomic_lines = [] then []
+           else
+             [ Printf.sprintf "shared reduction update(s) made atomic at line(s) %s"
+                 (String.concat ","
+                    (List.map string_of_int (List.sort_uniq compare atomic_lines))) ])
+        in
+        Ok (prog, notes))
+
+let spmd ~chunks prog (report : Suggestion.report) (sp : Tasks.spmd) =
+  match sp.Tasks.s_kind with
+  | `Loop_tasks _ -> (
+      match
+        List.find_opt
+          (fun (la : Loops.analysis) -> la.region.Static.id = sp.s_region)
+          report.loops
+      with
+      | Some la -> doall ~chunks prog la
+      | None -> Error "no loop analysis for taskloop region")
+  | `Recursive_forkjoin fname -> forkjoin prog fname sp.s_task_lines
+
+(* ---- MPMD: task-graph stages ---- *)
+
+(* Replace the consecutive statement segment starting at [List.hd lines]
+   and matching [lines] exactly. *)
+let replace_segment prog ~lines ~f : Ast.program option =
+  let n = List.length lines in
+  let rec seg_in_block (b : Ast.block) : Ast.block * bool =
+    match b with
+    | [] -> ([], false)
+    | s :: _ when s.Ast.line = List.hd lines ->
+        let seg = List.filteri (fun i _ -> i < n) b in
+        let rest = List.filteri (fun i _ -> i >= n) b in
+        if List.map (fun (t : Ast.stmt) -> t.Ast.line) seg = lines then
+          (f seg @ rest, true)
+        else (b, false)
+    | s :: rest ->
+        let s', hit = seg_in_stmt s in
+        if hit then (s' :: rest, true)
+        else
+          let rest', hit = seg_in_block rest in
+          (s :: rest', hit)
+  and seg_in_stmt (s : Ast.stmt) : Ast.stmt * bool =
+    let wrap node = { s with Ast.node } in
+    match s.node with
+    | Ast.If (c, t, e) ->
+        let t', hit = seg_in_block t in
+        if hit then (wrap (Ast.If (c, t', e)), true)
+        else
+          let e', hit = seg_in_block e in
+          (wrap (Ast.If (c, t, e')), hit)
+    | While (c, body) ->
+        let body', hit = seg_in_block body in
+        (wrap (Ast.While (c, body')), hit)
+    | For fl ->
+        let body', hit = seg_in_block fl.body in
+        (wrap (Ast.For { fl with body = body' }), hit)
+    | _ -> (s, false)
+  in
+  let rec go = function
+    | [] -> None
+    | (fn : Ast.func) :: rest -> (
+        let body', hit = seg_in_block fn.body in
+        if hit then Some ({ fn with body = body' } :: rest)
+        else
+          match go rest with
+          | Some rest' -> Some (fn :: rest')
+          | None -> None)
+  in
+  Option.map (fun funcs -> { prog with Ast.funcs }) (go prog.Ast.funcs)
+
+let mpmd prog (report : Suggestion.report) (m : Tasks.mpmd) :
+    (Ast.program * string list, string) result =
+  let* () =
+    if m.Tasks.m_shape = Tasks.Taskgraph then Ok ()
+    else Error "pipeline-shaped task graphs unsupported"
+  in
+  let static = report.static in
+  let region = Static.region static m.m_region in
+  let gv =
+    SS.union (TD.construction_globals static m.m_region) region.Static.locals
+  in
+  let items = TD.items_of_region static m.m_region gv in
+  let item_by_line l =
+    List.find_opt (fun (it : TD.item) -> it.it_line = l) items
+  in
+  let indep (a : TD.item) (b : TD.item) =
+    SS.is_empty (SS.inter a.it_writes b.it_writes)
+    && SS.is_empty (SS.inter a.it_writes b.it_reads)
+    && SS.is_empty (SS.inter a.it_reads b.it_writes)
+  in
+  let stmt_ok (s : Ast.stmt) =
+    (match s.node with
+    | Ast.Decl _ | Ast.Assign _ | Ast.Atomic_assign _ | Ast.Call_stmt _
+    | Ast.If _ | Ast.While _ | Ast.For _ ->
+        true
+    | _ -> false)
+    && (not (R.has_return [ s ]))
+    && (not (R.has_sync [ s ]))
+    && (not (R.has_toplevel_break [ s ]))
+    && not (R.calls_transitively prog [ s ] "rand")
+  in
+  (* Pairwise independence at the effect level: no statement of the stage
+     may write a variable another statement reads or writes, counting
+     callee effects. *)
+  let effects_independent seg =
+    let effs = List.map (stmt_effects static prog) seg in
+    let rec ok = function
+      | [] -> true
+      | (r1, w1) :: rest ->
+          List.for_all
+            (fun (r2, w2) ->
+              SS.is_empty (SS.inter w1 w2)
+              && SS.is_empty (SS.inter w1 r2)
+              && SS.is_empty (SS.inter r1 w2))
+            rest
+          && ok rest
+    in
+    ok effs
+  in
+  let parize seg =
+    let hoists, threads =
+      List.fold_right
+        (fun (ts : Ast.stmt) (hs, bs) ->
+          match ts.Ast.node with
+          | Ast.Decl (x, e) -> (B.decl x (B.i 0) :: hs, [ B.set x e ] :: bs)
+          | _ -> (hs, [ ts ] :: bs))
+        seg ([], [])
+    in
+    hoists @ [ B.par threads ]
+  in
+  (* A stage is parallelizable when its members are consecutive items of
+     the region, pairwise independent, and shape-safe statements. *)
+  let item_lines = List.map (fun (it : TD.item) -> it.it_line) items in
+  let consecutive lines =
+    let idx l =
+      let rec at i = function
+        | [] -> -1
+        | x :: _ when x = l -> i
+        | _ :: r -> at (i + 1) r
+      in
+      at 0 item_lines
+    in
+    let idxs = List.map idx lines in
+    List.for_all (fun i -> i >= 0) idxs
+    &&
+    let sorted = List.sort compare idxs in
+    List.mapi (fun i x -> x - i) sorted |> function
+    | [] -> false
+    | d :: rest -> List.for_all (fun x -> x = d) rest
+  in
+  let try_stage prog stage =
+    if List.length stage < 2 then None
+    else
+      let lines = List.sort compare stage in
+      let members = List.filter_map item_by_line lines in
+      if List.length members <> List.length lines then None
+      else if not (consecutive lines) then None
+      else
+        let rec all_pairs = function
+          | [] -> true
+          | x :: rest -> List.for_all (indep x) rest && all_pairs rest
+        in
+        if not (all_pairs members) then None
+        else
+          match
+            replace_segment prog ~lines ~f:(fun seg ->
+                if List.for_all stmt_ok seg && effects_independent seg then
+                  parize seg
+                else seg)
+          with
+          | Some prog' when prog' <> prog -> Some (prog', List.length lines)
+          | _ -> None
+  in
+  let prog', widths =
+    List.fold_left
+      (fun (prog, ws) stage ->
+        match try_stage prog stage with
+        | Some (prog', w) -> (prog', w :: ws)
+        | None -> (prog, ws))
+      (prog, []) m.m_stages
+  in
+  if widths = [] then Error "no stage with a consecutive independent run"
+  else
+    Ok
+      ( prog',
+        [ Printf.sprintf "%d task-graph stage(s) spawned as Par (widths %s)"
+            (List.length widths)
+            (String.concat "," (List.map string_of_int (List.rev widths))) ] )
+
+(* ---- naive (deliberately wrong) transform: the validation fixture ---- *)
+
+(* Chunk a loop with NO privatization, reduction or carried-dependence
+   handling. On any loop that is not plain DOALL this miscompiles — the
+   fixture differential validation must reject. *)
+let naive_doall ?(chunks = 4) (prog : Ast.program) ~line :
+    (Ast.program, string) result =
+  let prog = R.copy_program prog in
+  match R.find_by_line prog ~line with
+  | Some ({ Ast.node = Ast.For ({ step = Ast.Int step; _ } as f); _ }, _)
+    when step > 0 ->
+      let chunk k =
+        bounds_prelude f ~step ~chunks ~k
+        @ [ B.for_step f.index (B.v "__c0") (B.v "__c1") (B.i step)
+              (R.copy_block f.body) ]
+      in
+      let par_stmt = B.par (List.init chunks chunk) in
+      (match R.replace_by_line prog ~line ~f:(fun _ -> [ par_stmt ]) with
+      | Some p ->
+          Ok (B.number { p with pname = p.pname ^ "_naive" })
+      | None -> Error "loop not found")
+  | Some _ -> Error "not a constant-step for loop"
+  | None -> Error "no statement at that line"
+
+(* ---- entry points ---- *)
+
+let apply ?(chunks = 4) (report : Suggestion.report) (s : Suggestion.t) :
+    (t, string) result =
+  let prog = R.copy_program report.program in
+  let deps = report.profile.Profiler.Serial.deps in
+  let result =
+    match s.kind with
+    | Suggestion.Sdoall la -> doall ~chunks prog la
+    | Sdoacross la -> doacross ~chunks ~deps prog la
+    | Sspmd sp -> spmd ~chunks prog report sp
+    | Smpmd m -> mpmd prog report m
+  in
+  match result with
+  | Error e ->
+      Obs.Counter.incr c_unsupported;
+      Error e
+  | Ok (prog', notes) ->
+      Obs.Counter.incr c_applied;
+      let prog' = B.number { prog' with pname = prog'.pname ^ "_par" } in
+      let region = Static.region report.static s.region in
+      Ok
+        { original = report.program;
+          transformed = prog';
+          plan =
+            { p_kind = Suggestion.kind_to_string s.kind;
+              p_region = s.region;
+              p_line = region.Static.first_line;
+              p_chunks = chunks;
+              p_notes = notes } }
+
+let apply_first ?chunks (report : Suggestion.report) :
+    (t * (Suggestion.t * string) list, (Suggestion.t * string) list) result =
+  let rec go skipped = function
+    | [] -> Error (List.rev skipped)
+    | s :: rest -> (
+        match apply ?chunks report s with
+        | Ok t -> Ok (t, List.rev skipped)
+        | Error e -> go ((s, e) :: skipped) rest)
+  in
+  go [] report.suggestions
+
+let plan_to_string (p : plan) =
+  Printf.sprintf "%s @ region %d (line %d), %d chunks\n%s" p.p_kind p.p_region
+    p.p_line p.p_chunks
+    (String.concat "" (List.map (fun n -> "  - " ^ n ^ "\n") p.p_notes))

@@ -1,0 +1,207 @@
+(* Differential validation of transformed programs (the check the paper ran
+   by hand: parallelize the suggestion, then make sure the program still
+   computes the same thing — and actually distributes work).
+
+   Three layers, all over the MIL interpreter:
+
+   1. State equivalence: run original and transformed under several
+      scheduler seeds and compare the observable state — entry return
+      value, final values of the original program's globals, and the
+      [print] output stream.
+   2. Race check: re-profile both programs with [scramble_unlocked] (the
+      §2.3.4 reordering that exposes unsynchronized accesses) and require
+      the transformed program to introduce no *new* racy variables — in
+      particular no unsynchronized cross-chunk RAW on transformed DOALL
+      regions. Variables introduced by the transform itself (the "__"
+      namespace) only count if actually racy; original-program lines moved
+      by renumbering are compared by variable, which renumbering preserves.
+   3. Work distribution: count profiled accesses per thread of the
+      transformed run, giving a measured speedup proxy (total work over
+      the critical chunk) to place next to the modeled Schedule speedup. *)
+
+module Interp = Mil.Interp
+module Dep = Profiler.Dep
+
+let c_pass = Obs.counter "transform.validate.pass"
+let c_fail = Obs.counter "transform.validate.fail"
+
+let is_internal name = String.length name >= 2 && String.sub name 0 2 = "__"
+
+type observation = {
+  o_result : int;
+  o_globals : (string * int array) list;  (* transform-internal "__" globals excluded *)
+  o_prints : int list list;
+}
+
+let observe ?(seed = 42) (prog : Mil.Ast.program) : observation =
+  let prints = ref [] in
+  let r =
+    Interp.run ~seed ~instrument:false
+      ~on_print:(fun vs -> prints := vs :: !prints)
+      prog
+  in
+  { o_result = r.result;
+    o_globals =
+      List.filter (fun (n, _) -> not (is_internal n)) r.final_globals;
+    o_prints = List.rev !prints }
+
+let diff_observations (a : observation) (b : observation) : string list =
+  let issues = ref [] in
+  if a.o_result <> b.o_result then
+    issues :=
+      Printf.sprintf "result %d <> %d" a.o_result b.o_result :: !issues;
+  List.iter
+    (fun (name, va) ->
+      match List.assoc_opt name b.o_globals with
+      | None -> issues := Printf.sprintf "global %s missing" name :: !issues
+      | Some vb ->
+          if va <> vb then
+            issues := Printf.sprintf "global %s differs" name :: !issues)
+    a.o_globals;
+  if a.o_prints <> b.o_prints then issues := "print stream differs" :: !issues;
+  List.rev !issues
+
+(* Racy variables of a profile: names with an observed timestamp reversal,
+   from the engine's race list and the racy flag on merged dependence
+   records. Comparing by name survives the transform's renumbering. *)
+let racy_vars (r : Profiler.Serial.result) : string list =
+  let acc = ref [] in
+  List.iter (fun (v, _, _) -> acc := v :: !acc) r.races;
+  Dep.Set_.iter
+    (fun d _ -> if d.Dep.racy then acc := d.Dep.var :: !acc)
+    r.deps;
+  List.sort_uniq compare !acc
+
+let racy_raw_count (r : Profiler.Serial.result) : int =
+  let n = ref 0 in
+  Dep.Set_.iter
+    (fun d _ -> if d.Dep.racy && d.Dep.dtype = Dep.Raw then incr n)
+    r.deps;
+  !n
+
+type verdict = {
+  v_ok : bool;
+  v_seeds : int list;
+  v_mismatches : (int * string) list;  (* (seed, issue) *)
+  v_new_racy : string list;            (* racy vars only in the transformed run *)
+  v_racy_raw : int;                    (* racy RAW records in the transformed run *)
+}
+
+let default_seeds = [ 42; 1009; 77777 ]
+
+let differential ?(seeds = default_seeds) ~(original : Mil.Ast.program)
+    ~(transformed : Mil.Ast.program) () : verdict =
+  let mismatches =
+    List.concat_map
+      (fun seed ->
+        let a = observe ~seed original and b = observe ~seed transformed in
+        List.map (fun issue -> (seed, issue)) (diff_observations a b))
+      seeds
+  in
+  let seed0 = match seeds with s :: _ -> s | [] -> 42 in
+  let p_orig =
+    Profiler.Serial.profile ~scramble_unlocked:true ~seed:seed0 original
+  in
+  let p_tran =
+    Profiler.Serial.profile ~scramble_unlocked:true ~seed:seed0 transformed
+  in
+  let base = racy_vars p_orig in
+  let new_racy =
+    List.filter (fun v -> not (List.mem v base)) (racy_vars p_tran)
+  in
+  let v_ok = mismatches = [] && new_racy = [] in
+  Obs.Counter.incr (if v_ok then c_pass else c_fail);
+  { v_ok;
+    v_seeds = seeds;
+    v_mismatches = mismatches;
+    v_new_racy = new_racy;
+    v_racy_raw = racy_raw_count p_tran }
+
+let verdict_to_string (v : verdict) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "validation: %s (%d seed(s): %s)\n"
+       (if v.v_ok then "PASS" else "FAIL")
+       (List.length v.v_seeds)
+       (String.concat "," (List.map string_of_int v.v_seeds)));
+  List.iter
+    (fun (seed, issue) ->
+      Buffer.add_string b (Printf.sprintf "  seed %d: %s\n" seed issue))
+    v.v_mismatches;
+  if v.v_new_racy <> [] then
+    Buffer.add_string b
+      (Printf.sprintf "  new racy var(s): %s\n"
+         (String.concat "," v.v_new_racy));
+  Buffer.add_string b
+    (Printf.sprintf "  racy RAW records in transformed profile: %d\n"
+       v.v_racy_raw);
+  Buffer.contents b
+
+(* ---- measured work distribution ---- *)
+
+type distribution = {
+  d_threads : (int * int) list;  (* thread id -> profiled accesses *)
+  d_total : int;
+  d_critical : int;      (* main-thread work + heaviest spawned thread *)
+  d_serial_total : int;  (* accesses of the original (serial) run *)
+  d_measured_speedup : float;
+  d_parallel_fraction : float;
+}
+
+let measure ?(seed = 42) ~(original : Mil.Ast.program)
+    (transformed : Mil.Ast.program) : distribution =
+  let serial = Interp.run ~seed original in
+  let d_serial_total = serial.r_stats.reads + serial.r_stats.writes in
+  let per_thread = Hashtbl.create 8 in
+  let _ =
+    Interp.run ~seed
+      ~emit:(fun ev ->
+        match ev with
+        | Trace.Event.Access a ->
+            let n =
+              match Hashtbl.find_opt per_thread a.Trace.Event.thread with
+              | Some n -> n
+              | None -> 0
+            in
+            Hashtbl.replace per_thread a.Trace.Event.thread (n + 1)
+        | _ -> ())
+      transformed
+  in
+  let d_threads =
+    Hashtbl.fold (fun t n acc -> (t, n) :: acc) per_thread []
+    |> List.sort compare
+  in
+  let d_total = List.fold_left (fun acc (_, n) -> acc + n) 0 d_threads in
+  let main = match List.assoc_opt 0 d_threads with Some n -> n | None -> 0 in
+  let heaviest =
+    List.fold_left
+      (fun acc (t, n) -> if t > 0 then max acc n else acc)
+      0 d_threads
+  in
+  let d_critical = max 1 (main + heaviest) in
+  { d_threads;
+    d_total;
+    d_critical;
+    d_serial_total;
+    d_measured_speedup = float_of_int d_serial_total /. float_of_int d_critical;
+    d_parallel_fraction =
+      (if d_total = 0 then 0.0
+       else float_of_int (d_total - main) /. float_of_int d_total) }
+
+let distribution_to_string (d : distribution) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "work distribution: %d accesses over %d thread(s), %.0f%% off the main thread\n"
+       d.d_total (List.length d.d_threads) (100.0 *. d.d_parallel_fraction));
+  List.iter
+    (fun (t, n) ->
+      Buffer.add_string b
+        (Printf.sprintf "  thread %d: %d accesses (%.0f%%)\n" t n
+           (100.0 *. float_of_int n /. float_of_int (max 1 d.d_total))))
+    d.d_threads;
+  Buffer.add_string b
+    (Printf.sprintf
+       "measured speedup proxy: %.2fx (serial %d / critical %d)\n"
+       d.d_measured_speedup d.d_serial_total d.d_critical);
+  Buffer.contents b

@@ -1,0 +1,59 @@
+(** Differential validation and measured work distribution for transformed
+    programs — the dynamic backstop behind [discopop parallelize
+    --validate].
+
+    State equivalence runs original and transformed under several scheduler
+    seeds and compares observable state (entry return value, final globals
+    of the original program, [print] stream); the race check re-profiles
+    both with [scramble_unlocked] and requires no {e new} racy variables in
+    the transformed program. *)
+
+type observation = {
+  o_result : int;
+  o_globals : (string * int array) list;
+      (** final globals, transform-internal ["__"] names excluded *)
+  o_prints : int list list;
+}
+
+val observe : ?seed:int -> Mil.Ast.program -> observation
+
+val diff_observations : observation -> observation -> string list
+(** Human-readable discrepancies; empty means observably equal. *)
+
+type verdict = {
+  v_ok : bool;
+  v_seeds : int list;
+  v_mismatches : (int * string) list;  (** (seed, issue) *)
+  v_new_racy : string list;
+      (** variables racy in the transformed profile but not the original *)
+  v_racy_raw : int;  (** racy RAW records in the transformed profile *)
+}
+
+val default_seeds : int list
+
+val differential :
+  ?seeds:int list ->
+  original:Mil.Ast.program ->
+  transformed:Mil.Ast.program ->
+  unit ->
+  verdict
+(** Counts the outcome in the [Obs] registry
+    ([transform.validate.pass] / [transform.validate.fail]). *)
+
+val verdict_to_string : verdict -> string
+
+type distribution = {
+  d_threads : (int * int) list;  (** thread id -> profiled accesses *)
+  d_total : int;
+  d_critical : int;      (** main-thread work + heaviest spawned thread *)
+  d_serial_total : int;  (** accesses of the original serial run *)
+  d_measured_speedup : float;
+      (** serial work over the critical path proxy — the "applied" number
+          to place next to the modeled {!Discovery.Schedule} speedup *)
+  d_parallel_fraction : float;  (** share of work off the main thread *)
+}
+
+val measure :
+  ?seed:int -> original:Mil.Ast.program -> Mil.Ast.program -> distribution
+
+val distribution_to_string : distribution -> string

@@ -105,6 +105,68 @@ let test_render_explain () =
   (* header + column line + 3 rows *)
   Alcotest.(check int) "top limits rows" 5 (List.length lines)
 
+(* --- depfile v2: provenance persists across render/parse --- *)
+
+let test_depfile_v2_roundtrip () =
+  let deps =
+    (Profiler.Serial.profile ~shadow:(Profiler.Engine.Signature 64)
+       Helpers.fig27)
+      .deps
+  in
+  let text = Profiler.Depfile.render deps in
+  Alcotest.(check bool) "v2 header" true
+    (String.length text > 17 && String.sub text 0 17 = "# discopop-deps v")
+  ;
+  let back = Profiler.Depfile.parse text in
+  Helpers.check_same_deps "deps survive the file" deps back;
+  Alcotest.(check int) "instance counts survive"
+    (Dep.Set_.occurrences deps)
+    (Dep.Set_.occurrences back);
+  Dep.Set_.iter
+    (fun d _ ->
+      let p = prov_exn deps d and q = prov_exn back d in
+      Alcotest.(check int)
+        (Printf.sprintf "first_time of %s" (Dep.to_string d))
+        p.Dep.first_time q.Dep.first_time;
+      Alcotest.(check int) "first_index" p.Dep.first_index q.Dep.first_index;
+      Alcotest.(check int) "domain" p.Dep.witness_domain q.Dep.witness_domain;
+      (* risk is serialized with %.6g; compare loosely *)
+      Alcotest.(check bool) "risk close" true
+        (Float.abs (p.Dep.risk -. q.Dep.risk) < 1e-5))
+    deps
+
+let test_depfile_v1_compat () =
+  let deps = (Profiler.Serial.profile Helpers.fig27).deps in
+  (* strip header and the four provenance columns to reconstruct a v1 file *)
+  let v1 =
+    Profiler.Depfile.render deps
+    |> String.split_on_char '\n'
+    |> List.filter_map (fun line ->
+           if line = "" || line.[0] = '#' then None
+           else
+             match String.split_on_char ' ' line with
+             | "D" :: rest when List.length rest = 13 ->
+                 Some
+                   ("D "
+                   ^ String.concat " "
+                       (List.filteri (fun k _ -> k < 9) rest))
+             | _ -> Alcotest.failf "unexpected v2 line: %s" line)
+    |> String.concat "\n"
+  in
+  let back = Profiler.Depfile.parse v1 in
+  Helpers.check_same_deps "v1 lines still parse" deps back;
+  Alcotest.(check int) "counts survive v1"
+    (Dep.Set_.occurrences deps)
+    (Dep.Set_.occurrences back);
+  (* but provenance is gone: these records were never witnessed *)
+  Dep.Set_.iter
+    (fun d _ ->
+      Alcotest.(check bool)
+        (Printf.sprintf "no prov for %s" (Dep.to_string d))
+        true
+        (Dep.Set_.prov back d = None))
+    back
+
 (* --- tracing: export round-trips through the bundled parser --- *)
 
 let events_of_export () =
@@ -230,6 +292,9 @@ let tests =
       test_signature_risk_bounded;
     Alcotest.test_case "ranked rows ordered by count" `Quick test_ranked_order;
     Alcotest.test_case "explain table renders" `Quick test_render_explain;
+    Alcotest.test_case "depfile v2 provenance roundtrip" `Quick
+      test_depfile_v2_roundtrip;
+    Alcotest.test_case "depfile v1 back-compat" `Quick test_depfile_v1_compat;
     Alcotest.test_case "chrome trace roundtrip" `Quick test_trace_roundtrip;
     Alcotest.test_case "counter events carry value" `Quick
       test_counter_events_carry_value;

@@ -9,4 +9,5 @@ let () =
       ("schedule", Test_schedule.tests);
       ("apps", Test_apps.tests);
       ("obs", Test_obs.tests);
-      ("explain", Test_explain.tests) ]
+      ("explain", Test_explain.tests);
+      ("transform", Test_transform.tests) ]

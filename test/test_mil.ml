@@ -458,9 +458,43 @@ let test_pretty_exprs () =
   Alcotest.(check string) "index" "a[3]" (Pretty.expr_to_string ("a".%[i 3]));
   Alcotest.(check string) "call" "f(1)" (Pretty.expr_to_string (call "f" [ i 1 ]))
 
+(* Golden print of the parallel constructs the transformer emits: par
+   blocks, lock/unlock, barrier and atomic assignment. The exact rendering
+   is load-bearing for `discopop parallelize --emit`. *)
+let test_pretty_parallel () =
+  let open B in
+  let p =
+    B.number
+      (B.program ~globals:[ B.gscalar "s" 0 ] ~entry:"main" "pp"
+         [ func "main"
+             [ par
+                 [ [ lock "m"; set "s" (v "s" + i 1); unlock "m" ];
+                   [ atomic_set "s" (v "s" + i 2) ] ];
+               barrier "b";
+               return (v "s") ] ])
+  in
+  let expected =
+    "      global s = 0\n"
+    ^ "   1  func main() {\n"
+    ^ "   2    par {\n"
+    ^ "          thread 0:\n"
+    ^ "   3        lock(m)\n"
+    ^ "   4        s = (s + 1)\n"
+    ^ "   5        unlock(m)\n"
+    ^ "          thread 1:\n"
+    ^ "   6        atomic s = (s + 2)\n"
+    ^ "        }\n"
+    ^ "   7    barrier(b)\n"
+    ^ "   8    return s\n"
+    ^ "      }\n"
+  in
+  Alcotest.(check string) "parallel constructs render exactly" expected
+    (Pretty.render_program p)
+
 let tests =
   tests
   @ [ Alcotest.test_case "runtime errors" `Quick test_runtime_errors;
       Alcotest.test_case "recursive summary fixpoint" `Quick test_recursive_summary;
       Alcotest.test_case "free statement" `Quick test_free_statement;
-      Alcotest.test_case "pretty expressions" `Quick test_pretty_exprs ]
+      Alcotest.test_case "pretty expressions" `Quick test_pretty_exprs;
+      Alcotest.test_case "pretty parallel constructs" `Quick test_pretty_parallel ]

@@ -248,13 +248,18 @@ let test_report_format () =
 (* ---- races (§2.3.4) ---- *)
 
 let racy_program locked =
+  (* Several increments per thread: thread termination flushes the delayed
+     unlocked accesses, so a single-statement thread would never share a
+     pending batch with its sibling. *)
   let open B in
   Helpers.prog_of_main ~globals:[ B.gscalar "shared" 0 ]
     [ par
         (List.init 2 (fun _ ->
-             if locked then
-               [ lock "m"; set "shared" (v "shared" + i 1); unlock "m" ]
-             else [ set "shared" (v "shared" + i 1) ])) ]
+             List.concat
+               (List.init 3 (fun _ ->
+                    if locked then
+                      [ lock "m"; set "shared" (v "shared" + i 1); unlock "m" ]
+                    else [ set "shared" (v "shared" + i 1) ])))) ]
 
 let test_race_detection () =
   (* With scrambled unlocked pushes, the unlocked version must produce

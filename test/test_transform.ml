@@ -1,0 +1,189 @@
+(* Tests for lib/transform: applying suggestions and differentially
+   validating the result. The wrong-transform fixture checks that the
+   validator actually rejects an unsound parallelization, not just accepts
+   sound ones. *)
+
+open Mil
+module P = Transform.Parallelize
+module V = Transform.Validate
+module S = Discovery.Suggestion
+
+let analyze prog = S.analyze ~threads:4 prog
+
+let apply_first_exn report =
+  match P.apply_first ~chunks:4 report with
+  | Ok (t, _) -> t
+  | Error skipped ->
+      Alcotest.failf "nothing transformable: %s"
+        (String.concat "; " (List.map snd skipped))
+
+let has_par (p : Ast.program) =
+  let rec block b = List.exists stmt b
+  and stmt (s : Ast.stmt) =
+    match s.Ast.node with
+    | Ast.Par _ -> true
+    | If (_, t, e) -> block t || block e
+    | While (_, b) | For { body = b; _ } -> block b
+    | _ -> false
+  in
+  List.exists (fun (f : Ast.func) -> block f.body) p.funcs
+
+(* DOALL with a scalar reduction: sum of a filled array. *)
+let reduction_prog =
+  let open Builder in
+  number
+    (program ~globals:[ garray "a" 256; gscalar "s" 0 ] ~entry:"main" "red"
+       [ func "main"
+           [ for_ "i" (i 0) (i 256) [ seti "a" (v "i") (v "i" % i 9) ];
+             for_ "i" (i 0) (i 256) [ set "s" (v "s" + "a".%[v "i"]) ];
+             return (v "s") ] ])
+
+let test_doall_reduction () =
+  let report = analyze reduction_prog in
+  let t = apply_first_exn report in
+  let contains hay needle =
+    let h = String.length hay and n = String.length needle in
+    let rec at k = k + n <= h && (String.sub hay k n = needle || at (k + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "plan is a DOALL" true
+    (contains t.plan.P.p_kind "DOALL");
+  Alcotest.(check bool) "transformed has a Par" true (has_par t.transformed);
+  let v = V.differential ~original:t.original ~transformed:t.transformed () in
+  Alcotest.(check bool) "validation passes" true v.V.v_ok;
+  Alcotest.(check int) "no racy RAW in transformed profile" 0 v.V.v_racy_raw;
+  let d = V.measure ~original:t.original t.transformed in
+  Alcotest.(check bool) "work lands on several threads" true
+    (List.length d.V.d_threads >= 4)
+
+(* DOACROSS: a linear recurrence over the array with a dependence-free
+   prefix, so the body fissions into a parallel A-part and a serialized
+   hand-off B-part. *)
+let doacross_prog =
+  let open Builder in
+  number
+    (program
+       ~globals:[ garray "a" 128; garray "b" 128; gscalar "s" 1 ]
+       ~entry:"main" "pipe"
+       [ func "main"
+           [ for_ "i" (i 0) (i 128) [ seti "a" (v "i") (v "i" + i 3) ];
+             for_ "i" (i 0) (i 128)
+               [ decl "t" (("a".%[v "i"] * i 5) % i 97);
+                 set "s" ((v "s" * i 3 + v "t") % i 1009);
+                 seti "b" (v "i") (v "s") ];
+             return (v "s" + "b".%[i 100]) ] ])
+
+let test_doacross_pipeline () =
+  let report = analyze doacross_prog in
+  let doacross =
+    List.find_opt
+      (fun (s : S.t) -> match s.kind with S.Sdoacross _ -> true | _ -> false)
+      report.suggestions
+  in
+  match doacross with
+  | None -> Alcotest.fail "no DOACROSS suggestion for the recurrence loop"
+  | Some s -> (
+      match P.apply ~chunks:4 report s with
+      | Error e -> Alcotest.failf "DOACROSS not transformable: %s" e
+      | Ok t ->
+          Alcotest.(check bool) "transformed has a Par" true
+            (has_par t.transformed);
+          let v =
+            V.differential ~original:t.original ~transformed:t.transformed ()
+          in
+          Alcotest.(check bool) "validation passes" true v.V.v_ok)
+
+(* Recursive fork-join (BOTS fib shape). *)
+let forkjoin_prog =
+  let open Builder in
+  number
+    (program ~entry:"main" "fibs"
+       [ func "fib" ~params:[ "n" ]
+           [ when_ (v "n" < i 2) [ return (v "n") ];
+             decl "x" (call "fib" [ v "n" - i 1 ]);
+             decl "y" (call "fib" [ v "n" - i 2 ]);
+             return (v "x" + v "y") ];
+         func "main" [ return (call "fib" [ i 10 ]) ] ])
+
+let test_recursive_forkjoin () =
+  let report = analyze forkjoin_prog in
+  let spmd =
+    List.find_opt
+      (fun (s : S.t) -> match s.kind with S.Sspmd _ -> true | _ -> false)
+      report.suggestions
+  in
+  match spmd with
+  | None -> Alcotest.fail "no SPMD suggestion for recursive fib"
+  | Some s -> (
+      match P.apply ~chunks:4 report s with
+      | Error e -> Alcotest.failf "fork-join not transformable: %s" e
+      | Ok t ->
+          Alcotest.(check bool) "transformed has a Par" true
+            (has_par t.transformed);
+          let v =
+            V.differential ~original:t.original ~transformed:t.transformed ()
+          in
+          Alcotest.(check bool) "validation passes" true v.V.v_ok)
+
+(* The wrong transform: chunking a true recurrence (prefix sum) must be
+   caught by differential validation — chunk k reads a value chunk k-1 has
+   not written yet. *)
+let recurrence_prog =
+  let open Builder in
+  number
+    (program ~globals:[ garray "a" 200 ] ~entry:"main" "rec"
+       [ func "main"
+           [ for_ "i" (i 0) (i 200) [ seti "a" (v "i") (v "i" % i 13) ];
+             for_ "i" (i 1) (i 200)
+               [ seti "a" (v "i") ("a".%[v "i"] + "a".%[v "i" - i 1]) ];
+             return "a".%[i 199] ] ])
+
+let recurrence_line =
+  (* line of the second (recurrence) loop *)
+  let find (b : Ast.block) =
+    List.filter_map
+      (fun (s : Ast.stmt) ->
+        match s.Ast.node with Ast.For { lo = Ast.Int 1; _ } -> Some s.line | _ -> None)
+      b
+  in
+  match recurrence_prog.funcs with
+  | [ f ] -> List.hd (find f.body)
+  | _ -> assert false
+
+let test_wrong_transform_rejected () =
+  match P.naive_doall ~chunks:4 recurrence_prog ~line:recurrence_line with
+  | Error e -> Alcotest.failf "naive chunking unexpectedly refused: %s" e
+  | Ok transformed ->
+      let v =
+        V.differential ~original:recurrence_prog ~transformed ()
+      in
+      Alcotest.(check bool) "validation rejects the recurrence chunking" false
+        v.V.v_ok;
+      Alcotest.(check bool) "a state mismatch or new race is reported" true
+        (v.V.v_mismatches <> [] || v.V.v_new_racy <> [])
+
+(* Validation outcomes are counted in the Obs registry. *)
+let test_validation_counted () =
+  Obs.enable ();
+  Obs.reset ();
+  Fun.protect ~finally:Obs.disable @@ fun () ->
+  let report = analyze reduction_prog in
+  let t = apply_first_exn report in
+  ignore (V.differential ~original:t.original ~transformed:t.transformed ());
+  (match P.naive_doall ~chunks:4 recurrence_prog ~line:recurrence_line with
+  | Ok transformed ->
+      ignore (V.differential ~original:recurrence_prog ~transformed ())
+  | Error _ -> ());
+  Alcotest.(check bool) "pass counted" true
+    (Obs.counter_value "transform.validate.pass" >= 1);
+  Alcotest.(check bool) "fail counted" true
+    (Obs.counter_value "transform.validate.fail" >= 1)
+
+let tests =
+  [ Alcotest.test_case "DOALL with reduction" `Quick test_doall_reduction;
+    Alcotest.test_case "DOACROSS pipeline" `Quick test_doacross_pipeline;
+    Alcotest.test_case "recursive fork-join" `Quick test_recursive_forkjoin;
+    Alcotest.test_case "wrong transform rejected" `Quick
+      test_wrong_transform_rejected;
+    Alcotest.test_case "validation outcomes counted" `Quick
+      test_validation_counted ]
