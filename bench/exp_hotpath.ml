@@ -1,0 +1,132 @@
+(* Hot-path economics of the dependence profiler — the substrate of
+   Fig. 2.9/2.12. Three metrics per sampled workload:
+
+   - engine events/sec over a pre-recorded access stream (interpreter cost
+     excluded, so this isolates Algorithm 2 + shadow-memory throughput);
+   - GC minor words allocated per access during that feed (the per-access
+     metadata cost that §2.3's cheap shadow lookups and dependence merging
+     exist to suppress);
+   - the end-to-end serial slowdown factor (profiled / native wall time).
+
+   Each metric is published as a [hotpath.*] gauge so BENCH_hotpath.json
+   carries the perf baseline that CI regresses against (see
+   bench/baseline_hotpath.json and `discopop check-bench`). *)
+
+module R = Workloads.Registry
+
+(* Small fixed sample: textbook + BOTS + the DOACROSS-shaped gauss_seidel,
+   at sizes that keep the whole experiment CI-friendly (a few seconds).
+   HOTPATH_WORKLOADS=name,name,... restricts the sweep (CI's perf-smoke
+   runs two); unknown names are reported, not silently dropped. *)
+let sample_default =
+  [ ("histogram", 4000); ("matmul", 24); ("prefix_sum", 4000);
+    ("gauss_seidel", 300); ("fib", 15) ]
+
+let find_workload name =
+  List.find_opt (fun (w : R.t) -> w.name = name)
+    (Workloads.Textbook.all @ Workloads.Nas.all @ Workloads.Bots.all
+   @ Workloads.Numerics.all)
+
+let sample () =
+  let wanted =
+    match Sys.getenv_opt "HOTPATH_WORKLOADS" with
+    | None | Some "" -> List.map fst sample_default
+    | Some s -> String.split_on_char ',' s |> List.map String.trim
+  in
+  List.filter_map
+    (fun name ->
+      match find_workload name with
+      | None ->
+          Printf.printf "  (hotpath: unknown workload %s, skipped)\n" name;
+          None
+      | Some w ->
+          let size =
+            match List.assoc_opt name sample_default with
+            | Some s -> s
+            | None -> w.default_size
+          in
+          Some (w, size))
+    wanted
+
+(* Pre-record the access stream so the engine is measured alone. *)
+let record_stream prog =
+  let acc = ref [] in
+  let n = ref 0 in
+  let _ =
+    Mil.Interp.run
+      ~emit:(fun ev ->
+        match ev with
+        | Trace.Event.Access a ->
+            incr n;
+            acc := a :: !acc
+        | Trace.Event.Region _ -> ())
+      prog
+  in
+  Array.of_list (List.rev !acc)
+
+let feed_stream shadow stream =
+  let engine = Profiler.Engine.create shadow in
+  Array.iter (Profiler.Engine.feed_access engine) stream;
+  engine
+
+(* Median-of-3 timed feeds (after one warm-up) plus one allocation-metered
+   feed: minor words are deterministic, so one measurement suffices. *)
+let measure_engine shadow stream =
+  ignore (feed_stream shadow stream);
+  let time () =
+    let t0 = Unix.gettimeofday () in
+    ignore (feed_stream shadow stream);
+    Unix.gettimeofday () -. t0
+  in
+  let ts = List.sort compare [ time (); time (); time () ] in
+  let t = List.nth ts 1 in
+  let w0 = Gc.minor_words () in
+  ignore (feed_stream shadow stream);
+  let dw = Gc.minor_words () -. w0 in
+  let n = float_of_int (Array.length stream) in
+  (n /. t, dw /. n)
+
+let run () =
+  Util.header
+    "Hot path: engine events/sec, minor words/access, serial slowdown";
+  let g name v = Obs.Gauge.set (Obs.gauge name) v in
+  let rows =
+    List.map
+      (fun ((w : R.t), size) ->
+        let prog = R.program ~size w in
+        let stream = record_stream prog in
+        let n = Array.length stream in
+        let sig_eps, sig_wpa =
+          measure_engine (Profiler.Engine.Signature 65_536) stream
+        in
+        let perf_eps, perf_wpa = measure_engine Profiler.Engine.Perfect stream in
+        let t_native = Util.native_time prog in
+        let t_serial =
+          Util.med_time (fun () ->
+              Profiler.Serial.profile
+                ~shadow:(Profiler.Engine.Signature 100_000) prog)
+        in
+        let slowdown = t_serial /. t_native in
+        g (Printf.sprintf "hotpath.%s.sig.events_per_sec" w.name) sig_eps;
+        g (Printf.sprintf "hotpath.%s.sig.minor_words_per_access" w.name) sig_wpa;
+        g (Printf.sprintf "hotpath.%s.perfect.events_per_sec" w.name) perf_eps;
+        g (Printf.sprintf "hotpath.%s.perfect.minor_words_per_access" w.name)
+          perf_wpa;
+        g (Printf.sprintf "hotpath.%s.slowdown_serial" w.name) slowdown;
+        Obs.Counter.add
+          (Obs.counter (Printf.sprintf "hotpath.%s.accesses" w.name))
+          n;
+        [ w.name; string_of_int n;
+          Printf.sprintf "%.2e" sig_eps; Printf.sprintf "%.1f" sig_wpa;
+          Printf.sprintf "%.2e" perf_eps; Printf.sprintf "%.1f" perf_wpa;
+          Printf.sprintf "%.0f" slowdown ])
+      (sample ())
+  in
+  Util.table
+    ~columns:
+      [ "program"; "accesses"; "sig ev/s"; "sig w/acc"; "perf ev/s";
+        "perf w/acc"; "slowdown" ]
+    rows;
+  print_endline
+    "(events/sec: engine alone over a pre-recorded stream; w/acc: GC minor\n\
+    \ words allocated per access; slowdown: serial profiled vs native)"

@@ -24,8 +24,8 @@ let tests () =
   let stream = fig27_access_stream () in
   let feed engine () = Array.iter (Profiler.Engine.feed_access engine) stream in
   let cell =
-    { Sigmem.Cell.line = 1; var = "x"; thread = 0; time = 1; op = 0;
-      lstack = []; locked = false }
+    { Sigmem.Cell.line = 1; var = Trace.Intern.Sym.intern "x"; thread = 0;
+      time = 1; op = 0; lstack = Trace.Intern.Lstack.empty; locked = false }
   in
   [ Test.make ~name:"engine/signature"
       (Staged.stage (fun () ->

@@ -14,26 +14,38 @@ let words_to_mb w = float_of_int (w * 8) /. 1024.0 /. 1024.0
 let profile_row (w : Workloads.Registry.t) =
   let prog = Workloads.Registry.program w in
   let t_native = Util.native_time prog in
+  (* Keep the last timed run's result: the memory column reads its footprint,
+     so no extra untimed profiling pass is needed. *)
+  let last_serial = ref None in
   let t_serial =
     Util.med_time (fun () ->
-        Profiler.Serial.profile ~shadow:(Profiler.Engine.Signature 100_000) prog)
+        last_serial :=
+          Some
+            (Profiler.Serial.profile ~shadow:(Profiler.Engine.Signature 100_000)
+               prog))
   in
   let t_lockfree w8 =
     Util.med_time ~reps:1 (fun () ->
         Profiler.Parallel.profile ~workers:w8 ~shadow_slots:100_000 prog)
   in
+  let t_lockfree4 = t_lockfree 4 in
+  let t_lockfree8 = t_lockfree 8 in
   let t_locked =
     Util.med_time ~reps:1 (fun () ->
         Profiler.Parallel.profile ~workers:4 ~queue:Profiler.Parallel.Lock_based
           ~shadow_slots:100_000 prog)
   in
-  let r = Profiler.Serial.profile ~shadow:(Profiler.Engine.Signature 100_000) prog in
+  let footprint =
+    match !last_serial with
+    | Some (r : Profiler.Serial.result) -> r.footprint_words
+    | None -> 0
+  in
   [ w.name;
     Printf.sprintf "%.0f" (t_serial /. t_native);
     Printf.sprintf "%.0f" (t_locked /. t_native);
-    Printf.sprintf "%.0f" (t_lockfree 4 /. t_native);
-    Printf.sprintf "%.0f" (t_lockfree 8 /. t_native);
-    Printf.sprintf "%.1f" (words_to_mb r.footprint_words) ]
+    Printf.sprintf "%.0f" (t_lockfree4 /. t_native);
+    Printf.sprintf "%.0f" (t_lockfree8 /. t_native);
+    Printf.sprintf "%.1f" (words_to_mb footprint) ]
 
 (* Coefficient of variation of the per-worker access counts: the Eq. 2.1
    modulo distribution plus hot-address redistribution should keep this
@@ -102,11 +114,16 @@ let run_parallel_targets () =
       (fun (w : Workloads.Registry.t) ->
         let prog = Workloads.Registry.program w in
         let t_native = Util.native_time prog in
-        let r = Profiler.Serial.profile ~shadow:(Profiler.Engine.Signature 100_000) prog in
+        let last = ref None in
         let t_serial =
           Util.med_time (fun () ->
-              Profiler.Serial.profile ~shadow:(Profiler.Engine.Signature 100_000)
-                prog)
+              last :=
+                Some
+                  (Profiler.Serial.profile
+                     ~shadow:(Profiler.Engine.Signature 100_000) prog))
+        in
+        let r =
+          match !last with Some r -> r | None -> assert false
         in
         let t_par =
           Util.med_time ~reps:1 (fun () ->

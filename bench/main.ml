@@ -43,6 +43,8 @@ let experiments : (string * string * (unit -> unit)) list =
     ("stm", "Table 5.4: STM transactions", Exp_stm.run);
     ("comm-patterns", "Fig 5.1: communication patterns", Exp_comm.run);
     ("ablation", "Ablations: shadow backend, lifetime, merging", Exp_ablation.run);
+    ("hotpath", "Fig 2.9/2.12 substrate: engine events/sec, minor words/access",
+     Exp_hotpath.run);
     ("micro", "Bechamel micro-benchmarks", Exp_micro.run) ]
 
 (* With --trace, each experiment additionally records a per-domain timeline
@@ -65,6 +67,7 @@ let run_experiment (id, _, run) =
   let t0 = Unix.gettimeofday () in
   Obs.Trace.with_span ("experiment." ^ id) run;
   let wall = Unix.gettimeofday () -. t0 in
+  Obs.publish_gc ();
   let path = Printf.sprintf "BENCH_%s.json" id in
   let summary =
     Obs.Json.Obj

@@ -71,6 +71,8 @@ let with_obs ~stats ~trace f =
       Obs.Trace.set_track "main"
   | None -> ());
   let r = f () in
+  (* Allocation counters ride along in every --stats export. *)
+  Obs.publish_gc ();
   let write what path write_fn =
     try
       write_fn path;
@@ -395,6 +397,104 @@ let trace_check_cmd =
   in
   Cmd.v (Cmd.info "trace-check" ~doc) Term.(const run $ file_arg)
 
+(* check-bench *)
+let check_bench_cmd =
+  let doc =
+    "Compare a BENCH_*.json summary against a checked-in perf baseline. The \
+     baseline maps metric names to an expected value and a tolerated \
+     [min_ratio, max_ratio] band on current/expected; any metric outside its \
+     band fails the check (exit 1). Metrics are resolved in the summary's \
+     gauges, then counters."
+  in
+  let bench_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"BENCH_JSON")
+  in
+  let baseline_arg =
+    Arg.(required & opt (some file) None & info [ "baseline" ] ~docv:"FILE"
+           ~doc:"The baseline JSON: {\"metrics\": {name: {\"value\": v, \
+                 \"min_ratio\": r, \"max_ratio\": R}}}.")
+  in
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let run bench_path baseline_path =
+    let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt in
+    let parse path =
+      match Obs.Json.of_string (read_file path) with
+      | Ok j -> j
+      | Error msg -> die "%s: unparseable JSON (%s)" path msg
+    in
+    let bench = parse bench_path in
+    let baseline = parse baseline_path in
+    let number j = match Obs.Json.get_float j with
+      | Some v -> Some v
+      | None -> Option.map float_of_int (Obs.Json.get_int j)
+    in
+    (* A metric's current value: the summary's gauges section first, then
+       counters, then the top level (wall_s). *)
+    let current name =
+      let metrics = Obs.Json.member "metrics" bench in
+      let in_section s =
+        Option.bind metrics (Obs.Json.member s)
+        |> Fun.flip Option.bind (Obs.Json.member name)
+        |> Fun.flip Option.bind number
+      in
+      match in_section "gauges" with
+      | Some v -> Some v
+      | None -> (
+          match in_section "counters" with
+          | Some v -> Some v
+          | None -> Option.bind (Obs.Json.member name bench) number)
+    in
+    let entries =
+      match Obs.Json.member "metrics" baseline with
+      | Some (Obs.Json.Obj kvs) -> kvs
+      | _ -> die "%s: no \"metrics\" object" baseline_path
+    in
+    let failures = ref 0 in
+    List.iter
+      (fun (name, spec) ->
+        let field f =
+          match Option.bind (Obs.Json.member f spec) number with
+          | Some v -> v
+          | None -> die "%s: metric %S lacks numeric %S" baseline_path name f
+        in
+        let expected = field "value" in
+        let min_ratio = field "min_ratio" and max_ratio = field "max_ratio" in
+        match current name with
+        | None ->
+            incr failures;
+            Printf.printf "FAIL %-45s missing from %s\n" name bench_path
+        | Some v when expected = 0.0 ->
+            (* No meaningful ratio; require an exact zero. *)
+            if v = 0.0 then Printf.printf "ok   %-45s 0 (= baseline)\n" name
+            else begin
+              incr failures;
+              Printf.printf "FAIL %-45s %g vs baseline 0\n" name v
+            end
+        | Some v ->
+            let ratio = v /. expected in
+            if ratio >= min_ratio && ratio <= max_ratio then
+              Printf.printf "ok   %-45s %g (%.2fx of baseline, band %.2f-%.2f)\n"
+                name v ratio min_ratio max_ratio
+            else begin
+              incr failures;
+              Printf.printf
+                "FAIL %-45s %g (%.2fx of baseline %g, band %.2f-%.2f)\n" name v
+                ratio expected min_ratio max_ratio
+            end)
+      entries;
+    if !failures > 0 then begin
+      Printf.printf "%d metric(s) out of tolerance\n" !failures;
+      exit 1
+    end
+    else Printf.printf "all %d metric(s) within tolerance\n" (List.length entries)
+  in
+  Cmd.v (Cmd.info "check-bench" ~doc) Term.(const run $ bench_arg $ baseline_arg)
+
 (* parallelize *)
 let parallelize_cmd =
   let doc =
@@ -572,4 +672,4 @@ let () =
        (Cmd.group info
           [ list_cmd; source_cmd; profile_cmd; read_deps_cmd; pet_cmd; cus_cmd;
             discover_cmd; explain_cmd; parallelize_cmd; trace_check_cmd;
-            races_cmd ]))
+            check_bench_cmd; races_cmd ]))

@@ -118,7 +118,9 @@ let build_dynamic ?(exclude_vars = SS.empty) (events : Trace.Event.t list) :
   List.iter
     (fun ev ->
       match ev with
-      | Trace.Event.Access a when not (SS.mem a.Trace.Event.var exclude_vars) ->
+      | Trace.Event.Access a
+        when not (SS.mem (Trace.Intern.Sym.name a.Trace.Event.var) exclude_vars)
+        ->
           Hashtbl.replace op_lines a.Trace.Event.op a.Trace.Event.line;
           ignore (find a.Trace.Event.op);
           (match a.Trace.Event.kind with

@@ -13,6 +13,7 @@
 
 open Ast
 module Event = Trace.Event
+module Intern = Trace.Intern
 
 exception Runtime_error of string
 
@@ -47,7 +48,11 @@ type _ Effect.t +=
 
 (* ---- bindings and environments ---- *)
 
-type binding = Bscalar of int (* address *) | Barray of { base : int; len : int }
+(* A binding carries its variable's interned symbol ({!Trace.Intern.Sym}) so
+   the per-access hot path never re-hashes the name string. *)
+type binding =
+  | Bscalar of { addr : int; sym : int }
+  | Barray of { base : int; len : int; sym : int }
 
 type env = {
   vars : (string, binding) Hashtbl.t;  (* function-local bindings *)
@@ -57,7 +62,7 @@ type env = {
 (* Thread control block. *)
 type tcb = {
   tid : int;
-  mutable lstack : Event.frame list;  (* outermost-first loop stack *)
+  mutable lstack : int;               (* loop stack ({!Intern.Lstack} id) *)
   mutable held : int;                 (* number of locks currently held *)
   mutable finished : bool;
   group : int;                        (* spawn group, for barriers *)
@@ -260,17 +265,17 @@ let rec eval st env line (e : expr) : int =
   | Int n -> n
   | Var x -> (
       match lookup_exn env x with
-      | Bscalar addr ->
-          emit_access st ~kind:Event.Read ~addr ~var:x ~line;
+      | Bscalar { addr; sym } ->
+          emit_access st ~kind:Event.Read ~addr ~var:sym ~line;
           st.mem.(addr)
       | Barray { base; _ } -> base)
   | Idx (a, ie) -> (
       let idx = eval st env line ie in
       match lookup_exn env a with
-      | Barray { base; len } ->
+      | Barray { base; len; sym } ->
           if idx < 0 || idx >= len then error "index %d out of bounds for %s (len %d) at line %d" idx a len line;
           let addr = base + idx in
-          emit_access st ~kind:Event.Read ~addr ~var:a ~line;
+          emit_access st ~kind:Event.Read ~addr ~var:sym ~line;
           st.mem.(addr)
       | Bscalar _ -> error "%s is not an array (line %d)" a line)
   | Len a -> (
@@ -336,14 +341,24 @@ and call_user st env line callee args =
       (fun p v ->
         let addr = alloc_scalar st in
         st.mem.(addr) <- v;
-        emit_access st ~kind:Event.Write ~addr ~var:p ~line:callee.fline;
-        Hashtbl.replace fenv.vars p (Bscalar addr);
+        emit_access st ~kind:Event.Write ~addr ~var:(Intern.Sym.intern p)
+          ~line:callee.fline;
+        Hashtbl.replace fenv.vars p (Bscalar { addr; sym = Intern.Sym.intern p });
         (addr, p))
       callee.params scalar_vals
   in
   st.occ <- saved_occ;
   List.iter2
-    (fun p b -> Hashtbl.replace fenv.vars p b)
+    (fun p b ->
+      (* By-reference arrays keep their addresses but are accessed — and
+         reported — under the callee's parameter name. *)
+      let b =
+        match b with
+        | Barray { base; len; _ } ->
+            Barray { base; len; sym = Intern.Sym.intern p }
+        | Bscalar _ -> b
+      in
+      Hashtbl.replace fenv.vars p b)
     callee.arr_params array_bindings;
   let result =
     try
@@ -362,18 +377,18 @@ and assign st env line (l : lhs) v =
   match l with
   | Lvar x -> (
       match lookup_exn env x with
-      | Bscalar addr ->
+      | Bscalar { addr; sym } ->
           st.mem.(addr) <- v;
-          emit_access st ~kind:Event.Write ~addr ~var:x ~line
+          emit_access st ~kind:Event.Write ~addr ~var:sym ~line
       | Barray _ -> error "cannot assign to array %s (line %d)" x line)
   | Lidx (a, ie) -> (
       let idx = eval st env line ie in
       match lookup_exn env a with
-      | Barray { base; len } ->
+      | Barray { base; len; sym } ->
           if idx < 0 || idx >= len then error "index %d out of bounds for %s (len %d) at line %d" idx a len line;
           let addr = base + idx in
           st.mem.(addr) <- v;
-          emit_access st ~kind:Event.Write ~addr ~var:a ~line
+          emit_access st ~kind:Event.Write ~addr ~var:sym ~line
       | Bscalar _ -> error "%s is not an array (line %d)" a line)
 
 and exec_stmt st env (s : stmt) : unit =
@@ -384,13 +399,15 @@ and exec_stmt st env (s : stmt) : unit =
       let v = eval st env s.line e in
       let addr = alloc_scalar st in
       st.mem.(addr) <- v;
-      emit_access st ~kind:Event.Write ~addr ~var:x ~line:s.line;
-      Hashtbl.replace env.vars x (Bscalar addr)
+      let sym = Intern.Sym.intern x in
+      emit_access st ~kind:Event.Write ~addr ~var:sym ~line:s.line;
+      Hashtbl.replace env.vars x (Bscalar { addr; sym })
   | Decl_arr (x, se) ->
       let size = eval st env s.line se in
       if size < 0 then error "negative array size for %s (line %d)" x s.line;
       let base = alloc_array st size in
-      Hashtbl.replace env.vars x (Barray { base; len = max size 1 })
+      Hashtbl.replace env.vars x
+        (Barray { base; len = max size 1; sym = Intern.Sym.intern x })
   | Assign (l, e) ->
       let v = eval st env s.line e in
       assign st env s.line l v
@@ -413,7 +430,7 @@ and exec_stmt st env (s : stmt) : unit =
          n itself, so a value it reads from iteration n-1 is loop-carried. *)
       let enter_iteration () =
         st.cur.lstack <-
-          outer @ [ { Event.loop_line = s.line; inst; iter = !iters } ];
+          Intern.Lstack.push ~parent:outer ~loop_line:s.line ~inst ~iter:!iters;
         st.occ <- 0
       in
       (try
@@ -436,19 +453,21 @@ and exec_stmt st env (s : stmt) : unit =
       let lo_v = eval st env s.line lo in
       let addr = alloc_scalar st in
       st.mem.(addr) <- lo_v;
-      emit_access st ~kind:Event.Write ~addr ~var:index ~line:s.line;
+      let isym = Intern.Sym.intern index in
+      emit_access st ~kind:Event.Write ~addr ~var:isym ~line:s.line;
       let saved = Hashtbl.find_opt env.vars index in
-      Hashtbl.replace env.vars index (Bscalar addr);
+      Hashtbl.replace env.vars index (Bscalar { addr; sym = isym });
       let iters = ref 0 in
       (try
          (* Bound check and index increment admit the upcoming iteration and
             are attributed to it. *)
          let continue_loop () =
            st.cur.lstack <-
-             outer @ [ { Event.loop_line = s.line; inst; iter = !iters } ];
+             Intern.Lstack.push ~parent:outer ~loop_line:s.line ~inst
+               ~iter:!iters;
            st.occ <- 0;
            let hi_v = eval st env s.line hi in
-           emit_access st ~kind:Event.Read ~addr ~var:index ~line:s.line;
+           emit_access st ~kind:Event.Read ~addr ~var:isym ~line:s.line;
            st.mem.(addr) < hi_v
          in
          while continue_loop () do
@@ -457,13 +476,14 @@ and exec_stmt st env (s : stmt) : unit =
            st.stats.loop_iterations <- st.stats.loop_iterations + 1;
            exec_scope st env body;
            st.cur.lstack <-
-             outer @ [ { Event.loop_line = s.line; inst; iter = !iters } ];
+             Intern.Lstack.push ~parent:outer ~loop_line:s.line ~inst
+               ~iter:!iters;
            st.occ <- 0;
            let step_v = eval st env s.line step in
-           emit_access st ~kind:Event.Read ~addr ~var:index ~line:s.line;
+           emit_access st ~kind:Event.Read ~addr ~var:isym ~line:s.line;
            let next = st.mem.(addr) + step_v in
            st.mem.(addr) <- next;
-           emit_access st ~kind:Event.Write ~addr ~var:index ~line:s.line
+           emit_access st ~kind:Event.Write ~addr ~var:isym ~line:s.line
          done
        with Break_exc -> ());
       st.cur.lstack <- outer;
@@ -490,11 +510,11 @@ and exec_stmt st env (s : stmt) : unit =
   | Barrier m -> Effect.perform (Await_barrier m)
   | Free x -> (
       match lookup_exn env x with
-      | Barray { base; len } ->
+      | Barray { base; len; _ } ->
           free_array st base len;
           Hashtbl.remove env.vars x;
           emit_region st (Event.Dealloc { addrs = [ (base, len, x) ] })
-      | Bscalar addr ->
+      | Bscalar { addr; _ } ->
           free_scalar st addr;
           Hashtbl.remove env.vars x;
           emit_region st (Event.Dealloc { addrs = [ (addr, 1, x) ] }))
@@ -528,10 +548,10 @@ and exec_scope st env block =
       | Some b' when b' = b -> ()
       | _ -> (
           match b with
-          | Bscalar addr ->
+          | Bscalar { addr; _ } ->
               free_scalar st addr;
               dead := (addr, 1, x) :: !dead
-          | Barray { base; len } ->
+          | Barray { base; len; _ } ->
               free_array st base len;
               dead := (base, len, x) :: !dead))
     env.vars;
@@ -567,8 +587,8 @@ let run ?(seed = 42) ?(instrument = true) ?(scramble_unlocked = false)
       op_ids = Hashtbl.create 256; n_ops = 0; occ = 0; rng = Rng.create seed;
       globals_env = Hashtbl.create 16; on_print; loop_inst = 0;
       cur =
-        { tid = 0; lstack = []; held = 0; finished = false; group = 0;
-          group_live = ref 1 };
+        { tid = 0; lstack = Intern.Lstack.empty; held = 0; finished = false;
+          group = 0; group_live = ref 1 };
       live_threads = 1; next_tid = 1;
       stats = { reads = 0; writes = 0; loop_iterations = 0; calls = 0 };
       scramble_unlocked; pending = [] }
@@ -579,10 +599,12 @@ let run ?(seed = 42) ?(instrument = true) ?(scramble_unlocked = false)
       | Gscalar (name, v) ->
           let addr = alloc_scalar st in
           st.mem.(addr) <- v;
-          Hashtbl.replace st.globals_env name (Bscalar addr)
+          Hashtbl.replace st.globals_env name
+            (Bscalar { addr; sym = Intern.Sym.intern name })
       | Garray (name, size) ->
           let base = alloc_array st size in
-          Hashtbl.replace st.globals_env name (Barray { base; len = max size 1 }))
+          Hashtbl.replace st.globals_env name
+            (Barray { base; len = max size 1; sym = Intern.Sym.intern name }))
     prog.globals;
   let entry = find_func prog prog.entry in
   let result = ref 0 in
@@ -759,8 +781,8 @@ let run ?(seed = 42) ?(instrument = true) ?(scramble_unlocked = false)
       (fun g ->
         let name = match g with Gscalar (n, _) | Garray (n, _) -> n in
         match Hashtbl.find st.globals_env name with
-        | Bscalar addr -> (name, [| st.mem.(addr) |])
-        | Barray { base; len } -> (name, Array.sub st.mem base len))
+        | Bscalar { addr; _ } -> (name, [| st.mem.(addr) |])
+        | Barray { base; len; _ } -> (name, Array.sub st.mem base len))
       prog.globals
   in
   { result = !result; r_stats = st.stats; dynamic_ops = st.n_ops;

@@ -575,6 +575,19 @@ let gauge_value name =
   | Some g -> Atomic.get g.g_v
   | None -> 0.0
 
+(* Snapshot the OCaml GC's allocation counters into gauges, so every exported
+   stats file carries the run's allocation profile next to its wall-clock
+   phases (the substrate of the minor-words/access hot-path metric). *)
+let publish_gc () =
+  if is_enabled () then begin
+    let s = Gc.quick_stat () in
+    Gauge.set (gauge "gc.minor_words") s.Gc.minor_words;
+    Gauge.set (gauge "gc.major_words") s.Gc.major_words;
+    Gauge.set (gauge "gc.promoted_words") s.Gc.promoted_words;
+    Gauge.set_int (gauge "gc.minor_collections") s.Gc.minor_collections;
+    Gauge.set_int (gauge "gc.major_collections") s.Gc.major_collections
+  end
+
 (* ---- export ---- *)
 
 (* Snapshot lists are sorted by metric name so exports are deterministic

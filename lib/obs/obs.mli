@@ -136,6 +136,12 @@ end
 val counter_value : string -> int
 (** Current value of a counter by name; 0 if unregistered. *)
 
+val publish_gc : unit -> unit
+(** Snapshot {!Gc.quick_stat} into gauges ([gc.minor_words],
+    [gc.major_words], [gc.promoted_words], [gc.minor_collections],
+    [gc.major_collections]). No-op when disabled. Call at end of run, before
+    exporting. *)
+
 val gauge_value : string -> float
 
 val snapshot : unit -> Json.t

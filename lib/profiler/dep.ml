@@ -58,12 +58,14 @@ type prov = {
 
 (* A merged multiset of dependences: each distinct dependence is stored once
    with its occurrence count, plus (when profiled with provenance) its
-   first-witness record. *)
+   first-witness record. Counts are [int ref] cells so the engine's per-op
+   duplicate-suppression fast path can bump a record's count without
+   re-hashing it ({!note} hands the cell out, {!hit} bumps it). *)
 module Set_ = struct
   type dep = t
 
   type t = {
-    tbl : (dep, int) Hashtbl.t;
+    tbl : (dep, int ref) Hashtbl.t;
     provs : (dep, prov) Hashtbl.t;
     mutable raw_occurrences : int;  (* pre-merge instance count *)
   }
@@ -74,22 +76,36 @@ module Set_ = struct
   let add t d =
     t.raw_occurrences <- t.raw_occurrences + 1;
     match Hashtbl.find_opt t.tbl d with
-    | Some n -> Hashtbl.replace t.tbl d (n + 1)
-    | None -> Hashtbl.replace t.tbl d 1
+    | Some n -> incr n
+    | None -> Hashtbl.replace t.tbl d (ref 1)
 
-  (* Like [add], but record first-witness provenance when [d] is new. Within
-     one engine, accesses arrive in increasing timestamp order, so the first
-     instance is the earliest witness; [risk] is a thunk so backends only pay
-     for it on new records. *)
-  let add_witness t d ~time ~index ~domain ~risk =
+  (* Like [add], but record first-witness provenance when [d] is new, and
+     return the count cell for the engine's dedup fast path. Within one
+     engine, accesses arrive in increasing timestamp order, so the first
+     instance is the earliest witness; [risk] is a thunk so backends only
+     pay for it on new records. *)
+  let note t d ~time ~index ~domain ~risk =
     t.raw_occurrences <- t.raw_occurrences + 1;
     match Hashtbl.find_opt t.tbl d with
-    | Some n -> Hashtbl.replace t.tbl d (n + 1)
+    | Some n ->
+        incr n;
+        n
     | None ->
-        Hashtbl.replace t.tbl d 1;
+        let n = ref 1 in
+        Hashtbl.replace t.tbl d n;
         Hashtbl.replace t.provs d
           { first_time = time; first_index = index; witness_domain = domain;
-            risk = risk () }
+            risk = risk () };
+        n
+
+  let add_witness t d ~time ~index ~domain ~risk =
+    ignore (note t d ~time ~index ~domain ~risk)
+
+  (* One more occurrence of a record whose count cell the caller already
+     holds: no hashing, no lookup. *)
+  let hit t n =
+    t.raw_occurrences <- t.raw_occurrences + 1;
+    incr n
 
   let prov t d = Hashtbl.find_opt t.provs d
 
@@ -107,26 +123,27 @@ module Set_ = struct
     if Hashtbl.length t.tbl = 0 then 1.0
     else float_of_int t.raw_occurrences /. float_of_int (Hashtbl.length t.tbl)
 
-  let iter f t = Hashtbl.iter (fun d n -> f d n) t.tbl
+  let iter f t = Hashtbl.iter (fun d n -> f d !n) t.tbl
 
   let to_list t =
-    Hashtbl.fold (fun d n acc -> (d, n) :: acc) t.tbl []
+    Hashtbl.fold (fun d n acc -> (d, !n) :: acc) t.tbl []
     |> List.sort (fun (a, _) (b, _) -> compare a b)
 
   (* Records ranked hottest-first (by merged occurrence count, ties broken by
      {!compare} for determinism), with provenance where available — the order
      `discopop explain` presents. *)
   let to_ranked t =
-    Hashtbl.fold (fun d n acc -> (d, n, prov t d) :: acc) t.tbl []
+    Hashtbl.fold (fun d n acc -> (d, !n, prov t d) :: acc) t.tbl []
     |> List.sort (fun (a, na, _) (b, nb, _) ->
            match Stdlib.compare nb na with 0 -> compare a b | c -> c)
 
   let union into from =
     Hashtbl.iter
       (fun d n ->
+        (* Copy the count, never alias [from]'s cell into [into]. *)
         match Hashtbl.find_opt into.tbl d with
-        | Some m -> Hashtbl.replace into.tbl d (m + n)
-        | None -> Hashtbl.replace into.tbl d n)
+        | Some m -> m := !m + !n
+        | None -> Hashtbl.replace into.tbl d (ref !n))
       from.tbl;
     (* The earliest witness wins: after a hot-address redistribution the same
        record can be witnessed by two workers. *)

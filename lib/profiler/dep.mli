@@ -56,6 +56,17 @@ module Set_ : sig
       [time] order (as every engine produces them) for the stored witness to
       be the earliest. *)
 
+  val note :
+    t -> dep -> time:int -> index:int -> domain:int -> risk:(unit -> float) ->
+    int ref
+  (** {!add_witness} returning the record's count cell, for the engine's
+      per-op duplicate-suppression fast path. The cell is owned by this set;
+      only bump it through {!hit}. *)
+
+  val hit : t -> int ref -> unit
+  (** One more occurrence of a record whose count cell the caller already
+      holds (from {!note}): no hashing, no lookup. *)
+
   val prov : t -> dep -> prov option
 
   val risk_of : t -> dep -> float

@@ -3,76 +3,23 @@
    in loops, variable-lifetime analysis (§2.3.5), and timestamp-based race
    flagging (§2.3.4).
 
-   The engine is shadow-memory agnostic: the same code runs over the
-   approximate signature and over the exact "perfect signature", and one
-   engine instance serves as the per-worker consumer of the parallel
-   profiler. *)
+   The engine is shadow-memory agnostic, but not at per-access cost: it is a
+   functor ({!Make}) over the {!Sigmem.Shadow.S} signature, so each backend
+   gets its own monomorphic copy of the hot loop with direct (inlinable)
+   calls into the store — no per-access dispatch through a record of
+   closures. The [shadow_kind]-driven wrapper API at the bottom dispatches
+   once per call on a three-constructor variant and keeps every existing
+   caller compiling. One engine instance also serves as the per-worker
+   consumer of the parallel profiler. *)
 
 module Event = Trace.Event
+module Intern = Trace.Intern
 module Cell = Sigmem.Cell
-
-type shadow_ops = {
-  last_read : addr:int -> Cell.t;
-  last_write : addr:int -> Cell.t;
-  set_read : addr:int -> Cell.t -> unit;
-  set_write : addr:int -> Cell.t -> unit;
-  remove : addr:int -> unit;
-  slots_used : unit -> int;
-  word_footprint : unit -> int;
-  extra_stats : unit -> (string * int) list;
-  (* backend-specific observability: collision proxy and per-signature
-     occupancy for Signature, page count for Paged; published as gauges *)
-  fp_risk : unit -> float;
-  (* false-positive risk attribution for the dependence being recorded right
-     now: slot-occupancy collision proxy for Signature, 0 for exact
-     backends; stored in each record's first-witness provenance *)
-}
 
 type shadow_kind =
   | Signature of int  (* approximate, fixed slot count *)
   | Perfect           (* exact, hash-table backed *)
   | Paged             (* exact, two-level page table *)
-
-let make_shadow = function
-  | Signature slots ->
-      let s = Sigmem.Signature.create ~slots in
-      { last_read = (fun ~addr -> Sigmem.Signature.last_read s ~addr);
-        last_write = (fun ~addr -> Sigmem.Signature.last_write s ~addr);
-        set_read = (fun ~addr c -> Sigmem.Signature.set_read s ~addr c);
-        set_write = (fun ~addr c -> Sigmem.Signature.set_write s ~addr c);
-        remove = (fun ~addr -> Sigmem.Signature.remove s ~addr);
-        slots_used = (fun () -> Sigmem.Signature.slots_used s);
-        word_footprint = (fun () -> Sigmem.Signature.word_footprint s);
-        extra_stats =
-          (fun () ->
-            [ ("slots", Sigmem.Signature.slots s);
-              ("occupied_reads", Sigmem.Signature.occupied_reads s);
-              ("occupied_writes", Sigmem.Signature.occupied_writes s);
-              ("takeovers", Sigmem.Signature.takeovers s) ]);
-        fp_risk = (fun () -> Sigmem.Signature.collision_risk s) }
-  | Perfect ->
-      let s = Sigmem.Perfect.create ~slots:0 in
-      { last_read = (fun ~addr -> Sigmem.Perfect.last_read s ~addr);
-        last_write = (fun ~addr -> Sigmem.Perfect.last_write s ~addr);
-        set_read = (fun ~addr c -> Sigmem.Perfect.set_read s ~addr c);
-        set_write = (fun ~addr c -> Sigmem.Perfect.set_write s ~addr c);
-        remove = (fun ~addr -> Sigmem.Perfect.remove s ~addr);
-        slots_used = (fun () -> Sigmem.Perfect.slots_used s);
-        word_footprint = (fun () -> Sigmem.Perfect.word_footprint s);
-        extra_stats = (fun () -> []);
-        fp_risk = (fun () -> 0.0) }
-  | Paged ->
-      let s = Sigmem.Two_level.create ~slots:0 in
-      { last_read = (fun ~addr -> Sigmem.Two_level.last_read s ~addr);
-        last_write = (fun ~addr -> Sigmem.Two_level.last_write s ~addr);
-        set_read = (fun ~addr c -> Sigmem.Two_level.set_read s ~addr c);
-        set_write = (fun ~addr c -> Sigmem.Two_level.set_write s ~addr c);
-        remove = (fun ~addr -> Sigmem.Two_level.remove s ~addr);
-        slots_used = (fun () -> Sigmem.Two_level.slots_used s);
-        word_footprint = (fun () -> Sigmem.Two_level.word_footprint s);
-        extra_stats =
-          (fun () -> [ ("pages", Sigmem.Two_level.pages_allocated s) ]);
-        fp_risk = (fun () -> 0.0) }
 
 (* Counters for Table 2.7 / Fig 2.13: skipped instructions, classified by the
    dependence type they would have created. *)
@@ -87,11 +34,66 @@ type skip_stats = {
   mutable shadow_update_elided : int;  (* §2.4.3 special case *)
 }
 
-type t = {
-  shadow : shadow_ops;
+(* Duplicate-suppression slot (the paper's "dependence merging", made O(1)):
+   per static memory operation and dependence type, the ingredients of the
+   last record built plus the occurrence count cell it lives under in
+   [Dep.Set_]. When the current access would rebuild a field-for-field
+   identical record, we bump the shared count instead of allocating the
+   record and re-hashing its variable name. [d_src_line = min_int] marks an
+   empty slot. *)
+type dslot = {
+  mutable d_src_line : int;
+  mutable d_src_thread : int;
+  mutable d_var : int;              (* source variable symbol *)
+  mutable d_carrier : int;          (* carrier code: line / -1 *)
+  mutable d_sink_line : int;
+  mutable d_sink_thread : int;
+  mutable d_racy : bool;
+  mutable d_count : int ref;        (* the count cell inside Dep.Set_ *)
+}
+
+let fresh_dslot () =
+  { d_src_line = min_int; d_src_thread = 0; d_var = -1; d_carrier = 0;
+    d_sink_line = 0; d_sink_thread = 0; d_racy = false; d_count = ref 0 }
+
+let no_op = -1
+let no_addr = min_int
+
+(* Direct-mapped memo for the carrier computation over interned loop-stack
+   ids. Hot loops produce the same (src, snk) id pair for every access of an
+   iteration pair, so the parent walk is almost always replaced by one probe.
+   Engine-local (single domain), collisions simply overwrite. *)
+let memo_size = 4096 (* power of two *)
+
+type carrier_memo = {
+  m_src : int array;
+  m_snk : int array;
+  m_code : int array;
+}
+
+let make_memo () =
+  { m_src = Array.make memo_size (-1);
+    m_snk = Array.make memo_size (-1);
+    m_code = Array.make memo_size 0 }
+
+let memo_probe m ~src ~snk =
+  let h = (src * 0x9E3779B1) lxor (snk * 0x85EBCA77) in
+  let i = h land (memo_size - 1) in
+  if m.m_src.(i) = src && m.m_snk.(i) = snk then m.m_code.(i)
+  else begin
+    let code = Intern.Lstack.carrier_code ~src ~snk in
+    m.m_src.(i) <- src;
+    m.m_snk.(i) <- snk;
+    m.m_code.(i) <- code;
+    code
+  end
+
+(* Engine state independent of the shadow backend. *)
+type common = {
   deps : Dep.Set_.t;
   skip : bool;
   lifetime : bool;  (* variable-lifetime analysis (§2.3.5); off for ablation *)
+  memo : carrier_memo;
   (* §2.4 per-memory-operation state, grown on demand. Beyond the paper's
      lastAddr/lastStatusRead/lastStatusWrite we also fingerprint the carrying
      loop of the dependence the instruction would create: our dependence
@@ -104,26 +106,38 @@ type t = {
   mutable last_raw_carrier : int array;   (* reads: would-be RAW carrier *)
   mutable last_war_carrier : int array;   (* writes: would-be WAR carrier *)
   mutable last_waw_carrier : int array;   (* writes: would-be WAW carrier *)
+  mutable raw_slot : dslot array;         (* per-op dedup fast path *)
+  mutable war_slot : dslot array;
+  mutable waw_slot : dslot array;
+  mutable init_slot : dslot array;
   sstats : skip_stats;
   mutable races : (string * int * int) list;  (* var, line-a, line-b *)
   mutable n_processed : int;
   mutable lifetime_removals : int;
 }
 
-let no_op = -1
-let no_addr = min_int
+(* Initial per-op capacity. Deliberately small: op ids are dense interpreter
+   assignments, most workloads use well under 128 static memory operations,
+   and doubling growth amortizes the rest — while engine construction stays
+   cheap enough that short streams (per-worker engines, small programs)
+   aren't dominated by setup allocation. *)
+let initial_ops = 128
 
-let create ?(skip = false) ?(lifetime = true) shadow_kind =
-  { shadow = make_shadow shadow_kind;
-    deps = Dep.Set_.create ();
+let make_common ~skip ~lifetime =
+  { deps = Dep.Set_.create ();
     skip;
     lifetime;
-    last_addr = Array.make 1024 no_addr;
-    last_status_read = Array.make 1024 no_op;
-    last_status_write = Array.make 1024 no_op;
-    last_raw_carrier = Array.make 1024 min_int;
-    last_war_carrier = Array.make 1024 min_int;
-    last_waw_carrier = Array.make 1024 min_int;
+    memo = make_memo ();
+    last_addr = Array.make initial_ops no_addr;
+    last_status_read = Array.make initial_ops no_op;
+    last_status_write = Array.make initial_ops no_op;
+    last_raw_carrier = Array.make initial_ops min_int;
+    last_war_carrier = Array.make initial_ops min_int;
+    last_waw_carrier = Array.make initial_ops min_int;
+    raw_slot = Array.init initial_ops (fun _ -> fresh_dslot ());
+    war_slot = Array.init initial_ops (fun _ -> fresh_dslot ());
+    waw_slot = Array.init initial_ops (fun _ -> fresh_dslot ());
+    init_slot = Array.init initial_ops (fun _ -> fresh_dslot ());
     sstats =
       { reads_total = 0; writes_total = 0; reads_skipped = 0;
         writes_skipped = 0; skipped_raw = 0; skipped_war = 0; skipped_waw = 0;
@@ -132,8 +146,8 @@ let create ?(skip = false) ?(lifetime = true) shadow_kind =
     n_processed = 0;
     lifetime_removals = 0 }
 
-let ensure_op_capacity t op =
-  let n = Array.length t.last_addr in
+let ensure_op_capacity c op =
+  let n = Array.length c.last_addr in
   if op >= n then begin
     let n' = max (2 * n) (op + 1) in
     let grow arr fill =
@@ -141,159 +155,278 @@ let ensure_op_capacity t op =
       Array.blit arr 0 a 0 n;
       a
     in
-    t.last_addr <- grow t.last_addr no_addr;
-    t.last_status_read <- grow t.last_status_read no_op;
-    t.last_status_write <- grow t.last_status_write no_op;
-    t.last_raw_carrier <- grow t.last_raw_carrier min_int;
-    t.last_war_carrier <- grow t.last_war_carrier min_int;
-    t.last_waw_carrier <- grow t.last_waw_carrier min_int
+    let grow_slots arr =
+      Array.init n' (fun i -> if i < n then arr.(i) else fresh_dslot ())
+    in
+    c.last_addr <- grow c.last_addr no_addr;
+    c.last_status_read <- grow c.last_status_read no_op;
+    c.last_status_write <- grow c.last_status_write no_op;
+    c.last_raw_carrier <- grow c.last_raw_carrier min_int;
+    c.last_war_carrier <- grow c.last_war_carrier min_int;
+    c.last_waw_carrier <- grow c.last_waw_carrier min_int;
+    c.raw_slot <- grow_slots c.raw_slot;
+    c.war_slot <- grow_slots c.war_slot;
+    c.waw_slot <- grow_slots c.waw_slot;
+    c.init_slot <- grow_slots c.init_slot
   end
 
-let cell_op (c : Cell.t) = if Cell.is_empty c then no_op else c.op
+let cell_op (cl : Cell.t) = if Cell.is_empty cl then no_op else cl.op
 
-(* Fingerprint of the dependence a current access would form against [src]:
-   the carrying loop's header line, -1 for an intra-iteration dependence, -2
-   when there is no source access at all. *)
-let carrier_code (a : Event.access) (src : Cell.t) =
-  if Cell.is_empty src then -2
-  else
-    match Event.carrier ~src:src.lstack ~snk:a.lstack with
-    | Some f -> f.Event.loop_line
-    | None -> -1
+let note_race c (a : Event.access) (src : Cell.t) =
+  let var = Intern.Sym.name a.var in
+  c.races <- (var, src.line, a.line) :: c.races;
+  if Obs.Trace.is_enabled () then Obs.Trace.instant ("race:" ^ var)
 
-(* Build one dependence record from the current access and the stored cell. *)
-let make_dep (a : Event.access) dtype (src : Cell.t) =
-  let carrier =
-    match Event.carrier ~src:src.lstack ~snk:a.lstack with
-    | Some f -> Some f.Event.loop_line
-    | None -> None
-  in
-  let racy =
-    (* Timestamp reversal: the recorded "earlier" access actually executed
-       later — atomicity of access and push was violated, exposing a
-       potential data race (§2.3.4). *)
-    a.time < src.time
-  in
-  { Dep.sink_line = a.line; sink_thread = a.thread; dtype;
-    src_line = src.line; src_thread = src.thread; var = src.var; carrier; racy }
+(* The monomorphic engine over one shadow backend. *)
+module Make (S : Sigmem.Shadow.S) = struct
+  type t = {
+    shadow : S.t;
+    c : common;
+    risk : unit -> float;
+        (* one closure per engine, not per record: [Dep.Set_.note] evaluates
+           it only when a record is new *)
+  }
 
-let note_race t (a : Event.access) (src : Cell.t) =
-  t.races <- (a.var, src.line, a.line) :: t.races;
-  if Obs.Trace.is_enabled () then Obs.Trace.instant ("race:" ^ a.var)
+  let create ?(skip = false) ?(lifetime = true) ~slots () =
+    let shadow = S.create ~slots in
+    { shadow; c = make_common ~skip ~lifetime;
+      risk = (fun () -> S.fp_risk shadow) }
 
-(* Record one dependence with first-witness provenance: the sink access's
-   global timestamp and this engine's dynamic access index, the profiling
-   domain, and the shadow backend's current false-positive risk (evaluated
-   only when the record is new). *)
-let record_dep t (a : Event.access) d =
-  Dep.Set_.add_witness t.deps d ~time:a.time ~index:t.n_processed
-    ~domain:(Domain.self () :> int) ~risk:t.shadow.fp_risk
+  (* Fingerprint of the dependence a current access would form against
+     [src]: the carrying loop's header line, -1 for an intra-iteration
+     dependence, -2 when there is no source access at all. *)
+  let carrier_code c (a : Event.access) (src : Cell.t) =
+    if Cell.is_empty src then -2
+    else memo_probe c.memo ~src:src.lstack ~snk:a.lstack
 
-let feed_access t (a : Event.access) =
-  t.n_processed <- t.n_processed + 1;
-  ensure_op_capacity t a.op;
-  let addr = a.addr in
-  let r = t.shadow.last_read ~addr in
-  let w = t.shadow.last_write ~addr in
-  let status_read = cell_op r in
-  let status_write = cell_op w in
-  (* WAW is recorded only for consecutive writes; a read since the last
-     write re-orients the pair to WAR+RAW, so the orientation must be part
-     of the write-side skip fingerprint. *)
-  let waw_applies =
-    (not (Cell.is_empty w)) && (Cell.is_empty r || r.time < w.time)
-  in
-  let waw_code = if not waw_applies then -4 else carrier_code a w in
-  let base_skip =
-    t.skip
-    && t.last_addr.(a.op) = addr
-    && t.last_status_read.(a.op) = status_read
-    && t.last_status_write.(a.op) = status_write
-  in
-  let can_skip =
-    base_skip
-    &&
+  (* Record the dependence of [a] against source cell [src] through the
+     per-op dedup slot: on ingredient match, one [incr] on the shared count;
+     otherwise build the record once, insert it with first-witness
+     provenance (sink timestamp, engine-local access index, profiling
+     domain, current shadow false-positive risk), and remember the
+     ingredients. [ccode] is the precomputed carrier code (>= -1). *)
+  let record c risk (a : Event.access) dtype (slot : dslot) (src : Cell.t)
+      ~ccode =
+    let racy =
+      (* Timestamp reversal: the recorded "earlier" access actually executed
+         later — atomicity of access and push was violated, exposing a
+         potential data race (§2.3.4). *)
+      a.time < src.time
+    in
+    if racy then note_race c a src;
+    if
+      slot.d_src_line = src.line
+      && slot.d_src_thread = src.thread
+      && slot.d_var = src.var
+      && slot.d_carrier = ccode
+      && slot.d_sink_line = a.line
+      && slot.d_sink_thread = a.thread
+      && slot.d_racy = racy
+    then Dep.Set_.hit c.deps slot.d_count
+    else begin
+      let d =
+        { Dep.sink_line = a.line; sink_thread = a.thread; dtype;
+          src_line = src.line; src_thread = src.thread;
+          var = Intern.Sym.name src.var;
+          carrier = (if ccode >= 0 then Some ccode else None);
+          racy }
+      in
+      let count =
+        Dep.Set_.note c.deps d ~time:a.time ~index:c.n_processed
+          ~domain:(Domain.self () :> int) ~risk
+      in
+      slot.d_src_line <- src.line;
+      slot.d_src_thread <- src.thread;
+      slot.d_var <- src.var;
+      slot.d_carrier <- ccode;
+      slot.d_sink_line <- a.line;
+      slot.d_sink_thread <- a.thread;
+      slot.d_racy <- racy;
+      slot.d_count <- count
+    end
+
+  let record_init c risk (a : Event.access) (slot : dslot) =
+    if
+      slot.d_sink_line = a.line
+      && slot.d_sink_thread = a.thread
+      && slot.d_src_line = 0 (* marks a populated INIT slot *)
+    then Dep.Set_.hit c.deps slot.d_count
+    else begin
+      let d = Dep.init_dep ~sink_line:a.line ~sink_thread:a.thread in
+      let count =
+        Dep.Set_.note c.deps d ~time:a.time ~index:c.n_processed
+          ~domain:(Domain.self () :> int) ~risk
+      in
+      slot.d_src_line <- 0;
+      slot.d_sink_line <- a.line;
+      slot.d_sink_thread <- a.thread;
+      slot.d_count <- count
+    end
+
+  let feed_access t (a : Event.access) =
+    let c = t.c in
+    c.n_processed <- c.n_processed + 1;
+    ensure_op_capacity c a.op;
+    let addr = a.addr in
+    let r = S.last_read t.shadow ~addr in
+    let w = S.last_write t.shadow ~addr in
+    let status_read = cell_op r in
+    let status_write = cell_op w in
+    (* WAW is recorded only for consecutive writes; a read since the last
+       write re-orients the pair to WAR+RAW, so the orientation must be part
+       of the write-side skip fingerprint. *)
+    let waw_applies =
+      (not (Cell.is_empty w)) && (Cell.is_empty r || r.time < w.time)
+    in
+    let waw_code = if not waw_applies then -4 else carrier_code c a w in
+    let base_skip =
+      c.skip
+      && c.last_addr.(a.op) = addr
+      && c.last_status_read.(a.op) = status_read
+      && c.last_status_write.(a.op) = status_write
+    in
+    let can_skip =
+      base_skip
+      &&
+      match a.kind with
+      | Event.Read -> carrier_code c a w = c.last_raw_carrier.(a.op)
+      | Event.Write ->
+          carrier_code c a r = c.last_war_carrier.(a.op)
+          && waw_code = c.last_waw_carrier.(a.op)
+    in
+    let cell = Cell.of_access a in
     match a.kind with
-    | Event.Read -> carrier_code a w = t.last_raw_carrier.(a.op)
-    | Event.Write ->
-        carrier_code a r = t.last_war_carrier.(a.op)
-        && waw_code = t.last_waw_carrier.(a.op)
-  in
-  let cell = Cell.of_access a in
-  match a.kind with
-  | Event.Read ->
-      if status_write <> no_op then t.sstats.reads_total <- t.sstats.reads_total + 1;
-      if can_skip then begin
-        if status_write <> no_op then begin
-          t.sstats.reads_skipped <- t.sstats.reads_skipped + 1;
-          t.sstats.skipped_raw <- t.sstats.skipped_raw + 1
-        end;
-        (* §2.4.3 special case: the read slot already holds this very
-           operation. The paper elides the shadow update here; our cells also
-           carry the loop stack used for carrier attribution, so we count the
-           condition but refresh the cell to keep carriers exact. *)
-        if status_read = a.op then
-          t.sstats.shadow_update_elided <- t.sstats.shadow_update_elided + 1;
-        t.shadow.set_read ~addr cell
-      end
-      else begin
-        if status_write <> no_op then begin
-          let d = make_dep a Dep.Raw w in
-          if d.racy then note_race t a w;
-          record_dep t a d
-        end;
-        t.shadow.set_read ~addr cell;
-        t.last_addr.(a.op) <- addr;
-        t.last_status_read.(a.op) <- status_read;
-        t.last_status_write.(a.op) <- status_write;
-        t.last_raw_carrier.(a.op) <- carrier_code a w
-      end
-  | Event.Write ->
-      if status_read <> no_op || waw_applies then
-        t.sstats.writes_total <- t.sstats.writes_total + 1;
-      if can_skip then begin
-        if status_read <> no_op || waw_applies then begin
-          t.sstats.writes_skipped <- t.sstats.writes_skipped + 1;
-          if status_read <> no_op then t.sstats.skipped_war <- t.sstats.skipped_war + 1;
-          if waw_applies then t.sstats.skipped_waw <- t.sstats.skipped_waw + 1
-        end;
-        (* see the read-side comment on the §2.4.3 special case *)
-        if status_write = a.op then
-          t.sstats.shadow_update_elided <- t.sstats.shadow_update_elided + 1;
-        t.shadow.set_write ~addr cell
-      end
-      else begin
-        if status_read <> no_op then begin
-          let d = make_dep a Dep.War r in
-          if d.racy then note_race t a r;
-          record_dep t a d
-        end;
-        if waw_applies then begin
-          let d = make_dep a Dep.Waw w in
-          if d.racy then note_race t a w;
-          record_dep t a d
+    | Event.Read ->
+        if status_write <> no_op then
+          c.sstats.reads_total <- c.sstats.reads_total + 1;
+        if can_skip then begin
+          if status_write <> no_op then begin
+            c.sstats.reads_skipped <- c.sstats.reads_skipped + 1;
+            c.sstats.skipped_raw <- c.sstats.skipped_raw + 1
+          end;
+          (* §2.4.3 special case: the read slot already holds this very
+             operation. The paper elides the shadow update here; our cells
+             also carry the loop stack used for carrier attribution, so we
+             count the condition but refresh the cell to keep carriers
+             exact. *)
+          if status_read = a.op then
+            c.sstats.shadow_update_elided <- c.sstats.shadow_update_elided + 1;
+          S.set_read t.shadow ~addr cell
         end
-        else if status_write = no_op then
-          record_dep t a (Dep.init_dep ~sink_line:a.line ~sink_thread:a.thread);
-        t.shadow.set_write ~addr cell;
-        t.last_addr.(a.op) <- addr;
-        t.last_status_read.(a.op) <- status_read;
-        t.last_status_write.(a.op) <- status_write;
-        t.last_war_carrier.(a.op) <- carrier_code a r;
-        t.last_waw_carrier.(a.op) <- waw_code
-      end
+        else begin
+          if status_write <> no_op then
+            record c t.risk a Dep.Raw c.raw_slot.(a.op) w
+              ~ccode:(carrier_code c a w);
+          S.set_read t.shadow ~addr cell;
+          c.last_addr.(a.op) <- addr;
+          c.last_status_read.(a.op) <- status_read;
+          c.last_status_write.(a.op) <- status_write;
+          c.last_raw_carrier.(a.op) <- carrier_code c a w
+        end
+    | Event.Write ->
+        if status_read <> no_op || waw_applies then
+          c.sstats.writes_total <- c.sstats.writes_total + 1;
+        if can_skip then begin
+          if status_read <> no_op || waw_applies then begin
+            c.sstats.writes_skipped <- c.sstats.writes_skipped + 1;
+            if status_read <> no_op then
+              c.sstats.skipped_war <- c.sstats.skipped_war + 1;
+            if waw_applies then
+              c.sstats.skipped_waw <- c.sstats.skipped_waw + 1
+          end;
+          (* see the read-side comment on the §2.4.3 special case *)
+          if status_write = a.op then
+            c.sstats.shadow_update_elided <- c.sstats.shadow_update_elided + 1;
+          S.set_write t.shadow ~addr cell
+        end
+        else begin
+          if status_read <> no_op then
+            record c t.risk a Dep.War c.war_slot.(a.op) r
+              ~ccode:(carrier_code c a r);
+          if waw_applies then
+            record c t.risk a Dep.Waw c.waw_slot.(a.op) w ~ccode:waw_code
+          else if status_write = no_op then
+            record_init c t.risk a c.init_slot.(a.op);
+          S.set_write t.shadow ~addr cell;
+          c.last_addr.(a.op) <- addr;
+          c.last_status_read.(a.op) <- status_read;
+          c.last_status_write.(a.op) <- status_write;
+          c.last_war_carrier.(a.op) <- carrier_code c a r;
+          c.last_waw_carrier.(a.op) <- waw_code
+        end
 
-(* Variable-lifetime analysis: clear dead address ranges so their slots can be
-   reused without manufacturing false dependences. *)
+  (* Variable-lifetime analysis: clear dead address ranges so their slots
+     can be reused without manufacturing false dependences. *)
+  let feed_dealloc t addrs =
+    let c = t.c in
+    if c.lifetime then
+      List.iter
+        (fun (base, len, _var) ->
+          for a = base to base + len - 1 do
+            S.remove t.shadow ~addr:a
+          done;
+          c.lifetime_removals <- c.lifetime_removals + len)
+        addrs
+
+  (* Resident words attributable to this engine: shadow store + per-op skip
+     state + merged dependence table. *)
+  let word_footprint t =
+    S.word_footprint t.shadow
+    + (3 * Array.length t.c.last_addr)
+    + (8 * Dep.Set_.cardinal t.c.deps)
+
+  let observe ~prefix t =
+    let c name v = Obs.Counter.add (Obs.counter (prefix ^ name)) v in
+    let g name v = Obs.Gauge.set_int (Obs.gauge (prefix ^ name)) v in
+    let s = t.c.sstats in
+    c ".accesses" t.c.n_processed;
+    c ".deps" (Dep.Set_.cardinal t.c.deps);
+    c ".lifetime.removals" t.c.lifetime_removals;
+    c ".skip.reads_total" s.reads_total;
+    c ".skip.writes_total" s.writes_total;
+    c ".skip.reads_skipped" s.reads_skipped;
+    c ".skip.writes_skipped" s.writes_skipped;
+    c ".skip.raw" s.skipped_raw;
+    c ".skip.war" s.skipped_war;
+    c ".skip.waw" s.skipped_waw;
+    c ".skip.shadow_update_elided" s.shadow_update_elided;
+    g ".shadow.slots_used" (S.slots_used t.shadow);
+    g ".shadow.words" (S.word_footprint t.shadow);
+    List.iter (fun (k, v) -> g (".shadow." ^ k) v) (S.extra_stats t.shadow)
+end
+
+module Esig = Make (Sigmem.Signature)
+module Eperfect = Make (Sigmem.Perfect)
+module Epaged = Make (Sigmem.Two_level)
+
+(* The shadow_kind-driven wrapper: one three-way dispatch per call, then
+   straight into the monomorphic code. *)
+type t =
+  | Tsig of Esig.t
+  | Tperfect of Eperfect.t
+  | Tpaged of Epaged.t
+
+let create ?(skip = false) ?(lifetime = true) = function
+  | Signature slots -> Tsig (Esig.create ~skip ~lifetime ~slots ())
+  | Perfect -> Tperfect (Eperfect.create ~skip ~lifetime ~slots:0 ())
+  | Paged -> Tpaged (Epaged.create ~skip ~lifetime ~slots:0 ())
+
+let common = function
+  | Tsig e -> e.Esig.c
+  | Tperfect e -> e.Eperfect.c
+  | Tpaged e -> e.Epaged.c
+
+let feed_access t a =
+  match t with
+  | Tsig e -> Esig.feed_access e a
+  | Tperfect e -> Eperfect.feed_access e a
+  | Tpaged e -> Epaged.feed_access e a
+
 let feed_dealloc t addrs =
-  if t.lifetime then
-    List.iter
-      (fun (base, len, _var) ->
-        for a = base to base + len - 1 do
-          t.shadow.remove ~addr:a
-        done;
-        t.lifetime_removals <- t.lifetime_removals + len)
-      addrs
+  match t with
+  | Tsig e -> Esig.feed_dealloc e addrs
+  | Tperfect e -> Eperfect.feed_dealloc e addrs
+  | Tpaged e -> Epaged.feed_dealloc e addrs
 
 let feed t (ev : Event.t) =
   match ev with
@@ -301,18 +434,16 @@ let feed t (ev : Event.t) =
   | Event.Region (Event.Dealloc { addrs }) -> feed_dealloc t addrs
   | Event.Region _ -> ()
 
-let deps t = t.deps
+let deps t = (common t).deps
 (* Distinct potential races (var, earlier line, later line). *)
-let races t = List.sort_uniq compare t.races
-let skip_stats t = t.sstats
-let processed t = t.n_processed
+let races t = List.sort_uniq compare (common t).races
+let skip_stats t = (common t).sstats
+let processed t = (common t).n_processed
 
-(* Resident words attributable to this engine: shadow store + per-op skip
-   state + merged dependence table. *)
-let word_footprint t =
-  t.shadow.word_footprint ()
-  + (3 * Array.length t.last_addr)
-  + (8 * Dep.Set_.cardinal t.deps)
+let word_footprint = function
+  | Tsig e -> Esig.word_footprint e
+  | Tperfect e -> Eperfect.word_footprint e
+  | Tpaged e -> Epaged.word_footprint e
 
 (* Publish this engine's end-of-run statistics into the observability
    registry under [prefix]. Counters accumulate across engines (the parallel
@@ -320,21 +451,8 @@ let word_footprint t =
    aggregate one), gauges record the last observed store shape. No-op when
    observability is disabled. *)
 let observe ?(prefix = "engine") t =
-  if Obs.is_enabled () then begin
-    let c name v = Obs.Counter.add (Obs.counter (prefix ^ name)) v in
-    let g name v = Obs.Gauge.set_int (Obs.gauge (prefix ^ name)) v in
-    c ".accesses" t.n_processed;
-    c ".deps" (Dep.Set_.cardinal t.deps);
-    c ".lifetime.removals" t.lifetime_removals;
-    c ".skip.reads_total" t.sstats.reads_total;
-    c ".skip.writes_total" t.sstats.writes_total;
-    c ".skip.reads_skipped" t.sstats.reads_skipped;
-    c ".skip.writes_skipped" t.sstats.writes_skipped;
-    c ".skip.raw" t.sstats.skipped_raw;
-    c ".skip.war" t.sstats.skipped_war;
-    c ".skip.waw" t.sstats.skipped_waw;
-    c ".skip.shadow_update_elided" t.sstats.shadow_update_elided;
-    g ".shadow.slots_used" (t.shadow.slots_used ());
-    g ".shadow.words" (t.shadow.word_footprint ());
-    List.iter (fun (k, v) -> g (".shadow." ^ k) v) (t.shadow.extra_stats ())
-  end
+  if Obs.is_enabled () then
+    match t with
+    | Tsig e -> Esig.observe ~prefix e
+    | Tperfect e -> Eperfect.observe ~prefix e
+    | Tpaged e -> Epaged.observe ~prefix e

@@ -2,36 +2,19 @@
     the §2.4 skip optimization, variable-lifetime analysis (§2.3.5), and
     timestamp-based race flagging (§2.3.4).
 
-    The engine is shadow-memory agnostic; one instance also serves as the
+    The engine is a functor over the shadow-memory interface, so each
+    backend gets a monomorphic copy of the per-access hot loop (no closure
+    or dispatch records on the hot path). The [shadow_kind]-driven API below
+    wraps the three standard instantiations; one instance also serves as the
     per-worker consumer of the parallel profiler. *)
 
 module Event = Trace.Event
 module Cell = Sigmem.Cell
 
-(** First-class shadow-memory operations (closing over a concrete store). *)
-type shadow_ops = {
-  last_read : addr:int -> Cell.t;
-  last_write : addr:int -> Cell.t;
-  set_read : addr:int -> Cell.t -> unit;
-  set_write : addr:int -> Cell.t -> unit;
-  remove : addr:int -> unit;
-  slots_used : unit -> int;
-  word_footprint : unit -> int;
-  extra_stats : unit -> (string * int) list;
-      (** Backend-specific observability (collision proxy, per-signature
-          occupancy, page count), published as [<prefix>.shadow.*] gauges. *)
-  fp_risk : unit -> float;
-      (** False-positive risk attribution for the dependence being recorded
-          right now: slot-occupancy collision proxy for [Signature], 0 for
-          exact backends. Stored in each record's {!Dep.prov}. *)
-}
-
 type shadow_kind =
   | Signature of int  (** approximate, fixed slot count *)
   | Perfect           (** exact, hash-table backed *)
   | Paged             (** exact, two-level page table *)
-
-val make_shadow : shadow_kind -> shadow_ops
 
 (** Counters for Table 2.7 / Fig 2.13: skipped instructions classified by the
     dependence type they would have created. *)
@@ -45,6 +28,20 @@ type skip_stats = {
   mutable skipped_waw : int;
   mutable shadow_update_elided : int;  (** §2.4.3 special-case hits *)
 }
+
+(** The monomorphic engine over one shadow backend. [Make(S).t] runs
+    Algorithm 2 with direct calls into [S] — instantiate it to profile over
+    a custom store; the three standard backends are pre-instantiated behind
+    {!create}. *)
+module Make (S : Sigmem.Shadow.S) : sig
+  type t
+
+  val create : ?skip:bool -> ?lifetime:bool -> slots:int -> unit -> t
+  val feed_access : t -> Event.access -> unit
+  val feed_dealloc : t -> (int * int * string) list -> unit
+  val word_footprint : t -> int
+  val observe : prefix:string -> t -> unit
+end
 
 type t
 

@@ -129,7 +129,8 @@ let sum_skip (a : Engine.skip_stats) (b : Engine.skip_stats) : Engine.skip_stats
     skipped_waw = a.skipped_waw + b.skipped_waw;
     shadow_update_elided = a.shadow_update_elided + b.shadow_update_elided }
 
-let worker_loop (queue : channel) ~index ~shadow ~skip () : worker_result =
+let worker_loop (queue : channel) ~(returns : entry Chunk.t Spsc_queue.t)
+    ~index ~shadow ~skip () : worker_result =
   (* Name this domain's track on the trace timeline (no-op when tracing is
      off); each worker then appears as its own row in chrome://tracing. *)
   Obs.Trace.set_track (Printf.sprintf "worker %d" index);
@@ -153,6 +154,11 @@ let worker_loop (queue : channel) ~index ~shadow ~skip () : worker_result =
             (Printf.sprintf "chunk.%d" (Chunk.seq chunk))
             consume
         else consume ();
+        (* Hand the drained chunk back to the producer for recycling. The
+           return channel is SPSC with this worker as producer; when it is
+           full the chunk is simply dropped for the GC — never block here. *)
+        Chunk.reset chunk;
+        ignore (Spsc_queue.try_push returns chunk);
         loop 1
     | Some Istop ->
         (* Per-worker shadow/skip statistics go out under a per-worker engine
@@ -198,9 +204,18 @@ let profile ?(workers = 4) ?(shadow_slots = 100_000) ?(perfect = false)
         | Lockfree -> Cfree (Spsc_queue.create ~capacity:queue_capacity)
         | Lock_based -> Clocked (Locked_queue.create ~capacity:queue_capacity))
   in
+  (* Worker→producer return channels for drained chunks (chunk recycling,
+     §2.3.3): sized past the forward queue so a worker's try_push only drops
+     a chunk when the producer has stopped recycling (end of run). *)
+  let returns =
+    Array.init w (fun _ -> Spsc_queue.create ~capacity:(queue_capacity + 4))
+  in
   let domains =
     Array.mapi
-      (fun i c -> Domain.spawn (worker_loop c ~index:i ~shadow:shadow_kind ~skip))
+      (fun i c ->
+        Domain.spawn
+          (worker_loop c ~returns:returns.(i) ~index:i ~shadow:shadow_kind
+             ~skip))
       channels
   in
   (* Deepest queue fill level seen at chunk-push time; sampled only when the
@@ -208,11 +223,23 @@ let profile ?(workers = 4) ?(shadow_slots = 100_000) ?(perfect = false)
   let max_depth = ref 0 in
   (* Producer state *)
   let next_seq = ref 0 in
-  let fresh_chunk () =
+  let chunk_reuses = ref 0 in
+  (* Prefer a recycled chunk from the worker's return channel over a fresh
+     allocation. Recycled chunks skip dummy-filling on reset
+     ([clear_on_reset:false]): every slot is overwritten before the consumer
+     reads it, so the O(capacity) clear would buy nothing. *)
+  let fresh_chunk worker =
     incr next_seq;
-    Chunk.create ~capacity:chunk_capacity ~seq:!next_seq ~dummy:dummy_entry ()
+    match Spsc_queue.try_pop returns.(worker) with
+    | Some c ->
+        incr chunk_reuses;
+        Chunk.set_seq c !next_seq;
+        c
+    | None ->
+        Chunk.create ~capacity:chunk_capacity ~seq:!next_seq
+          ~clear_on_reset:false ~dummy:dummy_entry ()
   in
-  let open_chunks = Array.init w (fun _ -> ref (fresh_chunk ())) in
+  let open_chunks = Array.init w (fun i -> ref (fresh_chunk i)) in
   (* Counter-track names for per-queue depth samples, allocated up front so
      the traced push path does no formatting. *)
   let depth_tracks = Array.init w (Printf.sprintf "queue.%d.depth") in
@@ -235,7 +262,7 @@ let profile ?(workers = 4) ?(shadow_slots = 100_000) ?(perfect = false)
       if Obs.Trace.is_enabled () then
         Obs.Trace.counter depth_tracks.(worker)
           (channel_depth channels.(worker));
-      open_chunks.(worker) := fresh_chunk ()
+      open_chunks.(worker) := fresh_chunk worker
     end
   in
   let rebalance () =
@@ -320,6 +347,7 @@ let profile ?(workers = 4) ?(shadow_slots = 100_000) ?(perfect = false)
     Serial.publish ~accesses:r.accesses ~deps ~footprint_words:r.footprint_words
       ~merging_factor:r.merging_factor;
     Obs.Counter.add (Obs.counter "profiler.rebalance.events") !redistributions;
+    Obs.Counter.add (Obs.counter "profiler.chunk.reuses") !chunk_reuses;
     Obs.Gauge.set_int (Obs.gauge "profiler.queue.max_depth") !max_depth;
     Obs.Counter.add
       (Obs.counter "profiler.queue.push_stalls")

@@ -3,17 +3,19 @@
    The paper stores the source line of the last read and the last write per
    slot (3-byte slots, §2.3.2). We additionally keep the attribution data the
    profiler reports (variable, thread, timestamp, loop stack, static memory
-   operation id). The record is fixed-size per slot, so the memory behaviour
-   of the signature is unchanged: accuracy loss still comes only from hash
+   operation id). With interned names and loop stacks (Trace.Intern) every
+   field is an immediate int, so a cell is one flat 8-word record: storing an
+   access copies no strings and no lists, and the memory behaviour of the
+   signature is unchanged — accuracy loss still comes only from hash
    collisions. *)
 
 type t = {
   line : int;                       (* source line of the access *)
-  var : string;
+  var : int;                        (* variable name (Trace.Intern.Sym) *)
   thread : int;
   time : int;                       (* global timestamp *)
   op : int;                         (* static memory-operation id *)
-  lstack : Trace.Event.frame list;  (* loop stack at the access *)
+  lstack : int;                     (* loop stack (Trace.Intern.Lstack id) *)
   locked : bool;
 }
 
@@ -23,6 +25,7 @@ let of_access (a : Trace.Event.access) =
 
 (* Sentinel for empty slots; [time = 0] never occurs in real accesses. *)
 let empty =
-  { line = 0; var = ""; thread = -1; time = 0; op = -1; lstack = []; locked = false }
+  { line = 0; var = -1; thread = -1; time = 0; op = -1;
+    lstack = Trace.Intern.Lstack.empty; locked = false }
 
 let is_empty c = c.time = 0

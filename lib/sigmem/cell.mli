@@ -2,17 +2,16 @@
 
     The paper stores the source line of the last read and the last write per
     slot (§2.3.2); we additionally keep the attribution data the profiler
-    reports. The record is fixed-size per slot, so the memory behaviour of
-    the signature is unchanged: accuracy loss still comes only from hash
-    collisions. *)
+    reports. With interned names and loop stacks every field is an immediate
+    int — one flat record per stored access. *)
 
 type t = {
   line : int;                       (** source line of the access *)
-  var : string;                     (** variable name at the access *)
+  var : int;                        (** variable name ({!Trace.Intern.Sym}) *)
   thread : int;
   time : int;                       (** global timestamp; 0 = empty slot *)
   op : int;                         (** static memory-operation id *)
-  lstack : Trace.Event.frame list;  (** loop stack at the access *)
+  lstack : int;                     (** loop stack ({!Trace.Intern.Lstack}) *)
   locked : bool;
 }
 

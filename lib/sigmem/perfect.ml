@@ -10,21 +10,26 @@ type t = { tbl : (int, entry) Hashtbl.t }
 
 let create ~slots:_ = { tbl = Hashtbl.create 4096 }
 
-let find t addr = Hashtbl.find_opt t.tbl addr
-
+(* [Hashtbl.find] + [Not_found] instead of [find_opt]: lookups run once or
+   twice per dynamic access and the option would be a minor allocation each
+   time; the exception path only triggers on an address's first touch. *)
 let entry t addr =
-  match Hashtbl.find_opt t.tbl addr with
-  | Some e -> e
-  | None ->
+  match Hashtbl.find t.tbl addr with
+  | e -> e
+  | exception Not_found ->
       let e = { r = Cell.empty; w = Cell.empty } in
       Hashtbl.replace t.tbl addr e;
       e
 
 let last_read t ~addr =
-  match find t addr with Some e -> e.r | None -> Cell.empty
+  match Hashtbl.find t.tbl addr with
+  | e -> e.r
+  | exception Not_found -> Cell.empty
 
 let last_write t ~addr =
-  match find t addr with Some e -> e.w | None -> Cell.empty
+  match Hashtbl.find t.tbl addr with
+  | e -> e.w
+  | exception Not_found -> Cell.empty
 
 let set_read t ~addr cell = (entry t addr).r <- cell
 let set_write t ~addr cell = (entry t addr).w <- cell
@@ -40,3 +45,6 @@ let slots_used t =
 
 (* Hashtbl entry: key + record of two pointers + bucket overhead (~6 words) *)
 let word_footprint t = 6 * Hashtbl.length t.tbl
+
+let extra_stats _ = []
+let fp_risk _ = 0.0

@@ -15,3 +15,9 @@ val set_write : t -> addr:int -> Cell.t -> unit
 val remove : t -> addr:int -> unit
 val slots_used : t -> int
 val word_footprint : t -> int
+
+val extra_stats : t -> (string * int) list
+(** Always empty: nothing approximate to report. *)
+
+val fp_risk : t -> float
+(** Always 0: exact backends produce no false positives. *)

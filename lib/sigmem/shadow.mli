@@ -25,6 +25,15 @@ module type S = sig
 
   val word_footprint : t -> int
   (** Approximate resident words of the store itself. *)
+
+  val extra_stats : t -> (string * int) list
+  (** Backend-specific observability (collision proxy, per-signature
+      occupancy, page count), published as [<prefix>.shadow.*] gauges. *)
+
+  val fp_risk : t -> float
+  (** False-positive risk attribution for the dependence being recorded
+      right now: slot-occupancy collision proxy for the signature, 0 for
+      exact backends. Stored in each record's first-witness provenance. *)
 end
 
 val predicted_fpr : slots:int -> addresses:int -> float

@@ -86,3 +86,11 @@ let collision_risk t =
 
 (* Each slot holds one boxed record pointer; count array words. *)
 let word_footprint t = 2 * t.slots
+
+let extra_stats t =
+  [ ("slots", t.slots);
+    ("occupied_reads", t.occupied_reads);
+    ("occupied_writes", t.occupied_writes);
+    ("takeovers", t.takeovers) ]
+
+let fp_risk = collision_risk

@@ -45,3 +45,9 @@ val collision_risk : t -> float
 
 val word_footprint : t -> int
 (** Approximate resident words of the store itself. *)
+
+val extra_stats : t -> (string * int) list
+(** Slots, per-signature occupancy, takeovers — the {!Shadow.S} gauges. *)
+
+val fp_risk : t -> float
+(** Alias of {!collision_risk}, satisfying {!Shadow.S}. *)

@@ -97,3 +97,6 @@ let word_footprint t =
   Array.fold_left
     (fun acc page -> match page with None -> acc + 1 | Some _ -> acc + (2 * page_size t))
     0 t.pages
+
+let extra_stats t = [ ("pages", pages_allocated t) ]
+let fp_risk _ = 0.0

@@ -20,3 +20,9 @@ val word_footprint : t -> int
 
 val pages_allocated : t -> int
 (** Pages materialised by first-touch allocation so far. *)
+
+val extra_stats : t -> (string * int) list
+(** The allocated-page count, as the {!Shadow.S} gauge. *)
+
+val fp_risk : t -> float
+(** Always 0: exact backends produce no false positives. *)

@@ -8,12 +8,14 @@ type 'a t = {
   mutable seq : int;  (* producer-assigned sequence number, for tracing *)
   slots : 'a array;
   dummy : 'a;
+  clear_on_reset : bool;
 }
 
 let default_capacity = 512
 
-let create ?(capacity = default_capacity) ?(seq = 0) ~dummy () =
-  { used = 0; seq; slots = Array.make capacity dummy; dummy }
+let create ?(capacity = default_capacity) ?(seq = 0) ?(clear_on_reset = true)
+    ~dummy () =
+  { used = 0; seq; slots = Array.make capacity dummy; dummy; clear_on_reset }
 
 let seq c = c.seq
 let set_seq c s = c.seq <- s
@@ -36,6 +38,9 @@ let iter f c =
     f c.slots.(i)
   done
 
+(* Clearing is O(used) and only matters when stale slots would keep dead
+   values alive past the chunk's next fill; a pool that overwrites slots
+   immediately opts out with [clear_on_reset:false] and resets in O(1). *)
 let reset c =
-  Array.fill c.slots 0 c.used c.dummy;
+  if c.clear_on_reset then Array.fill c.slots 0 c.used c.dummy;
   c.used <- 0

@@ -5,9 +5,13 @@ type 'a t
 
 val default_capacity : int
 
-val create : ?capacity:int -> ?seq:int -> dummy:'a -> unit -> 'a t
+val create : ?capacity:int -> ?seq:int -> ?clear_on_reset:bool -> dummy:'a ->
+  unit -> 'a t
 (** A fresh chunk; [dummy] fills unused slots; [seq] (default 0) is the
-    producer-assigned sequence number. *)
+    producer-assigned sequence number. [clear_on_reset] (default [true])
+    makes {!reset} refill used slots with [dummy]; pass [false] for pooled
+    chunks whose slots are overwritten before they are read again, making
+    {!reset} O(1). *)
 
 val seq : 'a t -> int
 (** The producer-assigned sequence number — labels this chunk's consumption
@@ -29,4 +33,5 @@ val get : 'a t -> int -> 'a
 val iter : ('a -> unit) -> 'a t -> unit
 
 val reset : 'a t -> unit
-(** Empty the chunk for reuse (chunk recycling, §2.3.3). *)
+(** Empty the chunk for reuse (chunk recycling, §2.3.3). O(length) when the
+    chunk clears on reset, O(1) otherwise. *)

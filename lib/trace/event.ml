@@ -14,12 +14,12 @@ type frame = { loop_line : int; inst : int; iter : int }
 type access = {
   kind : kind;
   addr : int;
-  var : string;         (* source-level variable name *)
+  var : int;            (* source-level variable name, as an Intern.Sym *)
   line : int;           (* source line of the access *)
   thread : int;
   time : int;           (* global timestamp, strictly increasing *)
   op : int;             (* static memory-operation id (for §2.4 skipping) *)
-  lstack : frame list;  (* loop stack at the access, outermost-first *)
+  lstack : int;         (* loop stack at the access, as an Intern.Lstack id *)
   locked : bool;        (* thread held >=1 lock / access was atomic *)
 }
 

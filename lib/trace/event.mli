@@ -12,16 +12,19 @@ type kind = Read | Write
     are stored outermost-first and shared immutably between accesses. *)
 type frame = { loop_line : int; inst : int; iter : int }
 
-(** A dynamic memory instruction. *)
+(** A dynamic memory instruction. Variable names and loop stacks are
+    interned ({!Intern}): [var] is a symbol and [lstack] a hash-consed stack
+    id, so an access is a flat record of immediates — the hot path copies no
+    strings and no lists. *)
 type access = {
   kind : kind;
   addr : int;           (** memory address (dense, bump-allocated) *)
-  var : string;         (** source-level variable name *)
+  var : int;            (** source-level variable name ({!Intern.Sym}) *)
   line : int;           (** source line of the access *)
   thread : int;         (** executing thread id; 0 is the main thread *)
   time : int;           (** global timestamp, strictly increasing *)
   op : int;             (** static memory-operation id (for §2.4 skipping) *)
-  lstack : frame list;  (** loop stack at the access, outermost-first *)
+  lstack : int;         (** loop stack at the access ({!Intern.Lstack} id) *)
   locked : bool;        (** the thread held at least one lock *)
 }
 

@@ -1,0 +1,47 @@
+(** Interning for the profiler hot path: variable names as int symbols and
+    hash-consed loop stacks as int ids.
+
+    Only the producer domain (the interpreter) interns; worker domains read
+    ids they received through the profiler queues, whose push/pop is the
+    happens-before edge publishing the table entries. *)
+
+(** Variable-name symbols. *)
+module Sym : sig
+  val intern : string -> int
+
+  val name : int -> string
+  (** The original string; physically shared, so resolving the same symbol
+      twice yields [==]-equal strings. *)
+
+  val count : unit -> int
+end
+
+(** Hash-consed loop stacks: a stack is an int id; equal ids are equal
+    stacks (same frames, same iteration numbers). *)
+module Lstack : sig
+  val empty : int
+  (** The empty stack (id 0). *)
+
+  val is_empty : int -> bool
+
+  val push : parent:int -> loop_line:int -> inst:int -> iter:int -> int
+  (** The stack [parent] extended with one frame; memoised, so re-pushing an
+      existing frame returns the existing id. *)
+
+  val depth : int -> int
+
+  val innermost_line : int -> int
+  (** Innermost frame's loop header line; [-1] for the empty stack. *)
+
+  val innermost : int -> Event.frame option
+
+  val carrier_code : src:int -> snk:int -> int
+  (** {!Event.carrier} on interned stacks, as a code: the carrying loop's
+      header line, or [-1] when the dependence is not loop-carried.
+      Allocation-free. *)
+
+  val to_frames : int -> Event.frame list
+  val of_frames : Event.frame list -> int
+
+  val count : unit -> int
+end

@@ -1,0 +1,201 @@
+(* Hot-path overhaul safety net: byte-identical depfile output against
+   committed golden files, intern round-trips, and chunk recycling.
+
+   The golden files pin the profiler's observable output across the interning
+   / monomorphic-engine / chunk-pooling changes: any byte that moves is a
+   semantic change, not an optimization. *)
+
+module Intern = Trace.Intern
+module Event = Trace.Event
+module Chunk = Trace.Chunk
+
+(* ---- golden depfile sweep ---- *)
+
+(* A golden file "name.deps" is the serial profile of workload [name] with
+   the exact (Perfect) shadow at the pinned size below and the default seed;
+   "name.sig4096.deps" the same with a 4096-slot signature shadow. Serial
+   only: parallel domain ids are scheduling-dependent. *)
+let golden_sizes =
+  [ ("histogram", 500); ("mandelbrot", 12); ("matmul", 10); ("dotprod", 800);
+    ("prefix_sum", 400); ("jacobi", 100); ("gauss_seidel", 100);
+    ("monte_carlo", 500); ("fib", 10); ("sort", 128); ("sparselu", 4);
+    ("nqueens", 5) ]
+(* Under `dune runtest` the cwd is the test directory; under
+   `dune exec test/test_main.exe` it is the project root. *)
+let golden_dir =
+  if Sys.file_exists "golden" then "golden" else Filename.concat "test" "golden"
+
+let golden_files () =
+  Sys.readdir golden_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".deps")
+  |> List.sort compare
+
+let workload_of_file f =
+  let base = Filename.chop_suffix f ".deps" in
+  match Filename.extension base with
+  | ".sig4096" ->
+      (Filename.chop_suffix base ".sig4096",
+       Profiler.Engine.Signature 4096)
+  | _ -> (base, Profiler.Engine.Perfect)
+
+let find_workload name =
+  List.find_opt
+    (fun (w : Workloads.Registry.t) -> w.name = name)
+    (Workloads.Textbook.all @ Workloads.Nas.all @ Workloads.Starbench.all
+   @ Workloads.Bots.all @ Workloads.Apps.all @ Workloads.Splash2x.all
+   @ Workloads.Numerics.all @ Workloads.Parsec.all)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_golden_sweep () =
+  let files = golden_files () in
+  Alcotest.(check bool)
+    "golden corpus present" true
+    (List.length files >= 10);
+  List.iter
+    (fun f ->
+      let name, shadow = workload_of_file f in
+      match find_workload name with
+      | None -> Alcotest.failf "golden %s: unknown workload %s" f name
+      | Some w ->
+          let size =
+            match List.assoc_opt name golden_sizes with
+            | Some s -> s
+            | None -> w.default_size
+          in
+          let prog = Workloads.Registry.program ~size w in
+          let r = Profiler.Serial.profile ~shadow prog in
+          let got = Profiler.Depfile.render r.Profiler.Serial.deps in
+          let want = read_file (Filename.concat golden_dir f) in
+          Alcotest.(check string) (Printf.sprintf "depfile bytes: %s" f) want got)
+    files
+
+(* ---- interning ---- *)
+
+let test_sym_roundtrip () =
+  let names = [ "x"; "sum"; "a_rather_long_variable_name"; ""; "x" ] in
+  let syms = List.map Intern.Sym.intern names in
+  List.iter2
+    (fun n s -> Alcotest.(check string) "name round-trip" n (Intern.Sym.name s))
+    names syms;
+  (* Same string -> same symbol. *)
+  Alcotest.(check int) "stable intern" (List.hd syms)
+    (List.nth syms 4)
+
+let frames_of l = List.map (fun (a, b, c) -> { Event.loop_line = a; inst = b; iter = c }) l
+
+let test_lstack_roundtrip () =
+  let stacks =
+    [ []; [ (3, 1, 0) ]; [ (3, 1, 4); (7, 2, 9) ];
+      [ (3, 1, 4); (7, 2, 9); (11, 5, 0) ] ]
+    |> List.map frames_of
+  in
+  List.iter
+    (fun fs ->
+      let id = Intern.Lstack.of_frames fs in
+      Alcotest.(check int) "depth" (List.length fs) (Intern.Lstack.depth id);
+      Alcotest.(check bool) "frames round-trip" true
+        (Intern.Lstack.to_frames id = fs);
+      (* Hash-consing: re-interning is the identity. *)
+      Alcotest.(check int) "stable id" id (Intern.Lstack.of_frames fs))
+    stacks;
+  Alcotest.(check int) "empty is id 0" Intern.Lstack.empty
+    (Intern.Lstack.of_frames [])
+
+(* The interned carrier must agree with the reference list-based computation
+   on every stack pair, including partial overlaps and depth mismatches. *)
+let test_carrier_agreement () =
+  let cases =
+    [ ([], []);
+      ([ (3, 1, 0) ], []);
+      ([], [ (3, 1, 0) ]);
+      ([ (3, 1, 0) ], [ (3, 1, 0) ]);         (* same iteration *)
+      ([ (3, 1, 0) ], [ (3, 1, 1) ]);         (* carried by loop 3 *)
+      ([ (3, 1, 0); (7, 2, 5) ], [ (3, 1, 0); (7, 2, 6) ]);  (* inner *)
+      ([ (3, 1, 0); (7, 2, 5) ], [ (3, 1, 1); (7, 3, 0) ]);  (* outer *)
+      ([ (3, 1, 0); (7, 2, 5) ], [ (3, 1, 0) ]);   (* sink outside inner *)
+      ([ (3, 1, 0) ], [ (3, 1, 0); (7, 2, 5) ]);   (* src outside inner *)
+      ([ (3, 4, 0) ], [ (3, 9, 2) ]) ]             (* distinct loop entries *)
+    |> List.map (fun (a, b) -> (frames_of a, frames_of b))
+  in
+  List.iter
+    (fun (src, snk) ->
+      let expect =
+        match Event.carrier ~src ~snk with
+        | Some f -> f.Event.loop_line
+        | None -> -1
+      in
+      let got =
+        Intern.Lstack.carrier_code
+          ~src:(Intern.Lstack.of_frames src)
+          ~snk:(Intern.Lstack.of_frames snk)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "carrier src=%d snk=%d" (List.length src)
+           (List.length snk))
+        expect got)
+    cases
+
+(* ---- chunk pooling ---- *)
+
+let test_chunk_fill_reset () =
+  let c = Chunk.create ~capacity:4 ~seq:7 ~dummy:(-1) () in
+  Alcotest.(check bool) "fresh empty" true (Chunk.is_empty c);
+  List.iter (Chunk.push c) [ 10; 20; 30; 40 ];
+  Alcotest.(check bool) "full" true (Chunk.is_full c);
+  Alcotest.(check int) "seq" 7 (Chunk.seq c);
+  let sum = ref 0 in
+  Chunk.iter (fun x -> sum := !sum + x) c;
+  Alcotest.(check int) "contents" 100 !sum;
+  Chunk.reset c;
+  Alcotest.(check bool) "reset empties" true (Chunk.is_empty c);
+  (* Default reset clears the used prefix back to the dummy. *)
+  Chunk.push c 5;
+  Alcotest.(check int) "refill after reset" 5 (Chunk.get c 0)
+
+let test_chunk_no_clear_recycle () =
+  let c = Chunk.create ~capacity:4 ~clear_on_reset:false ~dummy:(-1) () in
+  List.iter (Chunk.push c) [ 1; 2; 3 ];
+  Chunk.reset c;
+  Alcotest.(check bool) "O(1) reset empties" true (Chunk.is_empty c);
+  Chunk.set_seq c 42;
+  (* Recycled use: overwrites see only their own pushes. *)
+  List.iter (Chunk.push c) [ 7; 8 ];
+  Alcotest.(check int) "recycled seq" 42 (Chunk.seq c);
+  Alcotest.(check int) "recycled length" 2 (Chunk.length c);
+  let xs = ref [] in
+  Chunk.iter (fun x -> xs := x :: !xs) c;
+  Alcotest.(check (list int)) "iter covers only the new fill" [ 8; 7 ] !xs
+
+(* Parallel profiling with chunk recycling must agree with serial profiling
+   (same merged records) — the pool must never tear or resurrect entries.
+   A tiny chunk capacity maximizes recycling churn. *)
+let test_pooled_parallel_equivalence () =
+  let prog = Helpers.fig27 in
+  let serial =
+    (Profiler.Serial.profile ~shadow:Profiler.Engine.Perfect prog)
+      .Profiler.Serial.deps
+  in
+  let par =
+    (Profiler.Parallel.profile ~workers:3 ~perfect:true ~chunk_capacity:8 prog)
+      .Profiler.Parallel.deps
+  in
+  Helpers.check_same_deps "pooled parallel differs from serial" serial par
+
+let tests =
+  [ Alcotest.test_case "golden depfile sweep byte-identical" `Slow
+      test_golden_sweep;
+    Alcotest.test_case "symbol intern round-trip" `Quick test_sym_roundtrip;
+    Alcotest.test_case "loop-stack intern round-trip" `Quick
+      test_lstack_roundtrip;
+    Alcotest.test_case "interned carrier agrees with reference" `Quick
+      test_carrier_agreement;
+    Alcotest.test_case "chunk fill/reset/seq" `Quick test_chunk_fill_reset;
+    Alcotest.test_case "chunk recycle without clearing" `Quick
+      test_chunk_no_clear_recycle;
+    Alcotest.test_case "pooled parallel equals serial" `Quick
+      test_pooled_parallel_equivalence ]

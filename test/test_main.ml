@@ -10,4 +10,5 @@ let () =
       ("apps", Test_apps.tests);
       ("obs", Test_obs.tests);
       ("explain", Test_explain.tests);
-      ("transform", Test_transform.tests) ]
+      ("transform", Test_transform.tests);
+      ("hotpath", Test_hotpath.tests) ]

@@ -6,8 +6,8 @@ module Perf = Sigmem.Perfect
 module Cell = Sigmem.Cell
 
 let cell line =
-  { Cell.line; var = "v"; thread = 0; time = line + 1; op = line; lstack = [];
-    locked = false }
+  { Cell.line; var = Trace.Intern.Sym.intern "v"; thread = 0; time = line + 1;
+    op = line; lstack = Trace.Intern.Lstack.empty; locked = false }
 
 let test_signature_basic () =
   let s = Sig.create ~slots:64 in
