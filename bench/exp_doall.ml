@@ -37,7 +37,7 @@ let run_nas () =
 let run_histogram () =
   Util.header "Table 4.3: suggestions for histogram visualization";
   let w = List.find (fun w -> w.R.name = "histo_vis") Workloads.Textbook.all in
-  let report = Discovery.Suggestion.analyze (R.program w) in
+  let report = Util.analyze_cached w in
   print_string (Discovery.Suggestion.render report);
   print_endline "\nloop classification with evidence:";
   List.iter
@@ -55,8 +55,7 @@ let run_doacross () =
       (fun (w : R.t) ->
         if not (List.mem w.R.name interesting) then []
         else begin
-          let prog = R.program w in
-          let report = Discovery.Suggestion.analyze prog in
+          let report = Util.analyze_cached w in
           (* the biggest hot loop by instructions *)
           match
             List.sort

@@ -16,8 +16,8 @@ module R = Workloads.Registry
 let threads = 4
 
 let modeled_speedup (w : R.t) =
-  let prog = R.program w in
-  let report = Discovery.Suggestion.analyze ~threads prog in
+  (* default analyze config is ~threads:4, which is [threads] here *)
+  let report = Util.analyze_cached w in
   let total =
     Profiler.Pet.total_instructions report.Discovery.Suggestion.profile.pet
   in
@@ -145,8 +145,7 @@ let run_textbook () =
 let run_facedetect () =
   Util.header "Fig 4.11: FaceDetection speedup vs thread count (modeled)";
   let w = List.find (fun w -> w.R.name = "facedetect") Workloads.Apps.all in
-  let prog = R.program w in
-  let report = Discovery.Suggestion.analyze prog in
+  let report = Util.analyze_cached w in
   let profile = report.Discovery.Suggestion.profile in
   let pet = profile.pet in
   (* per-PET-node costs for the pipeline stages *)

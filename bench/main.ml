@@ -45,6 +45,8 @@ let experiments : (string * string * (unit -> unit)) list =
     ("ablation", "Ablations: shadow backend, lifetime, merging", Exp_ablation.run);
     ("hotpath", "Fig 2.9/2.12 substrate: engine events/sec, minor words/access",
      Exp_hotpath.run);
+    ("batch", "Batch driver: cold vs warm cache over the textbook suite",
+     Exp_batch.run);
     ("micro", "Bechamel micro-benchmarks", Exp_micro.run) ]
 
 (* With --trace, each experiment additionally records a per-domain timeline

@@ -61,6 +61,22 @@ let starbench_par =
 let native_time (prog : Mil.Ast.program) =
   med_time (fun () -> Mil.Interp.run ~instrument:false prog)
 
+(* Phase-1 memo: several experiments analyze the same workload at default
+   settings; profiling dominates their cost, so a full-harness run repays
+   caching the reports in-process. Keyed by workload name — registry names
+   are unique and every call site uses the default analyze configuration.
+   Run one experiment alone (`-e <id>`) to measure it cold. *)
+let analyze_memo : (string, Discovery.Suggestion.report) Hashtbl.t =
+  Hashtbl.create 32
+
+let analyze_cached (w : Workloads.Registry.t) : Discovery.Suggestion.report =
+  match Hashtbl.find_opt analyze_memo w.name with
+  | Some report -> report
+  | None ->
+      let report = Discovery.Suggestion.analyze (Workloads.Registry.program w) in
+      Hashtbl.replace analyze_memo w.name report;
+      report
+
 (* Count the distinct addresses a program touches (for Eq. 2.2 columns). *)
 let count_addresses prog =
   let seen = Hashtbl.create 4096 in

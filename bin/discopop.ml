@@ -454,7 +454,13 @@ let check_bench_cmd =
       | Some (Obs.Json.Obj kvs) -> kvs
       | _ -> die "%s: no \"metrics\" object" baseline_path
     in
+    (* An empty gate would pass any summary — treat it as a broken baseline,
+       not a success. *)
+    if entries = [] then
+      die "%s: \"metrics\" is empty; refusing to pass an empty gate"
+        baseline_path;
     let failures = ref 0 in
+    let missing = ref [] in
     List.iter
       (fun (name, spec) ->
         let field f =
@@ -467,6 +473,7 @@ let check_bench_cmd =
         match current name with
         | None ->
             incr failures;
+            missing := name :: !missing;
             Printf.printf "FAIL %-45s missing from %s\n" name bench_path
         | Some v when expected = 0.0 ->
             (* No meaningful ratio; require an exact zero. *)
@@ -488,7 +495,15 @@ let check_bench_cmd =
             end)
       entries;
     if !failures > 0 then begin
-      Printf.printf "%d metric(s) out of tolerance\n" !failures;
+      (* Missing metrics also go to stderr by name: a truncated summary must
+         fail the gate as loudly as an out-of-band one. *)
+      List.iter
+        (fun name ->
+          Printf.eprintf "check-bench: metric %S missing from %s\n" name
+            bench_path)
+        (List.rev !missing);
+      Printf.printf "%d metric(s) out of tolerance (%d missing)\n" !failures
+        (List.length !missing);
       exit 1
     end
     else Printf.printf "all %d metric(s) within tolerance\n" (List.length entries)
@@ -637,6 +652,106 @@ let parallelize_cmd =
       $ validate_arg $ seeds_arg $ emit_arg $ report_out_arg $ threads_arg
       $ stats_arg $ trace_arg)
 
+(* batch *)
+let batch_cmd =
+  let doc =
+    "Run the full profile/CU/discovery/ranking pipeline over many workloads \
+     concurrently across a bounded pool of domains, with an optional \
+     content-addressed on-disk result cache (--cache DIR): a workload whose \
+     program and profiler configuration are unchanged skips phase 1 \
+     entirely on re-runs. A job that raises or exceeds --timeout is \
+     reported as failed/timed-out without killing the batch (one retry by \
+     default); any failed or timed-out job makes the exit status non-zero \
+     after the full report is emitted."
+  in
+  let names_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"WORKLOAD"
+           ~doc:"Workloads to run (default: every registry workload, or the \
+                 $(b,--suite) selection).")
+  in
+  let suite_arg =
+    Arg.(value & opt (some string) None & info [ "suite" ] ~docv:"NAME"
+           ~doc:"Run every workload of one suite (textbook, nas, starbench, \
+                 bots, apps, splash2x, numerics, parsec).")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 4 & info [ "jobs" ] ~docv:"N"
+           ~doc:"Concurrent jobs (pool of N domains).")
+  in
+  let cache_arg =
+    Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR"
+           ~doc:"Content-addressed result cache directory (created if \
+                 missing). Key = hash of the MIL program + profiler config; \
+                 entries store Depfile-v2 dependences plus the serialized \
+                 suggestion summary.")
+  in
+  let timeout_arg =
+    Arg.(value & opt float 120.0 & info [ "timeout" ] ~docv:"SEC"
+           ~doc:"Per-job wall-clock budget; an overrunning job is reported \
+                 as timed-out.")
+  in
+  let retries_arg =
+    Arg.(value & opt int 1 & info [ "retries" ] ~docv:"K"
+           ~doc:"Extra attempts per failed or timed-out job.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"OUT"
+           ~doc:"Write the machine-readable batch report to OUT.")
+  in
+  let threads_arg =
+    Arg.(value & opt int 4 & info [ "threads" ] ~docv:"T"
+           ~doc:"Thread count assumed by the local-speedup metric (part of \
+                 the cache key).")
+  in
+  let run names suite jobs cache timeout retries json signature skip workers
+      threads stats trace =
+    let ws =
+      match names with
+      | [] -> (
+          match suite with
+          | None -> all_workloads
+          | Some s ->
+              List.filter
+                (fun (w : Workloads.Registry.t) -> w.suite = s)
+                all_workloads)
+      | names -> List.map (fun n -> or_die (find_workload n)) names
+    in
+    if ws = [] then
+      or_die
+        (Error
+           (match suite with
+           | Some s -> Printf.sprintf "no workloads in suite %s" s
+           | None -> "no workloads selected"));
+    let code =
+      with_obs ~stats ~trace @@ fun () ->
+      let config =
+        { Pipeline.Cache.shadow = shadow_of signature; skip; workers; threads }
+      in
+      let job_list =
+        List.map (Pipeline.workload_job ?cache_dir:cache ~config) ws
+      in
+      let rep =
+        Pipeline.run_batch ~jobs ~timeout_s:timeout ~retries job_list
+      in
+      print_string (Pipeline.render rep);
+      (match json with
+      | None -> ()
+      | Some path ->
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc
+                (Obs.Json.pretty (Pipeline.report_to_json ?suite rep));
+              Out_channel.output_char oc '\n');
+          Printf.eprintf "wrote %s\n" path);
+      if rep.Pipeline.b_failed + rep.Pipeline.b_timeout > 0 then 1 else 0
+    in
+    if code <> 0 then exit code
+  in
+  Cmd.v (Cmd.info "batch" ~doc)
+    Term.(
+      const run $ names_arg $ suite_arg $ jobs_arg $ cache_arg $ timeout_arg
+      $ retries_arg $ json_arg $ sig_arg $ skip_arg $ workers_arg
+      $ threads_arg $ stats_arg $ trace_arg)
+
 (* races *)
 let races_cmd =
   let doc = "Profile a multi-threaded target and report potential data races." in
@@ -671,5 +786,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; source_cmd; profile_cmd; read_deps_cmd; pet_cmd; cus_cmd;
-            discover_cmd; explain_cmd; parallelize_cmd; trace_check_cmd;
-            check_bench_cmd; races_cmd ]))
+            discover_cmd; explain_cmd; parallelize_cmd; batch_cmd;
+            trace_check_cmd; check_bench_cmd; races_cmd ]))

@@ -21,10 +21,46 @@ type score = {
   combined : float;
 }
 
-(* Instruction coverage of a region from the PET. *)
+(* Every metric must stay finite: a single NaN (e.g. from a degenerate
+   region with no profiled instructions) would poison [combined] and, since
+   NaN is incomparable, silently scramble the suggestion sort downstream.
+   Non-finite inputs collapse to the metric's neutral value. *)
+let clamp ~lo ~hi ~nan x =
+  if Float.is_nan x then nan
+  else if x < lo then lo
+  else if x > hi then hi
+  else x (* +/-inf fall into the lo/hi branches *)
+
+(* The sort key for [combined]: total even if a NaN slips through — NaN
+   ranks below every real score (treated as -inf). *)
+let rank_key (s : score) : float =
+  if Float.is_nan s.combined then neg_infinity else s.combined
+
+(* Amdahl's whole-program gain, guarded: [coverage] in [0,1],
+   [local_speedup] >= 1, so the denominator is positive unless the inputs
+   were already degenerate — then fall back to the local bound itself. *)
+let amdahl ~coverage ~local_speedup =
+  let denom = 1.0 -. coverage +. (coverage /. local_speedup) in
+  if Float.is_nan denom || denom <= 0.0 then local_speedup else 1.0 /. denom
+
+let combine ~coverage ~local_speedup ~imbalance =
+  let coverage = clamp ~lo:0.0 ~hi:1.0 ~nan:0.0 coverage in
+  let local_speedup =
+    clamp ~lo:1.0 ~hi:1e9 ~nan:1.0 local_speedup
+  in
+  let imbalance = clamp ~lo:0.0 ~hi:1.0 ~nan:0.0 imbalance in
+  let combined =
+    amdahl ~coverage ~local_speedup *. (1.0 -. (0.5 *. imbalance))
+  in
+  { coverage; local_speedup; imbalance;
+    combined = clamp ~lo:0.0 ~hi:1e9 ~nan:0.0 combined }
+
+(* Instruction coverage of a region from the PET. A region (or a whole run)
+   with zero PET instructions covers nothing — the divide below must never
+   see a zero or negative total. *)
 let coverage_of_region (st : Static.t) (pet : Profiler.Pet.t) (rid : int) : float =
   let total = Profiler.Pet.total_instructions pet in
-  if total = 0 then 0.0
+  if total <= 0 then 0.0
   else begin
     let r = st.regions.(rid) in
     let matches (n : Profiler.Pet.node) =
@@ -39,7 +75,8 @@ let coverage_of_region (st : Static.t) (pet : Profiler.Pet.t) (rid : int) : floa
         if matches n then
           acc := !acc + Profiler.Pet.subtree_instructions pet n.Profiler.Pet.id)
       pet;
-    min 1.0 (float_of_int !acc /. float_of_int total)
+    clamp ~lo:0.0 ~hi:1.0 ~nan:0.0
+      (float_of_int !acc /. float_of_int total)
   end
 
 (* Work/span bound over the RAW CU graph of a region. SCCs execute
@@ -68,7 +105,7 @@ let local_speedup_of_cus (g : Cunit.Graph.t) : float =
       end
     in
     let critical = Array.fold_left max 1.0 (Array.init scc.Cunit.Scc.count span) in
-    max 1.0 (total /. critical)
+    clamp ~lo:1.0 ~hi:1e9 ~nan:1.0 (total /. critical)
   end
 
 (* Imbalance of the concurrently-runnable CUs: coefficient of variation of
@@ -139,12 +176,8 @@ let score_region (st : Static.t) (cures : Cunit.Top_down.result)
   let local_speedup = local_speedup_of_cus g in
   let imbalance = imbalance_of_cus g in
   (* Combined rank: expected whole-program gain by Amdahl, discounted by
-     imbalance. *)
-  let amdahl =
-    1.0 /. ((1.0 -. coverage) +. (coverage /. local_speedup))
-  in
-  { coverage; local_speedup; imbalance;
-    combined = amdahl *. (1.0 -. (0.5 *. imbalance)) }
+     imbalance; [combine] clamps every input so the result is finite. *)
+  combine ~coverage ~local_speedup ~imbalance
 
 let to_string s =
   Printf.sprintf "coverage=%.2f local-speedup=%.2f imbalance=%.2f rank=%.3f"

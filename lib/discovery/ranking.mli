@@ -12,6 +12,16 @@ type score = {
   combined : float;        (** Amdahl gain discounted by imbalance *)
 }
 
+val rank_key : score -> float
+(** The sort key for [combined]: identical for finite scores, but maps NaN
+    to [neg_infinity] so ordering by it is always a total order. *)
+
+val combine :
+  coverage:float -> local_speedup:float -> imbalance:float -> score
+(** Build a score from the three metrics, clamping each to its documented
+    range (NaN and infinities included) so every field — [combined] in
+    particular — is finite. *)
+
 val coverage_of_region : Static.t -> Profiler.Pet.t -> int -> float
 val local_speedup_of_cus : Cunit.Graph.t -> float
 val imbalance_of_cus : Cunit.Graph.t -> float

@@ -32,9 +32,20 @@ let kind_to_string = function
 
 let c_suggestions = Obs.counter "discovery.suggestions"
 
-let analyze ?(shadow = Profiler.Engine.Perfect) ?(skip = true) ?seed
-    ?(threads = 4) (prog : Mil.Ast.program) : report =
-  let profile = Profiler.Serial.profile ~shadow ~skip ?seed prog in
+(* Rank comparator, best first. Total even when a NaN sneaks into
+   [combined] ([Ranking.rank_key] maps it to -inf), with deterministic
+   region/kind tie-breaks so equal-scored suggestions keep a stable order —
+   the batch cache compares serialized suggestion lists byte-for-byte. *)
+let compare_rank (a : t) (b : t) : int =
+  let c = compare (Ranking.rank_key b.score) (Ranking.rank_key a.score) in
+  if c <> 0 then c
+  else
+    let c = compare a.region b.region in
+    if c <> 0 then c
+    else compare (kind_to_string a.kind) (kind_to_string b.kind)
+
+let analyze_profiled ?(threads = 4) (prog : Mil.Ast.program)
+    (profile : Profiler.Serial.result) : report =
   let static = Obs.Span.with_ ~phase:"static" (fun () -> Static.analyze prog) in
   let cures = Cunit.Top_down.build static in
   let deps = profile.Profiler.Serial.deps in
@@ -52,13 +63,8 @@ let analyze ?(shadow = Profiler.Engine.Perfect) ?(skip = true) ?seed
       | Some l -> min l t
       | None -> min s.Ranking.local_speedup t
     in
-    let amdahl =
-      1.0
-      /. ((1.0 -. s.Ranking.coverage) +. (s.Ranking.coverage /. local_speedup))
-    in
-    { s with
-      Ranking.local_speedup;
-      combined = amdahl *. (1.0 -. (0.5 *. s.Ranking.imbalance)) }
+    Ranking.combine ~coverage:s.Ranking.coverage ~local_speedup
+      ~imbalance:s.Ranking.imbalance
   in
   let loop_suggestions =
     List.filter_map
@@ -111,13 +117,95 @@ let analyze ?(shadow = Profiler.Engine.Perfect) ?(skip = true) ?seed
                | Some _ | None -> None)
            | Static.Rbranch _ -> None)
   in
-  let suggestions =
-    loop_suggestions @ spmd @ mpmd
-    |> List.sort (fun a b ->
-           compare b.score.Ranking.combined a.score.Ranking.combined)
-  in
+  let suggestions = loop_suggestions @ spmd @ mpmd |> List.sort compare_rank in
   Obs.Counter.add c_suggestions (List.length suggestions);
   { program = prog; static; cures; profile; loops; suggestions }
+
+let analyze ?(shadow = Profiler.Engine.Perfect) ?(skip = true) ?seed
+    ?(threads = 4) (prog : Mil.Ast.program) : report =
+  let profile = Profiler.Serial.profile ~shadow ~skip ?seed prog in
+  analyze_profiled ~threads prog profile
+
+(* ---- serialized suggestion summaries (the batch cache's phase-2/3
+   artifact) ----
+
+   One line per suggestion:
+
+     S <region> <coverage> <local_speedup> <imbalance> <combined> <kind...>
+
+   Floats use %.17g so parsing reproduces them exactly; the kind string is
+   last because it contains spaces. *)
+
+type summary_entry = {
+  e_region : int;
+  e_kind : string;
+  e_score : Ranking.score;
+}
+
+let summarize (r : report) : summary_entry list =
+  List.map
+    (fun s ->
+      { e_region = s.region; e_kind = kind_to_string s.kind; e_score = s.score })
+    r.suggestions
+
+let summary_to_string ?(name = "") (entries : summary_entry list) : string =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "# discopop-suggestions v1 name=%s count=%d\n"
+       (if name = "" then "-" else name)
+       (List.length entries));
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "S %d %.17g %.17g %.17g %.17g %s\n" e.e_region
+           e.e_score.Ranking.coverage e.e_score.Ranking.local_speedup
+           e.e_score.Ranking.imbalance e.e_score.Ranking.combined e.e_kind))
+    entries;
+  Buffer.contents buf
+
+let summary_of_string (s : string) : (summary_entry list, string) result =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let parse_line line =
+    (* Split off the first six space-separated fields; the remainder is the
+       kind string verbatim (it may itself contain spaces). *)
+    let rec field_end i n =
+      if n = 0 then i
+      else
+        match String.index_from_opt line i ' ' with
+        | Some j -> field_end (j + 1) (n - 1)
+        | None -> String.length line
+    in
+    let cut = field_end 0 6 in
+    match String.split_on_char ' ' (String.sub line 0 (max 0 (cut - 1))) with
+    | [ "S"; region; cov; ls; imb; comb ] -> (
+        try
+          Ok
+            { e_region = int_of_string region;
+              e_kind = String.sub line cut (String.length line - cut);
+              e_score =
+                { Ranking.coverage = float_of_string cov;
+                  local_speedup = float_of_string ls;
+                  imbalance = float_of_string imb;
+                  combined = float_of_string comb } }
+        with Failure _ -> Error ())
+    | _ -> Error ()
+  in
+  match String.split_on_char '\n' s with
+  | header :: rest when String.length header >= 25
+                        && String.sub header 0 25 = "# discopop-suggestions v1" ->
+      let entries = ref [] in
+      let bad = ref None in
+      List.iter
+        (fun line ->
+          if line <> "" && !bad = None then
+            match parse_line line with
+            | Ok e -> entries := e :: !entries
+            | Error () -> bad := Some line)
+        rest;
+      (match !bad with
+      | Some line -> err "malformed suggestion line: %s" line
+      | None -> Ok (List.rev !entries))
+  | _ -> err "missing discopop-suggestions v1 header"
 
 let render (r : report) : string =
   let buf = Buffer.create 512 in

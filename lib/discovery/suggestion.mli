@@ -23,6 +23,11 @@ type report = {
 
 val kind_to_string : kind -> string
 
+val compare_rank : t -> t -> int
+(** Rank order, best first: a total order even if a score's [combined] is
+    NaN (ranked below every finite score), with deterministic region/kind
+    tie-breaks. *)
+
 val analyze :
   ?shadow:Profiler.Engine.shadow_kind ->
   ?skip:bool ->
@@ -31,5 +36,28 @@ val analyze :
   Mil.Ast.program ->
   report
 (** [threads] (default 4) bounds the kind-aware local-speedup metric. *)
+
+val analyze_profiled :
+  ?threads:int -> Mil.Ast.program -> Profiler.Serial.result -> report
+(** Phases 2-3 only, over an existing phase-1 profile of [prog] — how the
+    batch pipeline analyzes a profile restored from its cache, and how a
+    parallel-profiled run (adapted into a {!Profiler.Serial.result}) is
+    analyzed without re-profiling. *)
+
+(** A suggestion reduced to what the batch cache persists: region, rendered
+    kind, and score. *)
+type summary_entry = {
+  e_region : int;
+  e_kind : string;
+  e_score : Ranking.score;
+}
+
+val summarize : report -> summary_entry list
+
+val summary_to_string : ?name:string -> summary_entry list -> string
+(** One [S]-line per suggestion with %.17g floats (exact round-trip); the
+    serialization the batch cache stores and compares byte-for-byte. *)
+
+val summary_of_string : string -> (summary_entry list, string) result
 
 val render : report -> string

@@ -1,0 +1,419 @@
+(* Batch pipeline driver with a content-addressed result cache.
+
+   The ROADMAP's production north star needs profiling cost amortized across
+   runs: every `discopop` invocation used to re-run phases 1-3 for a single
+   workload from scratch, and the bench harness re-profiled identical
+   programs across experiments. Here a batch of workloads runs concurrently
+   over a bounded pool of domains, phase-1 results are keyed by the content
+   hash of (program, profiler config) and persisted on disk, and a job that
+   raises or overruns its deadline is reported — never fatal to the batch. *)
+
+module Suggestion = Discovery.Suggestion
+
+let now () = Unix.gettimeofday ()
+
+(* ---- Obs wiring ---- *)
+
+let c_ok = Obs.counter "pipeline.jobs.ok"
+let c_failed = Obs.counter "pipeline.jobs.failed"
+let c_timeout = Obs.counter "pipeline.jobs.timeout"
+let c_cache_hit = Obs.counter "pipeline.jobs.cache_hit"
+let c_cache_miss = Obs.counter "pipeline.jobs.cache_miss"
+let c_retried = Obs.counter "pipeline.jobs.retried"
+
+(* ---- content-addressed cache ---- *)
+
+module Cache = struct
+  type config = {
+    shadow : Profiler.Engine.shadow_kind;
+    skip : bool;
+    workers : int;
+    threads : int;
+  }
+
+  let default_config =
+    { shadow = Profiler.Engine.Perfect; skip = true; workers = 0; threads = 4 }
+
+  (* Bump when the cached representation changes shape (depfile format,
+     summary format, scoring semantics): old entries then miss instead of
+     round-tripping stale bytes. *)
+  let format_version = 1
+
+  let config_to_string (c : config) =
+    Printf.sprintf "shadow=%s skip=%b workers=%d threads=%d"
+      (match c.shadow with
+      | Profiler.Engine.Perfect -> "perfect"
+      | Profiler.Engine.Paged -> "paged"
+      | Profiler.Engine.Signature n -> Printf.sprintf "signature:%d" n)
+      c.skip c.workers c.threads
+
+  let key (c : config) (prog : Mil.Ast.program) : string =
+    Digest.to_hex
+      (Digest.string
+         (Printf.sprintf "discopop-cache v%d\n%s\n%s" format_version
+            (config_to_string c)
+            (Mil.Pretty.render_program prog)))
+
+  let deps_path ~dir ~key = Filename.concat dir (key ^ ".deps")
+  let sugg_path ~dir ~key = Filename.concat dir (key ^ ".sugg")
+
+  let read_file path =
+    match open_in_bin path with
+    | exception Sys_error _ -> None
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            try Some (really_input_string ic (in_channel_length ic))
+            with Sys_error _ | End_of_file -> None)
+
+  let load ~dir ~key : (Profiler.Dep.Set_.t * string) option =
+    match Profiler.Depfile.read_opt (deps_path ~dir ~key) with
+    | None -> None
+    | Some deps -> (
+        match read_file (sugg_path ~dir ~key) with
+        | None -> None
+        | Some summary -> (
+            (* A summary that no longer parses is a miss: the job re-runs
+               and overwrites the entry. *)
+            match Suggestion.summary_of_string summary with
+            | Ok _ -> Some (deps, summary)
+            | Error _ -> None))
+
+  (* Atomic publish: write to a unique temp file in the cache directory,
+     then rename over the final name. Concurrent jobs storing the same key
+     race benignly — both write identical bytes. *)
+  let write_atomic path contents =
+    let dir = Filename.dirname path in
+    let tmp =
+      Filename.temp_file ~temp_dir:dir "discopop" ".tmp"
+    in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc contents);
+    Sys.rename tmp path
+
+  let rec mkdir_p dir =
+    if dir <> "" && dir <> "/" && not (Sys.file_exists dir) then begin
+      mkdir_p (Filename.dirname dir);
+      try Unix.mkdir dir 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+
+  let store ~dir ~key ~deps ~summary =
+    mkdir_p dir;
+    write_atomic (deps_path ~dir ~key) (Profiler.Depfile.render deps);
+    write_atomic (sugg_path ~dir ~key) summary
+end
+
+(* ---- jobs ---- *)
+
+type job_ok = {
+  jr_summary : string;
+  jr_deps : int;
+  jr_suggestions : int;
+  jr_cache_hit : bool;
+}
+
+type status = Ok_ of job_ok | Failed of string | Timed_out
+
+type job = {
+  j_name : string;
+  j_run : cancelled:(unit -> bool) -> job_ok;
+}
+
+type job_result = {
+  r_name : string;
+  r_status : status;
+  r_attempts : int;
+  r_wall_s : float;
+}
+
+type report = {
+  b_results : job_result list;
+  b_ok : int;
+  b_failed : int;
+  b_timeout : int;
+  b_cache_hits : int;
+  b_cache_misses : int;
+  b_wall_s : float;
+}
+
+(* A parallel-profiled run repackaged as the serial result record, so the
+   discovery phases (typed against the serial reference profiler) run
+   unchanged on top of it. *)
+let serial_of_parallel (p : Profiler.Parallel.result) : Profiler.Serial.result =
+  { Profiler.Serial.deps = p.Profiler.Parallel.deps;
+    pet = p.Profiler.Parallel.pet;
+    races = p.Profiler.Parallel.races;
+    accesses = p.Profiler.Parallel.accesses;
+    skip_stats = p.Profiler.Parallel.skip_stats;
+    footprint_words = p.Profiler.Parallel.footprint_words;
+    merging_factor = p.Profiler.Parallel.merging_factor;
+    interp = p.Profiler.Parallel.interp }
+
+let workload_job ?cache_dir ?size ~(config : Cache.config)
+    (w : Workloads.Registry.t) : job =
+  let run ~cancelled:_ =
+    let prog = Workloads.Registry.program ?size w in
+    let key = Cache.key config prog in
+    let hit =
+      match cache_dir with
+      | None -> None
+      | Some dir -> Cache.load ~dir ~key
+    in
+    match hit with
+    | Some (deps, summary) ->
+        Obs.Counter.incr c_cache_hit;
+        let entries =
+          match Suggestion.summary_of_string summary with
+          | Ok es -> es
+          | Error _ -> [] (* unreachable: load validated it *)
+        in
+        { jr_summary = summary;
+          jr_deps = Profiler.Dep.Set_.cardinal deps;
+          jr_suggestions = List.length entries;
+          jr_cache_hit = true }
+    | None ->
+        Obs.Counter.incr c_cache_miss;
+        let profile =
+          if config.Cache.workers > 0 then
+            serial_of_parallel
+              (Profiler.Parallel.profile ~workers:config.Cache.workers
+                 ~perfect:(config.Cache.shadow = Profiler.Engine.Perfect)
+                 ?shadow_slots:
+                   (match config.Cache.shadow with
+                   | Profiler.Engine.Signature n -> Some n
+                   | Profiler.Engine.Perfect | Profiler.Engine.Paged -> None)
+                 ~skip:config.Cache.skip prog)
+          else
+            Profiler.Serial.profile ~shadow:config.Cache.shadow
+              ~skip:config.Cache.skip prog
+        in
+        let report =
+          Suggestion.analyze_profiled ~threads:config.Cache.threads prog
+            profile
+        in
+        let summary =
+          Suggestion.summary_to_string ~name:w.Workloads.Registry.name
+            (Suggestion.summarize report)
+        in
+        let deps = profile.Profiler.Serial.deps in
+        Option.iter (fun dir -> Cache.store ~dir ~key ~deps ~summary) cache_dir;
+        { jr_summary = summary;
+          jr_deps = Profiler.Dep.Set_.cardinal deps;
+          jr_suggestions =
+            List.length report.Suggestion.suggestions;
+          jr_cache_hit = false }
+  in
+  { j_name = w.Workloads.Registry.name; j_run = run }
+
+(* ---- the bounded-pool driver ---- *)
+
+type outcome = Pending | Done of (job_ok, string) result
+
+type running = {
+  run_idx : int;
+  run_attempt : int;
+  run_started : float;
+  run_cancel : bool Atomic.t;
+  run_slot : outcome Atomic.t;
+  run_domain : unit Domain.t;
+}
+
+let spawn_attempt (jobs : job array) idx attempt : running =
+  let j = jobs.(idx) in
+  let cancel = Atomic.make false in
+  let slot = Atomic.make Pending in
+  let domain =
+    Domain.spawn (fun () ->
+        (* Each attempt is its own domain, hence its own trace track; the
+           span makes the job's extent visible on the timeline. *)
+        Obs.Trace.set_track
+          (Printf.sprintf "batch %s#%d" j.j_name attempt);
+        let out =
+          try
+            Ok
+              (Obs.Trace.with_span ("job." ^ j.j_name) (fun () ->
+                   j.j_run ~cancelled:(fun () -> Atomic.get cancel)))
+          with e -> Error (Printexc.to_string e)
+        in
+        Atomic.set slot (Done out))
+  in
+  { run_idx = idx; run_attempt = attempt; run_started = now ();
+    run_cancel = cancel; run_slot = slot; run_domain = domain }
+
+let run_batch ?(jobs = 4) ?(timeout_s = 120.0) ?(retries = 1)
+    (js : job list) : report =
+  Obs.Span.with_ ~phase:"pipeline.batch" @@ fun () ->
+  let pool = max 1 jobs in
+  let jobs_arr = Array.of_list js in
+  let n = Array.length jobs_arr in
+  let results : job_result option array = Array.make n None in
+  let pending = Queue.create () in
+  Array.iteri (fun i _ -> Queue.push (i, 1) pending) jobs_arr;
+  let running = ref [] in
+  let abandoned = ref [] in
+  let t0 = now () in
+  (* A failed or timed-out attempt either requeues (retry budget left) or
+     records the job's final status. *)
+  let settle (r : running) (st : status) =
+    let wall = now () -. r.run_started in
+    let retriable = match st with Ok_ _ -> false | _ -> true in
+    if retriable && r.run_attempt <= retries then begin
+      Obs.Counter.incr c_retried;
+      Queue.push (r.run_idx, r.run_attempt + 1) pending
+    end
+    else begin
+      (match st with
+      | Ok_ _ -> Obs.Counter.incr c_ok
+      | Failed _ -> Obs.Counter.incr c_failed
+      | Timed_out -> Obs.Counter.incr c_timeout);
+      results.(r.run_idx) <-
+        Some
+          { r_name = jobs_arr.(r.run_idx).j_name;
+            r_status = st;
+            r_attempts = r.run_attempt;
+            r_wall_s = wall }
+    end
+  in
+  while not (Queue.is_empty pending) || !running <> [] do
+    while List.length !running < pool && not (Queue.is_empty pending) do
+      let idx, attempt = Queue.pop pending in
+      running := spawn_attempt jobs_arr idx attempt :: !running
+    done;
+    running :=
+      List.filter
+        (fun r ->
+          match Atomic.get r.run_slot with
+          | Done out ->
+              Domain.join r.run_domain;
+              settle r
+                (match out with Ok ok -> Ok_ ok | Error msg -> Failed msg);
+              false
+          | Pending when now () -. r.run_started > timeout_s ->
+              (* Ask the attempt to wind down; whether it listens or not,
+                 the batch moves on. The domain is reaped below if the job
+                 honours the flag, and dies with the process otherwise. *)
+              Atomic.set r.run_cancel true;
+              abandoned := r :: !abandoned;
+              settle r Timed_out;
+              false
+          | Pending -> true)
+        !running;
+    if !running <> [] then Unix.sleepf 0.001
+  done;
+  (* Grace period for cancelled attempts that poll the flag: join the ones
+     that finish so their domains are not leaked. *)
+  let grace_deadline = now () +. 0.5 in
+  List.iter
+    (fun r ->
+      let rec wait () =
+        match Atomic.get r.run_slot with
+        | Done _ -> Domain.join r.run_domain
+        | Pending when now () < grace_deadline ->
+            Unix.sleepf 0.005;
+            wait ()
+        | Pending -> ()
+      in
+      wait ())
+    !abandoned;
+  let results =
+    Array.to_list results
+    |> List.map (function
+         | Some r -> r
+         | None -> assert false (* every job settles exactly once *))
+  in
+  let count p = List.length (List.filter p results) in
+  let cache_hits, cache_misses =
+    List.fold_left
+      (fun (h, m) r ->
+        match r.r_status with
+        | Ok_ { jr_cache_hit = true; _ } -> (h + 1, m)
+        | Ok_ { jr_cache_hit = false; _ } -> (h, m + 1)
+        | Failed _ | Timed_out -> (h, m))
+      (0, 0) results
+  in
+  { b_results = results;
+    b_ok = count (fun r -> match r.r_status with Ok_ _ -> true | _ -> false);
+    b_failed =
+      count (fun r -> match r.r_status with Failed _ -> true | _ -> false);
+    b_timeout = count (fun r -> r.r_status = Timed_out);
+    b_cache_hits = cache_hits;
+    b_cache_misses = cache_misses;
+    b_wall_s = now () -. t0 }
+
+(* ---- reporting ---- *)
+
+let status_string = function
+  | Ok_ { jr_cache_hit = true; _ } -> "ok (cached)"
+  | Ok_ _ -> "ok"
+  | Failed _ -> "failed"
+  | Timed_out -> "timeout"
+
+let render (r : report) : string =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-16s %-12s %8s %6s %9s  %s\n" "workload" "status" "deps"
+       "sugg" "wall" "detail");
+  List.iter
+    (fun jr ->
+      let deps, sugg, detail =
+        match jr.r_status with
+        | Ok_ ok -> (string_of_int ok.jr_deps,
+                     string_of_int ok.jr_suggestions, "")
+        | Failed msg -> ("-", "-", msg)
+        | Timed_out -> ("-", "-", "")
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-16s %-12s %8s %6s %8.2fs  %s%s\n" jr.r_name
+           (status_string jr.r_status) deps sugg jr.r_wall_s detail
+           (if jr.r_attempts > 1 then
+              Printf.sprintf " (%d attempts)" jr.r_attempts
+            else "")))
+    r.b_results;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "batch: %d ok, %d failed, %d timeout; cache %d hit / %d miss; %.2fs\n"
+       r.b_ok r.b_failed r.b_timeout r.b_cache_hits r.b_cache_misses
+       r.b_wall_s);
+  Buffer.contents buf
+
+let report_to_json ?suite (r : report) : Obs.Json.t =
+  let open Obs.Json in
+  let job jr =
+    let base =
+      [ ("name", String jr.r_name);
+        ("status",
+         String
+           (match jr.r_status with
+           | Ok_ _ -> "ok"
+           | Failed _ -> "failed"
+           | Timed_out -> "timeout"));
+        ("attempts", Int jr.r_attempts);
+        ("wall_s", Float jr.r_wall_s) ]
+    in
+    let extra =
+      match jr.r_status with
+      | Ok_ ok ->
+          [ ("cached", Bool ok.jr_cache_hit);
+            ("deps", Int ok.jr_deps);
+            ("suggestions", Int ok.jr_suggestions);
+            ("summary", String ok.jr_summary) ]
+      | Failed msg -> [ ("error", String msg) ]
+      | Timed_out -> []
+    in
+    Obj (base @ extra)
+  in
+  Obj
+    ([ ("schema_version", Int 1) ]
+    @ (match suite with Some s -> [ ("suite", String s) ] | None -> [])
+    @ [ ("jobs_total", Int (List.length r.b_results));
+        ("ok", Int r.b_ok);
+        ("failed", Int r.b_failed);
+        ("timeout", Int r.b_timeout);
+        ("cache_hits", Int r.b_cache_hits);
+        ("cache_misses", Int r.b_cache_misses);
+        ("wall_s", Float r.b_wall_s);
+        ("jobs", List (List.map job r.b_results)) ])

@@ -1,0 +1,115 @@
+(** Batch pipeline driver: run the full profile -> CU -> discovery ->
+    ranking pipeline over many workloads concurrently across a bounded pool
+    of domains, with a content-addressed on-disk result cache, per-job fault
+    isolation (a raising or timed-out job is reported, not fatal, with one
+    configurable retry) and {!Obs} wiring
+    ([pipeline.jobs.{ok,failed,timeout,cache_hit,cache_miss}] counters,
+    per-job spans on the trace timeline).
+
+    Surfaced as [discopop batch] and reused by the bench harness's [batch]
+    experiment. *)
+
+(** Content-addressed cache of pipeline results. The key is the hash of the
+    rendered MIL program plus the profiler configuration (shadow kind, skip
+    flag, worker count, thread count) — any change to program or config
+    misses; an unchanged workload skips phase 1 entirely on re-runs. Each
+    entry is two files under the cache directory: [<key>.deps] (Depfile v2)
+    and [<key>.sugg] (serialized suggestion summary,
+    {!Discovery.Suggestion.summary_to_string}). *)
+module Cache : sig
+  type config = {
+    shadow : Profiler.Engine.shadow_kind;
+    skip : bool;
+    workers : int;   (** 0 = serial profiler, n > 0 = parallel with n domains *)
+    threads : int;   (** thread count assumed by the local-speedup metric *)
+  }
+
+  val default_config : config
+  (** Perfect shadow, skip on, serial, 4 threads — the defaults of
+      {!Discovery.Suggestion.analyze}. *)
+
+  val config_to_string : config -> string
+  (** Canonical rendering hashed into the key (also stored in batch reports
+      for debuggability). *)
+
+  val key : config -> Mil.Ast.program -> string
+  (** Hex digest of the rendered program + [config_to_string] + cache format
+      version. *)
+
+  val load :
+    dir:string -> key:string -> (Profiler.Dep.Set_.t * string) option
+  (** The cached (dependences, suggestion-summary text) for [key], or [None]
+      if either file is absent or fails to parse (a malformed entry is a
+      miss, never an error). *)
+
+  val store :
+    dir:string ->
+    key:string ->
+    deps:Profiler.Dep.Set_.t ->
+    summary:string ->
+    unit
+  (** Write both files atomically (temp file + rename), creating [dir] if
+      needed; concurrent writers of the same key are safe. *)
+end
+
+(** What a successful job yields. *)
+type job_ok = {
+  jr_summary : string;       (** serialized suggestion summary *)
+  jr_deps : int;             (** distinct dependence records *)
+  jr_suggestions : int;
+  jr_cache_hit : bool;       (** phase 1 was skipped entirely *)
+}
+
+type status =
+  | Ok_ of job_ok
+  | Failed of string         (** the job raised; the exception message *)
+  | Timed_out
+
+(** A batch job: [j_run] may raise (isolated by the driver) and should poll
+    [cancelled] in any long loop so a timed-out attempt can wind down
+    instead of burning a domain until process exit. *)
+type job = {
+  j_name : string;
+  j_run : cancelled:(unit -> bool) -> job_ok;
+}
+
+type job_result = {
+  r_name : string;
+  r_status : status;
+  r_attempts : int;
+  r_wall_s : float;          (** wall time of the recorded (last) attempt *)
+}
+
+type report = {
+  b_results : job_result list;  (** in submission order, one per job *)
+  b_ok : int;
+  b_failed : int;
+  b_timeout : int;
+  b_cache_hits : int;
+  b_cache_misses : int;
+  b_wall_s : float;
+}
+
+val workload_job :
+  ?cache_dir:string -> ?size:int -> config:Cache.config ->
+  Workloads.Registry.t -> job
+(** The full pipeline over one registry workload: consult the cache (when
+    [cache_dir] is given), else profile per [config], run
+    {!Discovery.Suggestion.analyze_profiled}, summarize, and populate the
+    cache. *)
+
+val run_batch :
+  ?jobs:int -> ?timeout_s:float -> ?retries:int -> job list -> report
+(** Run the jobs over at most [jobs] (default 4) concurrent domains. An
+    attempt that raises is [Failed]; one exceeding [timeout_s] (default 120)
+    is cancelled and, if it ignores the flag, abandoned — the batch always
+    completes with a full report. [retries] (default 1) extra attempts are
+    granted per failed or timed-out job. *)
+
+val render : report -> string
+(** Human-readable per-job table plus totals. *)
+
+val report_to_json : ?suite:string -> report -> Obs.Json.t
+(** The batch report as JSON ([--json OUT]): totals, cache hit/miss counts,
+    and per-job rows including the raw summary text (so warm-vs-cold runs
+    can be compared byte-for-byte). *)

@@ -313,6 +313,22 @@ let profile ?(workers = 4) ?(shadow_slots = 100_000) ?(perfect = false)
       channel_push channels.(i) Istop)
     open_chunks;
   let results = Array.map Domain.join domains in
+  (* Drain the worker->producer return channels now that the workers are
+     gone: the final flush's chunks (and any returned after the producer's
+     last pop) are still parked in the SPSC buffers, which would keep them
+     reachable until the queues die and leave the recycling accounting
+     short — reuses + drained + still-open must equal chunks created, so
+     [profiler.chunk.reuses] stays comparable run-over-run. *)
+  let chunks_drained = ref 0 in
+  Array.iter
+    (fun q ->
+      let rec drain () =
+        match Spsc_queue.try_pop q with
+        | Some _ -> incr chunks_drained; drain ()
+        | None -> ()
+      in
+      drain ())
+    returns;
   (* Merge thread-local maps into the global map (duplicate-free locally, so
      this is the cheap final step of Fig. 2.2). *)
   let deps = Dep.Set_.create () in
@@ -348,6 +364,7 @@ let profile ?(workers = 4) ?(shadow_slots = 100_000) ?(perfect = false)
       ~merging_factor:r.merging_factor;
     Obs.Counter.add (Obs.counter "profiler.rebalance.events") !redistributions;
     Obs.Counter.add (Obs.counter "profiler.chunk.reuses") !chunk_reuses;
+    Obs.Counter.add (Obs.counter "profiler.chunk.drained") !chunks_drained;
     Obs.Gauge.set_int (Obs.gauge "profiler.queue.max_depth") !max_depth;
     Obs.Counter.add
       (Obs.counter "profiler.queue.push_stalls")

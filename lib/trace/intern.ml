@@ -14,12 +14,25 @@
    Hash-consing gives maximal sharing: equal stacks (same frames, same
    iteration numbers) have equal ids, so id equality is stack equality.
 
-   Concurrency: only the producer domain (the interpreter) interns; profiler
-   worker domains read ids they received through the lock-free queues. The
-   push/pop of those queues is the happens-before edge that publishes every
-   table entry an id refers to. The growable backing arrays are swapped in
-   via [Atomic.set] after the copy, so a reader never observes a store whose
-   prefix is not fully initialised. *)
+   Concurrency: interning ([Sym.intern], [Lstack.push]) is serialized by a
+   mutex — the batch pipeline driver runs whole profiling jobs in concurrent
+   domains, each interpreting (and therefore interning) at once. Sharing the
+   tables across jobs is sound because hash-consing is content-addressed:
+   equal keys denote equal content, whichever domain inserted first. Within
+   one run the lock is uncontended and taken once per loop iteration /
+   variable binding, never per access. Resolution stays lock-free: profiler
+   worker domains read ids they received through the lock-free queues, whose
+   push/pop is the happens-before edge publishing every entry an id refers
+   to (for same-domain or mutex-passing readers the lock itself is). The
+   growable backing arrays are swapped in via [Atomic.set] after the copy,
+   so a reader never observes a store whose prefix is not fully
+   initialised. *)
+
+let lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
 module Sym = struct
   type store = { names : string array }
@@ -29,6 +42,7 @@ module Sym = struct
   let next = ref 0
 
   let intern (s : string) : int =
+    with_lock @@ fun () ->
     match Hashtbl.find_opt tbl s with
     | Some id -> id
     | None ->
@@ -77,6 +91,7 @@ module Lstack = struct
   let is_empty id = id = 0
 
   let push ~parent ~loop_line ~inst ~iter : int =
+    with_lock @@ fun () ->
     let key = (parent, loop_line, inst, iter) in
     match Hashtbl.find_opt memo key with
     | Some id -> id

@@ -11,4 +11,5 @@ let () =
       ("obs", Test_obs.tests);
       ("explain", Test_explain.tests);
       ("transform", Test_transform.tests);
-      ("hotpath", Test_hotpath.tests) ]
+      ("hotpath", Test_hotpath.tests);
+      ("pipeline", Test_pipeline.tests) ]

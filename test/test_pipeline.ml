@@ -1,0 +1,243 @@
+(* Tests for the batch pipeline driver (lib/pipeline): the content-addressed
+   cache round-trip, batch-vs-single-run agreement, per-job fault isolation
+   (raise / timeout / retry), and the NaN-safety + total-order properties of
+   the ranking layer the batch report depends on. *)
+
+module R = Workloads.Registry
+module S = Discovery.Suggestion
+
+let all_workloads =
+  Workloads.Textbook.all @ Workloads.Nas.all @ Workloads.Starbench.all
+  @ Workloads.Bots.all @ Workloads.Apps.all @ Workloads.Splash2x.all
+  @ Workloads.Numerics.all @ Workloads.Parsec.all
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "discopop-test-cache.%d.%d" (Unix.getpid ()) !n)
+    in
+    let rec rm_rf path =
+      match Unix.lstat path with
+      | { Unix.st_kind = Unix.S_DIR; _ } ->
+          Array.iter
+            (fun e -> rm_rf (Filename.concat path e))
+            (Sys.readdir path);
+          Unix.rmdir path
+      | _ -> Sys.remove path
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+    in
+    rm_rf dir;
+    dir
+
+let dep_names (deps : Profiler.Dep.Set_.t) =
+  Profiler.Dep.Set_.to_list deps
+  |> List.map (fun (d, _) -> Profiler.Dep.to_string d)
+  |> List.sort compare
+
+(* Cache: store then load hits with identical content; a different config is
+   a different key; a corrupted entry is a miss, never an error. *)
+let cache_roundtrip () =
+  let w = List.find (fun w -> w.R.name = "histogram") Workloads.Textbook.all in
+  let prog = R.program w in
+  let config = Pipeline.Cache.default_config in
+  let profile = Profiler.Serial.profile prog in
+  let report = S.analyze_profiled prog profile in
+  let summary = S.summary_to_string ~name:w.R.name (S.summarize report) in
+  let dir = fresh_dir () in
+  let key = Pipeline.Cache.key config prog in
+  Alcotest.(check (option string)) "empty dir misses" None
+    (Option.map snd (Pipeline.Cache.load ~dir ~key));
+  Pipeline.Cache.store ~dir ~key ~deps:profile.Profiler.Serial.deps ~summary;
+  (match Pipeline.Cache.load ~dir ~key with
+  | None -> Alcotest.fail "stored entry must load"
+  | Some (deps, loaded) ->
+      Alcotest.(check string) "summary round-trips byte-for-byte" summary
+        loaded;
+      Alcotest.(check (list string))
+        "dependences round-trip"
+        (dep_names profile.Profiler.Serial.deps)
+        (dep_names deps));
+  let other = Pipeline.Cache.key { config with skip = not config.skip } prog in
+  Alcotest.(check bool) "config change changes the key" false (key = other);
+  Alcotest.(check bool) "other config misses"
+    true
+    (Pipeline.Cache.load ~dir ~key:other = None);
+  let other_prog = R.program ~size:(w.R.default_size + 7) w in
+  Alcotest.(check bool) "program change changes the key" false
+    (key = Pipeline.Cache.key config other_prog);
+  (* corrupt the deps file: the entry must degrade to a miss *)
+  let oc = open_out (Filename.concat dir (key ^ ".deps")) in
+  output_string oc "not a depfile\n";
+  close_out oc;
+  Alcotest.(check bool) "corrupt entry is a miss" true
+    (Pipeline.Cache.load ~dir ~key = None)
+
+(* A cold batch over registry workloads must agree with direct single-run
+   analysis, and a warm re-run must be all cache hits with byte-identical
+   summaries. *)
+let batch_matches_single_runs () =
+  let names = [ "histogram"; "dotprod"; "jacobi" ] in
+  let ws =
+    List.map
+      (fun n -> List.find (fun w -> w.R.name = n) Workloads.Textbook.all)
+      names
+  in
+  let dir = fresh_dir () in
+  let config = Pipeline.Cache.default_config in
+  let jobs () =
+    List.map (fun w -> Pipeline.workload_job ~cache_dir:dir ~config w) ws
+  in
+  let summaries (rep : Pipeline.report) =
+    List.map
+      (fun (r : Pipeline.job_result) ->
+        match r.Pipeline.r_status with
+        | Pipeline.Ok_ ok -> (r.Pipeline.r_name, ok.Pipeline.jr_summary)
+        | _ -> Alcotest.fail (r.Pipeline.r_name ^ " did not succeed"))
+      rep.Pipeline.b_results
+  in
+  let cold = Pipeline.run_batch ~jobs:2 (jobs ()) in
+  Alcotest.(check int) "all ok" (List.length ws) cold.Pipeline.b_ok;
+  Alcotest.(check int) "cold run misses" (List.length ws)
+    cold.Pipeline.b_cache_misses;
+  List.iter
+    (fun w ->
+      let direct =
+        S.analyze (R.program w)
+        |> S.summarize
+        |> S.summary_to_string ~name:w.R.name
+      in
+      let batched = List.assoc w.R.name (summaries cold) in
+      Alcotest.(check string)
+        (w.R.name ^ ": batch = single run")
+        direct batched)
+    ws;
+  let warm = Pipeline.run_batch ~jobs:2 (jobs ()) in
+  Alcotest.(check int) "warm run all hits" (List.length ws)
+    warm.Pipeline.b_cache_hits;
+  Alcotest.(check int) "warm run no misses" 0 warm.Pipeline.b_cache_misses;
+  Alcotest.(check bool) "warm summaries byte-identical" true
+    (summaries cold = summaries warm)
+
+(* Fault isolation: one healthy job, one that always raises, one that always
+   times out. The batch must complete with a full report, the raiser retried
+   once, and the others unaffected. *)
+let fault_isolation () =
+  let ok_result =
+    { Pipeline.jr_summary = "ok"; jr_deps = 0; jr_suggestions = 0;
+      jr_cache_hit = false }
+  in
+  let healthy =
+    { Pipeline.j_name = "healthy"; j_run = (fun ~cancelled:_ -> ok_result) }
+  in
+  let raiser =
+    { Pipeline.j_name = "raiser";
+      j_run = (fun ~cancelled:_ -> failwith "injected fault") }
+  in
+  let sleeper =
+    { Pipeline.j_name = "sleeper";
+      j_run =
+        (fun ~cancelled ->
+          (* cooperative: poll the flag so the domain can be reaped *)
+          while not (cancelled ()) do
+            Unix.sleepf 0.002
+          done;
+          ok_result) }
+  in
+  let rep =
+    Pipeline.run_batch ~jobs:3 ~timeout_s:0.2 ~retries:1
+      [ healthy; raiser; sleeper ]
+  in
+  Alcotest.(check int) "three results" 3 (List.length rep.Pipeline.b_results);
+  Alcotest.(check int) "one ok" 1 rep.Pipeline.b_ok;
+  Alcotest.(check int) "one failed" 1 rep.Pipeline.b_failed;
+  Alcotest.(check int) "one timeout" 1 rep.Pipeline.b_timeout;
+  List.iter
+    (fun (r : Pipeline.job_result) ->
+      match (r.Pipeline.r_name, r.Pipeline.r_status) with
+      | "healthy", Pipeline.Ok_ _ ->
+          Alcotest.(check int) "healthy: one attempt" 1 r.Pipeline.r_attempts
+      | "raiser", Pipeline.Failed msg ->
+          Alcotest.(check int) "raiser: retried once" 2 r.Pipeline.r_attempts;
+          Alcotest.(check bool) "raiser: message kept" true
+            (Astring_contains.contains msg "injected fault")
+      | "sleeper", Pipeline.Timed_out ->
+          Alcotest.(check int) "sleeper: retried once" 2 r.Pipeline.r_attempts
+      | name, _ -> Alcotest.fail (name ^ ": unexpected status"))
+    rep.Pipeline.b_results
+
+(* Ranking safety net: every score the full registry produces is finite, and
+   the suggestion order is the total order of [compare_rank]. *)
+let ranking_is_finite_and_total () =
+  let finite x = Float.is_finite x in
+  List.iter
+    (fun (w : R.t) ->
+      let report = S.analyze (R.program w) in
+      List.iter
+        (fun (s : S.t) ->
+          let sc = s.S.score in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: finite score" w.R.name)
+            true
+            (finite sc.Discovery.Ranking.coverage
+            && finite sc.Discovery.Ranking.local_speedup
+            && finite sc.Discovery.Ranking.imbalance
+            && finite sc.Discovery.Ranking.combined))
+        report.S.suggestions;
+      let sorted = List.sort S.compare_rank report.S.suggestions in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: suggestions come out sorted" w.R.name)
+        true
+        (List.for_all2 (fun a b -> S.compare_rank a b = 0) report.S.suggestions
+           sorted);
+      (* antisymmetry + totality of the comparator over real suggestions *)
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              let ab = S.compare_rank a b and ba = S.compare_rank b a in
+              Alcotest.(check bool) "antisymmetric" true
+                (compare ab 0 = compare 0 ba))
+            report.S.suggestions)
+        report.S.suggestions)
+    all_workloads
+
+let rank_key_nan () =
+  let s =
+    { Discovery.Ranking.coverage = 0.5; local_speedup = 2.0; imbalance = 0.0;
+      combined = Float.nan }
+  in
+  Alcotest.(check bool) "NaN ranks last" true
+    (Discovery.Ranking.rank_key s = Float.neg_infinity);
+  let clamped =
+    Discovery.Ranking.combine ~coverage:Float.nan ~local_speedup:Float.nan
+      ~imbalance:Float.nan
+  in
+  Alcotest.(check bool) "combine never yields NaN" true
+    (Float.is_finite clamped.Discovery.Ranking.combined)
+
+let summary_roundtrip () =
+  let w = List.find (fun w -> w.R.name = "histo_vis") Workloads.Textbook.all in
+  let report = S.analyze (R.program w) in
+  let entries = S.summarize report in
+  Alcotest.(check bool) "non-empty summary" true (entries <> []);
+  match S.summary_of_string (S.summary_to_string ~name:w.R.name entries) with
+  | Error e -> Alcotest.fail ("summary_of_string: " ^ e)
+  | Ok back ->
+      Alcotest.(check bool) "summary text round-trips exactly" true
+        (entries = back)
+
+let tests =
+  [ Alcotest.test_case "cache round-trip + invalidation" `Quick cache_roundtrip;
+    Alcotest.test_case "batch = single runs; warm = byte-identical hits" `Slow
+      batch_matches_single_runs;
+    Alcotest.test_case "fault isolation: raise / timeout / retry" `Quick
+      fault_isolation;
+    Alcotest.test_case "ranking finite + total over full registry" `Slow
+      ranking_is_finite_and_total;
+    Alcotest.test_case "rank_key treats NaN as -inf" `Quick rank_key_nan;
+    Alcotest.test_case "suggestion summary round-trip" `Quick summary_roundtrip
+  ]
