@@ -47,6 +47,8 @@ let experiments : (string * string * (unit -> unit)) list =
      Exp_hotpath.run);
     ("batch", "Batch driver: cold vs warm cache over the textbook suite",
      Exp_batch.run);
+    ("serve", "Serve daemon: sustained req/s and p50/p99 under concurrent clients",
+     Exp_serve.run);
     ("micro", "Bechamel micro-benchmarks", Exp_micro.run) ]
 
 (* With --trace, each experiment additionally records a per-domain timeline

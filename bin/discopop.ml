@@ -696,7 +696,9 @@ let batch_cmd =
   in
   let json_arg =
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"OUT"
-           ~doc:"Write the machine-readable batch report to OUT.")
+           ~doc:"Write the machine-readable batch report to OUT ($(b,-) = \
+                 stdout). The human-readable table then goes to stderr, so \
+                 OUT is pure JSON.")
   in
   let threads_arg =
     Arg.(value & opt int 4 & info [ "threads" ] ~docv:"T"
@@ -733,9 +735,17 @@ let batch_cmd =
       let rep =
         Pipeline.run_batch ~jobs ~timeout_s:timeout ~retries job_list
       in
-      print_string (Pipeline.render rep);
+      (* With --json, the human table moves to stderr so stdout stays
+         machine-parseable (notably `--json -`, which streams the JSON
+         report itself to stdout). *)
+      (match json with
+      | None -> print_string (Pipeline.render rep)
+      | Some _ -> prerr_string (Pipeline.render rep));
       (match json with
       | None -> ()
+      | Some "-" ->
+          print_string (Obs.Json.pretty (Pipeline.report_to_json ?suite rep));
+          print_newline ()
       | Some path ->
           Out_channel.with_open_text path (fun oc ->
               Out_channel.output_string oc
@@ -779,6 +789,63 @@ let races_cmd =
   Cmd.v (Cmd.info "races" ~doc)
     Term.(const run $ workload_arg $ size_arg $ seeds_arg $ trace_arg)
 
+(* serve *)
+let serve_cmd =
+  let doc =
+    "Run the resident profiling daemon: a hand-rolled HTTP/1.1 server that \
+     accepts MIL programs over POST /profile, profiles them on a pool of \
+     persistent worker domains, and answers repeat requests from an \
+     in-process LRU in front of the on-disk cache (--cache DIR). \
+     GET /metrics dumps the observability registry as JSON; a full queue \
+     answers 429 with Retry-After; a request overrunning --deadline is \
+     cancelled cooperatively and answers 504. Stop with POST /shutdown, \
+     SIGINT or SIGTERM."
+  in
+  let port_arg =
+    Arg.(value & opt int 8123 & info [ "port" ] ~docv:"P"
+           ~doc:"TCP port to listen on (127.0.0.1 only; 0 = ephemeral).")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 4 & info [ "jobs" ] ~docv:"N"
+           ~doc:"Worker domains handling requests concurrently.")
+  in
+  let queue_arg =
+    Arg.(value & opt int 32 & info [ "queue" ] ~docv:"N"
+           ~doc:"Pending connections admitted before load-shedding with 429.")
+  in
+  let deadline_arg =
+    Arg.(value & opt float 30.0 & info [ "deadline" ] ~docv:"SEC"
+           ~doc:"Per-request processing deadline; an overrunning profile is \
+                 cancelled and answered 504.")
+  in
+  let cache_arg =
+    Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR"
+           ~doc:"On-disk result cache shared with $(b,discopop batch) \
+                 (same content-addressed keys).")
+  in
+  let mem_arg =
+    Arg.(value & opt int 128 & info [ "mem-cache" ] ~docv:"N"
+           ~doc:"In-process LRU capacity in entries (0 disables the memory \
+                 tier).")
+  in
+  let threads_arg =
+    Arg.(value & opt int 4 & info [ "threads" ] ~docv:"T"
+           ~doc:"Default thread count assumed by the local-speedup metric \
+                 (overridable per request with ?threads=).")
+  in
+  let run port jobs queue deadline cache mem signature skip workers threads =
+    Serve.run
+      { Serve.port; jobs; queue_capacity = queue; deadline_s = deadline;
+        cache_dir = cache; mem_capacity = mem;
+        profile =
+          { Pipeline.Cache.shadow = shadow_of signature; skip; workers;
+            threads } }
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ port_arg $ jobs_arg $ queue_arg $ deadline_arg $ cache_arg
+      $ mem_arg $ sig_arg $ skip_arg $ workers_arg $ threads_arg)
+
 let () =
   let doc = "DiscoPoP: discovery of potential parallelism in sequential programs" in
   let info = Cmd.info "discopop" ~version:"1.0.0" ~doc in
@@ -786,5 +853,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; source_cmd; profile_cmd; read_deps_cmd; pet_cmd; cus_cmd;
-            discover_cmd; explain_cmd; parallelize_cmd; batch_cmd;
+            discover_cmd; explain_cmd; parallelize_cmd; batch_cmd; serve_cmd;
             trace_check_cmd; check_bench_cmd; races_cmd ]))

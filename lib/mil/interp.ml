@@ -71,6 +71,7 @@ type tcb = {
 
 exception Return_exc of int
 exception Break_exc
+exception Cancelled
 
 type stats = {
   mutable reads : int;
@@ -103,6 +104,11 @@ type state = {
      event as seen by the profiler may be emitted out of timestamp order. *)
   scramble_unlocked : bool;
   mutable pending : Event.t list;  (* delayed unlocked accesses *)
+  (* Cooperative cancellation: polled every [tick_mask]+1 statements so a
+     deadline watchdog (batch driver, serve daemon) can stop a run without
+     per-statement cost. *)
+  cancelled : unit -> bool;
+  mutable ticks : int;
 }
 
 let grow st needed =
@@ -393,6 +399,8 @@ and assign st env line (l : lhs) v =
 
 and exec_stmt st env (s : stmt) : unit =
   maybe_yield st;
+  st.ticks <- st.ticks + 1;
+  if st.ticks land 2047 = 0 && st.cancelled () then raise Cancelled;
   st.occ <- 0;
   match s.node with
   | Decl (x, e) ->
@@ -580,7 +588,8 @@ type work =
 
 let run ?(seed = 42) ?(instrument = true) ?(scramble_unlocked = false)
     ?(emit = fun (_ : Event.t) -> ())
-    ?(on_print = fun (_ : int list) -> ()) (prog : program) : run_result =
+    ?(on_print = fun (_ : int list) -> ())
+    ?(cancelled = fun () -> false) (prog : program) : run_result =
   let st =
     { prog; emit; instrument; mem = Array.make 4096 0; brk = 1;
       free_scalars = Stack.create (); free_arrays = Hashtbl.create 16; time = 0;
@@ -591,7 +600,7 @@ let run ?(seed = 42) ?(instrument = true) ?(scramble_unlocked = false)
           group = 0; group_live = ref 1 };
       live_threads = 1; next_tid = 1;
       stats = { reads = 0; writes = 0; loop_iterations = 0; calls = 0 };
-      scramble_unlocked; pending = [] }
+      scramble_unlocked; pending = []; cancelled; ticks = 0 }
   in
   List.iter
     (fun g ->

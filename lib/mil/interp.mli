@@ -12,6 +12,11 @@ exception Runtime_error of string
 exception Deadlock
 (** All live threads are blocked on locks or barriers. *)
 
+exception Cancelled
+(** Raised out of {!run} when the [cancelled] poll returns true — the
+    cooperative-cancel hook deadline watchdogs (batch driver, serve daemon)
+    use to stop a runaway program. *)
+
 (** Deterministic xorshift PRNG behind MIL's [rand] builtin and the fiber
     scheduler. *)
 module Rng : sig
@@ -47,6 +52,7 @@ val run :
   ?scramble_unlocked:bool ->
   ?emit:(Trace.Event.t -> unit) ->
   ?on_print:(int list -> unit) ->
+  ?cancelled:(unit -> bool) ->
   Ast.program ->
   run_result
 (** Execute the program. [instrument:false] skips event construction (the
@@ -54,7 +60,8 @@ val run :
     and reorders the emission of unlocked accesses from concurrent threads,
     modelling the access/push atomicity violation that exposes potential
     data races (§2.3.4). [on_print] observes each [print] builtin call's
-    evaluated arguments. *)
+    evaluated arguments. [cancelled] is polled every ~2k statements;
+    returning true raises {!Cancelled} out of the run. *)
 
 val trace :
   ?seed:int -> ?scramble_unlocked:bool -> Ast.program ->

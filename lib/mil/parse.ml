@@ -1,0 +1,513 @@
+(* MIL source parser: the inverse of Pretty.render_program.
+
+   The rendered format is line-structured — one statement per line, block
+   openers end their line with `{`, closers are lines of `}` / `} else {`,
+   par sections are introduced by `thread N:` — so the parser is a
+   recursive descent over a cursor of pre-tokenised lines. Expressions use
+   C-like precedence climbing; Pretty emits them fully parenthesised, so
+   precedence only matters for hand-written input. *)
+
+open Ast
+
+exception Fail of int * string (* 1-based source line, message *)
+
+let fail lineno fmt = Printf.ksprintf (fun m -> raise (Fail (lineno, m))) fmt
+
+(* ---- lexer ---- *)
+
+type token =
+  | Tint of int
+  | Tid of string
+  | Top of string (* operators and punctuation *)
+
+let token_to_string = function
+  | Tint n -> string_of_int n
+  | Tid s -> s
+  | Top s -> Printf.sprintf "'%s'" s
+
+let is_id_char c =
+  match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false
+
+let two_char_ops =
+  [ "<<"; ">>"; "<="; ">="; "=="; "!="; "&&"; "||"; "+="; "++" ]
+
+let tokenize lineno (s : string) : token list =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' then incr i
+    else if c >= '0' && c <= '9' then begin
+      let start = !i in
+      while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do
+        incr i
+      done;
+      toks := Tint (int_of_string (String.sub s start (!i - start))) :: !toks
+    end
+    else if is_id_char c then begin
+      let start = !i in
+      while !i < n && is_id_char s.[!i] do
+        incr i
+      done;
+      toks := Tid (String.sub s start (!i - start)) :: !toks
+    end
+    else begin
+      let two =
+        if !i + 1 < n then Some (String.sub s !i 2) else None
+      in
+      match two with
+      | Some op when List.mem op two_char_ops ->
+          toks := Top op :: !toks;
+          i := !i + 2
+      | _ -> (
+          match c with
+          | '(' | ')' | '[' | ']' | '{' | '}' | ',' | ';' | ':' | '=' | '+'
+          | '-' | '*' | '/' | '%' | '<' | '>' | '&' | '|' | '^' | '!' ->
+              toks := Top (String.make 1 c) :: !toks;
+              incr i
+          | c -> fail lineno "unexpected character '%c'" c)
+    end
+  done;
+  List.rev !toks
+
+(* ---- line stream ----
+
+   Each significant line becomes (source line number, tokens). Leading line
+   numbers — `%4d  stmt` from Pretty — are recognised as an integer first
+   token followed by more tokens and dropped: no MIL statement or closer
+   starts with an integer literal. *)
+
+let strip_comment line =
+  let n = String.length line in
+  let cut = ref n in
+  for i = n - 1 downto 0 do
+    if line.[i] = '#' then cut := i
+    else if i + 1 < n && line.[i] = '/' && line.[i + 1] = '/' then cut := i
+  done;
+  if !cut = n then line else String.sub line 0 !cut
+
+type cursor = { lines : (int * token list) array; mutable pos : int }
+
+let make_cursor (src : string) : cursor =
+  let raw = String.split_on_char '\n' src in
+  let sig_lines =
+    List.mapi (fun i l -> (i + 1, l)) raw
+    |> List.filter_map (fun (no, l) ->
+           let l = strip_comment l in
+           match tokenize no l with
+           | [] -> None
+           | Tint _ :: (_ :: _ as rest) -> Some (no, rest)
+           | toks -> Some (no, toks))
+  in
+  { lines = Array.of_list sig_lines; pos = 0 }
+
+let peek cur =
+  if cur.pos < Array.length cur.lines then Some cur.lines.(cur.pos) else None
+
+let next cur =
+  match peek cur with
+  | Some l ->
+      cur.pos <- cur.pos + 1;
+      l
+  | None -> fail 0 "unexpected end of input"
+
+(* ---- expression parsing (precedence climbing) ---- *)
+
+type tstate = { lineno : int; mutable toks : token list }
+
+let tpeek ts = match ts.toks with [] -> None | t :: _ -> Some t
+
+let tnext ts =
+  match ts.toks with
+  | [] -> fail ts.lineno "unexpected end of line"
+  | t :: rest ->
+      ts.toks <- rest;
+      t
+
+let texpect ts op =
+  match tnext ts with
+  | Top o when o = op -> ()
+  | t -> fail ts.lineno "expected '%s', got %s" op (token_to_string t)
+
+let tident ts =
+  match tnext ts with
+  | Tid x -> x
+  | t -> fail ts.lineno "expected identifier, got %s" (token_to_string t)
+
+(* Binary operator precedence, loosest first; Pretty parenthesises fully so
+   this only disambiguates hand-written sources. *)
+let binop_of = function
+  | "||" -> Some (Or, 1)
+  | "&&" -> Some (And, 2)
+  | "|" -> Some (Bor, 3)
+  | "^" -> Some (Bxor, 4)
+  | "&" -> Some (Band, 5)
+  | "==" -> Some (Eq, 6)
+  | "!=" -> Some (Ne, 6)
+  | "<" -> Some (Lt, 7)
+  | "<=" -> Some (Le, 7)
+  | ">" -> Some (Gt, 7)
+  | ">=" -> Some (Ge, 7)
+  | "<<" -> Some (Shl, 8)
+  | ">>" -> Some (Shr, 8)
+  | "+" -> Some (Add, 9)
+  | "-" -> Some (Sub, 9)
+  | "*" -> Some (Mul, 10)
+  | "/" -> Some (Div, 10)
+  | "%" -> Some (Mod, 10)
+  | _ -> None
+
+let rec parse_expr ts = parse_binary ts 1
+
+and parse_binary ts min_prec =
+  let lhs = ref (parse_unary ts) in
+  let continue_ = ref true in
+  while !continue_ do
+    match tpeek ts with
+    | Some (Top op) -> (
+        match binop_of op with
+        | Some (bop, prec) when prec >= min_prec ->
+            ignore (tnext ts);
+            let rhs = parse_binary ts (prec + 1) in
+            lhs := Bin (bop, !lhs, rhs)
+        | _ -> continue_ := false)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary ts =
+  match tpeek ts with
+  | Some (Top "-") -> (
+      ignore (tnext ts);
+      (* Fold a negated literal into the literal, so `-3` parses to the same
+         AST the builders produce for (i (-3)) and round-trips as `-3`. *)
+      match tpeek ts with
+      | Some (Tint n) ->
+          ignore (tnext ts);
+          Int (-n)
+      | _ -> Neg (parse_unary ts))
+  | Some (Top "!") ->
+      ignore (tnext ts);
+      Not (parse_unary ts)
+  | _ -> parse_primary ts
+
+and parse_primary ts =
+  match tnext ts with
+  | Tint n -> Int n
+  | Top "(" ->
+      let e = parse_expr ts in
+      texpect ts ")";
+      e
+  | Tid "len" when tpeek ts = Some (Top "(") ->
+      ignore (tnext ts);
+      let a = tident ts in
+      texpect ts ")";
+      Len a
+  | Tid (("min" | "max") as mm) when tpeek ts = Some (Top "(") ->
+      ignore (tnext ts);
+      let a = parse_expr ts in
+      texpect ts ",";
+      let b = parse_expr ts in
+      texpect ts ")";
+      Bin ((if mm = "min" then Min else Max), a, b)
+  | Tid f when tpeek ts = Some (Top "(") ->
+      ignore (tnext ts);
+      Call (f, parse_args ts)
+  | Tid a when tpeek ts = Some (Top "[") ->
+      ignore (tnext ts);
+      let idx = parse_expr ts in
+      texpect ts "]";
+      Idx (a, idx)
+  | Tid x -> Var x
+  | t -> fail ts.lineno "expected expression, got %s" (token_to_string t)
+
+and parse_args ts =
+  if tpeek ts = Some (Top ")") then (
+    ignore (tnext ts);
+    [])
+  else begin
+    let rec go acc =
+      let e = parse_expr ts in
+      match tnext ts with
+      | Top "," -> go (e :: acc)
+      | Top ")" -> List.rev (e :: acc)
+      | t -> fail ts.lineno "expected ',' or ')', got %s" (token_to_string t)
+    in
+    go []
+  end
+
+let expr_done ts =
+  match ts.toks with
+  | [] -> ()
+  | t :: _ -> fail ts.lineno "trailing tokens after statement: %s" (token_to_string t)
+
+(* ---- statements ---- *)
+
+let st = Builder.stmt
+
+(* A closing line: `}` alone or `} else {`. *)
+let is_close toks = toks = [ Top "}" ]
+let is_else toks = toks = [ Top "}"; Tid "else"; Top "{" ]
+
+let is_thread_header toks =
+  match toks with
+  | [ Tid "thread"; Tint _; Top ":" ] -> true
+  | _ -> false
+
+let expect_open ts =
+  texpect ts "{";
+  expr_done ts
+
+let rec parse_block cur : block =
+  let rec go acc =
+    match peek cur with
+    | None -> fail 0 "unexpected end of input: unclosed block"
+    | Some (_, toks) when is_close toks || is_else toks || is_thread_header toks
+      ->
+        List.rev acc
+    | Some _ -> go (parse_stmt cur :: acc)
+  in
+  go []
+
+and parse_stmt cur : stmt =
+  let lineno, toks = next cur in
+  let ts = { lineno; toks } in
+  match tnext ts with
+  | Tid "var" -> (
+      let x = tident ts in
+      match tnext ts with
+      | Top "=" ->
+          let e = parse_expr ts in
+          expr_done ts;
+          st (Decl (x, e))
+      | Top "[" ->
+          let e = parse_expr ts in
+          texpect ts "]";
+          expr_done ts;
+          st (Decl_arr (x, e))
+      | t -> fail lineno "expected '=' or '[' after var %s, got %s" x (token_to_string t))
+  | Tid "atomic" ->
+      let l = parse_lhs ts in
+      texpect ts "=";
+      let e = parse_expr ts in
+      expr_done ts;
+      st (Atomic_assign (l, e))
+  | Tid "if" ->
+      texpect ts "(";
+      let c = parse_expr ts in
+      texpect ts ")";
+      expect_open ts;
+      let then_ = parse_block cur in
+      let lineno', close = next cur in
+      if is_else close then begin
+        let else_ = parse_block cur in
+        let _, close' = next cur in
+        if not (is_close close') then fail lineno' "expected '}' closing else";
+        st (If (c, then_, else_))
+      end
+      else if is_close close then st (If (c, then_, []))
+      else fail lineno' "expected '}' or '} else {'"
+  | Tid "while" ->
+      texpect ts "(";
+      let c = parse_expr ts in
+      texpect ts ")";
+      expect_open ts;
+      let body = parse_block cur in
+      expect_close cur;
+      st (While (c, body))
+  | Tid "for" ->
+      (* Pretty emits `for (i = 0; i < n; i++) {`; hand-written input may
+         drop the parentheses. *)
+      let parens = tpeek ts = Some (Top "(") in
+      if parens then texpect ts "(";
+      let i = tident ts in
+      texpect ts "=";
+      let lo = parse_expr ts in
+      texpect ts ";";
+      let i2 = tident ts in
+      if i2 <> i then fail lineno "for condition tests %s, expected %s" i2 i;
+      texpect ts "<";
+      let hi = parse_expr ts in
+      texpect ts ";";
+      let i3 = tident ts in
+      if i3 <> i then fail lineno "for update names %s, expected %s" i3 i;
+      let step =
+        match tnext ts with
+        | Top "++" -> Int 1
+        | Top "+=" -> parse_expr ts
+        | t -> fail lineno "expected '++' or '+=', got %s" (token_to_string t)
+      in
+      if parens then texpect ts ")";
+      expect_open ts;
+      let body = parse_block cur in
+      expect_close cur;
+      st (For { index = i; lo; hi; step; body })
+  | Tid "par" ->
+      expect_open ts;
+      let rec sections acc =
+        match peek cur with
+        | Some (_, toks) when is_thread_header toks ->
+            ignore (next cur);
+            let b = parse_block cur in
+            sections (b :: acc)
+        | Some (_, toks) when is_close toks ->
+            ignore (next cur);
+            List.rev acc
+        | Some (l, _) -> fail l "expected 'thread N:' or '}' in par block"
+        | None -> fail 0 "unexpected end of input in par block"
+      in
+      st (Par (sections []))
+  | Tid "return" ->
+      if ts.toks = [] then st (Return None)
+      else begin
+        let e = parse_expr ts in
+        expr_done ts;
+        st (Return (Some e))
+      end
+  | Tid "break" ->
+      expr_done ts;
+      st Break
+  | Tid (("lock" | "unlock" | "barrier" | "free") as kw)
+    when tpeek ts = Some (Top "(") -> (
+      ignore (tnext ts);
+      let m = tident ts in
+      texpect ts ")";
+      expr_done ts;
+      match kw with
+      | "lock" -> st (Lock m)
+      | "unlock" -> st (Unlock m)
+      | "barrier" -> st (Barrier m)
+      | _ -> st (Free m))
+  | Tid f when tpeek ts = Some (Top "(") ->
+      ignore (tnext ts);
+      let args = parse_args ts in
+      expr_done ts;
+      st (Call_stmt (f, args))
+  | Tid x when tpeek ts = Some (Top "[") ->
+      ignore (tnext ts);
+      let idx = parse_expr ts in
+      texpect ts "]";
+      texpect ts "=";
+      let e = parse_expr ts in
+      expr_done ts;
+      st (Assign (Lidx (x, idx), e))
+  | Tid x when tpeek ts = Some (Top "+=") ->
+      (* hand-written sugar: `s += e` is `s = (s + e)` *)
+      ignore (tnext ts);
+      let e = parse_expr ts in
+      expr_done ts;
+      st (Assign (Lvar x, Bin (Add, Var x, e)))
+  | Tid x ->
+      texpect ts "=";
+      let e = parse_expr ts in
+      expr_done ts;
+      st (Assign (Lvar x, e))
+  | t -> fail lineno "expected statement, got %s" (token_to_string t)
+
+and parse_lhs ts =
+  let x = tident ts in
+  if tpeek ts = Some (Top "[") then begin
+    ignore (tnext ts);
+    let idx = parse_expr ts in
+    texpect ts "]";
+    Lidx (x, idx)
+  end
+  else Lvar x
+
+and expect_close cur =
+  let lineno, toks = next cur in
+  if not (is_close toks) then fail lineno "expected '}'"
+
+(* ---- top level ---- *)
+
+let parse_global lineno ts : global =
+  let name = tident ts in
+  match tnext ts with
+  | Top "=" -> (
+      match tnext ts with
+      | Tint v ->
+          expr_done ts;
+          Gscalar (name, v)
+      | Top "-" -> (
+          match tnext ts with
+          | Tint v ->
+              expr_done ts;
+              Gscalar (name, -v)
+          | t -> fail lineno "expected integer, got %s" (token_to_string t))
+      | t -> fail lineno "expected integer initialiser, got %s" (token_to_string t))
+  | Top "[" -> (
+      match tnext ts with
+      | Tint size ->
+          texpect ts "]";
+          expr_done ts;
+          Garray (name, size)
+      | t -> fail lineno "expected integer size, got %s" (token_to_string t))
+  | t -> fail lineno "expected '=' or '[' after global %s, got %s" name (token_to_string t)
+
+let parse_func cur lineno ts : func =
+  let name = tident ts in
+  texpect ts "(";
+  let params = ref [] and arr_params = ref [] in
+  (if tpeek ts = Some (Top ")") then ignore (tnext ts)
+   else
+     let rec go () =
+       let p = tident ts in
+       let is_arr =
+         if tpeek ts = Some (Top "[") then begin
+           ignore (tnext ts);
+           texpect ts "]";
+           true
+         end
+         else false
+       in
+       if is_arr then arr_params := p :: !arr_params
+       else params := p :: !params;
+       match tnext ts with
+       | Top "," -> go ()
+       | Top ")" -> ()
+       | t -> fail lineno "expected ',' or ')', got %s" (token_to_string t)
+     in
+     go ());
+  expect_open ts;
+  let body = parse_block cur in
+  expect_close cur;
+  { fname = name;
+    params = List.rev !params;
+    arr_params = List.rev !arr_params;
+    body;
+    fline = 0 }
+
+let program ?(name = "posted") ?entry (src : string) :
+    (Ast.program, string) result =
+  try
+    let cur = make_cursor src in
+    let globals = ref [] and funcs = ref [] in
+    while peek cur <> None do
+      let lineno, toks = next cur in
+      let ts = { lineno; toks } in
+      match tnext ts with
+      | Tid "global" -> globals := parse_global lineno ts :: !globals
+      | Tid "func" -> funcs := parse_func cur lineno ts :: !funcs
+      | t -> fail lineno "expected 'global' or 'func', got %s" (token_to_string t)
+    done;
+    let funcs = List.rev !funcs in
+    if funcs = [] then Error "no functions in program"
+    else begin
+      let entry =
+        match entry with
+        | Some e -> e
+        | None ->
+            if List.exists (fun f -> f.fname = "main") funcs then "main"
+            else (List.hd funcs).fname
+      in
+      if not (List.exists (fun f -> f.fname = entry) funcs) then
+        Error (Printf.sprintf "entry function %s not defined" entry)
+      else
+        Ok
+          (Builder.number
+             { pname = name; globals = List.rev !globals; funcs; entry })
+    end
+  with
+  | Fail (0, msg) -> Error msg
+  | Fail (lineno, msg) -> Error (Printf.sprintf "line %d: %s" lineno msg)

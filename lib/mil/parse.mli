@@ -1,0 +1,23 @@
+(** Parsing MIL source text back into {!Ast.program} — the inverse of
+    {!Pretty.render_program}, and the front door of [discopop serve], which
+    receives programs as text over HTTP rather than as OCaml builder calls.
+
+    The grammar is exactly what {!Pretty} emits (one statement per line,
+    blocks delimited by braces on the statement's line), with a few
+    conveniences for hand-written sources: leading line numbers are optional,
+    binary expressions need not be fully parenthesised (C-like precedence),
+    [#]- and [//]-comments run to end of line, and [i += 1] is accepted for
+    [i++]. [parse] after [render] is idempotent — a parsed program re-renders
+    to the same bytes on every further round-trip — which keeps
+    content-addressed cache keys stable across the text boundary. (Builder
+    programs that share statement records, e.g. via [Builder.return_unit],
+    render with duplicated line numbers and re-render with fresh pre-order
+    ones after the first parse; everything else round-trips byte-identically.) *)
+
+val program :
+  ?name:string -> ?entry:string -> string -> (Ast.program, string) result
+(** Parse a whole program. [name] (default ["posted"]) becomes [pname];
+    [entry] selects the entry function (default: [main] if present, else the
+    first function). Statements are renumbered with {!Builder.number}, so
+    line numbers in the input are ignored. Errors carry the 1-based source
+    line: [Error "line 12: expected ')'"]. *)

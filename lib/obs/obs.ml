@@ -453,6 +453,23 @@ type span = {
 
 type meter = { m_name : string; m_per : string; m_count : int Atomic.t }
 
+(* Log-bucketed histogram: 4 sub-buckets per octave (growth ~1.19x, so a
+   quantile estimate is within ~9% of the true value) spanning 1ns to ~2^64ns.
+   Buckets are atomic so concurrent request handlers can observe without a
+   lock; observation is one float log + one fetch_and_add, cheap enough for
+   per-request (not per-event) paths. *)
+let hist_buckets = 256
+let hist_growth = Float.exp (Float.log 2.0 /. 4.0)
+let hist_log_growth = Float.log hist_growth
+
+type histogram = {
+  h_name : string;
+  h_counts : int Atomic.t array;
+  h_count : int Atomic.t;
+  h_sum_ns : int Atomic.t;
+  h_max_ns : int Atomic.t;
+}
+
 let enabled = Atomic.make false
 let enable () = Atomic.set enabled true
 let disable () = Atomic.set enabled false
@@ -465,6 +482,7 @@ let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 64
 let spans : (string, span) Hashtbl.t = Hashtbl.create 64
 let meters : (string, meter) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
 
 let locked f =
   Mutex.lock lock;
@@ -494,6 +512,14 @@ let meter name ~per =
   find_or_add meters name (fun () ->
       { m_name = name; m_per = per; m_count = Atomic.make 0 })
 
+let histogram name =
+  find_or_add histograms name (fun () ->
+      { h_name = name;
+        h_counts = Array.init hist_buckets (fun _ -> Atomic.make 0);
+        h_count = Atomic.make 0;
+        h_sum_ns = Atomic.make 0;
+        h_max_ns = Atomic.make 0 })
+
 let reset () =
   locked (fun () ->
       Hashtbl.iter (fun _ c -> Atomic.set c.c_v 0) counters;
@@ -503,7 +529,14 @@ let reset () =
           Atomic.set s.s_ns 0;
           Atomic.set s.s_calls 0)
         spans;
-      Hashtbl.iter (fun _ m -> Atomic.set m.m_count 0) meters)
+      Hashtbl.iter (fun _ m -> Atomic.set m.m_count 0) meters;
+      Hashtbl.iter
+        (fun _ h ->
+          Array.iter (fun b -> Atomic.set b 0) h.h_counts;
+          Atomic.set h.h_count 0;
+          Atomic.set h.h_sum_ns 0;
+          Atomic.set h.h_max_ns 0)
+        histograms)
 
 module Counter = struct
   let add c n = if Atomic.get enabled then ignore (Atomic.fetch_and_add c.c_v n)
@@ -565,6 +598,61 @@ module Meter = struct
     else float_of_int (Atomic.get m.m_count) /. (float_of_int ns /. 1e9)
 end
 
+module Histogram = struct
+  let bucket_of_ns ns =
+    if ns <= 1 then 0
+    else
+      min (hist_buckets - 1)
+        (int_of_float (Float.log (float_of_int ns) /. hist_log_growth))
+
+  (* Geometric midpoint of a bucket's [growth^i, growth^(i+1)) span. *)
+  let bucket_mid i = hist_growth ** (float_of_int i +. 0.5)
+
+  let observe h ns =
+    if Atomic.get enabled then begin
+      let ns = max ns 0 in
+      ignore (Atomic.fetch_and_add h.h_counts.(bucket_of_ns ns) 1);
+      ignore (Atomic.fetch_and_add h.h_count 1);
+      ignore (Atomic.fetch_and_add h.h_sum_ns ns);
+      let rec raise_max () =
+        let cur = Atomic.get h.h_max_ns in
+        if ns > cur && not (Atomic.compare_and_set h.h_max_ns cur ns) then
+          raise_max ()
+      in
+      raise_max ()
+    end
+
+  let count h = Atomic.get h.h_count
+
+  (* The value at quantile [q]: walk the cumulative bucket counts to the
+     q-th observation and return that bucket's midpoint. Exact for the
+     ordering of buckets, ~9% value resolution within one. *)
+  let quantile_ns h q =
+    let total = Atomic.get h.h_count in
+    if total = 0 then 0.0
+    else begin
+      let q = Float.max 0.0 (Float.min 1.0 q) in
+      let target =
+        max 1 (int_of_float (Float.round (q *. float_of_int total)))
+      in
+      let rec walk i acc =
+        if i >= hist_buckets then float_of_int (Atomic.get h.h_max_ns)
+        else
+          let acc = acc + Atomic.get h.h_counts.(i) in
+          if acc >= target then
+            Float.min (bucket_mid i) (float_of_int (Atomic.get h.h_max_ns))
+          else walk (i + 1) acc
+      in
+      walk 0 0
+    end
+
+  let mean_ns h =
+    let n = Atomic.get h.h_count in
+    if n = 0 then 0.0 else float_of_int (Atomic.get h.h_sum_ns) /. float_of_int n
+
+  let max_ns h = Atomic.get h.h_max_ns
+end
+
 let counter_value name =
   match locked (fun () -> Hashtbl.find_opt counters name) with
   | Some c -> Atomic.get c.c_v
@@ -609,6 +697,15 @@ let meter_json (m : meter) =
       ("per", Json.String m.m_per);
       ("rate_per_s", Json.Float (Meter.rate m)) ]
 
+let histogram_json (h : histogram) =
+  Json.Obj
+    [ ("count", Json.Int (Atomic.get h.h_count));
+      ("mean_ns", Json.Float (Histogram.mean_ns h));
+      ("p50_ns", Json.Float (Histogram.quantile_ns h 0.50));
+      ("p90_ns", Json.Float (Histogram.quantile_ns h 0.90));
+      ("p99_ns", Json.Float (Histogram.quantile_ns h 0.99));
+      ("max_ns", Json.Int (Atomic.get h.h_max_ns)) ]
+
 let snapshot () =
   Json.Obj
     [ ("counters",
@@ -626,7 +723,12 @@ let snapshot () =
          (List.map (fun (k, s) -> (k, span_json s)) (sorted_entries spans)));
       ("meters",
        Json.Obj
-         (List.map (fun (k, m) -> (k, meter_json m)) (sorted_entries meters)))
+         (List.map (fun (k, m) -> (k, meter_json m)) (sorted_entries meters)));
+      ("histograms",
+       Json.Obj
+         (List.map
+            (fun (k, h) -> (k, histogram_json h))
+            (sorted_entries histograms)))
     ]
 
 (* JSONL: one self-describing object per line, parseable line by line. *)
@@ -658,6 +760,14 @@ let to_jsonl () =
           ("per", Json.String m.m_per);
           ("rate_per_s", Json.Float (Meter.rate m)) ])
     (sorted_entries meters);
+  List.iter
+    (fun (k, h) ->
+      line "histogram" k
+        [ ("count", Json.Int (Atomic.get h.h_count));
+          ("p50_ns", Json.Float (Histogram.quantile_ns h 0.50));
+          ("p99_ns", Json.Float (Histogram.quantile_ns h 0.99));
+          ("max_ns", Json.Int (Atomic.get h.h_max_ns)) ])
+    (sorted_entries histograms);
   Buffer.contents b
 
 let write_json path = write_file path (Json.pretty (snapshot ()) ^ "\n")

@@ -90,6 +90,7 @@ type counter
 type gauge
 type span
 type meter
+type histogram
 
 val counter : string -> counter
 (** Find or register the counter [name]. Cheap after the first call. *)
@@ -98,6 +99,12 @@ val gauge : string -> gauge
 val meter : string -> per:string -> meter
 (** A throughput meter: events counted against the accumulated wall time of
     the span named [per]. *)
+
+val histogram : string -> histogram
+(** A log-bucketed latency histogram (4 sub-buckets per octave, so quantile
+    estimates are within ~9% of the true value). Observation is atomic:
+    concurrent domains (e.g. [discopop serve] request handlers) can observe
+    without a lock. *)
 
 module Counter : sig
   val incr : counter -> unit
@@ -133,6 +140,21 @@ module Meter : sig
       never ran. *)
 end
 
+module Histogram : sig
+  val observe : histogram -> int -> unit
+  (** Record one observation in nanoseconds (clamped at 0). No-op when the
+      registry is disabled. *)
+
+  val count : histogram -> int
+
+  val quantile_ns : histogram -> float -> float
+  (** The value at quantile [q] (clamped to [0,1]); 0 when empty. Exported
+      snapshots carry p50/p90/p99 precomputed. *)
+
+  val mean_ns : histogram -> float
+  val max_ns : histogram -> int
+end
+
 val counter_value : string -> int
 (** Current value of a counter by name; 0 if unregistered. *)
 
@@ -145,8 +167,9 @@ val publish_gc : unit -> unit
 val gauge_value : string -> float
 
 val snapshot : unit -> Json.t
-(** All metrics as one JSON object with [counters]/[gauges]/[spans]/[meters]
-    sections, each sorted by name. *)
+(** All metrics as one JSON object with
+    [counters]/[gauges]/[spans]/[meters]/[histograms] sections, each sorted
+    by name. *)
 
 val to_jsonl : unit -> string
 (** One self-describing JSON object per line per metric. *)

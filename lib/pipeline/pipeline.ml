@@ -107,6 +107,94 @@ module Cache = struct
     write_atomic (sugg_path ~dir ~key) summary
 end
 
+(* ---- in-process memory cache tier ---- *)
+
+(* An LRU of recent pipeline results keyed by the same content hash as the
+   disk cache, sitting in front of it. [discopop serve] answers repeat
+   requests from here without touching the filesystem; the disk tier
+   persists across processes. Entries are immutable after insertion, so a
+   value handed out under the lock is safe to read from any domain. *)
+module Mem_cache = struct
+  type t = {
+    mc_cap : int;
+    mc_lock : Mutex.t;
+    mc_tbl : (string, Profiler.Dep.Set_.t * string) Hashtbl.t;
+    (* Most-recently-used first. Capacities are small (tens to hundreds),
+       so the O(n) promote/evict list walk is noise next to a request. *)
+    mutable mc_order : string list;
+    mutable mc_hits : int;
+    mutable mc_misses : int;
+  }
+
+  let create ~capacity =
+    { mc_cap = max 0 capacity;
+      mc_lock = Mutex.create ();
+      mc_tbl = Hashtbl.create 64;
+      mc_order = [];
+      mc_hits = 0;
+      mc_misses = 0 }
+
+  let with_lock t f =
+    Mutex.lock t.mc_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mc_lock) f
+
+  let capacity t = t.mc_cap
+  let length t = with_lock t (fun () -> Hashtbl.length t.mc_tbl)
+  let hits t = with_lock t (fun () -> t.mc_hits)
+  let misses t = with_lock t (fun () -> t.mc_misses)
+
+  let find t key =
+    with_lock t @@ fun () ->
+    match Hashtbl.find_opt t.mc_tbl key with
+    | Some v ->
+        t.mc_hits <- t.mc_hits + 1;
+        t.mc_order <- key :: List.filter (fun k -> k <> key) t.mc_order;
+        Some v
+    | None ->
+        t.mc_misses <- t.mc_misses + 1;
+        None
+
+  let add t key v =
+    if t.mc_cap > 0 then
+      with_lock t @@ fun () ->
+      Hashtbl.replace t.mc_tbl key v;
+      t.mc_order <- key :: List.filter (fun k -> k <> key) t.mc_order;
+      if Hashtbl.length t.mc_tbl > t.mc_cap then begin
+        (* Evict the least-recently-used entry: last in the order list. *)
+        match List.rev t.mc_order with
+        | victim :: _ ->
+            Hashtbl.remove t.mc_tbl victim;
+            t.mc_order <- List.filter (fun k -> k <> victim) t.mc_order
+        | [] -> ()
+      end
+
+  let invalidate t key =
+    with_lock t @@ fun () ->
+    Hashtbl.remove t.mc_tbl key;
+    t.mc_order <- List.filter (fun k -> k <> key) t.mc_order
+
+  let clear t =
+    with_lock t @@ fun () ->
+    Hashtbl.reset t.mc_tbl;
+    t.mc_order <- []
+
+  let keys_mru_first t = with_lock t (fun () -> t.mc_order)
+end
+
+type cache_tier = Mem | Disk | Uncached
+
+let lookup ?mem ?dir ~key () :
+    (Profiler.Dep.Set_.t * string) option * cache_tier =
+  match Option.bind mem (fun m -> Mem_cache.find m key) with
+  | Some v -> (Some v, Mem)
+  | None -> (
+      match Option.bind dir (fun d -> Cache.load ~dir:d ~key) with
+      | Some v ->
+          (* Promote disk hits so the next lookup is memory-resident. *)
+          Option.iter (fun m -> Mem_cache.add m key v) mem;
+          (Some v, Disk)
+      | None -> (None, Uncached))
+
 (* ---- jobs ---- *)
 
 type job_ok = {
@@ -153,18 +241,12 @@ let serial_of_parallel (p : Profiler.Parallel.result) : Profiler.Serial.result =
     merging_factor = p.Profiler.Parallel.merging_factor;
     interp = p.Profiler.Parallel.interp }
 
-let workload_job ?cache_dir ?size ~(config : Cache.config)
-    (w : Workloads.Registry.t) : job =
-  let run ~cancelled:_ =
-    let prog = Workloads.Registry.program ?size w in
+let program_job ?cache_dir ?mem ~name ~(config : Cache.config)
+    (prog : Mil.Ast.program) : job =
+  let run ~cancelled =
     let key = Cache.key config prog in
-    let hit =
-      match cache_dir with
-      | None -> None
-      | Some dir -> Cache.load ~dir ~key
-    in
-    match hit with
-    | Some (deps, summary) ->
+    match lookup ?mem ?dir:cache_dir ~key () with
+    | Some (deps, summary), _tier ->
         Obs.Counter.incr c_cache_hit;
         let entries =
           match Suggestion.summary_of_string summary with
@@ -175,7 +257,7 @@ let workload_job ?cache_dir ?size ~(config : Cache.config)
           jr_deps = Profiler.Dep.Set_.cardinal deps;
           jr_suggestions = List.length entries;
           jr_cache_hit = true }
-    | None ->
+    | None, _ ->
         Obs.Counter.incr c_cache_miss;
         let profile =
           if config.Cache.workers > 0 then
@@ -189,25 +271,52 @@ let workload_job ?cache_dir ?size ~(config : Cache.config)
                  ~skip:config.Cache.skip prog)
           else
             Profiler.Serial.profile ~shadow:config.Cache.shadow
-              ~skip:config.Cache.skip prog
+              ~skip:config.Cache.skip ~cancelled prog
         in
         let report =
           Suggestion.analyze_profiled ~threads:config.Cache.threads prog
             profile
         in
         let summary =
-          Suggestion.summary_to_string ~name:w.Workloads.Registry.name
-            (Suggestion.summarize report)
+          Suggestion.summary_to_string ~name (Suggestion.summarize report)
         in
         let deps = profile.Profiler.Serial.deps in
         Option.iter (fun dir -> Cache.store ~dir ~key ~deps ~summary) cache_dir;
+        Option.iter (fun m -> Mem_cache.add m key (deps, summary)) mem;
         { jr_summary = summary;
           jr_deps = Profiler.Dep.Set_.cardinal deps;
           jr_suggestions =
             List.length report.Suggestion.suggestions;
           jr_cache_hit = false }
   in
-  { j_name = w.Workloads.Registry.name; j_run = run }
+  { j_name = name; j_run = run }
+
+let workload_job ?cache_dir ?mem ?size ~(config : Cache.config)
+    (w : Workloads.Registry.t) : job =
+  let name = w.Workloads.Registry.name in
+  (* Build the program inside the job so a raising builder is isolated by
+     the driver like any other job fault. *)
+  { j_name = name;
+    j_run =
+      (fun ~cancelled ->
+        let prog = Workloads.Registry.program ?size w in
+        (program_job ?cache_dir ?mem ~name ~config prog).j_run ~cancelled) }
+
+(* One job outside the batch driver: run it on the calling domain with the
+   caller's cancel flag, isolating faults into a [status]. A poll that fires
+   mid-profile surfaces as {!Mil.Interp.Cancelled}, reported [Timed_out] —
+   the serve daemon's deadline watchdog relies on this. *)
+let run_job ~cancelled (j : job) : status =
+  match j.j_run ~cancelled with
+  | ok ->
+      Obs.Counter.incr c_ok;
+      Ok_ ok
+  | exception Mil.Interp.Cancelled ->
+      Obs.Counter.incr c_timeout;
+      Timed_out
+  | exception e ->
+      Obs.Counter.incr c_failed;
+      Failed (Printexc.to_string e)
 
 (* ---- the bounded-pool driver ---- *)
 

@@ -52,6 +52,47 @@ module Cache : sig
       needed; concurrent writers of the same key are safe. *)
 end
 
+(** In-process LRU tier in front of the disk cache, keyed by the same
+    {!Cache.key} content hash. [discopop serve] answers repeat requests from
+    here without touching the filesystem. All operations take an internal
+    lock, so request-handler domains share one instance; entries are
+    immutable once inserted. *)
+module Mem_cache : sig
+  type t
+
+  val create : capacity:int -> t
+  (** Holds at most [capacity] entries; inserting into a full cache evicts
+      the least-recently-used one. [capacity <= 0] disables insertion (every
+      lookup misses). *)
+
+  val find : t -> string -> (Profiler.Dep.Set_.t * string) option
+  (** Lookup by cache key; a hit promotes the entry to most-recently-used.
+      Hits and misses are counted (see {!hits}/{!misses}). *)
+
+  val add : t -> string -> Profiler.Dep.Set_.t * string -> unit
+  val invalidate : t -> string -> unit
+  (** Drop one key (e.g. after deleting the disk entry, to keep the tiers
+      coherent); unknown keys are ignored. *)
+
+  val clear : t -> unit
+  val length : t -> int
+  val capacity : t -> int
+  val hits : t -> int
+  val misses : t -> int
+
+  val keys_mru_first : t -> string list
+  (** Resident keys, most-recently-used first (eviction takes the last). *)
+end
+
+type cache_tier = Mem | Disk | Uncached
+
+val lookup :
+  ?mem:Mem_cache.t -> ?dir:string -> key:string -> unit ->
+  (Profiler.Dep.Set_.t * string) option * cache_tier
+(** Consult the memory tier, then the disk tier; a disk hit is promoted into
+    [mem] so the next lookup is memory-resident. Returns the entry (if any)
+    and which tier answered. *)
+
 (** What a successful job yields. *)
 type job_ok = {
   jr_summary : string;       (** serialized suggestion summary *)
@@ -90,13 +131,26 @@ type report = {
   b_wall_s : float;
 }
 
+val program_job :
+  ?cache_dir:string -> ?mem:Mem_cache.t -> name:string ->
+  config:Cache.config -> Mil.Ast.program -> job
+(** The full pipeline over an arbitrary MIL program (e.g. one POSTed to
+    [discopop serve] and parsed with {!Mil.Parse.program}): consult the
+    memory then disk cache tiers, else profile per [config] — polling
+    [cancelled] so a deadline can abort mid-run — analyze, summarize, and
+    populate both tiers. *)
+
 val workload_job :
-  ?cache_dir:string -> ?size:int -> config:Cache.config ->
+  ?cache_dir:string -> ?mem:Mem_cache.t -> ?size:int -> config:Cache.config ->
   Workloads.Registry.t -> job
-(** The full pipeline over one registry workload: consult the cache (when
-    [cache_dir] is given), else profile per [config], run
-    {!Discovery.Suggestion.analyze_profiled}, summarize, and populate the
-    cache. *)
+(** {!program_job} over one registry workload, built inside the job so a
+    raising builder is isolated like any other fault. *)
+
+val run_job : cancelled:(unit -> bool) -> job -> status
+(** Run one job on the calling domain, outside the batch pool: a raise is
+    [Failed], {!Mil.Interp.Cancelled} (the [cancelled] poll fired mid-run)
+    is [Timed_out]. Bumps the same [pipeline.jobs.*] counters as the batch
+    driver. *)
 
 val run_batch :
   ?jobs:int -> ?timeout_s:float -> ?retries:int -> job list -> report

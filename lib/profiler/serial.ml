@@ -34,7 +34,8 @@ let publish ~accesses ~deps ~footprint_words ~merging_factor =
   end
 
 let profile ?(shadow = Engine.Perfect) ?(skip = false) ?(lifetime = true)
-    ?(seed = 42) ?(scramble_unlocked = false) (prog : Mil.Ast.program) : result =
+    ?(seed = 42) ?(scramble_unlocked = false) ?cancelled
+    (prog : Mil.Ast.program) : result =
   Obs.Span.with_ ~phase:"profile" @@ fun () ->
   let engine = Engine.create ~skip ~lifetime shadow in
   let petb = Pet.create_builder () in
@@ -42,7 +43,7 @@ let profile ?(shadow = Engine.Perfect) ?(skip = false) ?(lifetime = true)
     Engine.feed engine ev;
     Pet.feed petb ev
   in
-  let interp = Mil.Interp.run ~seed ~scramble_unlocked ~emit prog in
+  let interp = Mil.Interp.run ~seed ~scramble_unlocked ?cancelled ~emit prog in
   let pet = Pet.finish petb in
   let deps = Engine.deps engine in
   Pet.attach_deps pet deps;

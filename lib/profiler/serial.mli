@@ -20,8 +20,12 @@ val profile :
   ?lifetime:bool ->
   ?seed:int ->
   ?scramble_unlocked:bool ->
+  ?cancelled:(unit -> bool) ->
   Mil.Ast.program ->
   result
+(** [cancelled] is polled periodically by the interpreter; returning true
+    aborts the run with {!Mil.Interp.Cancelled} (see the batch driver's
+    timeout handling and [discopop serve] deadlines). *)
 
 val report : ?threads:bool -> result -> string
 (** The profile in the paper's text format. *)

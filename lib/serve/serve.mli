@@ -1,0 +1,87 @@
+(** [discopop serve]: a resident profiling-as-a-service daemon.
+
+    A hand-rolled HTTP/1.1 server (plain [Unix] sockets, no dependencies)
+    that keeps the pipeline warm across requests: one acceptor domain feeds
+    a bounded connection queue drained by a pool of persistent worker
+    domains, with an in-process {!Pipeline.Mem_cache} LRU in front of the
+    on-disk result cache.
+
+    Endpoints (all connections are one-request, [Connection: close]):
+
+    - [POST /profile] — body is MIL source ({!Mil.Parse.program} grammar).
+      Query parameters: [name], [entry], [shadow=perfect|paged|signature:N],
+      [skip=true|false], [workers=N], [threads=N], [deadline=SECONDS]
+      (clamped to the server deadline), [format=summary|depfile|json].
+      Answers [200] with the suggestion summary (or Depfile v2 / a JSON
+      envelope), [400] on parse or parameter errors, [504] when the deadline
+      expires mid-profile (cooperative cancel), [500] when the job raises.
+      The [X-Cache] response header says which tier answered:
+      [mem], [disk] or [miss].
+    - [GET /metrics] — the {!Obs} registry snapshot as JSON, including
+      [serve.requests.{ok,shed,timeout,failed,bad}] and
+      [serve.cache.{mem_hit,disk_hit,miss}] counters, the
+      [serve.queue.depth] gauge and the [serve.latency] histogram.
+    - [GET /health] — [200 ok].
+    - [POST /shutdown] — answers [200], then stops the daemon cleanly.
+
+    Admission control: a connection arriving while the queue holds
+    [queue_capacity] others is answered [429] with [Retry-After: 1] straight
+    from the acceptor, so overload degrades into cheap rejections. *)
+
+type config = {
+  port : int;              (** 0 = pick an ephemeral port (see {!port}) *)
+  jobs : int;              (** worker domains (min 1) *)
+  queue_capacity : int;    (** pending connections before load-shedding *)
+  deadline_s : float;      (** per-request processing deadline *)
+  cache_dir : string option;  (** disk cache tier; [None] = memory only *)
+  mem_capacity : int;      (** LRU entries; 0 disables the memory tier *)
+  profile : Pipeline.Cache.config;  (** per-request defaults *)
+}
+
+val default_config : config
+(** Port 8123, 4 workers, queue 32, 30s deadline, no disk cache, 128 LRU
+    entries, {!Pipeline.Cache.default_config}. *)
+
+type t
+
+val start : config -> t
+(** Bind, listen on 127.0.0.1, and spawn the acceptor and worker domains.
+    Enables the {!Obs} registry (the [/metrics] endpoint needs it) and
+    ignores [SIGPIPE]. *)
+
+val port : t -> int
+(** The bound port — useful with [config.port = 0]. *)
+
+val mem_cache : t -> Pipeline.Mem_cache.t
+(** The daemon's memory cache tier (tests inspect hit counts). *)
+
+val request_stop : t -> unit
+(** Flag shutdown and wake every domain; returns immediately. In-flight
+    profile jobs see the flag through their cancel poll. *)
+
+val stopping : t -> bool
+
+val stop : t -> unit
+(** {!request_stop}, then join the acceptor and workers (queued connections
+    drain first), close the listener and any still-queued connections. *)
+
+val run : config -> unit
+(** [start], then block until [POST /shutdown], SIGINT or SIGTERM, then
+    {!stop}. The CLI entry point. *)
+
+(** A minimal HTTP/1.1 client for the daemon (tests, bench harness, smoke
+    scripts): one blocking request per call over a fresh connection. *)
+module Client : sig
+  type response = {
+    status : int;
+    headers : (string * string) list;  (** names lowercased *)
+    body : string;
+  }
+
+  val request :
+    ?meth:string -> ?body:string -> port:int -> string ->
+    (response, string) result
+
+  val get : port:int -> string -> (response, string) result
+  val post : port:int -> body:string -> string -> (response, string) result
+end

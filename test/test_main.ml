@@ -12,4 +12,5 @@ let () =
       ("explain", Test_explain.tests);
       ("transform", Test_transform.tests);
       ("hotpath", Test_hotpath.tests);
-      ("pipeline", Test_pipeline.tests) ]
+      ("pipeline", Test_pipeline.tests);
+      ("serve", Test_serve.tests) ]

@@ -491,10 +491,118 @@ let test_pretty_parallel () =
   Alcotest.(check string) "parallel constructs render exactly" expected
     (Pretty.render_program p)
 
+(* ---- MIL text parser (lib/mil/parse) ---- *)
+
+let all_registry_workloads =
+  Workloads.Textbook.all @ Workloads.Nas.all @ Workloads.Starbench.all
+  @ Workloads.Bots.all @ Workloads.Apps.all @ Workloads.Splash2x.all
+  @ Workloads.Numerics.all @ Workloads.Parsec.all
+
+(* Every bundled workload's rendering must parse, and parse∘render must be
+   idempotent: the first parse may renumber programs whose builders share
+   statement values, but from then on text -> AST -> text is a fixpoint.
+   This is the contract `discopop serve` relies on for cache-key stability
+   across client round-trips. *)
+let test_parse_registry_roundtrip () =
+  List.iter
+    (fun (w : Workloads.Registry.t) ->
+      let name = w.Workloads.Registry.name in
+      let text =
+        Pretty.render_program (Workloads.Registry.program w)
+      in
+      match Parse.program ~name text with
+      | Error msg -> Alcotest.failf "%s: parse failed: %s" name msg
+      | Ok p1 -> (
+          let r1 = Pretty.render_program p1 in
+          match Parse.program ~name r1 with
+          | Error msg -> Alcotest.failf "%s: reparse failed: %s" name msg
+          | Ok p2 ->
+              Alcotest.(check string)
+                (name ^ ": parse∘render is idempotent") r1
+                (Pretty.render_program p2)))
+    all_registry_workloads
+
+(* The parsed program must also behave like the original: same entry result
+   on the (small, fast) textbook suite. *)
+let test_parse_semantics () =
+  List.iter
+    (fun (w : Workloads.Registry.t) ->
+      let name = w.Workloads.Registry.name in
+      let p = Workloads.Registry.program w in
+      match Parse.program ~name (Pretty.render_program p) with
+      | Error msg -> Alcotest.failf "%s: parse failed: %s" name msg
+      | Ok p1 -> check_int (name ^ ": same result") (run p) (run p1))
+    Workloads.Textbook.all
+
+let test_parse_hand_written () =
+  let parse_run src =
+    match Parse.program src with
+    | Error msg -> Alcotest.failf "parse failed: %s" msg
+    | Ok p -> run p
+  in
+  (* precedence: * binds tighter than +, comparisons tighter than && *)
+  check_int "precedence" 7 (parse_run "func main() {\n  return 1 + 2 * 3\n}\n");
+  check_int "parens" 9 (parse_run "func main() {\n  return (1 + 2) * 3\n}\n");
+  check_int "comparison chain" 1
+    (parse_run "func main() {\n  return 1 < 2 && 3 > 2\n}\n");
+  (* comments, blank lines, for-loop sugar *)
+  check_int "comments and sugar" 45
+    (parse_run
+       ("# leading comment\n"
+       ^ "func main() {\n"
+       ^ "  var s = 0   // accumulator\n"
+       ^ "  for i = 0; i < 10; i++ {\n"
+       ^ "    s += i\n"
+       ^ "  }\n"
+       ^ "  return s\n"
+       ^ "}\n"));
+  (* len used as an ordinary variable (histo_vis does this) *)
+  check_int "len as a variable" 4
+    (parse_run "func main() {\n  var len = 4\n  return len\n}\n")
+
+let test_parse_errors () =
+  let fails src =
+    match Parse.program src with Error _ -> true | Ok _ -> false
+  in
+  Alcotest.(check bool) "garbage" true (fails "this is not MIL");
+  Alcotest.(check bool) "unclosed block" true
+    (fails "func main() {\n  return 1\n");
+  Alcotest.(check bool) "empty input" true (fails "");
+  Alcotest.(check bool) "bad expression" true
+    (fails "func main() {\n  return 1 +\n}\n")
+
+(* ---- cooperative cancellation ---- *)
+
+let test_interp_cancel () =
+  (* >2048 statements so the poll fires: 1000 iterations x 3 stmts each *)
+  let p =
+    let open B in
+    Helpers.prog_of_main
+      [ decl "s" (i 0);
+        for_ "k" (i 0) (i 5000) [ set "s" (v "s" + v "k") ];
+        return (v "s") ]
+  in
+  Alcotest.check_raises "cancelled run raises" Interp.Cancelled (fun () ->
+      ignore (Interp.run ~cancelled:(fun () -> true) p));
+  let polls = Atomic.make 0 in
+  let r =
+    Interp.run
+      ~cancelled:(fun () -> Atomic.incr polls; false)
+      p
+  in
+  check_int "uncancelled run completes" 12497500 r.Interp.result;
+  Alcotest.(check bool) "poll fired at least once" true (Atomic.get polls >= 1)
+
 let tests =
   tests
   @ [ Alcotest.test_case "runtime errors" `Quick test_runtime_errors;
       Alcotest.test_case "recursive summary fixpoint" `Quick test_recursive_summary;
       Alcotest.test_case "free statement" `Quick test_free_statement;
       Alcotest.test_case "pretty expressions" `Quick test_pretty_exprs;
-      Alcotest.test_case "pretty parallel constructs" `Quick test_pretty_parallel ]
+      Alcotest.test_case "pretty parallel constructs" `Quick test_pretty_parallel;
+      Alcotest.test_case "parse: registry round-trip" `Quick
+        test_parse_registry_roundtrip;
+      Alcotest.test_case "parse: semantics preserved" `Quick test_parse_semantics;
+      Alcotest.test_case "parse: hand-written input" `Quick test_parse_hand_written;
+      Alcotest.test_case "parse: errors" `Quick test_parse_errors;
+      Alcotest.test_case "interp: cooperative cancel" `Quick test_interp_cancel ]

@@ -1,0 +1,238 @@
+(* Tests for discopop serve: the in-process LRU cache tier (eviction order,
+   hit/miss counters, coherence with the disk tier), the HTTP daemon's
+   status codes (200/400/404/405/429/504), admission control and the
+   /metrics endpoint. Servers bind port 0, so tests never collide. *)
+
+module P = Pipeline
+
+let dir_seq = ref 0
+
+let fresh_dir () =
+  incr dir_seq;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "discopop-test-serve.%d.%d" (Unix.getpid ()) !dir_seq)
+  in
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+        Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+        Unix.rmdir path
+    | _ -> Sys.remove path
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  in
+  rm_rf d;
+  d
+
+let entry tag = (Profiler.Dep.Set_.create (), "summary " ^ tag)
+
+(* A small program with enough dynamic statements (~15k) that the
+   cooperative-cancel poll (every ~2k) fires several times per run. *)
+let small_src =
+  "func main() {\n  var s = 0\n  for i = 0; i < 5000; i++ {\n    s += i\n  }\n\
+  \  return s\n}\n"
+
+let parse src =
+  match Mil.Parse.program src with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "test program does not parse: %s" msg
+
+(* ---- memory LRU ---- *)
+
+let test_lru_eviction () =
+  let m = P.Mem_cache.create ~capacity:2 in
+  P.Mem_cache.add m "k1" (entry "1");
+  P.Mem_cache.add m "k2" (entry "2");
+  (* touch k1 so k2 becomes least-recently-used, then overflow *)
+  ignore (P.Mem_cache.find m "k1");
+  P.Mem_cache.add m "k3" (entry "3");
+  Alcotest.(check int) "capacity respected" 2 (P.Mem_cache.length m);
+  Alcotest.(check bool) "LRU entry evicted" true
+    (P.Mem_cache.find m "k2" = None);
+  Alcotest.(check bool) "recently-used entry survives" true
+    (P.Mem_cache.find m "k1" <> None);
+  Alcotest.(check bool) "new entry resident" true
+    (P.Mem_cache.find m "k3" <> None);
+  Alcotest.(check (list string)) "MRU order" [ "k3"; "k1" ]
+    (P.Mem_cache.keys_mru_first m)
+
+let test_lru_counters () =
+  let m = P.Mem_cache.create ~capacity:4 in
+  Alcotest.(check bool) "miss on empty" true (P.Mem_cache.find m "k" = None);
+  P.Mem_cache.add m "k" (entry "k");
+  Alcotest.(check bool) "hit after add" true (P.Mem_cache.find m "k" <> None);
+  Alcotest.(check int) "one hit" 1 (P.Mem_cache.hits m);
+  Alcotest.(check int) "one miss" 1 (P.Mem_cache.misses m)
+
+let test_lru_capacity_zero () =
+  let m = P.Mem_cache.create ~capacity:0 in
+  P.Mem_cache.add m "k" (entry "k");
+  Alcotest.(check int) "nothing stored" 0 (P.Mem_cache.length m);
+  Alcotest.(check bool) "every lookup misses" true
+    (P.Mem_cache.find m "k" = None)
+
+(* The memory tier must stay coherent with the disk tier: a disk hit
+   repopulates memory, invalidation drops exactly one key, and deleting the
+   disk entry after invalidation makes the key fully uncached. *)
+let test_tier_coherence () =
+  let dir = fresh_dir () in
+  let mem = P.Mem_cache.create ~capacity:8 in
+  let prog = parse small_src in
+  let config = P.Cache.default_config in
+  let key = P.Cache.key config prog in
+  let job = P.program_job ~cache_dir:dir ~mem ~name:"t" ~config prog in
+  (match P.run_job ~cancelled:(fun () -> false) job with
+  | P.Ok_ ok ->
+      Alcotest.(check bool) "first run is a cache miss" false
+        ok.P.jr_cache_hit
+  | _ -> Alcotest.fail "job failed");
+  let tier () = snd (P.lookup ~mem ~dir ~key ()) in
+  Alcotest.(check bool) "answered from memory" true (tier () = P.Mem);
+  P.Mem_cache.invalidate mem key;
+  Alcotest.(check bool) "after invalidation: disk answers" true
+    (tier () = P.Disk);
+  Alcotest.(check bool) "disk hit repopulated memory" true (tier () = P.Mem);
+  P.Mem_cache.invalidate mem key;
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    [ Filename.concat dir (key ^ ".deps");
+      Filename.concat dir (key ^ ".sugg") ];
+  match P.lookup ~mem ~dir ~key () with
+  | None, P.Uncached -> ()
+  | _ -> Alcotest.fail "stale entry survived invalidation of both tiers"
+
+(* ---- the daemon ---- *)
+
+let with_server ?(jobs = 2) ?(queue = 8) ?(deadline = 30.0) ?cache_dir
+    ?(mem = 8) f =
+  let t =
+    Serve.start
+      { Serve.port = 0;
+        jobs;
+        queue_capacity = queue;
+        deadline_s = deadline;
+        cache_dir;
+        mem_capacity = mem;
+        profile = P.Cache.default_config }
+  in
+  Fun.protect ~finally:(fun () -> Serve.stop t) (fun () -> f t)
+
+let ok_response = function
+  | Ok (r : Serve.Client.response) -> r
+  | Error msg -> Alcotest.failf "request failed: %s" msg
+
+let test_http_health_and_routing () =
+  with_server @@ fun t ->
+  let port = Serve.port t in
+  let r = ok_response (Serve.Client.get ~port "/health") in
+  Alcotest.(check int) "health 200" 200 r.Serve.Client.status;
+  Alcotest.(check string) "health body" "ok\n" r.Serve.Client.body;
+  let r = ok_response (Serve.Client.get ~port "/nope") in
+  Alcotest.(check int) "unknown path 404" 404 r.Serve.Client.status;
+  let r = ok_response (Serve.Client.get ~port "/profile") in
+  Alcotest.(check int) "GET /profile 405" 405 r.Serve.Client.status
+
+let test_http_profile_and_cache_tiers () =
+  let dir = fresh_dir () in
+  with_server ~cache_dir:dir @@ fun t ->
+  let port = Serve.port t in
+  let post () =
+    ok_response (Serve.Client.post ~port ~body:small_src "/profile?name=t")
+  in
+  let x_cache (r : Serve.Client.response) =
+    Option.value ~default:"?"
+      (List.assoc_opt "x-cache" r.Serve.Client.headers)
+  in
+  let r1 = post () in
+  Alcotest.(check int) "cold 200" 200 r1.Serve.Client.status;
+  Alcotest.(check string) "cold misses" "miss" (x_cache r1);
+  let r2 = post () in
+  Alcotest.(check int) "warm 200" 200 r2.Serve.Client.status;
+  Alcotest.(check string) "warm hits memory" "mem" (x_cache r2);
+  Alcotest.(check string) "answers byte-identical" r1.Serve.Client.body
+    r2.Serve.Client.body;
+  (* drop the memory tier: the disk entry must answer *)
+  P.Mem_cache.clear (Serve.mem_cache t);
+  let r3 = post () in
+  Alcotest.(check string) "disk answers after LRU clear" "disk" (x_cache r3);
+  (* a parse failure is the client's fault *)
+  let r =
+    ok_response (Serve.Client.post ~port ~body:"not MIL at all" "/profile")
+  in
+  Alcotest.(check int) "parse error 400" 400 r.Serve.Client.status;
+  let r =
+    ok_response
+      (Serve.Client.post ~port ~body:small_src "/profile?shadow=bogus")
+  in
+  Alcotest.(check int) "bad parameter 400" 400 r.Serve.Client.status
+
+let test_http_deadline_504 () =
+  with_server @@ fun t ->
+  let port = Serve.port t in
+  let r =
+    ok_response
+      (Serve.Client.post ~port ~body:small_src
+         "/profile?name=slow&deadline=0.000001")
+  in
+  Alcotest.(check int) "expired deadline 504" 504 r.Serve.Client.status
+
+let test_http_load_shed_429 () =
+  with_server ~queue:0 @@ fun t ->
+  let port = Serve.port t in
+  let r =
+    ok_response (Serve.Client.post ~port ~body:small_src "/profile")
+  in
+  Alcotest.(check int) "full queue 429" 429 r.Serve.Client.status;
+  Alcotest.(check (option string)) "Retry-After set" (Some "1")
+    (List.assoc_opt "retry-after" r.Serve.Client.headers)
+
+let test_http_metrics () =
+  with_server @@ fun t ->
+  let port = Serve.port t in
+  let _ =
+    ok_response (Serve.Client.post ~port ~body:small_src "/profile?name=m")
+  in
+  let r = ok_response (Serve.Client.get ~port "/metrics") in
+  Alcotest.(check int) "metrics 200" 200 r.Serve.Client.status;
+  match Obs.Json.of_string r.Serve.Client.body with
+  | Error msg -> Alcotest.failf "metrics is not JSON: %s" msg
+  | Ok json -> (
+      match Obs.Json.member "counters" json with
+      | None -> Alcotest.fail "no counters section"
+      | Some counters ->
+          let count name =
+            Option.bind (Obs.Json.member name counters) Obs.Json.get_int
+          in
+          Alcotest.(check bool) "serve.requests.ok counted" true
+            (match count "serve.requests.ok" with
+            | Some n -> n >= 1
+            | None -> false);
+          Alcotest.(check bool) "serve.cache.miss counted" true
+            (count "serve.cache.miss" <> None))
+
+let test_http_shutdown () =
+  with_server @@ fun t ->
+  let port = Serve.port t in
+  let r = ok_response (Serve.Client.post ~port ~body:"" "/shutdown") in
+  Alcotest.(check int) "shutdown 200" 200 r.Serve.Client.status;
+  (* the daemon flags itself down; Serve.stop in the finally joins it *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while (not (Serve.stopping t)) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.01
+  done;
+  Alcotest.(check bool) "daemon stopping" true (Serve.stopping t)
+
+let tests =
+  [ Alcotest.test_case "LRU eviction order" `Quick test_lru_eviction;
+    Alcotest.test_case "LRU hit/miss counters" `Quick test_lru_counters;
+    Alcotest.test_case "LRU capacity 0" `Quick test_lru_capacity_zero;
+    Alcotest.test_case "mem/disk tier coherence" `Quick test_tier_coherence;
+    Alcotest.test_case "HTTP health + routing" `Quick
+      test_http_health_and_routing;
+    Alcotest.test_case "HTTP profile + cache tiers" `Quick
+      test_http_profile_and_cache_tiers;
+    Alcotest.test_case "HTTP deadline 504" `Quick test_http_deadline_504;
+    Alcotest.test_case "HTTP load shed 429" `Quick test_http_load_shed_429;
+    Alcotest.test_case "HTTP metrics endpoint" `Quick test_http_metrics;
+    Alcotest.test_case "HTTP shutdown" `Quick test_http_shutdown ]
