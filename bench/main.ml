@@ -49,6 +49,8 @@ let experiments : (string * string * (unit -> unit)) list =
      Exp_batch.run);
     ("serve", "Serve daemon: sustained req/s and p50/p99 under concurrent clients",
      Exp_serve.run);
+    ("soak", "Serve daemon: offered-load sweep past saturation (shed/p99/queue)",
+     Exp_soak.run);
     ("micro", "Bechamel micro-benchmarks", Exp_micro.run) ]
 
 (* With --trace, each experiment additionally records a per-domain timeline

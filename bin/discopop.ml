@@ -796,10 +796,14 @@ let serve_cmd =
      accepts MIL programs over POST /profile, profiles them on a pool of \
      persistent worker domains, and answers repeat requests from an \
      in-process LRU in front of the on-disk cache (--cache DIR). \
-     GET /metrics dumps the observability registry as JSON; a full queue \
-     answers 429 with Retry-After; a request overrunning --deadline is \
-     cancelled cooperatively and answers 504. Stop with POST /shutdown, \
-     SIGINT or SIGTERM."
+     Every response carries an X-Trace-Id; GET /trace?id= replays one \
+     request's span tree as Chrome Trace JSON from the flight recorder \
+     (--flight N records, slow requests retained past --slow-threshold), \
+     dumped via GET /requests and --flight-dump FILE. GET /metrics dumps \
+     the observability registry as JSON (?format=prometheus for the \
+     Prometheus text format); a full queue answers 429 with Retry-After; \
+     a request overrunning --deadline is cancelled cooperatively and \
+     answers 504. Stop with POST /shutdown, SIGINT or SIGTERM."
   in
   let port_arg =
     Arg.(value & opt int 8123 & info [ "port" ] ~docv:"P"
@@ -833,18 +837,38 @@ let serve_cmd =
            ~doc:"Default thread count assumed by the local-speedup metric \
                  (overridable per request with ?threads=).")
   in
-  let run port jobs queue deadline cache mem signature skip workers threads =
+  let flight_arg =
+    Arg.(value & opt int 512 & info [ "flight" ] ~docv:"N"
+           ~doc:"Flight-recorder window: completed request records retained \
+                 for GET /trace and GET /requests.")
+  in
+  let slow_arg =
+    Arg.(value & opt float 0.25 & info [ "slow-threshold" ] ~docv:"SEC"
+           ~doc:"Service time above which a request is also retained in the \
+                 slow-request ring (which fast traffic cannot evict).")
+  in
+  let flight_dump_arg =
+    Arg.(value & opt (some string) None & info [ "flight-dump" ] ~docv:"FILE"
+           ~doc:"Write both flight-recorder rings as JSON to $(docv) on \
+                 shutdown.")
+  in
+  let run port jobs queue deadline cache mem signature skip workers threads
+      flight slow_threshold flight_dump =
     Serve.run
-      { Serve.port; jobs; queue_capacity = queue; deadline_s = deadline;
+      { Serve.default_config with
+        Serve.port; jobs; queue_capacity = queue; deadline_s = deadline;
         cache_dir = cache; mem_capacity = mem;
         profile =
           { Pipeline.Cache.shadow = shadow_of signature; skip; workers;
-            threads } }
+            threads };
+        flight_capacity = flight; slow_threshold_s = slow_threshold;
+        flight_dump }
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ port_arg $ jobs_arg $ queue_arg $ deadline_arg $ cache_arg
-      $ mem_arg $ sig_arg $ skip_arg $ workers_arg $ threads_arg)
+      $ mem_arg $ sig_arg $ skip_arg $ workers_arg $ threads_arg $ flight_arg
+      $ slow_arg $ flight_dump_arg)
 
 let () =
   let doc = "DiscoPoP: discovery of potential parallelism in sequential programs" in

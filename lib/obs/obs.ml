@@ -440,6 +440,220 @@ module Trace = struct
   let write path = write_file path (Json.to_string (export ()) ^ "\n")
 end
 
+(* ---- request-scoped span collection ---- *)
+
+(* A per-domain collector of completed spans for the *current request*. The
+   serve daemon installs one before dispatching a request and drains it
+   afterwards, so every {!Span.with_} executed on the handling domain —
+   parse, cache lookup, the profiler's own phase spans, rendering — lands in
+   that request's span tree in addition to the global registry/timeline.
+   One domain handles one request at a time, so plain domain-local state
+   (no atomics) is enough; other domains' requests collect independently. *)
+module Req = struct
+  type entry = {
+    sp_name : string;
+    sp_start_ns : int; (* absolute monotonic nanoseconds *)
+    sp_dur_ns : int;
+    sp_depth : int;    (* nesting depth; 0 = top-level phase *)
+  }
+
+  type collector = {
+    mutable rq_entries : entry list; (* completed spans, most recent first *)
+    mutable rq_depth : int;          (* currently open spans *)
+  }
+
+  let key : collector option ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref None)
+
+  let current () = !(Domain.DLS.get key)
+  let active () = current () <> None
+
+  (* Install a fresh collector for this domain, replacing any leftover. *)
+  let start () =
+    Domain.DLS.get key := Some { rq_entries = []; rq_depth = 0 }
+
+  (* Record a span that was not measured by {!Span.with_} — e.g. the queue
+     wait a request suffered before any handler code ran. *)
+  let add ~name ~start_ns ~dur_ns =
+    match current () with
+    | None -> ()
+    | Some c ->
+        c.rq_entries <-
+          { sp_name = name; sp_start_ns = start_ns; sp_dur_ns = dur_ns;
+            sp_depth = c.rq_depth }
+          :: c.rq_entries
+
+  let enter c = c.rq_depth <- c.rq_depth + 1
+
+  let exit_ c ~name ~start_ns ~dur_ns =
+    c.rq_depth <- c.rq_depth - 1;
+    c.rq_entries <-
+      { sp_name = name; sp_start_ns = start_ns; sp_dur_ns = dur_ns;
+        sp_depth = c.rq_depth }
+      :: c.rq_entries
+
+  (* Uninstall the collector and return its spans in chronological order. *)
+  let finish () =
+    let r = Domain.DLS.get key in
+    let entries = match !r with None -> [] | Some c -> c.rq_entries in
+    r := None;
+    List.stable_sort
+      (fun a b -> compare a.sp_start_ns b.sp_start_ns)
+      (List.rev entries)
+
+  let entry_json (e : entry) =
+    Json.Obj
+      [ ("name", Json.String e.sp_name);
+        ("start_ns", Json.Int e.sp_start_ns);
+        ("dur_ns", Json.Int e.sp_dur_ns);
+        ("depth", Json.Int e.sp_depth) ]
+end
+
+(* ---- flight recorder ---- *)
+
+(* Two fixed-size rings of completed request records: the main ring keeps
+   the last N requests of any kind, the slow ring additionally retains the
+   last M requests whose service time crossed a threshold — so one burst of
+   fast traffic cannot evict the slow request you are trying to explain.
+   Writers are concurrent request handlers; a single mutex per recorder is
+   plenty at per-request (not per-event) rates. *)
+module Flight = struct
+  type record = {
+    fr_id : string;           (* trace id, as returned in X-Trace-Id *)
+    fr_route : string;        (* e.g. "POST /profile", or "(shed)" *)
+    fr_status : int;          (* HTTP status answered *)
+    fr_tier : string;         (* cache tier: mem | disk | miss | "-" *)
+    fr_queue_ns : int;        (* time spent queued before a handler ran *)
+    fr_service_ns : int;      (* handler time, excluding queue wait *)
+    fr_done_at : float;       (* unix time at completion *)
+    fr_spans : Req.entry list;(* the request's span tree, chronological *)
+  }
+
+  type t = {
+    fl_lock : Mutex.t;
+    fl_ring : record option array;
+    mutable fl_next : int;      (* total records ever written to the ring *)
+    fl_slow_ns : int;
+    fl_slow : record option array;
+    mutable fl_slow_next : int;
+  }
+
+  let create ~capacity ~slow_capacity ~slow_threshold_s =
+    { fl_lock = Mutex.create ();
+      fl_ring = Array.make (max 1 capacity) None;
+      fl_next = 0;
+      fl_slow_ns = int_of_float (Float.max 0.0 slow_threshold_s *. 1e9);
+      fl_slow = Array.make (max 1 slow_capacity) None;
+      fl_slow_next = 0 }
+
+  let locked t f =
+    Mutex.lock t.fl_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.fl_lock) f
+
+  let capacity t = Array.length t.fl_ring
+  let slow_threshold_ns t = t.fl_slow_ns
+
+  let record t r =
+    locked t @@ fun () ->
+    t.fl_ring.(t.fl_next mod Array.length t.fl_ring) <- Some r;
+    t.fl_next <- t.fl_next + 1;
+    if r.fr_service_ns >= t.fl_slow_ns then begin
+      t.fl_slow.(t.fl_slow_next mod Array.length t.fl_slow) <- Some r;
+      t.fl_slow_next <- t.fl_slow_next + 1
+    end
+
+  let total t = locked t (fun () -> t.fl_next)
+  let slow_total t = locked t (fun () -> t.fl_slow_next)
+
+  (* Newest first. Call with the lock held. *)
+  let dump_ring ring next =
+    let cap = Array.length ring in
+    let n = min next cap in
+    List.init n (fun i -> ring.((next - 1 - i) mod cap))
+    |> List.filter_map Fun.id
+
+  let recent t = locked t (fun () -> dump_ring t.fl_ring t.fl_next)
+  let slow t = locked t (fun () -> dump_ring t.fl_slow t.fl_slow_next)
+
+  (* Look a trace id up in either ring: the main window first, then the
+     slow ring (which outlives it for slow requests). *)
+  let find t id =
+    locked t @@ fun () ->
+    let scan ring next =
+      List.find_opt (fun r -> r.fr_id = id) (dump_ring ring next)
+    in
+    match scan t.fl_ring t.fl_next with
+    | Some r -> Some r
+    | None -> scan t.fl_slow t.fl_slow_next
+
+  let record_json (r : record) =
+    Json.Obj
+      [ ("id", Json.String r.fr_id);
+        ("route", Json.String r.fr_route);
+        ("status", Json.Int r.fr_status);
+        ("cache", Json.String r.fr_tier);
+        ("queue_ns", Json.Int r.fr_queue_ns);
+        ("service_ns", Json.Int r.fr_service_ns);
+        ("done_at", Json.Float r.fr_done_at);
+        ("spans", Json.List (List.map Req.entry_json r.fr_spans)) ]
+
+  let to_json t =
+    let recent_l, slow_l, total_n, slow_n =
+      locked t (fun () ->
+          ( dump_ring t.fl_ring t.fl_next,
+            dump_ring t.fl_slow t.fl_slow_next,
+            t.fl_next,
+            t.fl_slow_next ))
+    in
+    Json.Obj
+      [ ("capacity", Json.Int (Array.length t.fl_ring));
+        ("slow_capacity", Json.Int (Array.length t.fl_slow));
+        ("slow_threshold_ns", Json.Int t.fl_slow_ns);
+        ("recorded", Json.Int total_n);
+        ("slow_recorded", Json.Int slow_n);
+        ("recent", Json.List (List.map record_json recent_l));
+        ("slow", Json.List (List.map record_json slow_l)) ]
+
+  (* One request's spans as a Chrome Trace Event document (complete 'X'
+     events on a single track), so `GET /trace?id=` output loads directly
+     in chrome://tracing / Perfetto and passes `discopop trace-check`. *)
+  let chrome_trace (r : record) =
+    let span_ev (e : Req.entry) =
+      Json.Obj
+        [ ("name", Json.String e.sp_name);
+          ("ph", Json.String "X");
+          ("ts", Json.Float (float_of_int e.sp_start_ns /. 1e3));
+          ("dur", Json.Float (float_of_int e.sp_dur_ns /. 1e3));
+          ("pid", Json.Int 1);
+          ("tid", Json.Int 1) ]
+    in
+    let events =
+      match r.fr_spans with
+      | [] ->
+          (* Nothing ran (e.g. a shed request): one synthetic event still
+             makes the document well-formed and self-describing. *)
+          [ Json.Obj
+              [ ("name", Json.String ("request " ^ r.fr_route));
+                ("ph", Json.String "X");
+                ("ts", Json.Float 0.0);
+                ("dur", Json.Float (float_of_int r.fr_service_ns /. 1e3));
+                ("pid", Json.Int 1);
+                ("tid", Json.Int 1) ] ]
+      | spans -> List.map span_ev spans
+    in
+    Json.Obj
+      [ ("traceEvents", Json.List events);
+        ("displayTimeUnit", Json.String "ms");
+        ("otherData",
+         Json.Obj
+           [ ("trace_id", Json.String r.fr_id);
+             ("route", Json.String r.fr_route);
+             ("status", Json.Int r.fr_status);
+             ("cache", Json.String r.fr_tier);
+             ("queue_ns", Json.Int r.fr_queue_ns);
+             ("service_ns", Json.Int r.fr_service_ns) ]) ]
+end
+
 (* ---- registry ---- *)
 
 type counter = { c_name : string; c_v : int Atomic.t }
@@ -551,23 +765,31 @@ module Gauge = struct
 end
 
 module Span = struct
-  (* Spans serve both layers: they accumulate into the metrics registry when
-     stats are enabled AND appear as begin/end slices on the timeline when
-     tracing is enabled. Both disabled (the default) costs two atomic loads. *)
+  (* Spans serve three layers: they accumulate into the metrics registry
+     when stats are enabled, appear as begin/end slices on the timeline when
+     tracing is enabled, AND land in the current request's span tree when
+     this domain has a {!Req} collector installed. All three off (the
+     default) costs two atomic loads and a domain-local read. *)
   let with_ ~phase f =
     let stats_on = Atomic.get enabled in
     let trace_on = Atomic.get Trace.tracing in
-    if not (stats_on || trace_on) then f ()
+    let req = Req.current () in
+    if not (stats_on || trace_on || req <> None) then f ()
     else begin
       if trace_on then Trace.push 'B' phase 0;
       let s = if stats_on then Some (span_of phase) else None in
+      (match req with Some c -> Req.enter c | None -> ());
       let t0 = now_ns () in
       Fun.protect
         ~finally:(fun () ->
+          let dt = now_ns () - t0 in
           (match s with
           | Some s ->
-              ignore (Atomic.fetch_and_add s.s_ns (now_ns () - t0));
+              ignore (Atomic.fetch_and_add s.s_ns dt);
               ignore (Atomic.fetch_and_add s.s_calls 1)
+          | None -> ());
+          (match req with
+          | Some c -> Req.exit_ c ~name:phase ~start_ns:t0 ~dur_ns:dt
           | None -> ());
           if Atomic.get Trace.tracing then Trace.push 'E' phase 0)
         f
@@ -772,3 +994,129 @@ let to_jsonl () =
 
 let write_json path = write_file path (Json.pretty (snapshot ()) ^ "\n")
 let write_jsonl path = write_file path (to_jsonl ())
+
+(* ---- Prometheus text exposition ---- *)
+
+(* The same registry in the Prometheus text format (text/plain; version
+   0.0.4), so a scraper can poll `GET /metrics?format=prometheus` without a
+   translation shim. Dotted metric names sanitize to underscore form;
+   counters gain the conventional `_total` suffix; spans and meters render
+   as labelled counter families; histograms become proper cumulative
+   `_bucket`/`_sum`/`_count` series in seconds, emitting a bucket line only
+   where the count changes (le boundaries need not be uniform, and 256
+   mostly-empty log buckets would drown the useful ones). *)
+
+(* Metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*. *)
+let prom_name s =
+  if s = "" then "_"
+  else begin
+    let b = Buffer.create (String.length s) in
+    String.iteri
+      (fun i c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> Buffer.add_char b c
+        | '0' .. '9' ->
+            if i = 0 then Buffer.add_char b '_';
+            Buffer.add_char b c
+        | _ -> Buffer.add_char b '_')
+      s;
+    Buffer.contents b
+  end
+
+(* Label values escape backslash, double quote and newline. *)
+let prom_label_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let prom_float v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let prometheus () =
+  let b = Buffer.create 4096 in
+  let typ name kind =
+    Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind)
+  in
+  List.iter
+    (fun (k, c) ->
+      let n = prom_name k ^ "_total" in
+      typ n "counter";
+      Buffer.add_string b (Printf.sprintf "%s %d\n" n (Atomic.get c.c_v)))
+    (sorted_entries counters);
+  List.iter
+    (fun (k, g) ->
+      let n = prom_name k in
+      typ n "gauge";
+      Buffer.add_string b
+        (Printf.sprintf "%s %s\n" n (prom_float (Atomic.get g.g_v))))
+    (sorted_entries gauges);
+  (let spans_l = sorted_entries spans in
+   if spans_l <> [] then begin
+     typ "discopop_span_seconds_total" "counter";
+     List.iter
+       (fun (k, s) ->
+         Buffer.add_string b
+           (Printf.sprintf "discopop_span_seconds_total{phase=\"%s\"} %s\n"
+              (prom_label_escape k)
+              (prom_float (float_of_int (Atomic.get s.s_ns) /. 1e9))))
+       spans_l;
+     typ "discopop_span_calls_total" "counter";
+     List.iter
+       (fun (k, s) ->
+         Buffer.add_string b
+           (Printf.sprintf "discopop_span_calls_total{phase=\"%s\"} %d\n"
+              (prom_label_escape k) (Atomic.get s.s_calls)))
+       spans_l
+   end);
+  (let meters_l = sorted_entries meters in
+   if meters_l <> [] then begin
+     typ "discopop_meter_events_total" "counter";
+     List.iter
+       (fun (k, m) ->
+         Buffer.add_string b
+           (Printf.sprintf
+              "discopop_meter_events_total{meter=\"%s\",per=\"%s\"} %d\n"
+              (prom_label_escape k)
+              (prom_label_escape m.m_per)
+              (Atomic.get m.m_count)))
+       meters_l
+   end);
+  List.iter
+    (fun (k, h) ->
+      let n = prom_name k ^ "_seconds" in
+      typ n "histogram";
+      let acc = ref 0 in
+      Array.iteri
+        (fun i cnt ->
+          let c = Atomic.get cnt in
+          if c > 0 then begin
+            acc := !acc + c;
+            (* Bucket i covers observations up to growth^(i+1) ns. *)
+            let le = (hist_growth ** float_of_int (i + 1)) /. 1e9 in
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n (prom_float le)
+                 !acc)
+          end)
+        h.h_counts;
+      (* +Inf must close the series at the total even if a concurrent
+         observer raced the bucket walk. *)
+      let total = max !acc (Atomic.get h.h_count) in
+      Buffer.add_string b (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n total);
+      Buffer.add_string b
+        (Printf.sprintf "%s_sum %s\n" n
+           (prom_float (float_of_int (Atomic.get h.h_sum_ns) /. 1e9)));
+      Buffer.add_string b (Printf.sprintf "%s_count %d\n" n total))
+    (sorted_entries histograms);
+  Buffer.contents b

@@ -79,6 +79,104 @@ module Trace : sig
   val write : string -> unit
 end
 
+(** Request-scoped span collection for the serve daemon. A handler domain
+    installs a collector with {!Req.start} before dispatching a request;
+    every {!Span.with_} that runs on that domain until {!Req.finish} —
+    parse, cache lookup, the profiler's own phase spans, rendering — is
+    recorded into the request's own span tree in addition to the global
+    registry/timeline. One domain handles one request at a time, so the
+    collector is plain domain-local state. Works even when the metrics
+    registry and tracing are disabled. *)
+module Req : sig
+  type entry = {
+    sp_name : string;
+    sp_start_ns : int;  (** absolute monotonic nanoseconds *)
+    sp_dur_ns : int;
+    sp_depth : int;  (** nesting depth; 0 = top-level phase *)
+  }
+
+  type collector
+
+  val start : unit -> unit
+  (** Install a fresh collector on the calling domain, replacing any
+      leftover from an abandoned request. *)
+
+  val active : unit -> bool
+  val current : unit -> collector option
+
+  val add : name:string -> start_ns:int -> dur_ns:int -> unit
+  (** Record a span not measured by {!Span.with_} — e.g. the queue wait a
+      request suffered before any handler code ran. No-op without a
+      collector. *)
+
+  val finish : unit -> entry list
+  (** Uninstall the collector and return its spans in chronological order
+      (by start time). Empty list if none was installed. *)
+
+  val entry_json : entry -> Json.t
+end
+
+(** Flight recorder: two fixed-size rings of completed request records. The
+    main ring keeps the last N requests of any kind; the slow ring
+    additionally retains the last M requests whose service time crossed a
+    threshold — so a burst of fast traffic cannot evict the slow request you
+    are trying to explain. Writers are concurrent request handlers; a single
+    mutex per recorder is plenty at per-request rates. *)
+module Flight : sig
+  type record = {
+    fr_id : string;  (** trace id, as returned in X-Trace-Id *)
+    fr_route : string;  (** e.g. ["POST /profile"], or ["(shed)"] *)
+    fr_status : int;  (** HTTP status answered *)
+    fr_tier : string;  (** cache tier: mem | disk | miss | "-" *)
+    fr_queue_ns : int;  (** time queued before a handler ran *)
+    fr_service_ns : int;  (** handler time, excluding queue wait *)
+    fr_done_at : float;  (** unix time at completion *)
+    fr_spans : Req.entry list;  (** the request's span tree, chronological *)
+  }
+
+  type t
+
+  val create :
+    capacity:int -> slow_capacity:int -> slow_threshold_s:float -> t
+  (** Capacities are clamped to at least 1; a negative threshold behaves
+      as 0 (every request is "slow"). *)
+
+  val record : t -> record -> unit
+  val total : t -> int
+  (** Records ever written (not capped by capacity). *)
+
+  val slow_total : t -> int
+  val capacity : t -> int
+  val slow_threshold_ns : t -> int
+
+  val recent : t -> record list
+  (** The main ring's retained records, newest first. *)
+
+  val slow : t -> record list
+
+  val find : t -> string -> record option
+  (** Look a trace id up in the main ring, then the slow ring (which
+      outlives it for slow requests). *)
+
+  val record_json : record -> Json.t
+
+  val to_json : t -> Json.t
+  (** Both rings plus capacities/thresholds/write totals, for
+      [GET /requests] and the shutdown dump. *)
+
+  val chrome_trace : record -> Json.t
+  (** One request's spans as a Chrome Trace Event document (complete ['X']
+      events on one track) — loads in chrome://tracing / Perfetto and
+      passes [discopop trace-check]. A record with no spans (e.g. a shed
+      request) yields one synthetic event so [traceEvents] is never
+      empty. *)
+end
+
+val now_ns : unit -> int
+(** The monotonic clock in nanoseconds — the same clock {!Span.with_} and
+    {!Req} entries use, so callers can synthesize {!Req.entry} values (e.g.
+    a queue wait measured outside any span) on a comparable timeline. *)
+
 val enable : unit -> unit
 val disable : unit -> unit
 val is_enabled : unit -> bool
@@ -176,3 +274,11 @@ val to_jsonl : unit -> string
 
 val write_json : string -> unit
 val write_jsonl : string -> unit
+
+val prometheus : unit -> string
+(** The registry in the Prometheus text exposition format
+    ([text/plain; version=0.0.4]). Dotted names sanitize to underscore
+    form; counters gain the conventional [_total] suffix; spans and meters
+    render as labelled counter families; histograms become cumulative
+    [_bucket]/[_sum]/[_count] series in seconds (a bucket line is emitted
+    only where the count changes, closed by [le="+Inf"]). *)

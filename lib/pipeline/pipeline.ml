@@ -202,6 +202,7 @@ type job_ok = {
   jr_deps : int;
   jr_suggestions : int;
   jr_cache_hit : bool;
+  jr_entry : Profiler.Dep.Set_.t * string;
 }
 
 type status = Ok_ of job_ok | Failed of string | Timed_out
@@ -256,7 +257,8 @@ let program_job ?cache_dir ?mem ~name ~(config : Cache.config)
         { jr_summary = summary;
           jr_deps = Profiler.Dep.Set_.cardinal deps;
           jr_suggestions = List.length entries;
-          jr_cache_hit = true }
+          jr_cache_hit = true;
+          jr_entry = (deps, summary) }
     | None, _ ->
         Obs.Counter.incr c_cache_miss;
         let profile =
@@ -287,7 +289,8 @@ let program_job ?cache_dir ?mem ~name ~(config : Cache.config)
           jr_deps = Profiler.Dep.Set_.cardinal deps;
           jr_suggestions =
             List.length report.Suggestion.suggestions;
-          jr_cache_hit = false }
+          jr_cache_hit = false;
+          jr_entry = (deps, summary) }
   in
   { j_name = name; j_run = run }
 

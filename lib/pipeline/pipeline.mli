@@ -99,6 +99,10 @@ type job_ok = {
   jr_deps : int;             (** distinct dependence records *)
   jr_suggestions : int;
   jr_cache_hit : bool;       (** phase 1 was skipped entirely *)
+  jr_entry : Profiler.Dep.Set_.t * string;
+  (** the dependence set + summary the job computed or loaded — the same
+      shape {!lookup} returns, so a renderer can use a fresh result without
+      re-reading the just-written cache tier *)
 }
 
 type status =

@@ -33,7 +33,13 @@ let c_mem_hit = Obs.counter "serve.cache.mem_hit"
 let c_disk_hit = Obs.counter "serve.cache.disk_hit"
 let c_miss = Obs.counter "serve.cache.miss"
 let g_queue = Obs.gauge "serve.queue.depth"
+
+(* serve.latency (from enqueue, queue wait included) predates the split
+   pair and stays for baseline continuity; queue_wait + service decompose
+   it so an overloaded queue and a slow handler are distinguishable. *)
 let h_latency = Obs.histogram "serve.latency"
+let h_queue_wait = Obs.histogram "serve.queue_wait"
+let h_service = Obs.histogram "serve.service"
 
 (* ---- configuration ---- *)
 
@@ -45,6 +51,10 @@ type config = {
   cache_dir : string option;
   mem_capacity : int;
   profile : Pipeline.Cache.config;
+  flight_capacity : int;
+  slow_capacity : int;
+  slow_threshold_s : float;
+  flight_dump : string option;
 }
 
 let default_config =
@@ -54,7 +64,26 @@ let default_config =
     deadline_s = 30.0;
     cache_dir = None;
     mem_capacity = 128;
-    profile = Pipeline.Cache.default_config }
+    profile = Pipeline.Cache.default_config;
+    flight_capacity = 512;
+    slow_capacity = 64;
+    slow_threshold_s = 0.25;
+    flight_dump = None }
+
+(* ---- trace ids ---- *)
+
+(* Request ids are a per-daemon tag (boot time xor pid, so two daemons on
+   one host do not collide) plus a process-wide sequence number. Opaque,
+   cheap, and unique within any plausible flight-recorder window. *)
+let id_seq = Atomic.make 0
+
+let fresh_id_tag () =
+  (int_of_float (Unix.gettimeofday () *. 1e3)
+   lxor (Unix.getpid () * 2654435761))
+  land 0xffffffff
+
+let fresh_trace_id tag =
+  Printf.sprintf "%08x%06x" tag (Atomic.fetch_and_add id_seq 1 land 0xffffff)
 
 (* ---- minimal HTTP plumbing ---- *)
 
@@ -283,12 +312,31 @@ type t = {
   lock : Mutex.t;
   nonempty : Condition.t;
   stopping : bool Atomic.t;
+  flight : Obs.Flight.t;
+  id_tag : int;
   mutable acceptor : unit Domain.t option;
   mutable workers : unit Domain.t list;
 }
 
 let port t = t.bound_port
 let mem_cache t = t.mem
+let flight t = t.flight
+
+(* Per-request response context: the trace id rides every response as
+   X-Trace-Id, and the handler's status / cache tier are captured here so
+   the flight record matches what the client was actually told. *)
+type ctx = {
+  cx_id : string;
+  cx_fd : Unix.file_descr;
+  mutable cx_status : int;
+  mutable cx_tier : string;
+}
+
+let respond cx ~status ?(headers = []) body =
+  cx.cx_status <- status;
+  write_response cx.cx_fd ~status
+    ~headers:(("X-Trace-Id", cx.cx_id) :: headers)
+    body
 let request_stop t =
   Atomic.set t.stopping true;
   Mutex.lock t.lock;
@@ -299,19 +347,22 @@ let stopping t = Atomic.get t.stopping
 
 (* ---- /profile ---- *)
 
-let handle_profile t (req : request) ~(enqueued : float) fd =
+let handle_profile t (req : request) ~(enqueued : float) cx =
   let qp name = List.assoc_opt name req.query in
   let name = Option.value (qp "name") ~default:"posted" in
   let format = Option.value (qp "format") ~default:"summary" in
   match profile_config_of_query ~base:t.cfg.profile req.query with
   | Error msg ->
       Obs.Counter.incr c_bad;
-      write_response fd ~status:400 (msg ^ "\n")
+      respond cx ~status:400 (msg ^ "\n")
   | Ok config -> (
-      match Mil.Parse.program ~name ?entry:(qp "entry") req.body with
+      match
+        Obs.Span.with_ ~phase:"serve.parse" (fun () ->
+            Mil.Parse.program ~name ?entry:(qp "entry") req.body)
+      with
       | Error msg ->
           Obs.Counter.incr c_bad;
-          write_response fd ~status:400 ("MIL parse error: " ^ msg ^ "\n")
+          respond cx ~status:400 ("MIL parse error: " ^ msg ^ "\n")
       | Ok prog -> (
           let deadline_s =
             match Option.bind (qp "deadline") float_of_string_opt with
@@ -324,6 +375,8 @@ let handle_profile t (req : request) ~(enqueued : float) fd =
           in
           let key = Pipeline.Cache.key config prog in
           let respond_entry ~cache_tag (deps, summary) =
+            cx.cx_tier <- cache_tag;
+            Obs.Span.with_ ~phase:"serve.render" @@ fun () ->
             let entries =
               match Discovery.Suggestion.summary_of_string summary with
               | Ok es -> es
@@ -332,11 +385,11 @@ let handle_profile t (req : request) ~(enqueued : float) fd =
             let headers = [ ("X-Cache", cache_tag) ] in
             match format with
             | "depfile" ->
-                write_response fd ~status:200 ~headers
+                respond cx ~status:200 ~headers
                   (Profiler.Depfile.render deps)
             | "json" ->
                 let open Obs.Json in
-                write_response fd ~status:200
+                respond cx ~status:200
                   ~headers:(("Content-Type", "application/json") :: headers)
                   (pretty
                      (Obj
@@ -347,9 +400,12 @@ let handle_profile t (req : request) ~(enqueued : float) fd =
                           ("suggestions", Int (List.length entries));
                           ("summary", String summary) ])
                    ^ "\n")
-            | _ -> write_response fd ~status:200 ~headers summary
+            | _ -> respond cx ~status:200 ~headers summary
           in
-          match Pipeline.lookup ~mem:t.mem ?dir:t.cfg.cache_dir ~key () with
+          match
+            Obs.Span.with_ ~phase:"serve.cache_lookup" (fun () ->
+                Pipeline.lookup ~mem:t.mem ?dir:t.cfg.cache_dir ~key ())
+          with
           | Some entry, tier ->
               Obs.Counter.incr
                 (match tier with
@@ -367,61 +423,133 @@ let handle_profile t (req : request) ~(enqueued : float) fd =
                   ~name ~config prog
               in
               match Pipeline.run_job ~cancelled job with
-              | Pipeline.Ok_ ok -> (
+              | Pipeline.Ok_ ok ->
                   Obs.Counter.incr c_ok;
-                  match format with
-                  | "summary" ->
-                      write_response fd ~status:200
-                        ~headers:[ ("X-Cache", "miss") ]
-                        ok.Pipeline.jr_summary
-                  | _ -> (
-                      (* depfile/json need the dependence set itself; the
-                         job just stored it in the cache tiers. *)
-                      match
-                        Pipeline.lookup ~mem:t.mem ?dir:t.cfg.cache_dir ~key ()
-                      with
-                      | Some entry, _ -> respond_entry ~cache_tag:"miss" entry
-                      | None, _ ->
-                          write_response fd ~status:400
-                            (Printf.sprintf
-                               "format=%s requires a cache tier (mem or disk)\n"
-                               format)))
+                  (* The job carries its dependence set + summary, so
+                     depfile/json render from the fresh result even when no
+                     cache tier is configured. *)
+                  respond_entry ~cache_tag:"miss" ok.Pipeline.jr_entry
               | Pipeline.Timed_out ->
                   Obs.Counter.incr c_timeout;
-                  write_response fd ~status:504
+                  respond cx ~status:504
                     (Printf.sprintf "deadline of %.3fs exceeded\n" deadline_s)
               | Pipeline.Failed msg ->
                   Obs.Counter.incr c_failed;
-                  write_response fd ~status:500 (msg ^ "\n"))))
+                  respond cx ~status:500 (msg ^ "\n"))))
+
+(* ---- GET /metrics, /trace, /requests ---- *)
+
+let handle_metrics cx (req : request) =
+  match List.assoc_opt "format" req.query with
+  | None | Some "json" ->
+      respond cx ~status:200
+        ~headers:[ ("Content-Type", "application/json") ]
+        (Obs.Json.pretty (Obs.snapshot ()) ^ "\n")
+  | Some "prometheus" ->
+      respond cx ~status:200
+        ~headers:
+          [ ("Content-Type", "text/plain; version=0.0.4; charset=utf-8") ]
+        (Obs.prometheus ())
+  | Some other ->
+      Obs.Counter.incr c_bad;
+      respond cx ~status:400
+        (Printf.sprintf "unknown metrics format: %s\n" other)
+
+let handle_trace t cx (req : request) =
+  match List.assoc_opt "id" req.query with
+  | None | Some "" ->
+      Obs.Counter.incr c_bad;
+      respond cx ~status:400 "missing id query parameter\n"
+  | Some id -> (
+      match Obs.Flight.find t.flight id with
+      | Some r ->
+          respond cx ~status:200
+            ~headers:[ ("Content-Type", "application/json") ]
+            (Obs.Json.pretty (Obs.Flight.chrome_trace r) ^ "\n")
+      | None ->
+          respond cx ~status:404
+            (Printf.sprintf "no record of trace %s in the flight window\n" id))
 
 (* ---- connection handling ---- *)
 
 let handle_conn t ~(enqueued : float) fd =
-  match read_request fd with
-  | Error msg ->
-      Obs.Counter.incr c_bad;
-      write_response fd ~status:400 (msg ^ "\n")
-  | Ok req -> (
-      match (req.meth, req.path) with
-      | "GET", "/health" -> write_response fd ~status:200 "ok\n"
-      | "GET", "/metrics" ->
-          write_response fd ~status:200
-            ~headers:[ ("Content-Type", "application/json") ]
-            (Obs.Json.pretty (Obs.snapshot ()) ^ "\n")
-      | "POST", "/shutdown" ->
-          write_response fd ~status:200 "shutting down\n";
-          request_stop t
-      | "POST", "/profile" ->
-          let t0 = enqueued in
-          handle_profile t req ~enqueued fd;
-          Obs.Histogram.observe h_latency
-            (int_of_float ((now () -. t0) *. 1e9))
-      | _, ("/profile" | "/shutdown" | "/health" | "/metrics") ->
-          Obs.Counter.incr c_bad;
-          write_response fd ~status:405 "method not allowed\n"
-      | _ ->
-          Obs.Counter.incr c_bad;
-          write_response fd ~status:404 "not found\n")
+  let started = now () in
+  let started_ns = Obs.now_ns () in
+  let queue_ns = max 0 (int_of_float ((started -. enqueued) *. 1e9)) in
+  let cx =
+    { cx_id = fresh_trace_id t.id_tag;
+      cx_fd = fd;
+      cx_status = 0;
+      cx_tier = "-" }
+  in
+  (* Collect every span the handler runs — parse, cache lookup, the
+     profiler's own phases, rendering — into this request's tree. *)
+  Obs.Req.start ();
+  let route = ref "(bad)" in
+  let profile_req = ref false in
+  let dispatch () =
+    match read_request fd with
+    | Error msg ->
+        Obs.Counter.incr c_bad;
+        respond cx ~status:400 (msg ^ "\n")
+    | Ok req -> (
+        route := req.meth ^ " " ^ req.path;
+        match (req.meth, req.path) with
+        | "GET", "/health" -> respond cx ~status:200 "ok\n"
+        | "GET", "/metrics" -> handle_metrics cx req
+        | "GET", "/trace" -> handle_trace t cx req
+        | "GET", "/requests" ->
+            respond cx ~status:200
+              ~headers:[ ("Content-Type", "application/json") ]
+              (Obs.Json.pretty (Obs.Flight.to_json t.flight) ^ "\n")
+        | "POST", "/shutdown" ->
+            respond cx ~status:200 "shutting down\n";
+            request_stop t
+        | "POST", "/profile" ->
+            profile_req := true;
+            handle_profile t req ~enqueued cx
+        | ( _,
+            ( "/profile" | "/shutdown" | "/health" | "/metrics" | "/trace"
+            | "/requests" ) ) ->
+            Obs.Counter.incr c_bad;
+            respond cx ~status:405 "method not allowed\n"
+        | _ ->
+            Obs.Counter.incr c_bad;
+            respond cx ~status:404 "not found\n")
+  in
+  let record () =
+    (* The queue wait predates the collector; splice it in as a synthetic
+       top-level span so the trace starts when the request did. *)
+    let spans =
+      { Obs.Req.sp_name = "queue_wait";
+        sp_start_ns = started_ns - queue_ns;
+        sp_dur_ns = queue_ns;
+        sp_depth = 0 }
+      :: Obs.Req.finish ()
+    in
+    let done_at = now () in
+    let service_ns = max 0 (int_of_float ((done_at -. started) *. 1e9)) in
+    if !profile_req then begin
+      Obs.Histogram.observe h_latency
+        (max 0 (int_of_float ((done_at -. enqueued) *. 1e9)));
+      Obs.Histogram.observe h_queue_wait queue_ns;
+      Obs.Histogram.observe h_service service_ns
+    end;
+    Obs.Flight.record t.flight
+      { Obs.Flight.fr_id = cx.cx_id;
+        fr_route = !route;
+        fr_status = cx.cx_status;
+        fr_tier = cx.cx_tier;
+        fr_queue_ns = queue_ns;
+        fr_service_ns = service_ns;
+        fr_done_at = done_at;
+        fr_spans = spans }
+  in
+  match dispatch () with
+  | () -> record ()
+  | exception e ->
+      record ();
+      raise e
 
 let worker_loop t =
   let rec loop () =
@@ -450,13 +578,25 @@ let admit t fd =
   if depth >= t.cfg.queue_capacity || Atomic.get t.stopping then begin
     Mutex.unlock t.lock;
     (* Load shed at admission: answer before any parsing so a full queue
-       costs the server almost nothing. *)
+       costs the server almost nothing. Shed requests still get a trace id
+       and a flight record — an invisible rejection is the exact failure
+       mode the recorder exists to explain. *)
     Obs.Counter.incr c_shed;
+    let id = fresh_trace_id t.id_tag in
     (try
        write_response fd ~status:429
-         ~headers:[ ("Retry-After", "1") ]
+         ~headers:[ ("Retry-After", "1"); ("X-Trace-Id", id) ]
          "server at capacity\n"
      with _ -> ());
+    Obs.Flight.record t.flight
+      { Obs.Flight.fr_id = id;
+        fr_route = "(shed)";
+        fr_status = 429;
+        fr_tier = "-";
+        fr_queue_ns = 0;
+        fr_service_ns = 0;
+        fr_done_at = now ();
+        fr_spans = [] };
     try Unix.close fd with Unix.Unix_error _ -> ()
   end
   else begin
@@ -510,6 +650,11 @@ let start (cfg : config) : t =
       lock = Mutex.create ();
       nonempty = Condition.create ();
       stopping = Atomic.make false;
+      flight =
+        Obs.Flight.create ~capacity:cfg.flight_capacity
+          ~slow_capacity:cfg.slow_capacity
+          ~slow_threshold_s:cfg.slow_threshold_s;
+      id_tag = fresh_id_tag ();
       acceptor = None;
       workers = [] }
   in
@@ -556,6 +701,20 @@ let run (cfg : config) : unit =
   done;
   stop t;
   List.iter (fun (s, old) -> try Sys.set_signal s old with _ -> ()) restore;
+  (* Dump the flight recorder on the way out: the last window of requests
+     (and retained slow ones) survives the daemon for post-mortems. *)
+  (match cfg.flight_dump with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Obs.Json.pretty (Obs.Flight.to_json t.flight));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf
+        "discopop serve: flight recorder (%d requests, %d slow) -> %s\n%!"
+        (Obs.Flight.total t.flight)
+        (Obs.Flight.slow_total t.flight)
+        path);
   Printf.printf "discopop serve: stopped\n%!"
 
 (* ---- a minimal HTTP client (tests, bench, smoke) ---- *)

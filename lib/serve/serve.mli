@@ -6,6 +6,11 @@
     domains, with an in-process {!Pipeline.Mem_cache} LRU in front of the
     on-disk result cache.
 
+    Every response carries an [X-Trace-Id] header; the id resolves through
+    [GET /trace] while the request is within the flight-recorder window
+    ({!Obs.Flight}), which retains the last [flight_capacity] completed
+    requests plus an always-retained ring of slow ones.
+
     Endpoints (all connections are one-request, [Connection: close]):
 
     - [POST /profile] — body is MIL source ({!Mil.Parse.program} grammar).
@@ -16,17 +21,30 @@
       envelope), [400] on parse or parameter errors, [504] when the deadline
       expires mid-profile (cooperative cancel), [500] when the job raises.
       The [X-Cache] response header says which tier answered:
-      [mem], [disk] or [miss].
+      [mem], [disk] or [miss] (a miss renders from the freshly computed
+      result, so [format=depfile|json] work with no cache configured).
     - [GET /metrics] — the {!Obs} registry snapshot as JSON, including
       [serve.requests.{ok,shed,timeout,failed,bad}] and
       [serve.cache.{mem_hit,disk_hit,miss}] counters, the
-      [serve.queue.depth] gauge and the [serve.latency] histogram.
+      [serve.queue.depth] gauge and the [serve.latency] /
+      [serve.queue_wait] / [serve.service] histograms (latency from
+      enqueue = queue wait + service). [?format=prometheus] renders the
+      same registry in the Prometheus text format ({!Obs.prometheus});
+      unknown formats answer [400].
+    - [GET /trace?id=ID] — one request's span tree (queue-wait, parse,
+      cache lookup, the profiler's own phases, render) as Chrome Trace
+      Event JSON ({!Obs.Flight.chrome_trace}); [404] when the id has
+      left the flight window, [400] without an [id].
+    - [GET /requests] — both flight-recorder rings as JSON
+      ({!Obs.Flight.to_json}).
     - [GET /health] — [200 ok].
     - [POST /shutdown] — answers [200], then stops the daemon cleanly.
 
     Admission control: a connection arriving while the queue holds
     [queue_capacity] others is answered [429] with [Retry-After: 1] straight
-    from the acceptor, so overload degrades into cheap rejections. *)
+    from the acceptor, so overload degrades into cheap rejections — but the
+    rejection still carries an [X-Trace-Id] and lands in the flight recorder
+    as a [("(shed)", 429)] record. *)
 
 type config = {
   port : int;              (** 0 = pick an ephemeral port (see {!port}) *)
@@ -36,11 +54,17 @@ type config = {
   cache_dir : string option;  (** disk cache tier; [None] = memory only *)
   mem_capacity : int;      (** LRU entries; 0 disables the memory tier *)
   profile : Pipeline.Cache.config;  (** per-request defaults *)
+  flight_capacity : int;   (** flight-recorder main ring (min 1) *)
+  slow_capacity : int;     (** slow-request ring (min 1) *)
+  slow_threshold_s : float;  (** service time that counts as slow *)
+  flight_dump : string option;
+  (** write both rings as JSON here on {!run} shutdown *)
 }
 
 val default_config : config
 (** Port 8123, 4 workers, queue 32, 30s deadline, no disk cache, 128 LRU
-    entries, {!Pipeline.Cache.default_config}. *)
+    entries, {!Pipeline.Cache.default_config}; flight ring 512 + 64 slow
+    at a 0.25s threshold, no dump file. *)
 
 type t
 
@@ -54,6 +78,9 @@ val port : t -> int
 
 val mem_cache : t -> Pipeline.Mem_cache.t
 (** The daemon's memory cache tier (tests inspect hit counts). *)
+
+val flight : t -> Obs.Flight.t
+(** The daemon's flight recorder (tests inspect records directly). *)
 
 val request_stop : t -> unit
 (** Flag shutdown and wake every domain; returns immediately. In-flight

@@ -128,7 +128,7 @@ let batch_matches_single_runs () =
 let fault_isolation () =
   let ok_result =
     { Pipeline.jr_summary = "ok"; jr_deps = 0; jr_suggestions = 0;
-      jr_cache_hit = false }
+      jr_cache_hit = false; jr_entry = (Profiler.Dep.Set_.create (), "ok") }
   in
   let healthy =
     { Pipeline.j_name = "healthy"; j_run = (fun ~cancelled:_ -> ok_result) }
@@ -230,8 +230,41 @@ let summary_roundtrip () =
       Alcotest.(check bool) "summary text round-trips exactly" true
         (entries = back)
 
+(* jr_entry must carry exactly what the cache tiers would serve: a cold run
+   returns the freshly computed (deps, summary) pair, and a warm run the
+   loaded one — byte- and cardinality-identical. This is what lets the serve
+   daemon render a miss without re-reading the entry it just wrote. *)
+let job_entry_matches_summary () =
+  let w = List.find (fun w -> w.R.name = "histogram") Workloads.Textbook.all in
+  let prog = R.program w in
+  let mem = Pipeline.Mem_cache.create ~capacity:4 in
+  let job =
+    Pipeline.program_job ~mem ~name:"entry"
+      ~config:Pipeline.Cache.default_config prog
+  in
+  let run () =
+    match Pipeline.run_job ~cancelled:(fun () -> false) job with
+    | Pipeline.Ok_ ok -> ok
+    | _ -> Alcotest.fail "job failed"
+  in
+  let cold = run () in
+  Alcotest.(check bool) "cold run is a miss" false cold.Pipeline.jr_cache_hit;
+  let deps, summary = cold.Pipeline.jr_entry in
+  Alcotest.(check string) "entry summary = jr_summary" cold.Pipeline.jr_summary
+    summary;
+  Alcotest.(check int) "entry deps = jr_deps" cold.Pipeline.jr_deps
+    (Profiler.Dep.Set_.cardinal deps);
+  let warm = run () in
+  Alcotest.(check bool) "warm run hits" true warm.Pipeline.jr_cache_hit;
+  let wdeps, wsummary = warm.Pipeline.jr_entry in
+  Alcotest.(check string) "hit serves the same summary" summary wsummary;
+  Alcotest.(check (list string)) "hit serves the same dependences"
+    (dep_names deps) (dep_names wdeps)
+
 let tests =
   [ Alcotest.test_case "cache round-trip + invalidation" `Quick cache_roundtrip;
+    Alcotest.test_case "job entry mirrors the cache tiers" `Quick
+      job_entry_matches_summary;
     Alcotest.test_case "batch = single runs; warm = byte-identical hits" `Slow
       batch_matches_single_runs;
     Alcotest.test_case "fault isolation: raise / timeout / retry" `Quick

@@ -105,16 +105,19 @@ let test_tier_coherence () =
 (* ---- the daemon ---- *)
 
 let with_server ?(jobs = 2) ?(queue = 8) ?(deadline = 30.0) ?cache_dir
-    ?(mem = 8) f =
+    ?(mem = 8) ?(flight = 64) ?(slow_threshold = 0.25) f =
   let t =
     Serve.start
-      { Serve.port = 0;
+      { Serve.default_config with
+        Serve.port = 0;
         jobs;
         queue_capacity = queue;
         deadline_s = deadline;
         cache_dir;
         mem_capacity = mem;
-        profile = P.Cache.default_config }
+        profile = P.Cache.default_config;
+        flight_capacity = flight;
+        slow_threshold_s = slow_threshold }
   in
   Fun.protect ~finally:(fun () -> Serve.stop t) (fun () -> f t)
 
@@ -211,6 +214,158 @@ let test_http_metrics () =
           Alcotest.(check bool) "serve.cache.miss counted" true
             (count "serve.cache.miss" <> None))
 
+(* Every response must carry an X-Trace-Id that resolves through GET /trace
+   to that request's span tree (the Chrome Trace JSON names the phases the
+   daemon promises: queue wait, parse, cache lookup, profile, render). *)
+let test_http_trace_roundtrip () =
+  with_server @@ fun t ->
+  let port = Serve.port t in
+  let r =
+    ok_response (Serve.Client.post ~port ~body:small_src "/profile?name=tr")
+  in
+  Alcotest.(check int) "profile 200" 200 r.Serve.Client.status;
+  let tid =
+    match List.assoc_opt "x-trace-id" r.Serve.Client.headers with
+    | Some id -> id
+    | None -> Alcotest.fail "no X-Trace-Id on the profile response"
+  in
+  let tr = ok_response (Serve.Client.get ~port ("/trace?id=" ^ tid)) in
+  Alcotest.(check int) "trace 200" 200 tr.Serve.Client.status;
+  (match Obs.Json.of_string tr.Serve.Client.body with
+  | Error msg -> Alcotest.failf "trace is not JSON: %s" msg
+  | Ok doc ->
+      let names =
+        match Obs.Json.member "traceEvents" doc with
+        | Some (Obs.Json.List events) ->
+            List.filter_map
+              (fun e ->
+                Option.bind (Obs.Json.member "name" e) Obs.Json.get_string)
+              events
+        | _ -> Alcotest.fail "trace has no traceEvents list"
+      in
+      List.iter
+        (fun phase ->
+          Alcotest.(check bool) (phase ^ " span present") true
+            (List.mem phase names))
+        [ "queue_wait"; "serve.parse"; "serve.cache_lookup"; "profile";
+          "serve.render" ]);
+  let r = ok_response (Serve.Client.get ~port "/trace?id=feedfacecafe01") in
+  Alcotest.(check int) "unknown id 404" 404 r.Serve.Client.status;
+  let r = ok_response (Serve.Client.get ~port "/trace") in
+  Alcotest.(check int) "missing id 400" 400 r.Serve.Client.status
+
+(* GET /requests lists the flight recorder; the same record is reachable
+   in-process through Serve.flight, with route/status/tier filled in. *)
+let test_http_requests_endpoint () =
+  with_server @@ fun t ->
+  let port = Serve.port t in
+  let r =
+    ok_response (Serve.Client.post ~port ~body:small_src "/profile?name=fr")
+  in
+  let tid =
+    match List.assoc_opt "x-trace-id" r.Serve.Client.headers with
+    | Some id -> id
+    | None -> Alcotest.fail "no X-Trace-Id on the profile response"
+  in
+  let rr = ok_response (Serve.Client.get ~port "/requests") in
+  Alcotest.(check int) "requests 200" 200 rr.Serve.Client.status;
+  (match Obs.Json.of_string rr.Serve.Client.body with
+  | Error msg -> Alcotest.failf "/requests is not JSON: %s" msg
+  | Ok doc ->
+      let recent =
+        match Obs.Json.member "recent" doc with
+        | Some (Obs.Json.List rs) -> rs
+        | _ -> Alcotest.fail "/requests has no recent list"
+      in
+      let id_of r =
+        Option.bind (Obs.Json.member "id" r) Obs.Json.get_string
+      in
+      Alcotest.(check bool) "profile request listed" true
+        (List.exists (fun r -> id_of r = Some tid) recent));
+  match Obs.Flight.find (Serve.flight t) tid with
+  | None -> Alcotest.fail "trace id not in the flight recorder"
+  | Some rec_ ->
+      Alcotest.(check string) "route recorded" "POST /profile"
+        rec_.Obs.Flight.fr_route;
+      Alcotest.(check int) "status recorded" 200 rec_.Obs.Flight.fr_status;
+      Alcotest.(check string) "cold request was a miss" "miss"
+        rec_.Obs.Flight.fr_tier
+
+(* A shed request never reaches a worker, but it still gets a trace id and
+   a flight record (route "(shed)", no spans) — overload is observable. *)
+let test_shed_flight_record () =
+  with_server ~queue:0 @@ fun t ->
+  let port = Serve.port t in
+  let r =
+    ok_response (Serve.Client.post ~port ~body:small_src "/profile")
+  in
+  Alcotest.(check int) "shed 429" 429 r.Serve.Client.status;
+  let tid =
+    match List.assoc_opt "x-trace-id" r.Serve.Client.headers with
+    | Some id -> id
+    | None -> Alcotest.fail "shed response lacks X-Trace-Id"
+  in
+  match Obs.Flight.find (Serve.flight t) tid with
+  | None -> Alcotest.fail "shed request not in the flight recorder"
+  | Some rec_ ->
+      Alcotest.(check string) "shed route" "(shed)" rec_.Obs.Flight.fr_route;
+      Alcotest.(check int) "shed status" 429 rec_.Obs.Flight.fr_status;
+      Alcotest.(check (list reject)) "shed record has no spans" []
+        rec_.Obs.Flight.fr_spans
+
+(* The latency split: one POST /profile bumps serve.queue_wait,
+   serve.service and the combined serve.latency by exactly one each, and a
+   non-profile request bumps none (the registry is global, so deltas). *)
+let test_split_latency_histograms () =
+  with_server @@ fun t ->
+  let port = Serve.port t in
+  let hq = Obs.histogram "serve.queue_wait" in
+  let hs = Obs.histogram "serve.service" in
+  let hl = Obs.histogram "serve.latency" in
+  let q0 = Obs.Histogram.count hq in
+  let s0 = Obs.Histogram.count hs in
+  let l0 = Obs.Histogram.count hl in
+  let _ =
+    ok_response (Serve.Client.post ~port ~body:small_src "/profile?name=h")
+  in
+  let _ = ok_response (Serve.Client.get ~port "/health") in
+  Alcotest.(check int) "queue_wait observed once" (q0 + 1)
+    (Obs.Histogram.count hq);
+  Alcotest.(check int) "service observed once" (s0 + 1)
+    (Obs.Histogram.count hs);
+  Alcotest.(check int) "combined latency kept" (l0 + 1)
+    (Obs.Histogram.count hl)
+
+(* GET /metrics?format=prometheus answers the text exposition; a bogus
+   format is the client's fault. *)
+let test_http_metrics_prometheus () =
+  with_server @@ fun t ->
+  let port = Serve.port t in
+  let _ =
+    ok_response (Serve.Client.post ~port ~body:small_src "/profile?name=p")
+  in
+  let r =
+    ok_response (Serve.Client.get ~port "/metrics?format=prometheus")
+  in
+  Alcotest.(check int) "prometheus 200" 200 r.Serve.Client.status;
+  Alcotest.(check (option string)) "prometheus content type"
+    (Some "text/plain; version=0.0.4; charset=utf-8")
+    (List.assoc_opt "content-type" r.Serve.Client.headers);
+  let has_line prefix =
+    String.split_on_char '\n' r.Serve.Client.body
+    |> List.exists (fun l ->
+           String.length l >= String.length prefix
+           && String.sub l 0 (String.length prefix) = prefix)
+  in
+  Alcotest.(check bool) "ok counter exposed" true
+    (has_line "serve_requests_ok_total ");
+  Alcotest.(check bool) "queue_wait histogram exposed" true
+    (has_line "serve_queue_wait_seconds_count ");
+  Alcotest.(check bool) "service histogram exposed" true
+    (has_line "serve_service_seconds_bucket{");
+  let r = ok_response (Serve.Client.get ~port "/metrics?format=xml") in
+  Alcotest.(check int) "unknown format 400" 400 r.Serve.Client.status
+
 let test_http_shutdown () =
   with_server @@ fun t ->
   let port = Serve.port t in
@@ -235,4 +390,14 @@ let tests =
     Alcotest.test_case "HTTP deadline 504" `Quick test_http_deadline_504;
     Alcotest.test_case "HTTP load shed 429" `Quick test_http_load_shed_429;
     Alcotest.test_case "HTTP metrics endpoint" `Quick test_http_metrics;
+    Alcotest.test_case "HTTP trace id round-trip" `Quick
+      test_http_trace_roundtrip;
+    Alcotest.test_case "HTTP requests endpoint" `Quick
+      test_http_requests_endpoint;
+    Alcotest.test_case "shed requests hit the flight recorder" `Quick
+      test_shed_flight_record;
+    Alcotest.test_case "queue-wait/service latency split" `Quick
+      test_split_latency_histograms;
+    Alcotest.test_case "HTTP prometheus exposition" `Quick
+      test_http_metrics_prometheus;
     Alcotest.test_case "HTTP shutdown" `Quick test_http_shutdown ]
