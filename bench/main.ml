@@ -30,6 +30,8 @@ let experiments : (string * string * (unit -> unit)) list =
     ("speedup-textbook", "Table 4.2: textbook speedups", Exp_speedup.run_textbook);
     ("transform", "Table 4.2 applied: transformed, validated, measured speedups",
      Exp_transform.run);
+    ("measure", "Measured speedups: transformed programs on the task runtime",
+     Exp_measure.run);
     ("histogram-suggest", "Table 4.3: histogram suggestions",
      Exp_doall.run_histogram);
     ("doacross", "Table 4.4: DOACROSS detection", Exp_doall.run_doacross);

@@ -551,14 +551,40 @@ let parallelize_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Also write the transform report to FILE.")
   in
+  let measure_arg =
+    Arg.(value & flag & info [ "measure" ]
+           ~doc:"Execute the transformed program on a work-stealing pool of \
+                 real domains (1..--domains sweep, warmup + repetitions) and \
+                 report wall-clock speedup vs the sequential original, with \
+                 an output-equality check per run. Writes \
+                 MEASURE_<workload>.json; unequal output exits non-zero.")
+  in
+  let domains_arg =
+    Arg.(value & opt int 4 & info [ "domains" ] ~docv:"N"
+           ~doc:"Maximum domain count for the --measure sweep.")
+  in
+  let warmup_arg =
+    Arg.(value & opt int 1 & info [ "warmup" ] ~docv:"W"
+           ~doc:"Untimed warmup runs per --measure configuration.")
+  in
+  let reps_arg =
+    Arg.(value & opt int 3 & info [ "reps" ] ~docv:"R"
+           ~doc:"Timed repetitions per --measure configuration (median is \
+                 reported).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Print a machine-readable JSON summary to stdout instead of \
+                 the human report (diagnostics still go to stderr).")
+  in
   let seed_list n =
     List.init n (fun k ->
         match List.nth_opt Transform.Validate.default_seeds k with
         | Some s -> s
         | None -> (k * 99991) + 17)
   in
-  let run name size suggestion chunks validate seeds emit output threads stats
-      trace =
+  let run name size suggestion chunks validate seeds emit output threads
+      measure domains warmup reps json stats trace =
     let w = or_die (find_workload name) in
     let prog = Workloads.Registry.program ?size w in
     let code =
@@ -569,10 +595,25 @@ let parallelize_cmd =
       out "# parallelize %s (size %d, %d chunks)\n" w.name
         (match size with Some s -> s | None -> w.default_size)
         chunks;
+      (* Rejection diagnostics go to stderr so stdout stays a clean report
+         (or clean JSON with --json); they are also collected for the JSON
+         summary. *)
+      let skipped_acc = ref [] in
       let skip (s : Discovery.Suggestion.t) reason =
-        out "  skipped %s @ region %d: %s\n"
-          (Discovery.Suggestion.kind_to_string s.kind)
-          s.region reason
+        let kind = Discovery.Suggestion.kind_to_string s.kind in
+        Printf.eprintf "parallelize: skipped %s @ region %d: %s\n" kind
+          s.region reason;
+        skipped_acc := (kind, s.region, reason) :: !skipped_acc
+      in
+      let json_skipped () =
+        Obs.Json.List
+          (List.rev_map
+             (fun (kind, region, reason) ->
+               Obs.Json.Obj
+                 [ ("kind", Obs.Json.String kind);
+                   ("region", Obs.Json.Int region);
+                   ("reason", Obs.Json.String reason) ])
+             !skipped_acc)
       in
       let applied =
         if suggestion = 0 then
@@ -602,7 +643,15 @@ let parallelize_cmd =
       let code =
         match applied with
         | Error msg ->
-            out "error: %s\n" msg;
+            Printf.eprintf "parallelize: error: %s\n" msg;
+            if json then
+              print_endline
+                (Obs.Json.pretty
+                   (Obs.Json.Obj
+                      [ ("workload", Obs.Json.String w.name);
+                        ("ok", Obs.Json.Bool false);
+                        ("error", Obs.Json.String msg);
+                        ("skipped", json_skipped ()) ]));
             1
         | Ok t ->
             out "%s" (Transform.Parallelize.plan_to_string t.plan);
@@ -622,20 +671,98 @@ let parallelize_cmd =
                   s.score.Discovery.Ranking.combined
             | None -> ());
             let d =
-              Transform.Validate.measure ~original:t.original t.transformed
+              Transform.Validate.measure ~label:w.name ~original:t.original
+                t.transformed
             in
             out "%s" (Transform.Validate.distribution_to_string d);
-            if validate then begin
-              let v =
-                Transform.Validate.differential ~seeds:(seed_list seeds)
-                  ~original:t.original ~transformed:t.transformed ()
+            let verdict =
+              if validate then
+                Some
+                  (Transform.Validate.differential ~seeds:(seed_list seeds)
+                     ~original:t.original ~transformed:t.transformed ())
+              else None
+            in
+            (match verdict with
+            | Some v -> out "%s" (Transform.Validate.verdict_to_string v)
+            | None -> ());
+            let measured =
+              if measure then begin
+                let m =
+                  Transform.Measure.measure ~domains ~warmup ~reps ~name:w.name
+                    ~original:t.original t.transformed
+                in
+                out "\n%s" (Transform.Measure.to_string m);
+                let path = Printf.sprintf "MEASURE_%s.json" w.name in
+                Out_channel.with_open_text path (fun oc ->
+                    Out_channel.output_string oc
+                      (Obs.Json.pretty (Transform.Measure.to_json m));
+                    Out_channel.output_char oc '\n');
+                Printf.eprintf "wrote %s\n" path;
+                if not m.Transform.Measure.m_equal then
+                  Printf.eprintf
+                    "parallelize: transformed output differs from sequential \
+                     under --measure\n";
+                Some m
+              end
+              else None
+            in
+            if json then begin
+              let fields =
+                [ ("workload", Obs.Json.String w.name);
+                  ( "size",
+                    Obs.Json.Int
+                      (match size with Some s -> s | None -> w.default_size) );
+                  ("chunks", Obs.Json.Int chunks);
+                  ("kind", Obs.Json.String t.plan.Transform.Parallelize.p_kind);
+                  ("region", Obs.Json.Int t.plan.Transform.Parallelize.p_region);
+                  ("line", Obs.Json.Int t.plan.Transform.Parallelize.p_line);
+                  ( "modeled_speedup",
+                    match modeled with
+                    | Some s ->
+                        Obs.Json.Float s.score.Discovery.Ranking.combined
+                    | None -> Obs.Json.Null );
+                  ( "proxy_speedup",
+                    Obs.Json.Float d.Transform.Validate.d_measured_speedup );
+                  ("skipped", json_skipped ()) ]
               in
-              out "%s" (Transform.Validate.verdict_to_string v);
-              if v.Transform.Validate.v_ok then 0 else 1
-            end
-            else 0
+              let fields =
+                fields
+                @ (match verdict with
+                  | Some v ->
+                      [ ( "validation",
+                          Obs.Json.String
+                            (if v.Transform.Validate.v_ok then "pass"
+                             else "fail") ) ]
+                  | None -> [])
+                @ (match measured with
+                  | Some m -> [ ("measure", Transform.Measure.to_json m) ]
+                  | None -> [])
+              in
+              let ok =
+                (match verdict with
+                | Some v -> v.Transform.Validate.v_ok
+                | None -> true)
+                && match measured with
+                   | Some m -> m.Transform.Measure.m_equal
+                   | None -> true
+              in
+              print_endline
+                (Obs.Json.pretty
+                   (Obs.Json.Obj (fields @ [ ("ok", Obs.Json.Bool ok) ])))
+            end;
+            let validate_failed =
+              match verdict with
+              | Some v -> not v.Transform.Validate.v_ok
+              | None -> false
+            in
+            let measure_failed =
+              match measured with
+              | Some m -> not m.Transform.Measure.m_equal
+              | None -> false
+            in
+            if validate_failed || measure_failed then 1 else 0
       in
-      print_string (Buffer.contents buf);
+      if not json then print_string (Buffer.contents buf);
       (match output with
       | None -> ()
       | Some path ->
@@ -650,6 +777,7 @@ let parallelize_cmd =
     Term.(
       const run $ workload_arg $ size_arg $ suggestion_arg $ chunks_arg
       $ validate_arg $ seeds_arg $ emit_arg $ report_out_arg $ threads_arg
+      $ measure_arg $ domains_arg $ warmup_arg $ reps_arg $ json_arg
       $ stats_arg $ trace_arg)
 
 (* batch *)
@@ -685,6 +813,18 @@ let batch_cmd =
                  entries store Depfile-v2 dependences plus the serialized \
                  suggestion summary.")
   in
+  let cache_max_mb_arg =
+    Arg.(value & opt (some int) None & info [ "cache-max-mb" ] ~docv:"MB"
+           ~doc:"Cap the cache directory at MB megabytes: after each \
+                 publish, least-recently-used entries (oldest mtime; loads \
+                 refresh it) are evicted until the directory fits. The \
+                 just-published entry is never evicted.")
+  in
+  let cache_ttl_arg =
+    Arg.(value & opt (some float) None & info [ "cache-ttl" ] ~docv:"SEC"
+           ~doc:"Evict cache entries not written or read for SEC seconds, \
+                 swept after each publish.")
+  in
   let timeout_arg =
     Arg.(value & opt float 120.0 & info [ "timeout" ] ~docv:"SEC"
            ~doc:"Per-job wall-clock budget; an overrunning job is reported \
@@ -705,8 +845,8 @@ let batch_cmd =
            ~doc:"Thread count assumed by the local-speedup metric (part of \
                  the cache key).")
   in
-  let run names suite jobs cache timeout retries json signature skip workers
-      threads stats trace =
+  let run names suite jobs cache cache_max_mb cache_ttl timeout retries json
+      signature skip workers threads stats trace =
     let ws =
       match names with
       | [] -> (
@@ -729,8 +869,13 @@ let batch_cmd =
       let config =
         { Pipeline.Cache.shadow = shadow_of signature; skip; workers; threads }
       in
+      let cache_limits =
+        Pipeline.Cache.limits ?max_mb:cache_max_mb ?ttl_s:cache_ttl ()
+      in
       let job_list =
-        List.map (Pipeline.workload_job ?cache_dir:cache ~config) ws
+        List.map
+          (Pipeline.workload_job ?cache_dir:cache ~cache_limits ~config)
+          ws
       in
       let rep =
         Pipeline.run_batch ~jobs ~timeout_s:timeout ~retries job_list
@@ -758,9 +903,10 @@ let batch_cmd =
   in
   Cmd.v (Cmd.info "batch" ~doc)
     Term.(
-      const run $ names_arg $ suite_arg $ jobs_arg $ cache_arg $ timeout_arg
-      $ retries_arg $ json_arg $ sig_arg $ skip_arg $ workers_arg
-      $ threads_arg $ stats_arg $ trace_arg)
+      const run $ names_arg $ suite_arg $ jobs_arg $ cache_arg
+      $ cache_max_mb_arg $ cache_ttl_arg $ timeout_arg $ retries_arg
+      $ json_arg $ sig_arg $ skip_arg $ workers_arg $ threads_arg $ stats_arg
+      $ trace_arg)
 
 (* races *)
 let races_cmd =
@@ -827,6 +973,15 @@ let serve_cmd =
            ~doc:"On-disk result cache shared with $(b,discopop batch) \
                  (same content-addressed keys).")
   in
+  let cache_max_mb_arg =
+    Arg.(value & opt (some int) None & info [ "cache-max-mb" ] ~docv:"MB"
+           ~doc:"Cap the on-disk cache at MB megabytes (LRU-by-mtime sweep \
+                 after each publish; loads refresh recency).")
+  in
+  let cache_ttl_arg =
+    Arg.(value & opt (some float) None & info [ "cache-ttl" ] ~docv:"SEC"
+           ~doc:"Evict on-disk cache entries idle for SEC seconds.")
+  in
   let mem_arg =
     Arg.(value & opt int 128 & info [ "mem-cache" ] ~docv:"N"
            ~doc:"In-process LRU capacity in entries (0 disables the memory \
@@ -852,12 +1007,15 @@ let serve_cmd =
            ~doc:"Write both flight-recorder rings as JSON to $(docv) on \
                  shutdown.")
   in
-  let run port jobs queue deadline cache mem signature skip workers threads
-      flight slow_threshold flight_dump =
+  let run port jobs queue deadline cache cache_max_mb cache_ttl mem signature
+      skip workers threads flight slow_threshold flight_dump =
     Serve.run
       { Serve.default_config with
         Serve.port; jobs; queue_capacity = queue; deadline_s = deadline;
-        cache_dir = cache; mem_capacity = mem;
+        cache_dir = cache;
+        cache_limits =
+          Pipeline.Cache.limits ?max_mb:cache_max_mb ?ttl_s:cache_ttl ();
+        mem_capacity = mem;
         profile =
           { Pipeline.Cache.shadow = shadow_of signature; skip; workers;
             threads };
@@ -867,8 +1025,8 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ port_arg $ jobs_arg $ queue_arg $ deadline_arg $ cache_arg
-      $ mem_arg $ sig_arg $ skip_arg $ workers_arg $ threads_arg $ flight_arg
-      $ slow_arg $ flight_dump_arg)
+      $ cache_max_mb_arg $ cache_ttl_arg $ mem_arg $ sig_arg $ skip_arg
+      $ workers_arg $ threads_arg $ flight_arg $ slow_arg $ flight_dump_arg)
 
 let () =
   let doc = "DiscoPoP: discovery of potential parallelism in sequential programs" in

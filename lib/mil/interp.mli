@@ -29,6 +29,14 @@ module Rng : sig
   val int : t -> int -> int
 end
 
+val truthy : int -> bool
+(** MIL's boolean coercion: any non-zero value is true. *)
+
+val apply_binop : Ast.binop -> int -> int -> int
+(** The shared arithmetic/comparison semantics (division by zero yields 0,
+    shifts mask their count); {!Par_eval} reuses it so the two evaluators
+    cannot drift. *)
+
 type stats = {
   mutable reads : int;
   mutable writes : int;

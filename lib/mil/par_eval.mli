@@ -1,0 +1,44 @@
+(** Parallel MIL evaluation on real domains.
+
+    Where {!Interp} runs [Par] blocks as cooperative fibers to *profile*
+    them, this evaluator runs them on OCaml 5 domains to *measure* them:
+    DOALL chunk blocks and SPMD task trees execute as fork-join tasks on a
+    {!Runtime.Pool} work-stealing pool, while blocks containing blocking
+    synchronisation ([Lock]/[Unlock]/[Barrier] — e.g. the lock-serialized
+    DOACROSS hand-offs emitted by [Transform.Parallelize]) each get a
+    dedicated domain, so a busy-wait hand-off can never starve a pool
+    worker. [Lock] is a real [Mutex.t]; [Atomic_assign] serializes its
+    read-modify-write through a stripe of mutexes hashed by target address.
+
+    Memory is a paged shared heap ([int array] pages behind an [Atomic.t]
+    page table) with per-task bump arenas, so concurrent tasks allocate
+    without contending on anything but a fetch-and-add per arena refill.
+
+    No instrumentation events are emitted; this is the measured-execution
+    backend behind [discopop parallelize --measure]. *)
+
+type result = {
+  result : int;  (** the entry function's return value *)
+  final_globals : (string * int array) list;
+      (** final value of every global in declaration order, scalars as
+          1-element arrays — same shape as {!Interp.run_result} so output
+          equality checks compare directly *)
+}
+
+val run :
+  ?domains:int ->
+  ?pool:Runtime.Pool.t ->
+  ?seed:int ->
+  ?on_print:(int list -> unit) ->
+  ?cancelled:(unit -> bool) ->
+  Ast.program ->
+  result
+(** Execute the program. [pool] reuses an existing (already running)
+    work-stealing pool — what {!Measure} does across repetitions so pool
+    spin-up is not timed; otherwise a fresh pool of [domains] executors is
+    created for the run and shut down afterwards ([domains = 1] runs
+    sync-free [Par] blocks inline and still gives dedicated domains to
+    blocks that synchronise). [on_print] observes [print] calls (serialized
+    by a mutex when tasks race). [cancelled] is polled every ~2k statements
+    per task, as in {!Interp.run}; a true verdict raises
+    {!Interp.Cancelled} out of every task and then out of [run]. *)

@@ -20,6 +20,7 @@ let c_timeout = Obs.counter "pipeline.jobs.timeout"
 let c_cache_hit = Obs.counter "pipeline.jobs.cache_hit"
 let c_cache_miss = Obs.counter "pipeline.jobs.cache_miss"
 let c_retried = Obs.counter "pipeline.jobs.retried"
+let c_evicted = Obs.counter "pipeline.cache.evicted"
 
 (* ---- content-addressed cache ---- *)
 
@@ -57,6 +58,101 @@ module Cache = struct
   let deps_path ~dir ~key = Filename.concat dir (key ^ ".deps")
   let sugg_path ~dir ~key = Filename.concat dir (key ^ ".sugg")
 
+  type limits = { max_bytes : int option; ttl_s : float option }
+
+  let no_limits = { max_bytes = None; ttl_s = None }
+
+  let limits ?max_mb ?ttl_s () =
+    { max_bytes = Option.map (fun mb -> mb * 1024 * 1024) max_mb; ttl_s }
+
+  (* mtime doubles as the recency stamp: {!load} touches both files of an
+     entry on a hit, so LRU-by-mtime sees reads, not just writes. *)
+  let touch path = try Unix.utimes path 0.0 0.0 with Unix.Unix_error _ -> ()
+
+  (* One entry = the <key>.deps / <key>.sugg pair; its size is the pair's
+     total bytes, its recency the newer of the two mtimes. Files vanishing
+     mid-scan (a concurrent sweep) are skipped, never an error. *)
+  let entries dir =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> []
+    | files ->
+        let tbl = Hashtbl.create 32 in
+        Array.iter
+          (fun f ->
+            match Filename.extension f with
+            | ".deps" | ".sugg" -> (
+                match Unix.stat (Filename.concat dir f) with
+                | exception Unix.Unix_error _ -> ()
+                | st ->
+                    let key = Filename.remove_extension f in
+                    let sz, mt =
+                      try Hashtbl.find tbl key with Not_found -> (0, 0.0)
+                    in
+                    Hashtbl.replace tbl key
+                      ( sz + st.Unix.st_size,
+                        Float.max mt st.Unix.st_mtime ))
+            | _ -> ())
+          files;
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+
+  let remove_entry ~dir ~key =
+    List.iter
+      (fun p -> try Sys.remove p with Sys_error _ -> ())
+      [ deps_path ~dir ~key; sugg_path ~dir ~key ]
+
+  (* Evict expired entries (mtime older than the TTL), then — if the
+     directory still exceeds the byte budget — least-recently-used entries,
+     oldest mtime first, until it fits. [keep] shields a key (the one just
+     published) from eviction regardless of budget pressure. Returns the
+     number of entries removed; also counted on [pipeline.cache.evicted]. *)
+  let sweep ?keep ~dir (l : limits) : int =
+    if l.max_bytes = None && l.ttl_s = None then 0
+    else begin
+      let now = Unix.gettimeofday () in
+      let keep_key k = keep = Some k in
+      let evicted = ref 0 in
+      let evict key =
+        remove_entry ~dir ~key;
+        incr evicted
+      in
+      let live = entries dir in
+      let live =
+        match l.ttl_s with
+        | None -> live
+        | Some ttl ->
+            List.filter
+              (fun (k, (_, mt)) ->
+                if (not (keep_key k)) && now -. mt > ttl then begin
+                  evict k;
+                  false
+                end
+                else true)
+              live
+      in
+      (match l.max_bytes with
+      | None -> ()
+      | Some budget ->
+          let total =
+            List.fold_left (fun acc (_, (sz, _)) -> acc + sz) 0 live
+          in
+          let by_age =
+            List.sort (fun (_, (_, a)) (_, (_, b)) -> compare a b) live
+          in
+          let rec drop total = function
+            | [] -> ()
+            | _ when total <= budget -> ()
+            | (k, (sz, _)) :: rest ->
+                if keep_key k then drop total rest
+                else begin
+                  evict k;
+                  drop (total - sz) rest
+                end
+          in
+          drop total by_age);
+      Obs.Counter.add c_evicted !evicted;
+      !evicted
+    end
+
   let read_file path =
     match open_in_bin path with
     | exception Sys_error _ -> None
@@ -77,7 +173,12 @@ module Cache = struct
             (* A summary that no longer parses is a miss: the job re-runs
                and overwrites the entry. *)
             match Suggestion.summary_of_string summary with
-            | Ok _ -> Some (deps, summary)
+            | Ok _ ->
+                (* refresh the recency stamp so LRU eviction spares entries
+                   that are actually being read *)
+                touch (deps_path ~dir ~key);
+                touch (sugg_path ~dir ~key);
+                Some (deps, summary)
             | Error _ -> None))
 
   (* Atomic publish: write to a unique temp file in the cache directory,
@@ -101,10 +202,13 @@ module Cache = struct
       with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
     end
 
-  let store ~dir ~key ~deps ~summary =
+  let store ?(limits = no_limits) ~dir ~key ~deps ~summary () =
     mkdir_p dir;
     write_atomic (deps_path ~dir ~key) (Profiler.Depfile.render deps);
-    write_atomic (sugg_path ~dir ~key) summary
+    write_atomic (sugg_path ~dir ~key) summary;
+    (* publish-time sweep: the just-written entry is shielded, so a budget
+       smaller than one entry still leaves the latest result readable *)
+    ignore (sweep ~keep:key ~dir limits)
 end
 
 (* ---- in-process memory cache tier ---- *)
@@ -242,8 +346,8 @@ let serial_of_parallel (p : Profiler.Parallel.result) : Profiler.Serial.result =
     merging_factor = p.Profiler.Parallel.merging_factor;
     interp = p.Profiler.Parallel.interp }
 
-let program_job ?cache_dir ?mem ~name ~(config : Cache.config)
-    (prog : Mil.Ast.program) : job =
+let program_job ?cache_dir ?(cache_limits = Cache.no_limits) ?mem ~name
+    ~(config : Cache.config) (prog : Mil.Ast.program) : job =
   let run ~cancelled =
     let key = Cache.key config prog in
     match lookup ?mem ?dir:cache_dir ~key () with
@@ -283,7 +387,10 @@ let program_job ?cache_dir ?mem ~name ~(config : Cache.config)
           Suggestion.summary_to_string ~name (Suggestion.summarize report)
         in
         let deps = profile.Profiler.Serial.deps in
-        Option.iter (fun dir -> Cache.store ~dir ~key ~deps ~summary) cache_dir;
+        Option.iter
+          (fun dir ->
+            Cache.store ~limits:cache_limits ~dir ~key ~deps ~summary ())
+          cache_dir;
         Option.iter (fun m -> Mem_cache.add m key (deps, summary)) mem;
         { jr_summary = summary;
           jr_deps = Profiler.Dep.Set_.cardinal deps;
@@ -294,7 +401,7 @@ let program_job ?cache_dir ?mem ~name ~(config : Cache.config)
   in
   { j_name = name; j_run = run }
 
-let workload_job ?cache_dir ?mem ?size ~(config : Cache.config)
+let workload_job ?cache_dir ?cache_limits ?mem ?size ~(config : Cache.config)
     (w : Workloads.Registry.t) : job =
   let name = w.Workloads.Registry.name in
   (* Build the program inside the job so a raising builder is isolated by
@@ -303,7 +410,8 @@ let workload_job ?cache_dir ?mem ?size ~(config : Cache.config)
     j_run =
       (fun ~cancelled ->
         let prog = Workloads.Registry.program ?size w in
-        (program_job ?cache_dir ?mem ~name ~config prog).j_run ~cancelled) }
+        (program_job ?cache_dir ?cache_limits ?mem ~name ~config prog).j_run
+          ~cancelled) }
 
 (* One job outside the batch driver: run it on the calling domain with the
    caller's cancel flag, isolating faults into a [status]. A poll that fires

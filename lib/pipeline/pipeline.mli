@@ -36,20 +36,42 @@ module Cache : sig
   (** Hex digest of the rendered program + [config_to_string] + cache format
       version. *)
 
+  (** Retention policy for the cache directory, enforced by {!sweep}.
+      [None] in a field means unbounded on that axis. *)
+  type limits = { max_bytes : int option; ttl_s : float option }
+
+  val no_limits : limits
+
+  val limits : ?max_mb:int -> ?ttl_s:float -> unit -> limits
+  (** Convenience constructor; [max_mb] is converted to bytes. *)
+
   val load :
     dir:string -> key:string -> (Profiler.Dep.Set_.t * string) option
   (** The cached (dependences, suggestion-summary text) for [key], or [None]
       if either file is absent or fails to parse (a malformed entry is a
-      miss, never an error). *)
+      miss, never an error). A hit refreshes the entry's mtime
+      ([Unix.utimes]) so LRU eviction tracks reads, not just writes. *)
 
   val store :
+    ?limits:limits ->
     dir:string ->
     key:string ->
     deps:Profiler.Dep.Set_.t ->
     summary:string ->
+    unit ->
     unit
   (** Write both files atomically (temp file + rename), creating [dir] if
-      needed; concurrent writers of the same key are safe. *)
+      needed; concurrent writers of the same key are safe. With [limits]
+      (default {!no_limits}), runs {!sweep} after publishing, shielding the
+      just-written key. *)
+
+  val sweep : ?keep:string -> dir:string -> limits -> int
+  (** Enforce [limits] on the directory now: delete entries whose mtime is
+      older than [ttl_s], then — while the directory's total size exceeds
+      [max_bytes] — the least-recently-used remaining entries (oldest mtime
+      first). An entry is the [<key>.deps]/[<key>.sugg] pair; [keep] shields
+      one key. Returns the number of entries evicted, also added to the
+      [pipeline.cache.evicted] counter. With {!no_limits} this is a no-op. *)
 end
 
 (** In-process LRU tier in front of the disk cache, keyed by the same
@@ -136,17 +158,18 @@ type report = {
 }
 
 val program_job :
-  ?cache_dir:string -> ?mem:Mem_cache.t -> name:string ->
-  config:Cache.config -> Mil.Ast.program -> job
+  ?cache_dir:string -> ?cache_limits:Cache.limits -> ?mem:Mem_cache.t ->
+  name:string -> config:Cache.config -> Mil.Ast.program -> job
 (** The full pipeline over an arbitrary MIL program (e.g. one POSTed to
     [discopop serve] and parsed with {!Mil.Parse.program}): consult the
     memory then disk cache tiers, else profile per [config] — polling
     [cancelled] so a deadline can abort mid-run — analyze, summarize, and
-    populate both tiers. *)
+    populate both tiers. [cache_limits] (default {!Cache.no_limits}) is
+    enforced by a sweep at each disk publish. *)
 
 val workload_job :
-  ?cache_dir:string -> ?mem:Mem_cache.t -> ?size:int -> config:Cache.config ->
-  Workloads.Registry.t -> job
+  ?cache_dir:string -> ?cache_limits:Cache.limits -> ?mem:Mem_cache.t ->
+  ?size:int -> config:Cache.config -> Workloads.Registry.t -> job
 (** {!program_job} over one registry workload, built inside the job so a
     raising builder is isolated like any other fault. *)
 

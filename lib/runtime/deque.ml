@@ -1,0 +1,93 @@
+(* Chase-Lev work-stealing deque.
+
+   The owner pushes and pops at the [bottom]; thieves steal from the [top]
+   with a CAS.  OCaml 5 atomics are sequentially consistent, so the simple
+   formulation of the algorithm (Chase & Lev, SPAA'05) is sound without the
+   explicit fences of the C11 version.
+
+   Slots hold ['a option] so a taken element can be dropped eagerly (no
+   space leak keeping dead closures alive through the circular buffer).
+   The buffer grows owner-side only; growth copies the [Atomic.t] cells
+   themselves, so a thief that raced with a resize still reads the same
+   cell object for any index in the live [top, bottom) window. *)
+
+type 'a t = {
+  mutable slots : 'a option Atomic.t array;
+  mutable mask : int;
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+}
+
+let create ?(capacity = 64) () =
+  let capacity = max 2 capacity in
+  (* round up to a power of two *)
+  let cap = ref 2 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  {
+    slots = Array.init !cap (fun _ -> Atomic.make None);
+    mask = !cap - 1;
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+  }
+
+(* Owner-side size estimate; thieves only need "looks non-empty". *)
+let size q = max 0 (Atomic.get q.bottom - Atomic.get q.top)
+
+let grow q bottom top =
+  let old = q.slots and old_mask = q.mask in
+  let n = (old_mask + 1) * 2 in
+  let slots = Array.init n (fun _ -> Atomic.make None) in
+  for i = top to bottom - 1 do
+    slots.(i land (n - 1)) <- old.(i land old_mask)
+  done;
+  q.slots <- slots;
+  q.mask <- n - 1
+
+(* Owner only. *)
+let push q x =
+  let b = Atomic.get q.bottom and t = Atomic.get q.top in
+  if b - t > q.mask then grow q b t;
+  Atomic.set q.slots.(b land q.mask) (Some x);
+  Atomic.set q.bottom (b + 1)
+
+(* Owner only. *)
+let pop q =
+  let b = Atomic.get q.bottom - 1 in
+  Atomic.set q.bottom b;
+  let t = Atomic.get q.top in
+  if b < t then begin
+    (* empty: restore bottom *)
+    Atomic.set q.bottom t;
+    None
+  end
+  else begin
+    let cell = q.slots.(b land q.mask) in
+    let x = Atomic.get cell in
+    if b > t then begin
+      Atomic.set cell None;
+      x
+    end
+    else begin
+      (* last element: race thieves for it via top *)
+      let won = Atomic.compare_and_set q.top t (t + 1) in
+      Atomic.set q.bottom (t + 1);
+      if won then begin
+        Atomic.set cell None;
+        x
+      end
+      else None
+    end
+  end
+
+(* Any domain.  [None] means empty or lost a race; callers just move on to
+   another victim, so the two cases need not be distinguished. *)
+let steal q =
+  let t = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  if t >= b then None
+  else begin
+    let x = Atomic.get q.slots.(t land q.mask) in
+    if Atomic.compare_and_set q.top t (t + 1) then x else None
+  end

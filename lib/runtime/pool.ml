@@ -1,0 +1,238 @@
+(* A pool of persistent worker domains around per-executor Chase-Lev deques.
+
+   Executor 0 is the *caller*: [run] temporarily enrols the calling domain
+   so it pushes/pops its own deque like any worker.  Executors 1..n-1 are
+   spawned domains that live until [shutdown].  Work submitted from a
+   domain that is not an executor goes through a mutex-protected inject
+   queue, which executors poll when their own deque and steals come up
+   empty.
+
+   Tasks must not block: [Sched.await] helps (pop own deque, steal, run
+   injected work) instead of waiting, so as long as every submitted task
+   is itself non-blocking the pool cannot deadlock.  Code that needs real
+   blocking (the interpreter's lock-serialized DOACROSS hand-offs) runs on
+   dedicated domains outside the pool — see [Mil.Par_eval]. *)
+
+type stats = {
+  mutable tasks : int;  (* tasks executed by this executor *)
+  mutable steals : int; (* successful steals by this executor *)
+  mutable busy_ns : int; (* wall time spent inside tasks *)
+}
+
+type t = {
+  uid : int;
+  n : int; (* executors, including the caller slot 0 *)
+  deques : (unit -> unit) Deque.t array;
+  stats : stats array;
+  inject : (unit -> unit) Queue.t;
+  inject_mu : Mutex.t;
+  stop : bool Atomic.t;
+  pending : int Atomic.t; (* submitted but not yet completed *)
+  mutable workers : unit Domain.t array;
+  c_tasks : Obs.counter;
+  c_steals : Obs.counter;
+  c_busy : Obs.counter array;
+}
+
+let next_uid = Atomic.make 0
+
+(* Which pool/executor the current domain is enrolled in, if any. *)
+let dls : (int * int) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let my_exec pool =
+  match !(Domain.DLS.get dls) with
+  | Some (uid, i) when uid = pool.uid -> Some i
+  | _ -> None
+
+let size pool = pool.n
+
+(* Cheap per-executor xorshift for randomized victim order. *)
+let rand_next st =
+  let x = !st in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  st := x land max_int;
+  !st
+
+let execute pool i f =
+  let t0 = Obs.now_ns () in
+  (try f ()
+   with _ ->
+     (* Futures capture exceptions before they reach the pool; a stray one
+        from a bare [submit] must not kill the worker. *)
+     ());
+  let dt = Obs.now_ns () - t0 in
+  if i >= 0 then begin
+    let st = pool.stats.(i) in
+    st.tasks <- st.tasks + 1;
+    st.busy_ns <- st.busy_ns + dt;
+    Obs.Counter.add pool.c_busy.(i) dt
+  end;
+  Obs.Counter.incr pool.c_tasks;
+  ignore (Atomic.fetch_and_add pool.pending (-1))
+
+let try_inject pool =
+  Mutex.lock pool.inject_mu;
+  let task = if Queue.is_empty pool.inject then None else Some (Queue.pop pool.inject) in
+  Mutex.unlock pool.inject_mu;
+  task
+
+(* One scheduling attempt for executor [i]: own deque, then steals in a
+   randomized sweep over the other executors, then the inject queue.
+   Returns true if a task was run. *)
+let try_run_as pool i rng =
+  match Deque.pop pool.deques.(i) with
+  | Some f ->
+      execute pool i f;
+      true
+  | None -> (
+      let n = pool.n in
+      let stolen = ref None in
+      if n > 1 then begin
+        let off = rand_next rng in
+        let k = ref 0 in
+        while !stolen = None && !k < n - 1 do
+          let v = (i + 1 + ((off + !k) mod (n - 1))) mod n in
+          (match Deque.steal pool.deques.(v) with
+          | Some f -> stolen := Some f
+          | None -> ());
+          incr k
+        done
+      end;
+      match !stolen with
+      | Some f ->
+          pool.stats.(i).steals <- pool.stats.(i).steals + 1;
+          Obs.Counter.incr pool.c_steals;
+          execute pool i f;
+          true
+      | None -> (
+          match try_inject pool with
+          | Some f ->
+              execute pool i f;
+              true
+          | None -> false))
+
+(* Help from a domain that is not an executor of this pool: steal or take
+   injected work.  Keeps external [await]ers productive and guarantees
+   progress even if every worker is busy. *)
+let try_run_external pool rng =
+  let stolen = ref None in
+  let off = rand_next rng in
+  let k = ref 0 in
+  while !stolen = None && !k < pool.n do
+    (match Deque.steal pool.deques.((off + !k) mod pool.n) with
+    | Some f -> stolen := Some f
+    | None -> ());
+    incr k
+  done;
+  match !stolen with
+  | Some f ->
+      execute pool (-1) f;
+      true
+  | None -> (
+      match try_inject pool with
+      | Some f ->
+          execute pool (-1) f;
+          true
+      | None -> false)
+
+(* Run one available task on the calling domain, from wherever it can be
+   found.  Used by [Sched.await]. *)
+let try_run_one pool rng =
+  match my_exec pool with
+  | Some i -> try_run_as pool i rng
+  | None -> try_run_external pool rng
+
+let submit pool f =
+  ignore (Atomic.fetch_and_add pool.pending 1);
+  match my_exec pool with
+  | Some i -> Deque.push pool.deques.(i) f
+  | None ->
+      Mutex.lock pool.inject_mu;
+      Queue.push f pool.inject;
+      Mutex.unlock pool.inject_mu
+
+let worker_loop pool i =
+  let cell = Domain.DLS.get dls in
+  cell := Some (pool.uid, i);
+  let rng = ref (0x9e3779b9 + (i * 0x85ebca6b)) in
+  let idle = ref 0 in
+  let continue = ref true in
+  while !continue do
+    if try_run_as pool i rng then idle := 0
+    else if Atomic.get pool.stop && Atomic.get pool.pending = 0 then
+      continue := false
+    else begin
+      incr idle;
+      (* Spin briefly, then back off to short sleeps so an idle pool does
+         not burn a core. *)
+      if !idle < 64 then Domain.cpu_relax ()
+      else if !idle < 256 then Unix.sleepf 0.00005
+      else Unix.sleepf 0.001
+    end
+  done;
+  cell := None
+
+let create ?(domains = Domain.recommended_domain_count ()) () =
+  let n = max 1 domains in
+  let pool =
+    {
+      uid = Atomic.fetch_and_add next_uid 1;
+      n;
+      deques = Array.init n (fun _ -> Deque.create ());
+      stats = Array.init n (fun _ -> { tasks = 0; steals = 0; busy_ns = 0 });
+      inject = Queue.create ();
+      inject_mu = Mutex.create ();
+      stop = Atomic.make false;
+      pending = Atomic.make 0;
+      workers = [||];
+      c_tasks = Obs.counter "runtime.tasks";
+      c_steals = Obs.counter "runtime.steals";
+      c_busy =
+        Array.init n (fun i ->
+            Obs.counter (Printf.sprintf "runtime.worker%d.busy_ns" i));
+    }
+  in
+  pool.workers <-
+    Array.init (n - 1) (fun k -> Domain.spawn (fun () -> worker_loop pool (k + 1)));
+  pool
+
+(* Enrol the calling domain as executor 0 for the duration of [f], so its
+   submissions go to its own deque and its awaits help. *)
+let run pool f =
+  let cell = Domain.DLS.get dls in
+  let saved = !cell in
+  cell := Some (pool.uid, 0);
+  Fun.protect ~finally:(fun () -> cell := saved) f
+
+(* Workers finish everything already submitted, then exit. *)
+let shutdown pool =
+  Atomic.set pool.stop true;
+  Array.iter Domain.join pool.workers;
+  pool.workers <- [||];
+  (* If the caller raced a submit with shutdown, drain it here so pending
+     work is never silently dropped. *)
+  let rng = ref 1 in
+  while Atomic.get pool.pending > 0 do
+    if not (try_run_one pool rng) then Domain.cpu_relax ()
+  done
+
+let stats pool =
+  Array.map
+    (fun s -> { tasks = s.tasks; steals = s.steals; busy_ns = s.busy_ns })
+    pool.stats
+
+let total_steals pool =
+  Array.fold_left (fun acc s -> acc + s.steals) 0 pool.stats
+
+let total_tasks pool = Array.fold_left (fun acc s -> acc + s.tasks) 0 pool.stats
+
+(* max busy / mean busy over executors that did any work: 1.0 = perfectly
+   balanced.  [Measure] reports this per run. *)
+let imbalance pool =
+  let busy = Array.map (fun s -> float_of_int s.busy_ns) pool.stats in
+  let sum = Array.fold_left ( +. ) 0. busy in
+  let mx = Array.fold_left max 0. busy in
+  if sum <= 0. then 1.0 else mx /. (sum /. float_of_int (Array.length busy))

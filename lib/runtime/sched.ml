@@ -1,0 +1,83 @@
+(* Fork-join scheduling on top of [Pool]: async/await futures and
+   [parallel_for] with tunable chunking.
+
+   [await] never blocks the domain: while the future is pending it *helps*
+   — runs other pool tasks (own deque first, then steals, then injected
+   work) — and only backs off with [cpu_relax] when nothing is runnable.
+   This keeps recursive task graphs (fib/sort/strassen) deadlock-free on a
+   fixed set of workers. *)
+
+type 'a state = Pending | Done of 'a | Raised of exn
+
+type 'a future = 'a state Atomic.t
+
+let async pool f =
+  let fut = Atomic.make Pending in
+  Pool.submit pool (fun () ->
+      let r = try Done (f ()) with e -> Raised e in
+      Atomic.set fut r);
+  fut
+
+(* Per-domain rng for the help loop's steal sweep. *)
+let help_rng : int ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref 0x2545f491)
+
+let rec await pool fut =
+  match Atomic.get fut with
+  | Done v -> v
+  | Raised e -> raise e
+  | Pending ->
+      if not (Pool.try_run_one pool (Domain.DLS.get help_rng)) then
+        Domain.cpu_relax ();
+      await pool fut
+
+let await_all pool futs = List.iter (fun f -> ignore (await pool f)) futs
+
+(* How a [parallel_for] range is cut into tasks:
+   - [Static c]: c contiguous blocks of near-equal size (c <= 0 means
+     2 x pool size, the usual over-decomposition default);
+   - [Guided grain]: recursive halving down to [grain] iterations per
+     task, so early-finishing workers steal the larger unstarted halves. *)
+type chunking = Static of int | Guided of int
+
+let default_chunks pool = max 1 (2 * Pool.size pool)
+
+(* [f lo hi] is applied to disjoint sub-ranges covering [lo, hi). *)
+let parallel_for_ranges ?(chunking = Static 0) pool ~lo ~hi f =
+  if hi > lo then
+    match chunking with
+    | Static c ->
+        let c = if c <= 0 then default_chunks pool else c in
+        let n = hi - lo in
+        let c = min c n in
+        let base = n / c and rem = n mod c in
+        let futs = ref [] in
+        let start = ref lo in
+        for k = 0 to c - 1 do
+          let len = base + if k < rem then 1 else 0 in
+          let l = !start in
+          let h = l + len in
+          start := h;
+          if k = c - 1 then f l h (* run the last block inline *)
+          else futs := async pool (fun () -> f l h) :: !futs
+        done;
+        await_all pool !futs
+    | Guided grain ->
+        let grain = max 1 grain in
+        let rec go l h =
+          if h - l <= grain then f l h
+          else begin
+            let mid = l + ((h - l) / 2) in
+            let right = async pool (fun () -> go mid h) in
+            go l mid;
+            await pool right
+          end
+        in
+        go lo hi
+
+(* Per-index body over [lo, hi). *)
+let parallel_for ?chunking pool ~lo ~hi body =
+  parallel_for_ranges ?chunking pool ~lo ~hi (fun l h ->
+      for i = l to h - 1 do
+        body i
+      done)

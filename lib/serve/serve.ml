@@ -49,6 +49,7 @@ type config = {
   queue_capacity : int;
   deadline_s : float;
   cache_dir : string option;
+  cache_limits : Pipeline.Cache.limits;
   mem_capacity : int;
   profile : Pipeline.Cache.config;
   flight_capacity : int;
@@ -63,6 +64,7 @@ let default_config =
     queue_capacity = 32;
     deadline_s = 30.0;
     cache_dir = None;
+    cache_limits = Pipeline.Cache.no_limits;
     mem_capacity = 128;
     profile = Pipeline.Cache.default_config;
     flight_capacity = 512;
@@ -419,8 +421,9 @@ let handle_profile t (req : request) ~(enqueued : float) cx =
           | None, _ -> (
               Obs.Counter.incr c_miss;
               let job =
-                Pipeline.program_job ?cache_dir:t.cfg.cache_dir ~mem:t.mem
-                  ~name ~config prog
+                Pipeline.program_job ?cache_dir:t.cfg.cache_dir
+                  ~cache_limits:t.cfg.cache_limits ~mem:t.mem ~name ~config
+                  prog
               in
               match Pipeline.run_job ~cancelled job with
               | Pipeline.Ok_ ok ->

@@ -52,6 +52,8 @@ type config = {
   queue_capacity : int;    (** pending connections before load-shedding *)
   deadline_s : float;      (** per-request processing deadline *)
   cache_dir : string option;  (** disk cache tier; [None] = memory only *)
+  cache_limits : Pipeline.Cache.limits;
+  (** disk-tier retention, enforced by a sweep at each publish *)
   mem_capacity : int;      (** LRU entries; 0 disables the memory tier *)
   profile : Pipeline.Cache.config;  (** per-request defaults *)
   flight_capacity : int;   (** flight-recorder main ring (min 1) *)

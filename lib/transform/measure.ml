@@ -1,0 +1,237 @@
+(* Measured wall-clock speedups (see measure.mli).
+
+   Protocol, per domain count d of the sweep:
+     1. create the pool (d > 1) OUTSIDE the timed region — persistent
+        workers, so domain spawn never pollutes a measurement;
+     2. [warmup] untimed runs (page-table faults, arena growth, OCaml
+        code warm);
+     3. [reps] timed runs; the reported wall is the MEDIAN;
+     4. every run's observation (result, non-internal globals, prints) is
+        compared against the sequential observation — a measurement of a
+        wrong answer is worthless;
+     5. task/steal/busy counters are deltas over the timed reps only.
+
+   The sequential baseline is the uninstrumented {!Mil.Interp} on the
+   *original* program, same warmup/reps/median policy. *)
+
+module V = Validate
+
+type run_stat = {
+  r_domains : int;
+  r_wall_s : float;
+  r_speedup : float;
+  r_efficiency : float;
+  r_equal : bool;
+  r_tasks : int;
+  r_steals : int;
+  r_imbalance : float;
+}
+
+type t = {
+  m_name : string;
+  m_domains : int;
+  m_warmup : int;
+  m_reps : int;
+  m_seq_wall_s : float;
+  m_runs : run_stat list;
+  m_equal : bool;
+  m_best_speedup : float;
+}
+
+let domain_counts n =
+  let n = max 1 n in
+  let rec powers acc d = if d >= n then List.rev acc else powers (d :: acc) (2 * d) in
+  powers [] 1 @ [ n ]
+
+let median l =
+  match List.sort compare l with
+  | [] -> 0.0
+  | sorted -> List.nth sorted (List.length sorted / 2)
+
+let observe_par ?pool ~domains ~seed prog : V.observation =
+  let prints = ref [] in
+  let r =
+    Mil.Par_eval.run ?pool ~domains ~seed
+      ~on_print:(fun vs -> prints := vs :: !prints)
+      prog
+  in
+  {
+    V.o_result = r.Mil.Par_eval.result;
+    o_globals =
+      List.filter
+        (fun (n, _) -> not (String.length n >= 2 && String.sub n 0 2 = "__"))
+        r.Mil.Par_eval.final_globals;
+    o_prints = List.rev !prints;
+  }
+
+let time f =
+  let t0 = Obs.now_ns () in
+  let obs = f () in
+  let dt = float_of_int (Obs.now_ns () - t0) /. 1e9 in
+  (dt, obs)
+
+let measure ?(domains = 4) ?(warmup = 1) ?(reps = 3) ?(seed = 42) ~name
+    ~(original : Mil.Ast.program) (transformed : Mil.Ast.program) : t =
+  let reps = max 1 reps and warmup = max 0 warmup in
+  (* sequential baseline *)
+  let seq_run () = V.observe ~seed original in
+  for _ = 1 to warmup do
+    ignore (seq_run ())
+  done;
+  let seq_obs = ref (V.observe ~seed original) in
+  let seq_walls =
+    List.init reps (fun _ ->
+        let dt, obs = time seq_run in
+        seq_obs := obs;
+        dt)
+  in
+  let seq_wall = median seq_walls in
+  let run_one d =
+    let pool = if d > 1 then Some (Runtime.Pool.create ~domains:d ()) else None in
+    Fun.protect
+      ~finally:(fun () ->
+        match pool with Some p -> Runtime.Pool.shutdown p | None -> ())
+      (fun () ->
+        let go () = observe_par ?pool ~domains:d ~seed transformed in
+        let equal = ref true in
+        let check obs =
+          if V.diff_observations !seq_obs obs <> [] then equal := false
+        in
+        for _ = 1 to warmup do
+          check (go ())
+        done;
+        let stats_before =
+          match pool with Some p -> Runtime.Pool.stats p | None -> [||]
+        in
+        let walls =
+          List.init reps (fun _ ->
+              let dt, obs = time go in
+              check obs;
+              dt)
+        in
+        let stats_after =
+          match pool with Some p -> Runtime.Pool.stats p | None -> [||]
+        in
+        let delta f =
+          let tot = ref 0 in
+          Array.iteri
+            (fun i (a : Runtime.Pool.stats) -> tot := !tot + (f a - f stats_before.(i)))
+            stats_after;
+          !tot
+        in
+        let tasks = delta (fun s -> s.Runtime.Pool.tasks) in
+        let steals = delta (fun s -> s.Runtime.Pool.steals) in
+        let imbalance =
+          if Array.length stats_after = 0 then 1.0
+          else begin
+            let busy =
+              Array.mapi
+                (fun i (s : Runtime.Pool.stats) ->
+                  float_of_int (s.Runtime.Pool.busy_ns - stats_before.(i).Runtime.Pool.busy_ns))
+                stats_after
+            in
+            let sum = Array.fold_left ( +. ) 0. busy in
+            let mx = Array.fold_left max 0. busy in
+            if sum <= 0. then 1.0 else mx /. (sum /. float_of_int (Array.length busy))
+          end
+        in
+        let wall = median walls in
+        let speedup = if wall > 0. then seq_wall /. wall else 0. in
+        {
+          r_domains = d;
+          r_wall_s = wall;
+          r_speedup = speedup;
+          r_efficiency = speedup /. float_of_int d;
+          r_equal = !equal;
+          r_tasks = tasks;
+          r_steals = steals;
+          r_imbalance = imbalance;
+        })
+  in
+  let runs = List.map run_one (domain_counts domains) in
+  let m_equal = List.for_all (fun r -> r.r_equal) runs in
+  let best = List.fold_left (fun acc r -> max acc r.r_speedup) 0.0 runs in
+  List.iter
+    (fun r ->
+      Obs.Gauge.set
+        (Obs.gauge (Printf.sprintf "measure.%s.speedup_d%d" name r.r_domains))
+        r.r_speedup)
+    runs;
+  Obs.Gauge.set_int
+    (Obs.gauge (Printf.sprintf "measure.%s.equal" name))
+    (if m_equal then 1 else 0);
+  {
+    m_name = name;
+    m_domains = domains;
+    m_warmup = warmup;
+    m_reps = reps;
+    m_seq_wall_s = seq_wall;
+    m_runs = runs;
+    m_equal;
+    m_best_speedup = best;
+  }
+
+let to_json (m : t) : Obs.Json.t =
+  let open Obs.Json in
+  Obj
+    [ ("name", String m.m_name);
+      ("domains", Int m.m_domains);
+      ("warmup", Int m.m_warmup);
+      ("reps", Int m.m_reps);
+      ("seq_wall_s", Float m.m_seq_wall_s);
+      ("equal", Bool m.m_equal);
+      ("best_speedup", Float m.m_best_speedup);
+      ( "runs",
+        List
+          (List.map
+             (fun r ->
+               Obj
+                 [ ("domains", Int r.r_domains);
+                   ("wall_s", Float r.r_wall_s);
+                   ("speedup", Float r.r_speedup);
+                   ("efficiency", Float r.r_efficiency);
+                   ("equal", Bool r.r_equal);
+                   ("tasks", Int r.r_tasks);
+                   ("steals", Int r.r_steals);
+                   ("imbalance", Float r.r_imbalance) ])
+             m.m_runs) ) ]
+
+let table_rows (m : t) =
+  List.map
+    (fun r ->
+      [ string_of_int r.r_domains;
+        Printf.sprintf "%.2f" (r.r_wall_s *. 1e3);
+        Printf.sprintf "%.2fx" r.r_speedup;
+        Printf.sprintf "%.2f" r.r_efficiency;
+        (if r.r_equal then "yes" else "NO");
+        string_of_int r.r_tasks;
+        string_of_int r.r_steals;
+        Printf.sprintf "%.2f" r.r_imbalance ])
+    m.m_runs
+
+let to_string (m : t) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "measured speedups for %s (sequential %.2f ms, median of %d after %d warmup):\n"
+       m.m_name (m.m_seq_wall_s *. 1e3) m.m_reps m.m_warmup);
+  let header =
+    [ "domains"; "wall ms"; "speedup"; "efficiency"; "equal"; "tasks";
+      "steals"; "imbalance" ]
+  in
+  let rows = header :: table_rows m in
+  let widths =
+    List.fold_left
+      (fun ws row -> List.map2 (fun w c -> max w (String.length c)) ws row)
+      (List.map (fun _ -> 0) header)
+      rows
+  in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i c ->
+          Buffer.add_string b (Printf.sprintf "%-*s  " (List.nth widths i) c))
+        row;
+      Buffer.add_char b '\n')
+    rows;
+  Buffer.contents b

@@ -148,7 +148,7 @@ type distribution = {
   d_parallel_fraction : float;
 }
 
-let measure ?(seed = 42) ~(original : Mil.Ast.program)
+let measure ?(seed = 42) ?label ~(original : Mil.Ast.program)
     (transformed : Mil.Ast.program) : distribution =
   let serial = Interp.run ~seed original in
   let d_serial_total = serial.r_stats.reads + serial.r_stats.writes in
@@ -179,11 +179,21 @@ let measure ?(seed = 42) ~(original : Mil.Ast.program)
       0 d_threads
   in
   let d_critical = max 1 (main + heaviest) in
+  let d_measured_speedup =
+    float_of_int d_serial_total /. float_of_int d_critical
+  in
+  (* Export the critical-path proxy per suggestion so it lands in bench
+     snapshots next to the wall-clock speedups Measure reports — the rank
+     correlation between the two (measure.proxy_rank_corr) is the first
+     calibration input for overlap-aware ranking. *)
+  (match label with
+  | Some l -> Obs.Gauge.set (Obs.gauge ("transform.proxy." ^ l)) d_measured_speedup
+  | None -> ());
   { d_threads;
     d_total;
     d_critical;
     d_serial_total;
-    d_measured_speedup = float_of_int d_serial_total /. float_of_int d_critical;
+    d_measured_speedup;
     d_parallel_fraction =
       (if d_total = 0 then 0.0
        else float_of_int (d_total - main) /. float_of_int d_total) }

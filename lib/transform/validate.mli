@@ -54,6 +54,13 @@ type distribution = {
 }
 
 val measure :
-  ?seed:int -> original:Mil.Ast.program -> Mil.Ast.program -> distribution
+  ?seed:int ->
+  ?label:string ->
+  original:Mil.Ast.program ->
+  Mil.Ast.program ->
+  distribution
+(** [label] additionally publishes the critical-path speedup proxy as the
+    [Obs] gauge [transform.proxy.<label>] — the per-suggestion number
+    {!Measure} correlates against real wall-clock speedups. *)
 
 val distribution_to_string : distribution -> string

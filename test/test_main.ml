@@ -13,4 +13,5 @@ let () =
       ("transform", Test_transform.tests);
       ("hotpath", Test_hotpath.tests);
       ("pipeline", Test_pipeline.tests);
+      ("runtime", Test_runtime.tests);
       ("serve", Test_serve.tests) ]

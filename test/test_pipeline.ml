@@ -51,7 +51,7 @@ let cache_roundtrip () =
   let key = Pipeline.Cache.key config prog in
   Alcotest.(check (option string)) "empty dir misses" None
     (Option.map snd (Pipeline.Cache.load ~dir ~key));
-  Pipeline.Cache.store ~dir ~key ~deps:profile.Profiler.Serial.deps ~summary;
+  Pipeline.Cache.store ~dir ~key ~deps:profile.Profiler.Serial.deps ~summary ();
   (match Pipeline.Cache.load ~dir ~key with
   | None -> Alcotest.fail "stored entry must load"
   | Some (deps, loaded) ->
@@ -261,8 +261,152 @@ let job_entry_matches_summary () =
   Alcotest.(check (list string)) "hit serves the same dependences"
     (dep_names deps) (dep_names wdeps)
 
+(* ---- cache eviction ---- *)
+
+let dummy_deps = Profiler.Dep.Set_.create ()
+
+(* A loadable summary: eviction must be judged on live entries, and load
+   validates the summary, so the fixtures have to parse. Analyzed once. *)
+let dummy_entries =
+  lazy
+    (let w =
+       List.find (fun w -> w.R.name = "dotprod") Workloads.Textbook.all
+     in
+     S.analyze (R.program ~size:64 w) |> S.summarize)
+
+let dummy_summary name = S.summary_to_string ~name (Lazy.force dummy_entries)
+
+let entry_exists dir key =
+  Sys.file_exists (Filename.concat dir (key ^ ".deps"))
+  && Sys.file_exists (Filename.concat dir (key ^ ".sugg"))
+
+let set_age dir key age_s =
+  let stamp = Unix.gettimeofday () -. age_s in
+  List.iter
+    (fun ext ->
+      Unix.utimes (Filename.concat dir (key ^ ext)) stamp stamp)
+    [ ".deps"; ".sugg" ]
+
+(* TTL sweep: expired entries go (both files of the pair), fresh ones stay;
+   no_limits never evicts. *)
+let cache_ttl_eviction () =
+  let dir = fresh_dir () in
+  let store key =
+    Pipeline.Cache.store ~dir ~key ~deps:dummy_deps
+      ~summary:(dummy_summary key) ()
+  in
+  store "old1";
+  store "old2";
+  store "fresh";
+  set_age dir "old1" 3600.0;
+  set_age dir "old2" 3600.0;
+  Alcotest.(check int) "no_limits is a no-op" 0
+    (Pipeline.Cache.sweep ~dir Pipeline.Cache.no_limits);
+  let n =
+    Pipeline.Cache.sweep ~dir (Pipeline.Cache.limits ~ttl_s:60.0 ())
+  in
+  Alcotest.(check int) "two expired entries evicted" 2 n;
+  Alcotest.(check bool) "old1 gone" false (entry_exists dir "old1");
+  Alcotest.(check bool) "old2 gone" false (entry_exists dir "old2");
+  Alcotest.(check bool) "fresh survives" true (entry_exists dir "fresh")
+
+(* Size sweep: LRU-by-mtime order, oldest evicted first, stops as soon as
+   the directory fits the budget. *)
+let cache_size_eviction () =
+  let dir = fresh_dir () in
+  let store key =
+    Pipeline.Cache.store ~dir ~key ~deps:dummy_deps
+      ~summary:(dummy_summary key) ()
+  in
+  store "a";
+  store "b";
+  store "c";
+  set_age dir "a" 300.0;
+  set_age dir "b" 200.0;
+  set_age dir "c" 100.0;
+  let entry_bytes =
+    let sz f = (Unix.stat (Filename.concat dir f)).Unix.st_size in
+    sz "a.deps" + sz "a.sugg"
+  in
+  (* budget fits two entries (entries are near-identical in size) *)
+  let budget = (2 * entry_bytes) + (entry_bytes / 2) in
+  let n =
+    Pipeline.Cache.sweep ~dir
+      { Pipeline.Cache.max_bytes = Some budget; ttl_s = None }
+  in
+  Alcotest.(check int) "one entry evicted" 1 n;
+  Alcotest.(check bool) "oldest (a) evicted" false (entry_exists dir "a");
+  Alcotest.(check bool) "b survives" true (entry_exists dir "b");
+  Alcotest.(check bool) "c survives" true (entry_exists dir "c")
+
+(* Reading an entry refreshes its recency: after a load, a size sweep must
+   pick a different victim than it would have before the load. *)
+let cache_load_touches () =
+  let dir = fresh_dir () in
+  let store key =
+    Pipeline.Cache.store ~dir ~key ~deps:dummy_deps
+      ~summary:(dummy_summary key) ()
+  in
+  store "stale";
+  store "used";
+  set_age dir "stale" 100.0;
+  set_age dir "used" 200.0;
+  (* "used" is older on disk, but a load promotes it to most recent *)
+  Alcotest.(check bool) "load hits" true
+    (Pipeline.Cache.load ~dir ~key:"used" <> None);
+  let n =
+    Pipeline.Cache.sweep ~dir { Pipeline.Cache.max_bytes = Some 1; ttl_s = None }
+  in
+  Alcotest.(check int) "evicts down to the budget" 2 n;
+  (* with a budget fitting one entry, the read one must be the survivor *)
+  let dir2 = fresh_dir () in
+  let store2 key =
+    Pipeline.Cache.store ~dir:dir2 ~key ~deps:dummy_deps
+      ~summary:(dummy_summary key) ()
+  in
+  store2 "stale";
+  store2 "used";
+  set_age dir2 "stale" 100.0;
+  set_age dir2 "used" 200.0;
+  Alcotest.(check bool) "load hits" true
+    (Pipeline.Cache.load ~dir:dir2 ~key:"used" <> None);
+  let entry_bytes =
+    let sz f = (Unix.stat (Filename.concat dir2 f)).Unix.st_size in
+    sz "used.deps" + sz "used.sugg"
+  in
+  ignore
+    (Pipeline.Cache.sweep ~dir:dir2
+       { Pipeline.Cache.max_bytes = Some (entry_bytes + (entry_bytes / 2));
+         ttl_s = None });
+  Alcotest.(check bool) "recently read entry survives" true
+    (entry_exists dir2 "used");
+  Alcotest.(check bool) "unread entry evicted" false (entry_exists dir2 "stale")
+
+(* store with limits sweeps at publish but shields the key it just wrote,
+   even when the budget is smaller than a single entry. *)
+let cache_store_sweeps () =
+  let dir = fresh_dir () in
+  let limits = Pipeline.Cache.limits ~max_mb:0 () in
+  (* max_mb = 0 -> budget 0 bytes: everything but the shielded key goes *)
+  Pipeline.Cache.store ~dir ~key:"first" ~deps:dummy_deps
+    ~summary:(dummy_summary "first") ();
+  Pipeline.Cache.store ~limits ~dir ~key:"second" ~deps:dummy_deps
+    ~summary:(dummy_summary "second") ();
+  Alcotest.(check bool) "older entry swept at publish" false
+    (entry_exists dir "first");
+  Alcotest.(check bool) "just-published entry shielded" true
+    (entry_exists dir "second");
+  Alcotest.(check bool) "shielded entry still loads" true
+    (Pipeline.Cache.load ~dir ~key:"second" <> None)
+
 let tests =
   [ Alcotest.test_case "cache round-trip + invalidation" `Quick cache_roundtrip;
+    Alcotest.test_case "cache TTL eviction" `Quick cache_ttl_eviction;
+    Alcotest.test_case "cache size eviction is LRU-by-mtime" `Quick
+      cache_size_eviction;
+    Alcotest.test_case "cache load refreshes recency" `Quick cache_load_touches;
+    Alcotest.test_case "cache store sweeps, shielding its key" `Quick
+      cache_store_sweeps;
     Alcotest.test_case "job entry mirrors the cache tiers" `Quick
       job_entry_matches_summary;
     Alcotest.test_case "batch = single runs; warm = byte-identical hits" `Slow
