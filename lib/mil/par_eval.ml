@@ -657,10 +657,43 @@ and exec_par st t env s blocks =
                         raise ex))
                 rest
         in
-        (match snapshots with
-        | (vars, b) :: _ -> exec_scope st t { vars; globals = env.globals } b
-        | [] -> ());
-        List.iter (fun f -> Runtime.Sched.await pool f) rest_futs
+        (* Every arm is joined no matter which one failed: with an
+           externally supplied pool (Measure reuses one across reps) an
+           unjoined sibling would keep executing into the caller's next
+           use of the pool.  Mirrors the dedicated-domain path above:
+           collect all outcomes, then surface the first real (non-Cancelled)
+           error, falling back to Cancelled. *)
+        let inline_outcome =
+          match snapshots with
+          | (vars, b) :: _ -> (
+              try
+                exec_scope st t { vars; globals = env.globals } b;
+                None
+              with ex ->
+                ignore (Atomic.compare_and_set st.failed None (Some ex));
+                Some ex)
+          | [] -> None
+        in
+        let outcomes =
+          inline_outcome
+          :: List.map
+               (fun f ->
+                 try
+                   Runtime.Sched.await pool f;
+                   None
+                 with ex -> Some ex)
+               rest_futs
+        in
+        let first_real =
+          List.find_map
+            (function Some Cancelled -> None | Some ex -> Some ex | None -> None)
+            outcomes
+        in
+        (match first_real with
+        | Some ex -> raise ex
+        | None ->
+            if List.exists (function Some _ -> true | None -> false) outcomes
+            then raise Cancelled)
   end
 
 (* Child scope: bindings introduced by the block die on exit and their

@@ -6,17 +6,28 @@
    explicit fences of the C11 version.
 
    Slots hold ['a option] so a taken element can be dropped eagerly (no
-   space leak keeping dead closures alive through the circular buffer).
-   The buffer grows owner-side only; growth copies the [Atomic.t] cells
-   themselves, so a thief that raced with a resize still reads the same
-   cell object for any index in the live [top, bottom) window. *)
+   space leak keeping dead closures alive through the circular buffer):
+   the owner clears the cell in [pop], a thief clears it after a winning
+   [steal] (with a CAS so a late clear cannot erase a value the owner has
+   since pushed into a recycled cell).
+
+   The buffer and its mask live in one immutable [buf] record published
+   through an [Atomic.t], so a thief never observes a fresh array paired
+   with a stale mask (or vice versa) across an owner-side resize.  Growth
+   copies the [Atomic.t] cells themselves for the live [top, bottom)
+   window; a thief that reads the buffer *after* reading [bottom] (as
+   [steal] does) therefore finds, at [t land mask], the same cell object
+   in whichever buffer version it sees. *)
+
+type 'a buf = { slots : 'a option Atomic.t array; mask : int }
 
 type 'a t = {
-  mutable slots : 'a option Atomic.t array;
-  mutable mask : int;
+  buf : 'a buf Atomic.t;
   top : int Atomic.t;
   bottom : int Atomic.t;
 }
+
+let make_buf cap = { slots = Array.init cap (fun _ -> Atomic.make None); mask = cap - 1 }
 
 let create ?(capacity = 64) () =
   let capacity = max 2 capacity in
@@ -25,31 +36,27 @@ let create ?(capacity = 64) () =
   while !cap < capacity do
     cap := !cap * 2
   done;
-  {
-    slots = Array.init !cap (fun _ -> Atomic.make None);
-    mask = !cap - 1;
-    top = Atomic.make 0;
-    bottom = Atomic.make 0;
-  }
+  { buf = Atomic.make (make_buf !cap); top = Atomic.make 0; bottom = Atomic.make 0 }
 
 (* Owner-side size estimate; thieves only need "looks non-empty". *)
 let size q = max 0 (Atomic.get q.bottom - Atomic.get q.top)
 
-let grow q bottom top =
-  let old = q.slots and old_mask = q.mask in
-  let n = (old_mask + 1) * 2 in
-  let slots = Array.init n (fun _ -> Atomic.make None) in
+(* Owner only: publish a doubled buffer sharing the live window's cells. *)
+let grow q old bottom top =
+  let n = (old.mask + 1) * 2 in
+  let nb = make_buf n in
   for i = top to bottom - 1 do
-    slots.(i land (n - 1)) <- old.(i land old_mask)
+    nb.slots.(i land nb.mask) <- old.slots.(i land old.mask)
   done;
-  q.slots <- slots;
-  q.mask <- n - 1
+  Atomic.set q.buf nb;
+  nb
 
 (* Owner only. *)
 let push q x =
   let b = Atomic.get q.bottom and t = Atomic.get q.top in
-  if b - t > q.mask then grow q b t;
-  Atomic.set q.slots.(b land q.mask) (Some x);
+  let buf = Atomic.get q.buf in
+  let buf = if b - t > buf.mask then grow q buf b t else buf in
+  Atomic.set buf.slots.(b land buf.mask) (Some x);
   Atomic.set q.bottom (b + 1)
 
 (* Owner only. *)
@@ -63,7 +70,8 @@ let pop q =
     None
   end
   else begin
-    let cell = q.slots.(b land q.mask) in
+    let buf = Atomic.get q.buf in
+    let cell = buf.slots.(b land buf.mask) in
     let x = Atomic.get cell in
     if b > t then begin
       Atomic.set cell None;
@@ -88,6 +96,17 @@ let steal q =
   let b = Atomic.get q.bottom in
   if t >= b then None
   else begin
-    let x = Atomic.get q.slots.(t land q.mask) in
-    if Atomic.compare_and_set q.top t (t + 1) then x else None
+    (* Read the buffer after [bottom]: the publishing order (grow before
+       the bottom increment that made index [t] visible) then guarantees
+       this buffer version carries index [t]'s cell. *)
+    let buf = Atomic.get q.buf in
+    let cell = buf.slots.(t land buf.mask) in
+    let x = Atomic.get cell in
+    if Atomic.compare_and_set q.top t (t + 1) then begin
+      (* Eager drop, but only if the cell still holds what we took — a
+         slow thief must not wipe a value pushed later into this cell. *)
+      ignore (Atomic.compare_and_set cell x None);
+      x
+    end
+    else None
   end

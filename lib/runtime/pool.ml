@@ -94,7 +94,9 @@ let try_run_as pool i rng =
         let off = rand_next rng in
         let k = ref 0 in
         while !stolen = None && !k < n - 1 do
-          let v = (i + 1 + ((off + !k) mod (n - 1))) mod n in
+          (* [land max_int] first: [off + !k] can wrap negative, and a
+             negative [mod] would index the deque array out of bounds. *)
+          let v = (i + 1 + (((off + !k) land max_int) mod (n - 1))) mod n in
           (match Deque.steal pool.deques.(v) with
           | Some f -> stolen := Some f
           | None -> ());
@@ -122,7 +124,7 @@ let try_run_external pool rng =
   let off = rand_next rng in
   let k = ref 0 in
   while !stolen = None && !k < pool.n do
-    (match Deque.steal pool.deques.((off + !k) mod pool.n) with
+    (match Deque.steal pool.deques.(((off + !k) land max_int) mod pool.n) with
     | Some f -> stolen := Some f
     | None -> ());
     incr k
