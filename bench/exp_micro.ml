@@ -24,9 +24,10 @@ let tests () =
   let stream = fig27_access_stream () in
   let feed engine () = Array.iter (Profiler.Engine.feed_access engine) stream in
   let cell =
-    { Sigmem.Cell.line = 1; var = Trace.Intern.Sym.intern "x"; thread = 0;
-      time = 1; op = 0; lstack = Trace.Intern.Lstack.empty; locked = false }
+    Sigmem.Cell.v ~line:1 ~var:(Trace.Intern.Sym.intern "x") ~thread:0 ~time:1
+      ~op:0 ~lstack:Trace.Intern.Lstack.empty ~locked:false
   in
+  let r = Sigmem.Cell.scratch () and w = Sigmem.Cell.scratch () in
   [ Test.make ~name:"engine/signature"
       (Staged.stage (fun () ->
            feed (Profiler.Engine.create (Profiler.Engine.Signature 65_536)) ()));
@@ -43,15 +44,22 @@ let tests () =
       (Staged.stage (fun () ->
            let s = Sigmem.Signature.create ~slots:65_536 in
            for a = 0 to 4_095 do
-             Sigmem.Signature.set_write s ~addr:a cell;
-             ignore (Sigmem.Signature.last_write s ~addr:a)
+             let h = Sigmem.Signature.load s ~addr:a r w in
+             Sigmem.Signature.store_write s h cell
            done));
     Test.make ~name:"shadow/perfect-rw"
       (Staged.stage (fun () ->
            let s = Sigmem.Perfect.create ~slots:0 in
            for a = 0 to 4_095 do
-             Sigmem.Perfect.set_write s ~addr:a cell;
-             ignore (Sigmem.Perfect.last_write s ~addr:a)
+             let h = Sigmem.Perfect.load s ~addr:a r w in
+             Sigmem.Perfect.store_write s h cell
+           done));
+    Test.make ~name:"shadow/paged-rw"
+      (Staged.stage (fun () ->
+           let s = Sigmem.Two_level.create ~slots:0 in
+           for a = 0 to 4_095 do
+             let h = Sigmem.Two_level.load s ~addr:a r w in
+             Sigmem.Two_level.store_write s h cell
            done));
     Test.make ~name:"queue/spsc-push-pop"
       (Staged.stage (fun () ->

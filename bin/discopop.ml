@@ -402,9 +402,13 @@ let check_bench_cmd =
   let doc =
     "Compare a BENCH_*.json summary against a checked-in perf baseline. The \
      baseline maps metric names to an expected value and a tolerated \
-     [min_ratio, max_ratio] band on current/expected; any metric outside its \
-     band fails the check (exit 1). Metrics are resolved in the summary's \
-     gauges, then counters."
+     [min_ratio, max_ratio] band on current/expected — or, for metrics whose \
+     healthy value is ~0 (allocation meters), an absolute cap \
+     {\"max_abs\": c}. Any metric outside its band or cap fails the check \
+     (exit 1). Metrics are resolved in the summary's gauges, then counters. \
+     With --update the banded values are instead rewritten in place from the \
+     summary (bands, caps and the comment are preserved) so the baseline can \
+     be refreshed from a reference run without hand-editing."
   in
   let bench_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"BENCH_JSON")
@@ -412,7 +416,13 @@ let check_bench_cmd =
   let baseline_arg =
     Arg.(required & opt (some file) None & info [ "baseline" ] ~docv:"FILE"
            ~doc:"The baseline JSON: {\"metrics\": {name: {\"value\": v, \
-                 \"min_ratio\": r, \"max_ratio\": R}}}.")
+                 \"min_ratio\": r, \"max_ratio\": R} | {\"max_abs\": c}}}.")
+  in
+  let update_arg =
+    Arg.(value & flag & info [ "update" ]
+           ~doc:"Rewrite the baseline's metric values in place from \
+                 BENCH_JSON instead of gating against them. Ratio bands, \
+                 max_abs caps and the comment are preserved verbatim.")
   in
   let read_file path =
     let ic = open_in_bin path in
@@ -420,7 +430,7 @@ let check_bench_cmd =
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  let run bench_path baseline_path =
+  let run bench_path baseline_path update =
     let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt in
     let parse path =
       match Obs.Json.of_string (read_file path) with
@@ -459,6 +469,108 @@ let check_bench_cmd =
     if entries = [] then
       die "%s: \"metrics\" is empty; refusing to pass an empty gate"
         baseline_path;
+    (* Baseline numbers are kept human-readable: integers stay integral, the
+       rest rounds to three significant digits (measurements carry no more). *)
+    let render v =
+      if Float.is_integer v && Float.abs v < 1e6 then Printf.sprintf "%.0f" v
+      else Printf.sprintf "%.3g" v
+    in
+    if update then begin
+      (* Refresh values in place; bands, caps, the comment and any other
+         top-level keys pass through untouched so the file stays reviewable
+         as a diff of numbers. *)
+      let refreshed = ref 0 in
+      let entries' =
+        List.map
+          (fun (name, spec) ->
+            match Obs.Json.member "max_abs" spec with
+            | Some _ -> (name, spec)  (* a policy cap, not a measurement *)
+            | None -> (
+                match current name with
+                | None ->
+                    die "%s: metric %S missing from %s; not updating" bench_path
+                      name bench_path
+                | Some v ->
+                    (match Option.bind (Obs.Json.member "value" spec) number with
+                    | Some old when old <> v ->
+                        incr refreshed;
+                        Printf.printf "update %-45s %s -> %s\n" name
+                          (render old) (render v)
+                    | Some _ -> ()
+                    | None ->
+                        die "%s: metric %S lacks numeric \"value\""
+                          baseline_path name);
+                    let spec' =
+                      match spec with
+                      | Obs.Json.Obj kvs ->
+                          Obs.Json.Obj
+                            (List.map
+                               (fun (k, j) ->
+                                 if k = "value" then
+                                   (k, Obs.Json.Float
+                                         (float_of_string (render v)))
+                                 else (k, j))
+                               kvs)
+                      | _ -> die "%s: metric %S is not an object" baseline_path
+                               name
+                    in
+                    (name, spec')))
+          entries
+      in
+      let top =
+        match baseline with
+        | Obs.Json.Obj kvs ->
+            List.map
+              (fun (k, j) ->
+                if k = "metrics" then (k, Obs.Json.Obj entries') else (k, j))
+              kvs
+        | _ -> die "%s: not a JSON object" baseline_path
+      in
+      (* Hand-rolled layout matching the committed style: one metric per
+         line, so refreshes diff line-by-line. *)
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf "{\n";
+      let n_top = List.length top in
+      List.iteri
+        (fun i (k, j) ->
+          let sep = if i = n_top - 1 then "" else "," in
+          match (k, j) with
+          | "metrics", Obs.Json.Obj ms ->
+              Buffer.add_string buf "  \"metrics\": {\n";
+              let n = List.length ms in
+              List.iteri
+                (fun i (name, spec) ->
+                  let fields =
+                    match spec with
+                    | Obs.Json.Obj kvs ->
+                        List.map
+                          (fun (f, v) ->
+                            Printf.sprintf "\"%s\": %s" f
+                              (match number v with
+                              | Some x -> render x
+                              | None -> Obs.Json.to_string v))
+                          kvs
+                    | _ -> [ Obs.Json.to_string spec ]
+                  in
+                  Buffer.add_string buf
+                    (Printf.sprintf "    \"%s\": { %s }%s\n" name
+                       (String.concat ", " fields)
+                       (if i = n - 1 then "" else ",")))
+                ms;
+              Buffer.add_string buf (Printf.sprintf "  }%s\n" sep)
+          | _ ->
+              Buffer.add_string buf
+                (Printf.sprintf "  \"%s\": %s%s\n" k (Obs.Json.to_string j) sep))
+        top;
+      Buffer.add_string buf "}\n";
+      let oc = open_out_bin baseline_path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Buffer.contents buf));
+      Printf.printf "%s: refreshed %d of %d metric value(s) from %s\n"
+        baseline_path !refreshed (List.length entries') bench_path
+    end
+    else begin
     let failures = ref 0 in
     let missing = ref [] in
     List.iter
@@ -468,31 +580,45 @@ let check_bench_cmd =
           | Some v -> v
           | None -> die "%s: metric %S lacks numeric %S" baseline_path name f
         in
-        let expected = field "value" in
-        let min_ratio = field "min_ratio" and max_ratio = field "max_ratio" in
-        match current name with
-        | None ->
+        match (current name, Obs.Json.member "max_abs" spec) with
+        | None, _ ->
             incr failures;
             missing := name :: !missing;
             Printf.printf "FAIL %-45s missing from %s\n" name bench_path
-        | Some v when expected = 0.0 ->
-            (* No meaningful ratio; require an exact zero. *)
-            if v = 0.0 then Printf.printf "ok   %-45s 0 (= baseline)\n" name
+        | Some v, Some _ ->
+            (* Absolute cap: for metrics whose healthy value is ~0 (the
+               allocation meters), a ratio against the baseline is
+               numerically meaningless — gate on the ceiling itself. *)
+            let cap = field "max_abs" in
+            if v <= cap then
+              Printf.printf "ok   %-45s %g (cap %g)\n" name v cap
             else begin
               incr failures;
-              Printf.printf "FAIL %-45s %g vs baseline 0\n" name v
+              Printf.printf "FAIL %-45s %g exceeds cap %g\n" name v cap
             end
-        | Some v ->
-            let ratio = v /. expected in
-            if ratio >= min_ratio && ratio <= max_ratio then
-              Printf.printf "ok   %-45s %g (%.2fx of baseline, band %.2f-%.2f)\n"
-                name v ratio min_ratio max_ratio
-            else begin
-              incr failures;
-              Printf.printf
-                "FAIL %-45s %g (%.2fx of baseline %g, band %.2f-%.2f)\n" name v
-                ratio expected min_ratio max_ratio
-            end)
+        | Some v, None -> (
+            let expected = field "value" in
+            let min_ratio = field "min_ratio"
+            and max_ratio = field "max_ratio" in
+            if expected = 0.0 then
+              (* No meaningful ratio; require an exact zero. *)
+              if v = 0.0 then Printf.printf "ok   %-45s 0 (= baseline)\n" name
+              else begin
+                incr failures;
+                Printf.printf "FAIL %-45s %g vs baseline 0\n" name v
+              end
+            else
+              let ratio = v /. expected in
+              if ratio >= min_ratio && ratio <= max_ratio then
+                Printf.printf
+                  "ok   %-45s %g (%.2fx of baseline, band %.2f-%.2f)\n" name v
+                  ratio min_ratio max_ratio
+              else begin
+                incr failures;
+                Printf.printf
+                  "FAIL %-45s %g (%.2fx of baseline %g, band %.2f-%.2f)\n" name
+                  v ratio expected min_ratio max_ratio
+              end))
       entries;
     if !failures > 0 then begin
       (* Missing metrics also go to stderr by name: a truncated summary must
@@ -506,9 +632,12 @@ let check_bench_cmd =
         (List.length !missing);
       exit 1
     end
-    else Printf.printf "all %d metric(s) within tolerance\n" (List.length entries)
+    else
+      Printf.printf "all %d metric(s) within tolerance\n" (List.length entries)
+    end
   in
-  Cmd.v (Cmd.info "check-bench" ~doc) Term.(const run $ bench_arg $ baseline_arg)
+  Cmd.v (Cmd.info "check-bench" ~doc)
+    Term.(const run $ bench_arg $ baseline_arg $ update_arg)
 
 (* parallelize *)
 let parallelize_cmd =

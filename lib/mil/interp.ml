@@ -80,9 +80,28 @@ type stats = {
   mutable calls : int;
 }
 
+(* Record-free access sink: the fields of an [Event.access], passed as
+   labeled arguments so the hot serial path can hand them straight to the
+   profiler engine without materialising the record. *)
+type access_sink =
+  kind:Event.kind ->
+  addr:int ->
+  var:int ->
+  line:int ->
+  thread:int ->
+  time:int ->
+  op:int ->
+  lstack:int ->
+  locked:bool ->
+  unit
+
 type state = {
   prog : program;
   emit : Event.t -> unit;
+  on_access : access_sink option;
+      (* when set, in-order accesses bypass [emit] (and the [Event.Access]
+         allocation) entirely; scrambled/delayed accesses still go through
+         [emit] as records via [pending] *)
   instrument : bool;
   mutable mem : int array;
   mutable brk : int;
@@ -199,17 +218,27 @@ let emit_access st ~kind ~addr ~var ~line =
     st.time <- st.time + 1;
     let op = intern_op st line kind in
     let locked = st.cur.held > 0 in
-    let a =
-      { Event.kind; addr; var; line; thread = st.cur.tid; time = st.time; op;
-        lstack = st.cur.lstack; locked }
-    in
     if st.scramble_unlocked && st.live_threads > 1 && not locked then begin
+      (* Delayed accesses must exist as records: the scrambler buffers and
+         reorders them before emission. *)
+      let a =
+        { Event.kind; addr; var; line; thread = st.cur.tid; time = st.time;
+          op; lstack = st.cur.lstack; locked }
+      in
       st.pending <- Event.Access a :: st.pending;
       if List.length st.pending > 4 then flush_pending st
     end
     else begin
       if st.pending <> [] then flush_pending st;
-      st.emit (Event.Access a)
+      match st.on_access with
+      | Some sink ->
+          sink ~kind ~addr ~var ~line ~thread:st.cur.tid ~time:st.time ~op
+            ~lstack:st.cur.lstack ~locked
+      | None ->
+          st.emit
+            (Event.Access
+               { Event.kind; addr; var; line; thread = st.cur.tid;
+                 time = st.time; op; lstack = st.cur.lstack; locked })
     end
   end
 
@@ -587,11 +616,11 @@ type work =
   | Start of (unit -> unit) * tcb
 
 let run ?(seed = 42) ?(instrument = true) ?(scramble_unlocked = false)
-    ?(emit = fun (_ : Event.t) -> ())
+    ?(emit = fun (_ : Event.t) -> ()) ?on_access
     ?(on_print = fun (_ : int list) -> ())
     ?(cancelled = fun () -> false) (prog : program) : run_result =
   let st =
-    { prog; emit; instrument; mem = Array.make 4096 0; brk = 1;
+    { prog; emit; on_access; instrument; mem = Array.make 4096 0; brk = 1;
       free_scalars = Stack.create (); free_arrays = Hashtbl.create 16; time = 0;
       op_ids = Hashtbl.create 256; n_ops = 0; occ = 0; rng = Rng.create seed;
       globals_env = Hashtbl.create 16; on_print; loop_inst = 0;

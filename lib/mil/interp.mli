@@ -44,6 +44,21 @@ type stats = {
   mutable calls : int;
 }
 
+type access_sink =
+  kind:Trace.Event.kind ->
+  addr:int ->
+  var:int ->
+  line:int ->
+  thread:int ->
+  time:int ->
+  op:int ->
+  lstack:int ->
+  locked:bool ->
+  unit
+(** Record-free access sink: the fields of a {!Trace.Event.access} passed as
+    labeled (unboxed) arguments, so the serial profiler's hot path can
+    consume accesses without the record ever being allocated. *)
+
 type run_result = {
   result : int;            (** the entry function's return value *)
   r_stats : stats;
@@ -59,6 +74,7 @@ val run :
   ?instrument:bool ->
   ?scramble_unlocked:bool ->
   ?emit:(Trace.Event.t -> unit) ->
+  ?on_access:access_sink ->
   ?on_print:(int list -> unit) ->
   ?cancelled:(unit -> bool) ->
   Ast.program ->
@@ -67,7 +83,10 @@ val run :
     native baseline for slowdown measurements). [scramble_unlocked] delays
     and reorders the emission of unlocked accesses from concurrent threads,
     modelling the access/push atomicity violation that exposes potential
-    data races (§2.3.4). [on_print] observes each [print] builtin call's
+    data races (§2.3.4). [on_access], when given, receives every in-order
+    access as unboxed fields instead of an [Event.Access] through [emit] —
+    the zero-allocation fast path; scrambled/delayed accesses still arrive
+    at [emit] as records. [on_print] observes each [print] builtin call's
     evaluated arguments. [cancelled] is polled every ~2k statements;
     returning true raises {!Cancelled} out of the run. *)
 

@@ -5,12 +5,19 @@
 
    The engine is shadow-memory agnostic, but not at per-access cost: it is a
    functor ({!Make}) over the {!Sigmem.Shadow.S} signature, so each backend
-   gets its own monomorphic copy of the hot loop with direct (inlinable)
-   calls into the store — no per-access dispatch through a record of
-   closures. The [shadow_kind]-driven wrapper API at the bottom dispatches
-   once per call on a three-constructor variant and keeps every existing
-   caller compiling. One engine instance also serves as the per-worker
-   consumer of the parallel profiler. *)
+   gets its own copy of the hot loop with direct calls into the store — no
+   per-access dispatch through a record of closures. The [shadow_kind]-driven
+   wrapper API at the bottom dispatches once per call on a three-constructor
+   variant and keeps every existing caller compiling. One engine instance
+   also serves as the per-worker consumer of the parallel profiler.
+
+   The per-access path is (near-)zero-allocation end to end: shadow slots
+   live in flat off-heap stores and are decoded into three per-engine
+   mutable scratch cells ({!Sigmem.Cell}), and {!Make.feed_fields} accepts
+   the access as unboxed int fields so the serial interpreter path never
+   constructs an [Event.access] record. The record-based {!Make.feed_access}
+   remains for the parallel/chunked path, whose queues carry records
+   anyway. *)
 
 module Event = Trace.Event
 module Intern = Trace.Intern
@@ -18,7 +25,7 @@ module Cell = Sigmem.Cell
 
 type shadow_kind =
   | Signature of int  (* approximate, fixed slot count *)
-  | Perfect           (* exact, hash-table backed *)
+  | Perfect           (* exact, open-addressed flat table *)
   | Paged             (* exact, two-level page table *)
 
 (* Counters for Table 2.7 / Fig 2.13: skipped instructions, classified by the
@@ -35,12 +42,17 @@ type skip_stats = {
 }
 
 (* Duplicate-suppression slot (the paper's "dependence merging", made O(1)):
-   per static memory operation and dependence type, the ingredients of the
-   last record built plus the occurrence count cell it lives under in
+   per static memory operation and dependence type, the ingredients of a
+   recently built record plus the occurrence count cell it lives under in
    [Dep.Set_]. When the current access would rebuild a field-for-field
    identical record, we bump the shared count instead of allocating the
    record and re-hashing its variable name. [d_src_line = min_int] marks an
-   empty slot. *)
+   empty slot.
+
+   Slots are kept two ways deep per (operation, dependence type): real
+   streams routinely alternate between two sources for one operation (the
+   first touch of an address vs the loop-carried repeat), and a single slot
+   thrashes on exactly that pattern. See [record]. *)
 type dslot = {
   mutable d_src_line : int;
   mutable d_src_thread : int;
@@ -55,6 +67,19 @@ type dslot = {
 let fresh_dslot () =
   { d_src_line = min_int; d_src_thread = 0; d_var = -1; d_carrier = 0;
     d_sink_line = 0; d_sink_thread = 0; d_racy = false; d_count = ref 0 }
+
+(* Overwrite [dst]'s ingredients with [src]'s (two-way eviction). All fields
+   are immediates except the count ref, so this is barrier-free but for one
+   pointer store. *)
+let dslot_copy (dst : dslot) (src : dslot) =
+  dst.d_src_line <- src.d_src_line;
+  dst.d_src_thread <- src.d_src_thread;
+  dst.d_var <- src.d_var;
+  dst.d_carrier <- src.d_carrier;
+  dst.d_sink_line <- src.d_sink_line;
+  dst.d_sink_thread <- src.d_sink_thread;
+  dst.d_racy <- src.d_racy;
+  dst.d_count <- src.d_count
 
 let no_op = -1
 let no_addr = min_int
@@ -76,15 +101,17 @@ let make_memo () =
     m_snk = Array.make memo_size (-1);
     m_code = Array.make memo_size 0 }
 
+(* Index is masked, so the probes are always in bounds. *)
 let memo_probe m ~src ~snk =
   let h = (src * 0x9E3779B1) lxor (snk * 0x85EBCA77) in
   let i = h land (memo_size - 1) in
-  if m.m_src.(i) = src && m.m_snk.(i) = snk then m.m_code.(i)
+  if Array.unsafe_get m.m_src i = src && Array.unsafe_get m.m_snk i = snk then
+    Array.unsafe_get m.m_code i
   else begin
     let code = Intern.Lstack.carrier_code ~src ~snk in
-    m.m_src.(i) <- src;
-    m.m_snk.(i) <- snk;
-    m.m_code.(i) <- code;
+    Array.unsafe_set m.m_src i src;
+    Array.unsafe_set m.m_snk i snk;
+    Array.unsafe_set m.m_code i code;
     code
   end
 
@@ -106,10 +133,10 @@ type common = {
   mutable last_raw_carrier : int array;   (* reads: would-be RAW carrier *)
   mutable last_war_carrier : int array;   (* writes: would-be WAR carrier *)
   mutable last_waw_carrier : int array;   (* writes: would-be WAW carrier *)
-  mutable raw_slot : dslot array;         (* per-op dedup fast path *)
+  mutable raw_slot : dslot array;         (* per-op dedup, two ways per op *)
   mutable war_slot : dslot array;
   mutable waw_slot : dslot array;
-  mutable init_slot : dslot array;
+  mutable init_slot : dslot array;        (* one way per op *)
   sstats : skip_stats;
   mutable races : (string * int * int) list;  (* var, line-a, line-b *)
   mutable n_processed : int;
@@ -134,9 +161,9 @@ let make_common ~skip ~lifetime =
     last_raw_carrier = Array.make initial_ops min_int;
     last_war_carrier = Array.make initial_ops min_int;
     last_waw_carrier = Array.make initial_ops min_int;
-    raw_slot = Array.init initial_ops (fun _ -> fresh_dslot ());
-    war_slot = Array.init initial_ops (fun _ -> fresh_dslot ());
-    waw_slot = Array.init initial_ops (fun _ -> fresh_dslot ());
+    raw_slot = Array.init (2 * initial_ops) (fun _ -> fresh_dslot ());
+    war_slot = Array.init (2 * initial_ops) (fun _ -> fresh_dslot ());
+    waw_slot = Array.init (2 * initial_ops) (fun _ -> fresh_dslot ());
     init_slot = Array.init initial_ops (fun _ -> fresh_dslot ());
     sstats =
       { reads_total = 0; writes_total = 0; reads_skipped = 0;
@@ -155,8 +182,9 @@ let ensure_op_capacity c op =
       Array.blit arr 0 a 0 n;
       a
     in
-    let grow_slots arr =
-      Array.init n' (fun i -> if i < n then arr.(i) else fresh_dslot ())
+    let grow_slots arr width =
+      let m = width * n in
+      Array.init (width * n') (fun i -> if i < m then arr.(i) else fresh_dslot ())
     in
     c.last_addr <- grow c.last_addr no_addr;
     c.last_status_read <- grow c.last_status_read no_op;
@@ -164,17 +192,15 @@ let ensure_op_capacity c op =
     c.last_raw_carrier <- grow c.last_raw_carrier min_int;
     c.last_war_carrier <- grow c.last_war_carrier min_int;
     c.last_waw_carrier <- grow c.last_waw_carrier min_int;
-    c.raw_slot <- grow_slots c.raw_slot;
-    c.war_slot <- grow_slots c.war_slot;
-    c.waw_slot <- grow_slots c.waw_slot;
-    c.init_slot <- grow_slots c.init_slot
+    c.raw_slot <- grow_slots c.raw_slot 2;
+    c.war_slot <- grow_slots c.war_slot 2;
+    c.waw_slot <- grow_slots c.waw_slot 2;
+    c.init_slot <- grow_slots c.init_slot 1
   end
 
-let cell_op (cl : Cell.t) = if Cell.is_empty cl then no_op else cl.op
-
-let note_race c (a : Event.access) (src : Cell.t) =
-  let var = Intern.Sym.name a.var in
-  c.races <- (var, src.line, a.line) :: c.races;
+let note_race c ~sink_var ~sink_line (src : Cell.t) =
+  let var = Intern.Sym.name sink_var in
+  c.races <- (var, src.line, sink_line) :: c.races;
   if Obs.Trace.is_enabled () then Obs.Trace.instant ("race:" ^ var)
 
 (* The monomorphic engine over one shadow backend. *)
@@ -185,148 +211,201 @@ module Make (S : Sigmem.Shadow.S) = struct
     risk : unit -> float;
         (* one closure per engine, not per record: [Dep.Set_.note] evaluates
            it only when a record is new *)
+    (* Scratch cells: the current address's decoded last read / last write,
+       and the current access being stored. Reused for every access — the
+       engine allocates no cell on the hot path. *)
+    rcell : Cell.t;
+    wcell : Cell.t;
+    acell : Cell.t;
   }
 
   let create ?(skip = false) ?(lifetime = true) ~slots () =
     let shadow = S.create ~slots in
     { shadow; c = make_common ~skip ~lifetime;
-      risk = (fun () -> S.fp_risk shadow) }
+      risk = (fun () -> S.fp_risk shadow);
+      rcell = Cell.scratch (); wcell = Cell.scratch ();
+      acell = Cell.scratch () }
 
-  (* Fingerprint of the dependence a current access would form against
-     [src]: the carrying loop's header line, -1 for an intra-iteration
-     dependence, -2 when there is no source access at all. *)
-  let carrier_code c (a : Event.access) (src : Cell.t) =
-    if Cell.is_empty src then -2
-    else memo_probe c.memo ~src:src.lstack ~snk:a.lstack
+  (* Record the dependence of the current access (sink fields passed
+     unboxed) against source cell [src] through the per-op dedup slots: on
+     ingredient match, one [incr] on the shared count; otherwise build the
+     record once, insert it with first-witness provenance (sink timestamp,
+     engine-local access index, profiling domain, current shadow
+     false-positive risk), and remember the ingredients. [ccode] is the
+     precomputed carrier code (>= -1).
 
-  (* Record the dependence of [a] against source cell [src] through the
-     per-op dedup slot: on ingredient match, one [incr] on the shared count;
-     otherwise build the record once, insert it with first-witness
-     provenance (sink timestamp, engine-local access index, profiling
-     domain, current shadow false-positive risk), and remember the
-     ingredients. [ccode] is the precomputed carrier code (>= -1). *)
-  let record c risk (a : Event.access) dtype (slot : dslot) (src : Cell.t)
-      ~ccode =
+     [arr] holds two ways per op, at [2 op] and [2 op + 1]. One way thrashes
+     on the ubiquitous two-source alternation (the first touch of an address
+     vs the loop-carried repeat produce different records for the same
+     operation, interleaved per address), rebuilding and re-hashing a known
+     record on every access; with two ways both sources stay resident. On a
+     double miss the first way is demoted and the new record takes its
+     place, so a repeating pair always converges to resident. *)
+  let slot_matches (slot : dslot) ~src_line ~src_thread ~src_var ~ccode
+      ~sink_line ~sink_thread ~racy =
+    slot.d_src_line = src_line
+    && slot.d_src_thread = src_thread
+    && slot.d_var = src_var
+    && slot.d_carrier = ccode
+    && slot.d_sink_line = sink_line
+    && slot.d_sink_thread = sink_thread
+    && slot.d_racy = racy
+
+  let record c risk ~sink_line ~sink_thread ~sink_time ~sink_var dtype
+      (arr : dslot array) op (src : Cell.t) ~ccode =
     let racy =
       (* Timestamp reversal: the recorded "earlier" access actually executed
          later — atomicity of access and push was violated, exposing a
          potential data race (§2.3.4). *)
-      a.time < src.time
+      sink_time < src.time
     in
-    if racy then note_race c a src;
+    if racy then note_race c ~sink_var ~sink_line src;
+    let w0 = Array.unsafe_get arr (2 * op) in
     if
-      slot.d_src_line = src.line
-      && slot.d_src_thread = src.thread
-      && slot.d_var = src.var
-      && slot.d_carrier = ccode
-      && slot.d_sink_line = a.line
-      && slot.d_sink_thread = a.thread
-      && slot.d_racy = racy
-    then Dep.Set_.hit c.deps slot.d_count
+      slot_matches w0 ~src_line:src.line ~src_thread:src.thread
+        ~src_var:src.var ~ccode ~sink_line ~sink_thread ~racy
+    then Dep.Set_.hit c.deps w0.d_count
     else begin
-      let d =
-        { Dep.sink_line = a.line; sink_thread = a.thread; dtype;
-          src_line = src.line; src_thread = src.thread;
-          var = Intern.Sym.name src.var;
-          carrier = (if ccode >= 0 then Some ccode else None);
-          racy }
-      in
-      let count =
-        Dep.Set_.note c.deps d ~time:a.time ~index:c.n_processed
-          ~domain:(Domain.self () :> int) ~risk
-      in
-      slot.d_src_line <- src.line;
-      slot.d_src_thread <- src.thread;
-      slot.d_var <- src.var;
-      slot.d_carrier <- ccode;
-      slot.d_sink_line <- a.line;
-      slot.d_sink_thread <- a.thread;
-      slot.d_racy <- racy;
-      slot.d_count <- count
+      let w1 = Array.unsafe_get arr ((2 * op) + 1) in
+      if
+        slot_matches w1 ~src_line:src.line ~src_thread:src.thread
+          ~src_var:src.var ~ccode ~sink_line ~sink_thread ~racy
+      then Dep.Set_.hit c.deps w1.d_count
+      else begin
+        let d =
+          { Dep.sink_line; sink_thread; dtype;
+            src_line = src.line; src_thread = src.thread;
+            var = Intern.Sym.name src.var;
+            carrier = (if ccode >= 0 then Some ccode else None);
+            racy }
+        in
+        let count =
+          Dep.Set_.note c.deps d ~time:sink_time ~index:c.n_processed
+            ~domain:(Domain.self () :> int) ~risk
+        in
+        dslot_copy w1 w0;
+        w0.d_src_line <- src.line;
+        w0.d_src_thread <- src.thread;
+        w0.d_var <- src.var;
+        w0.d_carrier <- ccode;
+        w0.d_sink_line <- sink_line;
+        w0.d_sink_thread <- sink_thread;
+        w0.d_racy <- racy;
+        w0.d_count <- count
+      end
     end
 
-  let record_init c risk (a : Event.access) (slot : dslot) =
+  let record_init c risk ~sink_line ~sink_thread ~sink_time (slot : dslot) =
     if
-      slot.d_sink_line = a.line
-      && slot.d_sink_thread = a.thread
+      slot.d_sink_line = sink_line
+      && slot.d_sink_thread = sink_thread
       && slot.d_src_line = 0 (* marks a populated INIT slot *)
     then Dep.Set_.hit c.deps slot.d_count
     else begin
-      let d = Dep.init_dep ~sink_line:a.line ~sink_thread:a.thread in
+      let d = Dep.init_dep ~sink_line ~sink_thread in
       let count =
-        Dep.Set_.note c.deps d ~time:a.time ~index:c.n_processed
+        Dep.Set_.note c.deps d ~time:sink_time ~index:c.n_processed
           ~domain:(Domain.self () :> int) ~risk
       in
       slot.d_src_line <- 0;
-      slot.d_sink_line <- a.line;
-      slot.d_sink_thread <- a.thread;
+      slot.d_sink_line <- sink_line;
+      slot.d_sink_thread <- sink_thread;
       slot.d_count <- count
     end
 
-  let feed_access t (a : Event.access) =
+  (* Algorithm 2 on one dynamic memory instruction, access fields unboxed:
+     this is the zero-allocation entry point the serial interpreter path
+     calls without ever constructing an [Event.access] record. Each carrier
+     code (RAW for reads; WAR and WAW for writes) is computed exactly once
+     and reused for the skip check, the dependence record, and the skip
+     fingerprint update. *)
+  let feed_fields t ~kind ~addr ~var ~line ~thread ~time ~op ~lstack ~locked =
     let c = t.c in
     c.n_processed <- c.n_processed + 1;
-    ensure_op_capacity c a.op;
-    let addr = a.addr in
-    let r = S.last_read t.shadow ~addr in
-    let w = S.last_write t.shadow ~addr in
-    let status_read = cell_op r in
-    let status_write = cell_op w in
-    (* WAW is recorded only for consecutive writes; a read since the last
-       write re-orients the pair to WAR+RAW, so the orientation must be part
-       of the write-side skip fingerprint. *)
-    let waw_applies =
-      (not (Cell.is_empty w)) && (Cell.is_empty r || r.time < w.time)
-    in
-    let waw_code = if not waw_applies then -4 else carrier_code c a w in
+    ensure_op_capacity c op;
+    let r = t.rcell and w = t.wcell in
+    let h = S.load t.shadow ~addr r w in
+    let status_read = if r.Cell.time = 0 then no_op else r.Cell.op in
+    let status_write = if w.Cell.time = 0 then no_op else w.Cell.op in
+    let a = t.acell in
+    a.Cell.line <- line;
+    a.Cell.var <- var;
+    a.Cell.thread <- thread;
+    a.Cell.time <- time;
+    a.Cell.op <- op;
+    a.Cell.lstack <- lstack;
+    a.Cell.locked <- locked;
+    (* [ensure_op_capacity] guarantees [op] indexes every per-op array. *)
     let base_skip =
       c.skip
-      && c.last_addr.(a.op) = addr
-      && c.last_status_read.(a.op) = status_read
-      && c.last_status_write.(a.op) = status_write
+      && Array.unsafe_get c.last_addr op = addr
+      && Array.unsafe_get c.last_status_read op = status_read
+      && Array.unsafe_get c.last_status_write op = status_write
     in
-    let can_skip =
-      base_skip
-      &&
-      match a.kind with
-      | Event.Read -> carrier_code c a w = c.last_raw_carrier.(a.op)
-      | Event.Write ->
-          carrier_code c a r = c.last_war_carrier.(a.op)
-          && waw_code = c.last_waw_carrier.(a.op)
-    in
-    let cell = Cell.of_access a in
-    match a.kind with
+    match kind with
     | Event.Read ->
+        (* Fingerprint of the RAW dependence this read would form against
+           the last write: the carrying loop's header line, -1 for an
+           intra-iteration dependence, -2 when there is no write at all. *)
+        let raw_code =
+          if status_write = no_op then -2
+          else memo_probe c.memo ~src:w.Cell.lstack ~snk:lstack
+        in
         if status_write <> no_op then
           c.sstats.reads_total <- c.sstats.reads_total + 1;
-        if can_skip then begin
+        if base_skip && raw_code = Array.unsafe_get c.last_raw_carrier op
+        then begin
           if status_write <> no_op then begin
             c.sstats.reads_skipped <- c.sstats.reads_skipped + 1;
             c.sstats.skipped_raw <- c.sstats.skipped_raw + 1
           end;
           (* §2.4.3 special case: the read slot already holds this very
-             operation. The paper elides the shadow update here; our cells
+             operation. The paper elides the shadow update here; our slots
              also carry the loop stack used for carrier attribution, so we
-             count the condition but refresh the cell to keep carriers
+             count the condition but refresh the slot to keep carriers
              exact. *)
-          if status_read = a.op then
+          if status_read = op then
             c.sstats.shadow_update_elided <- c.sstats.shadow_update_elided + 1;
-          S.set_read t.shadow ~addr cell
+          S.store_read t.shadow h a
         end
         else begin
           if status_write <> no_op then
-            record c t.risk a Dep.Raw c.raw_slot.(a.op) w
-              ~ccode:(carrier_code c a w);
-          S.set_read t.shadow ~addr cell;
-          c.last_addr.(a.op) <- addr;
-          c.last_status_read.(a.op) <- status_read;
-          c.last_status_write.(a.op) <- status_write;
-          c.last_raw_carrier.(a.op) <- carrier_code c a w
+            record c t.risk ~sink_line:line ~sink_thread:thread
+              ~sink_time:time ~sink_var:var Dep.Raw c.raw_slot op w
+              ~ccode:raw_code;
+          S.store_read t.shadow h a;
+          (* The fingerprints are only ever read when [skip] is on; with it
+             off, skip the five stores too. *)
+          if c.skip then begin
+            Array.unsafe_set c.last_addr op addr;
+            Array.unsafe_set c.last_status_read op status_read;
+            Array.unsafe_set c.last_status_write op status_write;
+            Array.unsafe_set c.last_raw_carrier op raw_code
+          end
         end
     | Event.Write ->
+        (* WAW is recorded only for consecutive writes; a read since the
+           last write re-orients the pair to WAR+RAW, so the orientation
+           must be part of the write-side skip fingerprint. *)
+        let waw_applies =
+          status_write <> no_op
+          && (status_read = no_op || r.Cell.time < w.Cell.time)
+        in
+        let war_code =
+          if status_read = no_op then -2
+          else memo_probe c.memo ~src:r.Cell.lstack ~snk:lstack
+        in
+        let waw_code =
+          if not waw_applies then -4
+          else memo_probe c.memo ~src:w.Cell.lstack ~snk:lstack
+        in
         if status_read <> no_op || waw_applies then
           c.sstats.writes_total <- c.sstats.writes_total + 1;
-        if can_skip then begin
+        if
+          base_skip
+          && war_code = Array.unsafe_get c.last_war_carrier op
+          && waw_code = Array.unsafe_get c.last_waw_carrier op
+        then begin
           if status_read <> no_op || waw_applies then begin
             c.sstats.writes_skipped <- c.sstats.writes_skipped + 1;
             if status_read <> no_op then
@@ -335,25 +414,37 @@ module Make (S : Sigmem.Shadow.S) = struct
               c.sstats.skipped_waw <- c.sstats.skipped_waw + 1
           end;
           (* see the read-side comment on the §2.4.3 special case *)
-          if status_write = a.op then
+          if status_write = op then
             c.sstats.shadow_update_elided <- c.sstats.shadow_update_elided + 1;
-          S.set_write t.shadow ~addr cell
+          S.store_write t.shadow h a
         end
         else begin
           if status_read <> no_op then
-            record c t.risk a Dep.War c.war_slot.(a.op) r
-              ~ccode:(carrier_code c a r);
+            record c t.risk ~sink_line:line ~sink_thread:thread
+              ~sink_time:time ~sink_var:var Dep.War c.war_slot op r
+              ~ccode:war_code;
           if waw_applies then
-            record c t.risk a Dep.Waw c.waw_slot.(a.op) w ~ccode:waw_code
+            record c t.risk ~sink_line:line ~sink_thread:thread
+              ~sink_time:time ~sink_var:var Dep.Waw c.waw_slot op w
+              ~ccode:waw_code
           else if status_write = no_op then
-            record_init c t.risk a c.init_slot.(a.op);
-          S.set_write t.shadow ~addr cell;
-          c.last_addr.(a.op) <- addr;
-          c.last_status_read.(a.op) <- status_read;
-          c.last_status_write.(a.op) <- status_write;
-          c.last_war_carrier.(a.op) <- carrier_code c a r;
-          c.last_waw_carrier.(a.op) <- waw_code
+            record_init c t.risk ~sink_line:line ~sink_thread:thread
+              ~sink_time:time c.init_slot.(op);
+          S.store_write t.shadow h a;
+          (* see the read-side comment: fingerprints are dead when [skip]
+             is off *)
+          if c.skip then begin
+            Array.unsafe_set c.last_addr op addr;
+            Array.unsafe_set c.last_status_read op status_read;
+            Array.unsafe_set c.last_status_write op status_write;
+            Array.unsafe_set c.last_war_carrier op war_code;
+            Array.unsafe_set c.last_waw_carrier op waw_code
+          end
         end
+
+  let feed_access t (a : Event.access) =
+    feed_fields t ~kind:a.kind ~addr:a.addr ~var:a.var ~line:a.line
+      ~thread:a.thread ~time:a.time ~op:a.op ~lstack:a.lstack ~locked:a.locked
 
   (* Variable-lifetime analysis: clear dead address ranges so their slots
      can be reused without manufacturing false dependences. *)
@@ -415,6 +506,18 @@ let common = function
   | Tsig e -> e.Esig.c
   | Tperfect e -> e.Eperfect.c
   | Tpaged e -> e.Epaged.c
+
+let feed_fields t ~kind ~addr ~var ~line ~thread ~time ~op ~lstack ~locked =
+  match t with
+  | Tsig e ->
+      Esig.feed_fields e ~kind ~addr ~var ~line ~thread ~time ~op ~lstack
+        ~locked
+  | Tperfect e ->
+      Eperfect.feed_fields e ~kind ~addr ~var ~line ~thread ~time ~op ~lstack
+        ~locked
+  | Tpaged e ->
+      Epaged.feed_fields e ~kind ~addr ~var ~line ~thread ~time ~op ~lstack
+        ~locked
 
 let feed_access t a =
   match t with

@@ -37,7 +37,27 @@ module Make (S : Sigmem.Shadow.S) : sig
   type t
 
   val create : ?skip:bool -> ?lifetime:bool -> slots:int -> unit -> t
+
+  val feed_fields :
+    t ->
+    kind:Event.kind ->
+    addr:int ->
+    var:int ->
+    line:int ->
+    thread:int ->
+    time:int ->
+    op:int ->
+    lstack:int ->
+    locked:bool ->
+    unit
+  (** Algorithm 2 on one dynamic memory instruction with the access fields
+      passed unboxed: the zero-allocation entry point — no [Event.access]
+      record is built anywhere on this path. *)
+
   val feed_access : t -> Event.access -> unit
+  (** Record-based shim over {!feed_fields}, for callers that already hold
+      an [Event.access] (the parallel profiler's chunk queues). *)
+
   val feed_dealloc : t -> (int * int * string) list -> unit
   val word_footprint : t -> int
   val observe : prefix:string -> t -> unit
@@ -48,6 +68,21 @@ type t
 val create : ?skip:bool -> ?lifetime:bool -> shadow_kind -> t
 (** [skip] enables the §2.4 optimization; [lifetime:false] disables
     variable-lifetime analysis (ablation). *)
+
+val feed_fields :
+  t ->
+  kind:Event.kind ->
+  addr:int ->
+  var:int ->
+  line:int ->
+  thread:int ->
+  time:int ->
+  op:int ->
+  lstack:int ->
+  locked:bool ->
+  unit
+(** Algorithm 2 on one dynamic memory instruction, access fields unboxed —
+    the serial interpreter's zero-allocation fast path. *)
 
 val feed_access : t -> Event.access -> unit
 (** Algorithm 2 on one dynamic memory instruction. *)

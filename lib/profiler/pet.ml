@@ -93,32 +93,36 @@ let leave b =
   (match b.stack with [] -> () | _ :: rest -> b.stack <- rest);
   b.current_block <- None
 
+(* An access contributes only its line; exposing this directly lets the
+   serial fast path feed the builder without an [Event.Access] record. *)
+let feed_access_line b ~line =
+  match b.current_block with
+  | Some blk ->
+      blk.instructions <- blk.instructions + 1;
+      if line < blk.first_line then blk.first_line <- line;
+      if line > blk.last_line then blk.last_line <- line
+  | None ->
+      (* Open a block node for this run of straight-line accesses. *)
+      let parent_id = match b.stack with [] -> -1 | p :: _ -> p.id in
+      let key = (parent_id, key_of_kind (Bnode line)) in
+      let blk =
+        match Hashtbl.find_opt b.index key with
+        | Some id -> b.barr.(id)
+        | None ->
+            let n = new_node b (Bnode line) parent_id line in
+            Hashtbl.replace b.index key n.id;
+            (match b.stack with
+            | [] -> ()
+            | p :: _ -> p.children <- n.id :: p.children);
+            n
+      in
+      blk.instances <- blk.instances + 1;
+      blk.instructions <- blk.instructions + 1;
+      b.current_block <- Some blk
+
 let feed b (ev : Event.t) =
   match ev with
-  | Event.Access a -> (
-      match b.current_block with
-      | Some blk ->
-          blk.instructions <- blk.instructions + 1;
-          if a.line < blk.first_line then blk.first_line <- a.line;
-          if a.line > blk.last_line then blk.last_line <- a.line
-      | None ->
-          (* Open a block node for this run of straight-line accesses. *)
-          let parent_id = match b.stack with [] -> -1 | p :: _ -> p.id in
-          let key = (parent_id, key_of_kind (Bnode a.line)) in
-          let blk =
-            match Hashtbl.find_opt b.index key with
-            | Some id -> b.barr.(id)
-            | None ->
-                let n = new_node b (Bnode a.line) parent_id a.line in
-                Hashtbl.replace b.index key n.id;
-                (match b.stack with
-                | [] -> ()
-                | p :: _ -> p.children <- n.id :: p.children);
-                n
-          in
-          blk.instances <- blk.instances + 1;
-          blk.instructions <- blk.instructions + 1;
-          b.current_block <- Some blk)
+  | Event.Access a -> feed_access_line b ~line:a.line
   | Event.Region r -> (
       match r with
       | Event.Func_entry { name; line; _ } -> ignore (enter b (Fnode name) line)

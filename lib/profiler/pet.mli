@@ -29,6 +29,12 @@ type builder
 
 val create_builder : unit -> builder
 val feed : builder -> Trace.Event.t -> unit
+
+val feed_access_line : builder -> line:int -> unit
+(** The access case of {!feed} given just the line — an access contributes
+    nothing else to the tree — so the serial fast path can feed the builder
+    without an [Event.Access] record. *)
+
 val finish : builder -> t
 
 (** {1 Queries} *)

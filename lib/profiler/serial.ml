@@ -39,11 +39,21 @@ let profile ?(shadow = Engine.Perfect) ?(skip = false) ?(lifetime = true)
   Obs.Span.with_ ~phase:"profile" @@ fun () ->
   let engine = Engine.create ~skip ~lifetime shadow in
   let petb = Pet.create_builder () in
+  (* In-order accesses arrive as unboxed fields through [on_access] — no
+     [Event.Access] record is ever allocated on that path. Region events and
+     scrambled (delayed, reordered) accesses still arrive through [emit]. *)
+  let on_access ~kind ~addr ~var ~line ~thread ~time ~op ~lstack ~locked =
+    Engine.feed_fields engine ~kind ~addr ~var ~line ~thread ~time ~op ~lstack
+      ~locked;
+    Pet.feed_access_line petb ~line
+  in
   let emit ev =
     Engine.feed engine ev;
     Pet.feed petb ev
   in
-  let interp = Mil.Interp.run ~seed ~scramble_unlocked ?cancelled ~emit prog in
+  let interp =
+    Mil.Interp.run ~seed ~scramble_unlocked ?cancelled ~emit ~on_access prog
+  in
   let pet = Pet.finish petb in
   let deps = Engine.deps engine in
   Pet.attach_deps pet deps;

@@ -1,23 +1,36 @@
-(** The "perfect signature" (§2.5.1): an exact, hash-table-backed shadow
-    memory in which every address has its own entry, so false positives and
-    false negatives cannot occur. The ground-truth baseline for measuring
-    the signature's FPR/FNR, and the 100%-accuracy option of §2.3.7. *)
+(** The "perfect signature" (§2.5.1): an exact shadow memory in which every
+    address has its own entry, so collisions — and hence false positives and
+    false negatives — cannot occur. The ground-truth baseline for measuring
+    the signature's FPR/FNR, and the 100%-accuracy option of §2.3.7.
+
+    Implemented as an open-addressed, linear-probing int-keyed table over a
+    flat off-heap {!Store} of (read, write) slot pairs: one probe sequence
+    per access resolves both slots, inserts allocate nothing on the minor
+    heap, removals leave tombstones squeezed out on growth. *)
 
 type t
 
 val create : slots:int -> t
 (** [slots] is ignored; the table grows with the touched address set. *)
 
-val last_read : t -> addr:int -> Cell.t
-val last_write : t -> addr:int -> Cell.t
-val set_read : t -> addr:int -> Cell.t -> unit
-val set_write : t -> addr:int -> Cell.t -> unit
+val load : t -> addr:int -> Cell.t -> Cell.t -> int
+(** Probe (inserting on first touch, growing at 3/4 load) and decode
+    [addr]'s slots into the scratches; return the table slot handle. *)
+
+val store_read : t -> int -> Cell.t -> unit
+val store_write : t -> int -> Cell.t -> unit
+
 val remove : t -> addr:int -> unit
+(** Tombstone [addr]'s entry and clear its slots; never grows the table. *)
+
 val slots_used : t -> int
+val capacity : t -> int
+val live : t -> int
+
 val word_footprint : t -> int
 
 val extra_stats : t -> (string * int) list
-(** Always empty: nothing approximate to report. *)
+(** Capacity, live entries, tombstones — the {!Shadow.S} gauges. *)
 
 val fp_risk : t -> float
 (** Always 0: exact backends produce no false positives. *)

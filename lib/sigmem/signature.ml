@@ -1,23 +1,29 @@
 (* Signature-based shadow memory (§2.3.2).
 
-   A signature is a fixed-length array indexed by a single hash of the memory
-   address. Distinct addresses hashing to the same slot collide: the
+   A signature is a fixed-length slot array indexed by a single hash of the
+   memory address. Distinct addresses hashing to the same slot collide: the
    membership check then reports a stale access, creating false-positive
    dependences and masking true ones (false negatives) — the accuracy/space
    trade-off quantified in Table 2.6.
 
    One hash function (not a k-hash Bloom filter) is used deliberately so that
-   variable-lifetime analysis can *remove* elements (§2.3.2). Two signatures
-   are kept: one for reads, one for writes. *)
+   variable-lifetime analysis can *remove* elements (§2.3.2). The read and
+   write signatures share one flat off-heap store ({!Store}), one (read,
+   write) slot pair per hash index, so each access resolves the hash once and
+   probes adjacent memory for both slots. *)
 
 type t = {
   slots : int;
-  reads : Cell.t array;
-  writes : Cell.t array;
+  mask : int;
+      (* [slots - 1] when [slots] is a power of two, else 0: the standard
+         64K/4096-slot configurations reduce the hash with one [land]
+         instead of an integer division — same indices, no [div] on the hot
+         path *)
+  store : Store.t;                   (* [slots] (read, write) pairs *)
   mutable occupied_reads : int;
   mutable occupied_writes : int;
   (* Occupied-slot overwrites where the stored variable differs from the
-     incoming one: a cheap proxy for hash collisions (cells do not retain the
+     incoming one: a cheap proxy for hash collisions (slots do not retain the
      address), i.e. for the false-positive pressure of Table 2.6. *)
   mutable takeovers : int;
 }
@@ -25,47 +31,60 @@ type t = {
 (* Splitmix-style bit mixing: dense bump-allocator addresses must land in
    quasi-random slots, otherwise collision statistics (the FPR/FNR behaviour
    of Table 2.6) would not reflect the signature's approximate nature. *)
-let hash_addr addr slots =
+let mix addr =
   let h = addr in
   let h = (h lxor (h lsr 30)) * 0x1F85EBCA6B land max_int in
   let h = (h lxor (h lsr 27)) * 0x2545F4914F6CDD1D land max_int in
-  let h = h lxor (h lsr 31) in
-  h mod slots
+  h lxor (h lsr 31)
+
+let hash_addr addr slots = mix addr mod slots
 
 let create ~slots =
   let slots = max slots 1 in
   { slots;
-    reads = Array.make slots Cell.empty;
-    writes = Array.make slots Cell.empty;
+    mask = (if slots land (slots - 1) = 0 then slots - 1 else 0);
+    store = Store.create slots;
     occupied_reads = 0;
     occupied_writes = 0;
     takeovers = 0 }
 
-let last_read t ~addr = t.reads.(hash_addr addr t.slots)
-let last_write t ~addr = t.writes.(hash_addr addr t.slots)
+(* [mix] is non-negative, so masking and [mod] agree on power-of-two slot
+   counts: [hash_addr] remains the specification. *)
+let slot_of t addr =
+  let h = mix addr in
+  if t.mask <> 0 then h land t.mask else h mod t.slots
 
-let set_read t ~addr cell =
-  let i = hash_addr addr t.slots in
-  let old = t.reads.(i) in
-  if Cell.is_empty old then t.occupied_reads <- t.occupied_reads + 1
-  else if old.Cell.var <> cell.Cell.var then t.takeovers <- t.takeovers + 1;
-  t.reads.(i) <- cell
+let load t ~addr r w =
+  let i = slot_of t addr in
+  Store.load t.store (Store.read_base i) r;
+  Store.load t.store (Store.write_base i) w;
+  i
 
-let set_write t ~addr cell =
-  let i = hash_addr addr t.slots in
-  let old = t.writes.(i) in
-  if Cell.is_empty old then t.occupied_writes <- t.occupied_writes + 1
-  else if old.Cell.var <> cell.Cell.var then t.takeovers <- t.takeovers + 1;
-  t.writes.(i) <- cell
+let store_read t i (cell : Cell.t) =
+  let base = Store.read_base i in
+  if Store.is_empty t.store base then
+    t.occupied_reads <- t.occupied_reads + 1
+  else if Store.var_at t.store base <> cell.Cell.var then
+    t.takeovers <- t.takeovers + 1;
+  Store.store t.store base cell
+
+let store_write t i (cell : Cell.t) =
+  let base = Store.write_base i in
+  if Store.is_empty t.store base then
+    t.occupied_writes <- t.occupied_writes + 1
+  else if Store.var_at t.store base <> cell.Cell.var then
+    t.takeovers <- t.takeovers + 1;
+  Store.store t.store base cell
 
 let remove t ~addr =
-  let i = hash_addr addr t.slots in
-  if not (Cell.is_empty t.reads.(i)) then begin
-    t.reads.(i) <- Cell.empty;
+  let i = slot_of t addr in
+  let rb = Store.read_base i and wb = Store.write_base i in
+  if not (Store.is_empty t.store rb) then begin
+    Store.clear t.store rb;
     t.occupied_reads <- t.occupied_reads - 1
   end;
-  if not (Cell.is_empty t.writes.(i)) then begin
-    t.writes.(i) <- Cell.empty;
+  if not (Store.is_empty t.store wb) then begin
+    Store.clear t.store wb;
     t.occupied_writes <- t.occupied_writes - 1
   end
 
@@ -77,15 +96,14 @@ let slots t = t.slots
 
 (* Current false-positive risk attribution: the occupied fraction across both
    signatures — the probability that a fresh address's membership probe hits
-   a stale colliding cell (the per-witness analogue of Eq. 2.2's predicted
+   a stale colliding slot (the per-witness analogue of Eq. 2.2's predicted
    FPR, which integrates over a whole run). 0 when empty, → 1 as slots
    fill. *)
 let collision_risk t =
   float_of_int (t.occupied_reads + t.occupied_writes)
   /. float_of_int (2 * t.slots)
 
-(* Each slot holds one boxed record pointer; count array words. *)
-let word_footprint t = 2 * t.slots
+let word_footprint t = Store.words t.store
 
 let extra_stats t =
   [ ("slots", t.slots);

@@ -1,8 +1,9 @@
-(** Signature-based shadow memory (§2.3.2): a fixed-length array indexed by a
-    single hash of the memory address. Distinct addresses hashing to the same
-    slot collide — the accuracy/space trade-off of Table 2.6. One hash
+(** Signature-based shadow memory (§2.3.2): a fixed-length slot array indexed
+    by a single hash of the memory address. Distinct addresses hashing to the
+    same slot collide — the accuracy/space trade-off of Table 2.6. One hash
     function (not a k-hash Bloom filter) is used so variable-lifetime
-    analysis can remove elements. *)
+    analysis can remove elements. Read and write signatures share one flat
+    off-heap {!Store}, one (read, write) slot pair per hash index. *)
 
 type t
 
@@ -13,13 +14,13 @@ val hash_addr : int -> int -> int
 val create : slots:int -> t
 (** Two signatures (reads and writes) of [slots] slots each. *)
 
-val last_read : t -> addr:int -> Cell.t
-(** The recorded last read of [addr]'s slot; {!Cell.is_empty} if none.
-    Collisions may return another address's record — that is the point. *)
+val load : t -> addr:int -> Cell.t -> Cell.t -> int
+(** Hash [addr] once; decode its read and write slots into the scratch
+    cells; return the slot index for [store_*]. Collisions may decode
+    another address's record — that is the point. *)
 
-val last_write : t -> addr:int -> Cell.t
-val set_read : t -> addr:int -> Cell.t -> unit
-val set_write : t -> addr:int -> Cell.t -> unit
+val store_read : t -> int -> Cell.t -> unit
+val store_write : t -> int -> Cell.t -> unit
 
 val remove : t -> addr:int -> unit
 (** Variable-lifetime analysis (§2.3.5): clear [addr]'s slots. *)
@@ -33,14 +34,14 @@ val occupied_writes : t -> int
 val takeovers : t -> int
 (** Occupied-slot overwrites whose stored variable differs from the incoming
     one — a cheap collision proxy for the false-positive pressure of
-    Table 2.6 (cells do not retain the hashed address). *)
+    Table 2.6 (slots do not retain the hashed address). *)
 
 val slots : t -> int
 
 val collision_risk : t -> float
 (** Current false-positive risk: the occupied fraction across both
     signatures, i.e. the probability a fresh address's probe hits a stale
-    colliding cell right now — the per-witness analogue of Eq. 2.2. Feeds
+    colliding slot right now — the per-witness analogue of Eq. 2.2. Feeds
     the per-dependence risk column of [discopop explain]. *)
 
 val word_footprint : t -> int

@@ -1,0 +1,94 @@
+(* Flat off-heap backing store for shadow slots.
+
+   A store is a Bigarray of native ints holding fixed-width packed slots —
+   the reproduction of the paper's compact shadow slots (§2.3.2: 3 bytes per
+   access record there; here 6 machine words of interned attribution data).
+   Every shadow backend keeps its slots in one or more of these arrays
+   instead of boxed per-slot records, which buys three things on the
+   per-access hot path:
+
+   - zero allocation: storing an access writes 6 ints in place (no record
+     construction, no minor-heap churn);
+   - no GC write barrier: Bigarray data lives outside the OCaml heap, so
+     slot updates never call [caml_modify] (an array of boxed cells pays the
+     barrier on every store);
+   - locality: a slot's fields are adjacent, and the read/write slots of one
+     address are adjacent to each other, so a shadow probe touches one or
+     two cache lines instead of chasing per-cell pointers.
+
+   Layout: slots come in (read, write) pairs, one pair per address slot.
+   Each slot is [field_count] ints; field 0 packs the global timestamp and
+   the locked flag as [time lsl 1 lor locked], so 0 marks an empty slot
+   ([time = 0] never occurs in real accesses) and emptiness is a single
+   load. Cells ({!Cell}) are the mutable scratch records slots are decoded
+   into / encoded from. *)
+
+type t = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* timelocked, line, var, thread, op, lstack *)
+let field_count = 6
+let pair_width = 2 * field_count
+
+let create pairs : t =
+  let a =
+    Bigarray.Array1.create Bigarray.int Bigarray.c_layout (pairs * pair_width)
+  in
+  Bigarray.Array1.fill a 0;
+  a
+
+let pairs (t : t) = Bigarray.Array1.dim t / pair_width
+
+(* Base index of the read / write slot of pair [i]. *)
+let read_base i = i * pair_width
+let write_base i = (i * pair_width) + field_count
+
+let is_empty (t : t) base = Bigarray.Array1.unsafe_get t base = 0
+
+let load (t : t) base (c : Cell.t) =
+  let tl = Bigarray.Array1.unsafe_get t base in
+  c.Cell.time <- tl lsr 1;
+  c.Cell.locked <- tl land 1 = 1;
+  c.Cell.line <- Bigarray.Array1.unsafe_get t (base + 1);
+  c.Cell.var <- Bigarray.Array1.unsafe_get t (base + 2);
+  c.Cell.thread <- Bigarray.Array1.unsafe_get t (base + 3);
+  c.Cell.op <- Bigarray.Array1.unsafe_get t (base + 4);
+  c.Cell.lstack <- Bigarray.Array1.unsafe_get t (base + 5)
+
+let store (t : t) base (c : Cell.t) =
+  Bigarray.Array1.unsafe_set t base
+    ((c.Cell.time lsl 1) lor (if c.Cell.locked then 1 else 0));
+  Bigarray.Array1.unsafe_set t (base + 1) c.Cell.line;
+  Bigarray.Array1.unsafe_set t (base + 2) c.Cell.var;
+  Bigarray.Array1.unsafe_set t (base + 3) c.Cell.thread;
+  Bigarray.Array1.unsafe_set t (base + 4) c.Cell.op;
+  Bigarray.Array1.unsafe_set t (base + 5) c.Cell.lstack
+
+(* The stored variable symbol, without decoding the whole slot (collision
+   accounting in the signature backend). *)
+let var_at (t : t) base = Bigarray.Array1.unsafe_get t (base + 2)
+
+let clear (t : t) base =
+  for k = 0 to field_count - 1 do
+    Bigarray.Array1.unsafe_set t (base + k) 0
+  done
+
+let clear_pair (t : t) i = clear t (read_base i); clear t (write_base i)
+
+(* Move pair [i] of [src] into pair [j] of [dst] (open-addressed rehash). *)
+let blit_pair (src : t) i (dst : t) j =
+  let sb = read_base i and db = read_base j in
+  for k = 0 to pair_width - 1 do
+    Bigarray.Array1.unsafe_set dst (db + k) (Bigarray.Array1.unsafe_get src (sb + k))
+  done
+
+(* Number of occupied (non-empty) slots, both kinds; observe-time only. *)
+let occupied (t : t) =
+  let n = ref 0 in
+  let slots = 2 * pairs t in
+  for s = 0 to slots - 1 do
+    if Bigarray.Array1.unsafe_get t (s * field_count) <> 0 then incr n
+  done;
+  !n
+
+(* Resident words of the backing array (one int element = one word). *)
+let words (t : t) = Bigarray.Array1.dim t

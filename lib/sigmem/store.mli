@@ -1,0 +1,59 @@
+(** Flat off-heap backing store for shadow slots.
+
+    A Bigarray of native ints holding fixed-width packed slots in
+    (read, write) pairs — one pair per address slot. Slot field 0 packs the
+    timestamp and locked flag as [time lsl 1 lor locked], so 0 marks an
+    empty slot and emptiness is a single load. Slots are decoded into /
+    encoded from mutable {!Cell} scratches; nothing here allocates on the
+    per-access path, and updates never touch the GC write barrier (the data
+    lives outside the OCaml heap). *)
+
+type t = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val field_count : int
+(** Ints per slot. *)
+
+val pair_width : int
+(** Ints per (read, write) slot pair, [2 * field_count]. *)
+
+val create : int -> t
+(** [create n] is a zeroed store of [n] slot pairs. *)
+
+val pairs : t -> int
+
+val read_base : int -> int
+(** Base index of pair [i]'s read slot. *)
+
+val write_base : int -> int
+(** Base index of pair [i]'s write slot. *)
+
+val is_empty : t -> int -> bool
+(** [is_empty t base]: is the slot at [base] empty? One load. *)
+
+val load : t -> int -> Cell.t -> unit
+(** Decode the slot at [base] into the scratch cell; an empty slot decodes
+    to [time = 0]. *)
+
+val store : t -> int -> Cell.t -> unit
+(** Encode the scratch cell into the slot at [base]. *)
+
+val var_at : t -> int -> int
+(** The stored variable symbol of the slot at [base], without a full
+    decode (signature collision accounting). *)
+
+val clear : t -> int -> unit
+(** Zero the slot at [base]. *)
+
+val clear_pair : t -> int -> unit
+(** Zero both slots of pair [i]. *)
+
+val blit_pair : t -> int -> t -> int -> unit
+(** [blit_pair src i dst j] copies pair [i] of [src] into pair [j] of
+    [dst] (open-addressed rehash). *)
+
+val occupied : t -> int
+(** Occupied (non-empty) slots of either kind; O(slots), observe-time
+    only. *)
+
+val words : t -> int
+(** Resident words of the backing array. *)

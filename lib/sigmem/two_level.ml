@@ -5,98 +5,79 @@
    first touch, so lookups are two array indexings — faster than hashing at
    the cost of memory proportional to the touched address range. This is the
    "multilevel tables" design the paper mentions as partially mitigating
-   shadow memory's footprint; the micro-benchmarks compare all three. *)
+   shadow memory's footprint; the micro-benchmarks compare all three.
 
-type page = { reads : Cell.t array; writes : Cell.t array }
+   Each page is one flat off-heap {!Store} of [page_size] (read, write) slot
+   pairs, so a page lookup lands on the address's read and write slots
+   adjacently. The page located by [load] is cached in [cur] so the matching
+   [store_*] does not repeat the directory walk. *)
 
 type t = {
   page_bits : int;
-  mutable pages : page option array;  (* indexed by addr lsr page_bits *)
+  mutable dir : Store.t array;        (* indexed by addr lsr page_bits *)
+  mutable cur : Store.t;              (* page located by the last [load] *)
+  mutable pages_allocated : int;
 }
+
+(* Missing-page sentinel (zero pairs); compared physically. *)
+let null : Store.t = Store.create 0
 
 let default_page_bits = 12
 
 let create ~slots:_ =
-  { page_bits = default_page_bits; pages = Array.make 64 None }
+  { page_bits = default_page_bits; dir = Array.make 64 null; cur = null;
+    pages_allocated = 0 }
 
 let page_size t = 1 lsl t.page_bits
 
 let ensure_dir t idx =
-  if idx >= Array.length t.pages then begin
-    let cap = max (2 * Array.length t.pages) (idx + 1) in
-    let d = Array.make cap None in
-    Array.blit t.pages 0 d 0 (Array.length t.pages);
-    t.pages <- d
+  if idx >= Array.length t.dir then begin
+    let cap = max (2 * Array.length t.dir) (idx + 1) in
+    let d = Array.make cap null in
+    Array.blit t.dir 0 d 0 (Array.length t.dir);
+    t.dir <- d
   end
 
-let page_of t addr ~create_missing =
+let load t ~addr r w =
   let idx = addr lsr t.page_bits in
   ensure_dir t idx;
-  match t.pages.(idx) with
-  | Some p -> Some p
-  | None ->
-      if create_missing then begin
-        let p =
-          { reads = Array.make (page_size t) Cell.empty;
-            writes = Array.make (page_size t) Cell.empty }
-        in
-        t.pages.(idx) <- Some p;
-        Some p
-      end
-      else None
+  let p = Array.unsafe_get t.dir idx in
+  let p =
+    if p != null then p
+    else begin
+      let p = Store.create (page_size t) in
+      t.dir.(idx) <- p;
+      t.pages_allocated <- t.pages_allocated + 1;
+      p
+    end
+  in
+  t.cur <- p;
+  let off = addr land (page_size t - 1) in
+  Store.load p (Store.read_base off) r;
+  Store.load p (Store.write_base off) w;
+  off
 
-let offset t addr = addr land (page_size t - 1)
-
-let last_read t ~addr =
-  match page_of t addr ~create_missing:false with
-  | Some p -> p.reads.(offset t addr)
-  | None -> Cell.empty
-
-let last_write t ~addr =
-  match page_of t addr ~create_missing:false with
-  | Some p -> p.writes.(offset t addr)
-  | None -> Cell.empty
-
-let set_read t ~addr cell =
-  match page_of t addr ~create_missing:true with
-  | Some p -> p.reads.(offset t addr) <- cell
-  | None -> ()
-
-let set_write t ~addr cell =
-  match page_of t addr ~create_missing:true with
-  | Some p -> p.writes.(offset t addr) <- cell
-  | None -> ()
+let store_read t off cell = Store.store t.cur (Store.read_base off) cell
+let store_write t off cell = Store.store t.cur (Store.write_base off) cell
 
 let remove t ~addr =
-  match page_of t addr ~create_missing:false with
-  | Some p ->
-      p.reads.(offset t addr) <- Cell.empty;
-      p.writes.(offset t addr) <- Cell.empty
-  | None -> ()
+  let idx = addr lsr t.page_bits in
+  if idx < Array.length t.dir then begin
+    let p = t.dir.(idx) in
+    if p != null then Store.clear_pair p (addr land (page_size t - 1))
+  end
 
-let pages_allocated t =
-  Array.fold_left
-    (fun acc page -> match page with None -> acc | Some _ -> acc + 1)
-    0 t.pages
+let pages_allocated t = t.pages_allocated
 
 let slots_used t =
   Array.fold_left
-    (fun acc page ->
-      match page with
-      | None -> acc
-      | Some p ->
-          let count arr =
-            Array.fold_left
-              (fun n c -> if Cell.is_empty c then n else n + 1)
-              0 arr
-          in
-          acc + count p.reads + count p.writes)
-    0 t.pages
+    (fun acc p -> if p == null then acc else acc + Store.occupied p)
+    0 t.dir
 
 let word_footprint t =
   Array.fold_left
-    (fun acc page -> match page with None -> acc + 1 | Some _ -> acc + (2 * page_size t))
-    0 t.pages
+    (fun acc p -> if p == null then acc + 1 else acc + Store.words p)
+    0 t.dir
 
 let extra_stats t = [ ("pages", pages_allocated t) ]
 let fp_risk _ = 0.0

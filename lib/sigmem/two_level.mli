@@ -1,7 +1,9 @@
 (** Two-level paged exact shadow memory: the address space is split into
     pages allocated on first touch, so lookups are two array indexings —
     faster than hashing, memory proportional to the touched address range.
-    The "multilevel tables" design the paper mentions in §2.3.2. *)
+    The "multilevel tables" design the paper mentions in §2.3.2. Each page
+    is one flat off-heap {!Store} of (read, write) slot pairs; [load]
+    caches the located page for the matching [store_*]. *)
 
 type t
 
@@ -10,11 +12,16 @@ val default_page_bits : int
 val create : slots:int -> t
 (** [slots] is ignored; pages are allocated on demand. *)
 
-val last_read : t -> addr:int -> Cell.t
-val last_write : t -> addr:int -> Cell.t
-val set_read : t -> addr:int -> Cell.t -> unit
-val set_write : t -> addr:int -> Cell.t -> unit
+val load : t -> addr:int -> Cell.t -> Cell.t -> int
+(** Locate (first-touch allocating) [addr]'s page, decode its slots into
+    the scratches, cache the page, return the in-page slot handle. *)
+
+val store_read : t -> int -> Cell.t -> unit
+val store_write : t -> int -> Cell.t -> unit
+
 val remove : t -> addr:int -> unit
+(** Clears [addr]'s slots; never allocates a page. *)
+
 val slots_used : t -> int
 val word_footprint : t -> int
 

@@ -144,21 +144,24 @@ module Lstack = struct
      the first (line, inst) match found walking upward IS the deepest common
      frame of the prefix zip, and its ids differ iff the iterations differ
      (i.e. the dependence is carried by that loop). *)
+  (* The walk helpers take the store snapshot as an argument: as closures
+     capturing [s] they would be allocated afresh on every call, and this
+     sits on the profiler's per-access hot path. *)
+  let rec cc_up s id n = if n <= 0 then id else cc_up s s.parent.(id) (n - 1)
+
+  let rec cc_walk s a b =
+    if a = b then -1
+    else if s.line.(a) = s.line.(b) && s.inst.(a) = s.inst.(b) then s.line.(a)
+    else cc_walk s s.parent.(a) s.parent.(b)
+
   let carrier_code ~src ~snk : int =
     if src = snk then -1
     else
       let s = Atomic.get store in
-      let rec up id n = if n <= 0 then id else up s.parent.(id) (n - 1) in
       let da = s.depth.(src) and db = s.depth.(snk) in
-      let a = if da > db then up src (da - db) else src in
-      let b = if db > da then up snk (db - da) else snk in
-      let rec walk a b =
-        if a = b then -1
-        else if s.line.(a) = s.line.(b) && s.inst.(a) = s.inst.(b) then
-          s.line.(a)
-        else walk s.parent.(a) s.parent.(b)
-      in
-      walk a b
+      let a = if da > db then cc_up s src (da - db) else src in
+      let b = if db > da then cc_up s snk (db - da) else snk in
+      cc_walk s a b
 
   (* Conversions to/from the list representation, for tests and reporting. *)
   let to_frames id : Event.frame list =

@@ -74,6 +74,79 @@ let test_golden_sweep () =
           Alcotest.(check string) (Printf.sprintf "depfile bytes: %s" f) want got)
     files
 
+(* The paged (two-level) shadow is exact, like Perfect: profiling any
+   workload with it must reproduce the Perfect golden files byte for byte.
+   This pins all three backends to one observable output through the packed
+   slot-store re-encoding. *)
+let test_paged_golden_agreement () =
+  golden_files ()
+  |> List.filter (fun f -> workload_of_file f |> snd = Profiler.Engine.Perfect)
+  |> List.iter (fun f ->
+         let name, _ = workload_of_file f in
+         match find_workload name with
+         | None -> Alcotest.failf "golden %s: unknown workload %s" f name
+         | Some w ->
+             let size =
+               match List.assoc_opt name golden_sizes with
+               | Some s -> s
+               | None -> w.default_size
+             in
+             let prog = Workloads.Registry.program ~size w in
+             let r = Profiler.Serial.profile ~shadow:Profiler.Engine.Paged prog in
+             let got = Profiler.Depfile.render r.Profiler.Serial.deps in
+             let want = read_file (Filename.concat golden_dir f) in
+             Alcotest.(check string)
+               (Printf.sprintf "paged depfile bytes: %s" f)
+               want got)
+
+(* ---- allocation regression ---- *)
+
+(* The zero-alloc fast path (off-heap slot store, scratch cells, closure-free
+   probe loops, two-way dedup slots) must not silently regrow a per-access
+   allocation: feed a pre-recorded stream through each backend and hold the
+   GC minor-words delta per access under a hard cap. The cap (3.0) leaves
+   room for amortized table growth (Perfect sits near 0.5); the seed engine
+   burned ~14 words per access. *)
+let alloc_cap = 3.0
+
+let record_stream prog =
+  let acc = ref [] in
+  let _ =
+    Mil.Interp.run
+      ~emit:(fun ev ->
+        match ev with
+        | Event.Access a -> acc := a :: !acc
+        | Event.Region _ -> ())
+      prog
+  in
+  Array.of_list (List.rev !acc)
+
+let test_alloc_regression () =
+  let w =
+    match find_workload "histogram" with
+    | Some w -> w
+    | None -> Alcotest.fail "histogram workload missing"
+  in
+  let stream = record_stream (Workloads.Registry.program ~size:1000 w) in
+  let n = float_of_int (Array.length stream) in
+  Alcotest.(check bool) "stream non-trivial" true (Array.length stream > 1000);
+  List.iter
+    (fun (label, shadow) ->
+      (* Warm run: interning, carrier memo fills and shadow-table growth are
+         one-time costs, not per-access ones. *)
+      let e = Profiler.Engine.create shadow in
+      Array.iter (Profiler.Engine.feed_access e) stream;
+      let e = Profiler.Engine.create shadow in
+      let w0 = Gc.minor_words () in
+      Array.iter (Profiler.Engine.feed_access e) stream;
+      let per_access = (Gc.minor_words () -. w0) /. n in
+      if per_access > alloc_cap then
+        Alcotest.failf "%s: %.2f minor words/access exceeds cap %.1f" label
+          per_access alloc_cap)
+    [ ("sig", Profiler.Engine.Signature 4096);
+      ("perfect", Profiler.Engine.Perfect);
+      ("paged", Profiler.Engine.Paged) ]
+
 (* ---- interning ---- *)
 
 let test_sym_roundtrip () =
@@ -189,6 +262,10 @@ let test_pooled_parallel_equivalence () =
 let tests =
   [ Alcotest.test_case "golden depfile sweep byte-identical" `Slow
       test_golden_sweep;
+    Alcotest.test_case "paged backend matches perfect goldens" `Slow
+      test_paged_golden_agreement;
+    Alcotest.test_case "per-access allocation under cap" `Quick
+      test_alloc_regression;
     Alcotest.test_case "symbol intern round-trip" `Quick test_sym_roundtrip;
     Alcotest.test_case "loop-stack intern round-trip" `Quick
       test_lstack_roundtrip;

@@ -1,38 +1,97 @@
 (* Tests for shadow memories: signature semantics, collisions, lifetime
-   removal, the perfect baseline, and the Eq. 2.2 FPR predictor. *)
+   removal, the perfect baseline (growth, tombstones), the paged backend,
+   slot packing, and the Eq. 2.2 FPR predictor. *)
 
 module Sig = Sigmem.Signature
 module Perf = Sigmem.Perfect
+module Paged = Sigmem.Two_level
+module Store = Sigmem.Store
 module Cell = Sigmem.Cell
 
 let cell line =
-  { Cell.line; var = Trace.Intern.Sym.intern "v"; thread = 0; time = line + 1;
-    op = line; lstack = Trace.Intern.Lstack.empty; locked = false }
+  Cell.v ~line ~var:(Trace.Intern.Sym.intern "v") ~thread:0 ~time:(line + 1)
+    ~op:line ~lstack:Trace.Intern.Lstack.empty ~locked:false
+
+(* Generic helpers over the revised handle-based interface: every probe
+   decodes both slots into fresh scratches, so the assertions below read the
+   decoded state, exactly as the engine does. *)
+let probe (type s) (module S : Sigmem.Shadow.S with type t = s) s ~addr =
+  let r = Cell.scratch () and w = Cell.scratch () in
+  let h = S.load s ~addr r w in
+  (h, r, w)
+
+let set_read (type s) (module S : Sigmem.Shadow.S with type t = s) s ~addr c =
+  let h, _, _ = probe (module S) s ~addr in
+  S.store_read s h c
+
+let set_write (type s) (module S : Sigmem.Shadow.S with type t = s) s ~addr c =
+  let h, _, _ = probe (module S) s ~addr in
+  S.store_write s h c
+
+let last_read (type s) (module S : Sigmem.Shadow.S with type t = s) s ~addr =
+  let _, r, _ = probe (module S) s ~addr in
+  r
+
+let last_write (type s) (module S : Sigmem.Shadow.S with type t = s) s ~addr =
+  let _, _, w = probe (module S) s ~addr in
+  w
+
+let msig = (module Sig : Sigmem.Shadow.S with type t = Sig.t)
+let mperf = (module Perf : Sigmem.Shadow.S with type t = Perf.t)
+let mpaged = (module Paged : Sigmem.Shadow.S with type t = Paged.t)
+
+let test_store_roundtrip () =
+  (* Every field survives the packed 6-int slot encoding, including the
+     locked bit sharing a word with the timestamp. *)
+  let st = Store.create 4 in
+  let c =
+    Cell.v ~line:123 ~var:(Trace.Intern.Sym.intern "roundtrip") ~thread:7
+      ~time:987654 ~op:42 ~lstack:3 ~locked:true
+  in
+  Store.store st (Store.write_base 2) c;
+  let d = Cell.scratch () in
+  Store.load st (Store.write_base 2) d;
+  Alcotest.(check int) "line" c.Cell.line d.Cell.line;
+  Alcotest.(check int) "var" c.Cell.var d.Cell.var;
+  Alcotest.(check int) "thread" c.Cell.thread d.Cell.thread;
+  Alcotest.(check int) "time" c.Cell.time d.Cell.time;
+  Alcotest.(check int) "op" c.Cell.op d.Cell.op;
+  Alcotest.(check int) "lstack" c.Cell.lstack d.Cell.lstack;
+  Alcotest.(check bool) "locked" c.Cell.locked d.Cell.locked;
+  (* the adjacent read slot of the same pair is untouched *)
+  Store.load st (Store.read_base 2) d;
+  Alcotest.(check bool) "read slot empty" true (Cell.is_empty d);
+  Store.clear_pair st 2;
+  Store.load st (Store.write_base 2) d;
+  Alcotest.(check bool) "cleared" true (Cell.is_empty d)
 
 let test_signature_basic () =
   let s = Sig.create ~slots:64 in
-  Alcotest.(check bool) "initially empty" true (Cell.is_empty (Sig.last_read s ~addr:5));
-  Sig.set_read s ~addr:5 (cell 10);
-  Alcotest.(check int) "read slot" 10 (Sig.last_read s ~addr:5).Cell.line;
+  Alcotest.(check bool) "initially empty" true
+    (Cell.is_empty (last_read msig s ~addr:5));
+  set_read msig s ~addr:5 (cell 10);
+  Alcotest.(check int) "read slot" 10 (last_read msig s ~addr:5).Cell.line;
   Alcotest.(check bool) "write slot still empty" true
-    (Cell.is_empty (Sig.last_write s ~addr:5));
-  Sig.set_write s ~addr:5 (cell 20);
-  Alcotest.(check int) "write slot" 20 (Sig.last_write s ~addr:5).Cell.line;
+    (Cell.is_empty (last_write msig s ~addr:5));
+  set_write msig s ~addr:5 (cell 20);
+  Alcotest.(check int) "write slot" 20 (last_write msig s ~addr:5).Cell.line;
   Alcotest.(check int) "slots used" 2 (Sig.slots_used s);
   Sig.remove s ~addr:5;
-  Alcotest.(check bool) "removed" true (Cell.is_empty (Sig.last_read s ~addr:5));
+  Alcotest.(check bool) "removed" true
+    (Cell.is_empty (last_read msig s ~addr:5));
   Alcotest.(check int) "slots used after removal" 0 (Sig.slots_used s)
 
 let test_signature_collision () =
   (* With a single slot every address collides: membership checks see the
      other address's entry — the false-positive mechanism of §2.3.2. *)
   let s = Sig.create ~slots:1 in
-  Sig.set_write s ~addr:1 (cell 11);
-  Alcotest.(check int) "collision visible" 11 (Sig.last_write s ~addr:2).Cell.line;
+  set_write msig s ~addr:1 (cell 11);
+  Alcotest.(check int) "collision visible" 11
+    (last_write msig s ~addr:2).Cell.line;
   (* removal through a colliding address also clears the slot *)
   Sig.remove s ~addr:2;
   Alcotest.(check bool) "collision removal" true
-    (Cell.is_empty (Sig.last_write s ~addr:1))
+    (Cell.is_empty (last_write msig s ~addr:1))
 
 let test_signature_distribution () =
   (* The hash must behave like a random function on dense bump-allocator
@@ -50,14 +109,75 @@ let test_signature_distribution () =
 
 let test_perfect () =
   let s = Perf.create ~slots:0 in
-  Perf.set_write s ~addr:1 (cell 11);
-  Perf.set_write s ~addr:1025 (cell 12);
-  Alcotest.(check int) "no collisions ever" 11 (Perf.last_write s ~addr:1).Cell.line;
+  set_write mperf s ~addr:1 (cell 11);
+  set_write mperf s ~addr:1025 (cell 12);
+  Alcotest.(check int) "no collisions ever" 11
+    (last_write mperf s ~addr:1).Cell.line;
   Alcotest.(check int) "second addr separate" 12
-    (Perf.last_write s ~addr:1025).Cell.line;
+    (last_write mperf s ~addr:1025).Cell.line;
   Perf.remove s ~addr:1;
-  Alcotest.(check bool) "removed" true (Cell.is_empty (Perf.last_write s ~addr:1));
-  Alcotest.(check int) "other untouched" 12 (Perf.last_write s ~addr:1025).Cell.line
+  Alcotest.(check bool) "removed" true
+    (Cell.is_empty (last_write mperf s ~addr:1));
+  Alcotest.(check int) "other untouched" 12
+    (last_write mperf s ~addr:1025).Cell.line
+
+let test_perfect_growth () =
+  (* Push well past the initial capacity: the open-addressed table must
+     rehash without losing or corrupting any entry. *)
+  let s = Perf.create ~slots:0 in
+  let n = 10_000 in
+  for a = 0 to n - 1 do
+    set_write mperf s ~addr:(a * 7) (cell (a land 0xFFFF))
+  done;
+  Alcotest.(check bool) "grew past initial capacity" true (Perf.capacity s > 1024);
+  Alcotest.(check int) "all live" n (Perf.live s);
+  let ok = ref true in
+  for a = 0 to n - 1 do
+    if (last_write mperf s ~addr:(a * 7)).Cell.line <> a land 0xFFFF then
+      ok := false
+  done;
+  Alcotest.(check bool) "every entry intact after rehash" true !ok
+
+let test_perfect_tombstones () =
+  (* Insert/remove churn over a fixed working set must not grow the table:
+     tombstones are recycled by inserts and squeezed on rebuild. *)
+  let s = Perf.create ~slots:0 in
+  for round = 0 to 99 do
+    for a = 0 to 99 do
+      set_write mperf s ~addr:a (cell round)
+    done;
+    for a = 0 to 99 do
+      Perf.remove s ~addr:a
+    done
+  done;
+  Alcotest.(check int) "empty after churn" 0 (Perf.live s);
+  Alcotest.(check bool) "capacity stayed small" true (Perf.capacity s <= 2048);
+  set_write mperf s ~addr:3 (cell 77);
+  Alcotest.(check int) "usable after churn" 77
+    (last_write mperf s ~addr:3).Cell.line
+
+let test_paged () =
+  let s = Paged.create ~slots:0 in
+  (* addresses far enough apart to land on distinct pages *)
+  set_write mpaged s ~addr:5 (cell 11);
+  set_read mpaged s ~addr:5 (cell 12);
+  set_write mpaged s ~addr:100_000 (cell 13);
+  Alcotest.(check int) "first page write" 11
+    (last_write mpaged s ~addr:5).Cell.line;
+  Alcotest.(check int) "first page read" 12
+    (last_read mpaged s ~addr:5).Cell.line;
+  Alcotest.(check int) "distant page" 13
+    (last_write mpaged s ~addr:100_000).Cell.line;
+  Alcotest.(check bool) "two pages allocated" true (Paged.pages_allocated s >= 2);
+  Paged.remove s ~addr:5;
+  Alcotest.(check bool) "removed" true
+    (Cell.is_empty (last_write mpaged s ~addr:5));
+  Alcotest.(check int) "other page untouched" 13
+    (last_write mpaged s ~addr:100_000).Cell.line;
+  (* removing a never-touched address must not allocate a page *)
+  let pages = Paged.pages_allocated s in
+  Paged.remove s ~addr:9_999_999;
+  Alcotest.(check int) "remove allocates no page" pages (Paged.pages_allocated s)
 
 let test_fpr_predictor () =
   (* Eq. 2.2: monotone in n, anti-monotone in m, exact at the extremes. *)
@@ -81,7 +201,7 @@ let test_fpr_predictor_vs_measured () =
     !rng
   in
   for _ = 1 to n do
-    Sig.set_write s ~addr:(next ()) (cell 1)
+    set_write msig s ~addr:(next ()) (cell 1)
   done;
   let occupied = float_of_int (Sig.slots_used s) /. float_of_int slots in
   let predicted = Sigmem.Shadow.predicted_fpr ~slots ~addresses:n in
@@ -90,30 +210,41 @@ let test_fpr_predictor_vs_measured () =
     true
     (abs_float (occupied -. predicted) < 0.1)
 
-let qcheck_signature_last_write_wins =
+let qcheck_last_write_wins (type s) name
+    (module S : Sigmem.Shadow.S with type t = s) slots =
   let open QCheck in
-  Test.make ~name:"signature returns the most recent write for an address"
+  Test.make
+    ~name:(name ^ " returns the most recent write for an address")
     ~count:200
     (make Gen.(list_size (int_range 1 50) (pair (int_bound 31) (int_bound 1000))))
     (fun writes ->
-      (* big enough signature that these few addresses never collide *)
-      let s = Sig.create ~slots:4096 in
+      (* for the signature: big enough that these few addresses never
+         collide; exact backends hold regardless *)
+      let s = S.create ~slots in
       let last = Hashtbl.create 8 in
       List.iter
         (fun (addr, line) ->
-          Sig.set_write s ~addr (cell line);
+          set_write (module S) s ~addr (cell line);
           Hashtbl.replace last addr line)
         writes;
       Hashtbl.fold
-        (fun addr line ok -> ok && (Sig.last_write s ~addr).Cell.line = line)
+        (fun addr line ok ->
+          ok && (last_write (module S) s ~addr).Cell.line = line)
         last true)
 
 let tests =
-  [ Alcotest.test_case "signature basics" `Quick test_signature_basic;
+  [ Alcotest.test_case "store packing roundtrip" `Quick test_store_roundtrip;
+    Alcotest.test_case "signature basics" `Quick test_signature_basic;
     Alcotest.test_case "signature collisions" `Quick test_signature_collision;
     Alcotest.test_case "hash distribution" `Quick test_signature_distribution;
     Alcotest.test_case "perfect shadow" `Quick test_perfect;
+    Alcotest.test_case "perfect growth" `Quick test_perfect_growth;
+    Alcotest.test_case "perfect tombstone churn" `Quick test_perfect_tombstones;
+    Alcotest.test_case "paged shadow" `Quick test_paged;
     Alcotest.test_case "Eq 2.2 predictor" `Quick test_fpr_predictor;
     Alcotest.test_case "Eq 2.2 vs measured occupancy" `Quick
       test_fpr_predictor_vs_measured;
-    QCheck_alcotest.to_alcotest qcheck_signature_last_write_wins ]
+    QCheck_alcotest.to_alcotest
+      (qcheck_last_write_wins "signature" msig 4096);
+    QCheck_alcotest.to_alcotest (qcheck_last_write_wins "perfect" mperf 0);
+    QCheck_alcotest.to_alcotest (qcheck_last_write_wins "paged" mpaged 0) ]
