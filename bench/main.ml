@@ -47,6 +47,8 @@ let experiments : (string * string * (unit -> unit)) list =
     ("ablation", "Ablations: shadow backend, lifetime, merging", Exp_ablation.run);
     ("hotpath", "Fig 2.9/2.12 substrate: engine events/sec, minor words/access",
      Exp_hotpath.run);
+    ("passes", "Mil.Pass pipeline: executed-event reduction over the registry",
+     Exp_passes.run);
     ("batch", "Batch driver: cold vs warm cache over the textbook suite",
      Exp_batch.run);
     ("serve", "Serve daemon: sustained req/s and p50/p99 under concurrent clients",

@@ -639,6 +639,104 @@ let check_bench_cmd =
   Cmd.v (Cmd.info "check-bench" ~doc)
     Term.(const run $ bench_arg $ baseline_arg $ update_arg)
 
+(* optimize *)
+let optimize_cmd =
+  let doc =
+    "Run the Mil.Pass cleanup pipeline on a workload and report the executed \
+     access-event reduction. Passes run to fixpoint in pipeline order; every \
+     rewrite is observation-preserving (the optimized program is \
+     differentially checked against the seed here, and a pass that cannot \
+     prove a program safe refuses it with a pass.<name>.refused click rather \
+     than rewriting). Writes PASSES_<workload>.json; an observation diff \
+     exits non-zero."
+  in
+  let passes_arg =
+    Arg.(value & opt (some string) None & info [ "passes" ] ~docv:"LIST"
+           ~doc:"Comma-separated pass selection, run in the given order \
+                 (default: the full pipeline; see `discopop optimize --help` \
+                 output of a failed name for the registry).")
+  in
+  let emit_arg =
+    Arg.(value & flag & info [ "emit" ]
+           ~doc:"Print the optimized program's numbered source.")
+  in
+  let run name size passes emit stats trace =
+    let w = or_die (find_workload name) in
+    let seed = Workloads.Registry.program ?size w in
+    let code =
+      with_obs ~stats ~trace @@ fun () ->
+      let passes =
+        Option.map
+          (fun s -> String.split_on_char ',' s |> List.map String.trim
+                    |> List.filter (fun x -> x <> ""))
+          passes
+      in
+      let report = or_die (Mil.Pass.run ?passes seed) in
+      let events p =
+        let r = Mil.Interp.run p in
+        r.Mil.Interp.r_stats.reads + r.Mil.Interp.r_stats.writes
+      in
+      let before = events seed and after = events report.program in
+      let ratio = float_of_int after /. float_of_int (max 1 before) in
+      let diffs =
+        Transform.Validate.diff_observations
+          (Transform.Validate.observe seed)
+          (Transform.Validate.observe report.program)
+      in
+      let refused = not (Mil.Pass.sequential_program seed) in
+      Printf.printf "# optimize %s (size %d)\n" w.name
+        (match size with Some s -> s | None -> w.default_size);
+      List.iter
+        (fun (p, n) -> Printf.printf "pass %-10s %d rewrite(s)\n" p n)
+        report.per_pass;
+      Printf.printf
+        "%d rewrite(s) in %d round(s); executed access events %d -> %d \
+         (ratio %.3f)%s\n"
+        report.changes report.rounds before after ratio
+        (if refused then
+           " [sync constructs: restructuring passes refused]"
+         else "");
+      List.iter (Printf.printf "OBSERVATION DIFF: %s\n") diffs;
+      if emit then
+        Printf.printf "\n%s\n" (Mil.Pretty.render_program report.program);
+      let path = Printf.sprintf "PASSES_%s.json" w.name in
+      let json =
+        Obs.Json.Obj
+          [ ("workload", Obs.Json.String w.name);
+            ( "size",
+              Obs.Json.Int
+                (match size with Some s -> s | None -> w.default_size) );
+            ( "passes",
+              Obs.Json.List
+                (List.map
+                   (fun (p, n) ->
+                     Obs.Json.Obj
+                       [ ("name", Obs.Json.String p);
+                         ("changes", Obs.Json.Int n) ])
+                   report.per_pass) );
+            ("rounds", Obs.Json.Int report.rounds);
+            ("changes", Obs.Json.Int report.changes);
+            ("events_before", Obs.Json.Int before);
+            ("events_after", Obs.Json.Int after);
+            ("event_ratio", Obs.Json.Float ratio);
+            ("refused", Obs.Json.Bool refused);
+            ( "observation_diffs",
+              Obs.Json.List (List.map (fun d -> Obs.Json.String d) diffs) );
+            ("ok", Obs.Json.Bool (diffs = [])) ]
+      in
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (Obs.Json.pretty json);
+          Out_channel.output_char oc '\n');
+      Printf.eprintf "wrote %s\n" path;
+      if diffs <> [] then 1 else 0
+    in
+    if code <> 0 then exit code
+  in
+  Cmd.v (Cmd.info "optimize" ~doc)
+    Term.(
+      const run $ workload_arg $ size_arg $ passes_arg $ emit_arg $ stats_arg
+      $ trace_arg)
+
 (* parallelize *)
 let parallelize_cmd =
   let doc =
@@ -706,6 +804,14 @@ let parallelize_cmd =
            ~doc:"Print a machine-readable JSON summary to stdout instead of \
                  the human report (diagnostics still go to stderr).")
   in
+  let optimize_arg =
+    Arg.(value & flag & info [ "optimize" ]
+           ~doc:"Run the Mil.Pass cleanup pipeline on the transformed \
+                 program before validation/measurement — folds the inserted \
+                 chunk-bound arithmetic and privatization residue. \
+                 Observation-preserving by construction (and still covered \
+                 by --validate / --measure downstream).")
+  in
   let seed_list n =
     List.init n (fun k ->
         match List.nth_opt Transform.Validate.default_seeds k with
@@ -713,7 +819,7 @@ let parallelize_cmd =
         | None -> (k * 99991) + 17)
   in
   let run name size suggestion chunks validate seeds emit output threads
-      measure domains warmup reps json stats trace =
+      measure domains warmup reps json optimize stats trace =
     let w = or_die (find_workload name) in
     let prog = Workloads.Registry.program ?size w in
     let code =
@@ -783,6 +889,26 @@ let parallelize_cmd =
                         ("skipped", json_skipped ()) ]));
             1
         | Ok t ->
+            let t =
+              if optimize then begin
+                match Mil.Pass.run t.Transform.Parallelize.transformed with
+                | Ok r ->
+                    out "optimize: %d rewrite(s) in %d round(s) (%s)\n"
+                      r.Mil.Pass.changes r.Mil.Pass.rounds
+                      (String.concat ", "
+                         (List.filter_map
+                            (fun (p, n) ->
+                              if n > 0 then
+                                Some (Printf.sprintf "%s %d" p n)
+                              else None)
+                            r.Mil.Pass.per_pass));
+                    { t with Transform.Parallelize.transformed = r.program }
+                | Error e ->
+                    Printf.eprintf "parallelize: --optimize failed: %s\n" e;
+                    t
+              end
+              else t
+            in
             out "%s" (Transform.Parallelize.plan_to_string t.plan);
             if emit then
               out "\n%s\n" (Mil.Pretty.render_program t.transformed);
@@ -907,7 +1033,7 @@ let parallelize_cmd =
       const run $ workload_arg $ size_arg $ suggestion_arg $ chunks_arg
       $ validate_arg $ seeds_arg $ emit_arg $ report_out_arg $ threads_arg
       $ measure_arg $ domains_arg $ warmup_arg $ reps_arg $ json_arg
-      $ stats_arg $ trace_arg)
+      $ optimize_arg $ stats_arg $ trace_arg)
 
 (* batch *)
 let batch_cmd =
@@ -1164,5 +1290,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; source_cmd; profile_cmd; read_deps_cmd; pet_cmd; cus_cmd;
-            discover_cmd; explain_cmd; parallelize_cmd; batch_cmd; serve_cmd;
-            trace_check_cmd; check_bench_cmd; races_cmd ]))
+            discover_cmd; explain_cmd; optimize_cmd; parallelize_cmd;
+            batch_cmd; serve_cmd; trace_check_cmd; check_bench_cmd;
+            races_cmd ]))

@@ -73,10 +73,14 @@ let tokenize lineno (s : string) : token list =
 
 (* ---- line stream ----
 
-   Each significant line becomes (source line number, tokens). Leading line
-   numbers — `%4d  stmt` from Pretty — are recognised as an integer first
-   token followed by more tokens and dropped: no MIL statement or closer
-   starts with an integer literal. *)
+   Each significant line becomes (source line number, explicit MIL line,
+   tokens). Leading line numbers — `%4d  stmt` from Pretty — are recognised
+   as an integer first token followed by more tokens: no MIL statement or
+   closer starts with an integer literal. When every statement and function
+   header carries one, the numbers are kept verbatim as the parsed
+   statements' [line]s instead of renumbering — so a program whose lines
+   are gapped or duplicated (the output of {!Pass} rewrites) round-trips
+   through render∘parse unchanged and cache keys stay stable. *)
 
 let strip_comment line =
   let n = String.length line in
@@ -87,7 +91,12 @@ let strip_comment line =
   done;
   if !cut = n then line else String.sub line 0 !cut
 
-type cursor = { lines : (int * token list) array; mutable pos : int }
+type cursor = {
+  lines : (int * int option * token list) array;
+  mutable pos : int;
+  mutable all_numbered : bool;
+      (* every statement/func line so far carried an explicit line prefix *)
+}
 
 let make_cursor (src : string) : cursor =
   let raw = String.split_on_char '\n' src in
@@ -97,10 +106,10 @@ let make_cursor (src : string) : cursor =
            let l = strip_comment l in
            match tokenize no l with
            | [] -> None
-           | Tint _ :: (_ :: _ as rest) -> Some (no, rest)
-           | toks -> Some (no, toks))
+           | Tint n :: (_ :: _ as rest) -> Some (no, Some n, rest)
+           | toks -> Some (no, None, toks))
   in
-  { lines = Array.of_list sig_lines; pos = 0 }
+  { lines = Array.of_list sig_lines; pos = 0; all_numbered = true }
 
 let peek cur =
   if cur.pos < Array.length cur.lines then Some cur.lines.(cur.pos) else None
@@ -246,6 +255,14 @@ let expr_done ts =
 
 let st = Builder.stmt
 
+(* Apply an explicit line prefix to a freshly parsed statement; its absence
+   on a statement line means the whole program falls back to renumbering. *)
+let stamp cur explicit (s : Ast.stmt) =
+  (match explicit with
+  | Some n -> s.line <- n
+  | None -> cur.all_numbered <- false);
+  s
+
 (* A closing line: `}` alone or `} else {`. *)
 let is_close toks = toks = [ Top "}" ]
 let is_else toks = toks = [ Top "}"; Tid "else"; Top "{" ]
@@ -263,16 +280,17 @@ let rec parse_block cur : block =
   let rec go acc =
     match peek cur with
     | None -> fail 0 "unexpected end of input: unclosed block"
-    | Some (_, toks) when is_close toks || is_else toks || is_thread_header toks
-      ->
+    | Some (_, _, toks)
+      when is_close toks || is_else toks || is_thread_header toks ->
         List.rev acc
     | Some _ -> go (parse_stmt cur :: acc)
   in
   go []
 
 and parse_stmt cur : stmt =
-  let lineno, toks = next cur in
+  let lineno, explicit, toks = next cur in
   let ts = { lineno; toks } in
+  let st n = stamp cur explicit (st n) in
   match tnext ts with
   | Tid "var" -> (
       let x = tident ts in
@@ -299,10 +317,10 @@ and parse_stmt cur : stmt =
       texpect ts ")";
       expect_open ts;
       let then_ = parse_block cur in
-      let lineno', close = next cur in
+      let lineno', _, close = next cur in
       if is_else close then begin
         let else_ = parse_block cur in
-        let _, close' = next cur in
+        let _, _, close' = next cur in
         if not (is_close close') then fail lineno' "expected '}' closing else";
         st (If (c, then_, else_))
       end
@@ -347,14 +365,14 @@ and parse_stmt cur : stmt =
       expect_open ts;
       let rec sections acc =
         match peek cur with
-        | Some (_, toks) when is_thread_header toks ->
+        | Some (_, _, toks) when is_thread_header toks ->
             ignore (next cur);
             let b = parse_block cur in
             sections (b :: acc)
-        | Some (_, toks) when is_close toks ->
+        | Some (_, _, toks) when is_close toks ->
             ignore (next cur);
             List.rev acc
-        | Some (l, _) -> fail l "expected 'thread N:' or '}' in par block"
+        | Some (l, _, _) -> fail l "expected 'thread N:' or '}' in par block"
         | None -> fail 0 "unexpected end of input in par block"
       in
       st (Par (sections []))
@@ -416,7 +434,7 @@ and parse_lhs ts =
   else Lvar x
 
 and expect_close cur =
-  let lineno, toks = next cur in
+  let lineno, _, toks = next cur in
   if not (is_close toks) then fail lineno "expected '}'"
 
 (* ---- top level ---- *)
@@ -445,7 +463,8 @@ let parse_global lineno ts : global =
       | t -> fail lineno "expected integer size, got %s" (token_to_string t))
   | t -> fail lineno "expected '=' or '[' after global %s, got %s" name (token_to_string t)
 
-let parse_func cur lineno ts : func =
+let parse_func cur lineno explicit ts : func =
+  (match explicit with None -> cur.all_numbered <- false | Some _ -> ());
   let name = tident ts in
   texpect ts "(";
   let params = ref [] and arr_params = ref [] in
@@ -476,7 +495,7 @@ let parse_func cur lineno ts : func =
     params = List.rev !params;
     arr_params = List.rev !arr_params;
     body;
-    fline = 0 }
+    fline = (match explicit with Some n -> n | None -> 0) }
 
 let program ?(name = "posted") ?entry (src : string) :
     (Ast.program, string) result =
@@ -484,11 +503,11 @@ let program ?(name = "posted") ?entry (src : string) :
     let cur = make_cursor src in
     let globals = ref [] and funcs = ref [] in
     while peek cur <> None do
-      let lineno, toks = next cur in
+      let lineno, explicit, toks = next cur in
       let ts = { lineno; toks } in
       match tnext ts with
       | Tid "global" -> globals := parse_global lineno ts :: !globals
-      | Tid "func" -> funcs := parse_func cur lineno ts :: !funcs
+      | Tid "func" -> funcs := parse_func cur lineno explicit ts :: !funcs
       | t -> fail lineno "expected 'global' or 'func', got %s" (token_to_string t)
     done;
     let funcs = List.rev !funcs in
@@ -504,9 +523,13 @@ let program ?(name = "posted") ?entry (src : string) :
       if not (List.exists (fun f -> f.fname = entry) funcs) then
         Error (Printf.sprintf "entry function %s not defined" entry)
       else
-        Ok
-          (Builder.number
-             { pname = name; globals = List.rev !globals; funcs; entry })
+        let p = { pname = name; globals = List.rev !globals; funcs; entry } in
+        (* Explicit line prefixes on every statement are authoritative —
+           keeping them makes render∘parse the identity on rendered
+           programs even when lines are gapped (DCE) or duplicated
+           (unrolling). Hand-written sources without them are numbered
+           pre-order as before. *)
+        Ok (if cur.all_numbered then p else Builder.number p)
     end
   with
   | Fail (0, msg) -> Error msg

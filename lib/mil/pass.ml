@@ -1,0 +1,1022 @@
+(* The MIL optimization-pass framework — ROADMAP item 3, modeled on flrc's
+   mil/optimise architecture: a registry of named [program -> program]
+   passes, per-pass Obs click counters ([pass.<name>.fired],
+   [pass.<name>.stmts_removed], [pass.<name>.exprs_folded],
+   [pass.<name>.refused]), and a fixpoint pipeline driver.
+
+   Two invariants every pass must keep:
+
+   - Observation preservation: the entry function's result, the final value
+     of every program global, and the [print] stream are exactly those of
+     the input program, for every seed ({!Transform.Validate.observe}).
+     This forces two safety tiers. Passes that preserve the *dynamic
+     statement count* (folding, constant propagation, branch-condition
+     normalisation) are legal everywhere, even inside [Par] — the fiber
+     scheduler and the [rand] builtin share one PRNG, and yields happen per
+     executed statement, so only statement-count changes can perturb
+     scheduling and thereby the rand stream. Restructuring passes (DCE,
+     hoisting, unrolling, splicing) change statement counts and therefore
+     run only on programs with no sync constructs anywhere; on anything
+     else they click [pass.<name>.refused] and return the program
+     untouched, never a silent misrewrite.
+
+   - Line identity: surviving statements keep their [line] numbers
+     (depfiles and suggestions are keyed by source line), and statements a
+     pass introduces reuse the line of the construct they came from — so an
+     optimized program's depfile lines are a subset of the seed's, and
+     [Pretty.render] ∘ [Parse.program] stays idempotent (the parser
+     preserves explicit line prefixes). *)
+
+open Ast
+module SS = Static.SS
+
+(* ---- syntactic helpers ---- *)
+
+let rec pure_simple (e : expr) =
+  (* No faults, no events beyond scalar reads, no calls: safe to evaluate
+     anywhere the same names are in scope, and safe to drop. [Len]/[Idx]
+     are excluded — they fault on unbound arrays / OOB indices. *)
+  match e with
+  | Int _ | Var _ -> true
+  | Bin (_, a, b) -> pure_simple a && pure_simple b
+  | Neg a | Not a -> pure_simple a
+  | Idx _ | Len _ | Call _ -> false
+
+let expr_reads e = Static.expr_read_vars e SS.empty
+
+let rec expr_has_idx = function
+  | Int _ | Var _ | Len _ -> false
+  | Idx _ -> true
+  | Neg a | Not a -> expr_has_idx a
+  | Bin (_, a, b) -> expr_has_idx a || expr_has_idx b
+  | Call (_, args) -> List.exists expr_has_idx args
+
+(* Every name an expression mentions, including array names. *)
+let rec expr_mentions e acc =
+  match e with
+  | Int _ -> acc
+  | Var x | Len x -> SS.add x acc
+  | Idx (a, i) -> expr_mentions i (SS.add a acc)
+  | Neg a | Not a -> expr_mentions a acc
+  | Bin (_, a, b) -> expr_mentions a (expr_mentions b acc)
+  | Call (_, args) -> List.fold_left (fun acc a -> expr_mentions a acc) acc args
+
+let lhs_mentions l acc =
+  match l with
+  | Lvar x -> SS.add x acc
+  | Lidx (a, i) -> expr_mentions i (SS.add a acc)
+
+(* All names a block mentions anywhere: reads, writes, binders, indices. *)
+let rec block_mentions b acc = List.fold_left (fun acc s -> stmt_mentions s acc) acc b
+
+and stmt_mentions s acc =
+  match s.node with
+  | Decl (x, e) -> expr_mentions e (SS.add x acc)
+  | Decl_arr (x, e) -> expr_mentions e (SS.add x acc)
+  | Assign (l, e) | Atomic_assign (l, e) -> expr_mentions e (lhs_mentions l acc)
+  | If (c, t, el) -> block_mentions el (block_mentions t (expr_mentions c acc))
+  | While (c, body) -> block_mentions body (expr_mentions c acc)
+  | For { index; lo; hi; step; body } ->
+      block_mentions body
+        (expr_mentions step
+           (expr_mentions hi (expr_mentions lo (SS.add index acc))))
+  | Call_stmt (_, args) ->
+      List.fold_left (fun acc a -> expr_mentions a acc) acc args
+  | Return (Some e) -> expr_mentions e acc
+  | Return None | Break | Lock _ | Unlock _ | Barrier _ -> acc
+  | Free x -> SS.add x acc
+  | Par arms -> List.fold_left (fun acc b -> block_mentions b acc) acc arms
+
+(* Names assigned (scalar writes) anywhere in a block, at any depth. *)
+let rec block_assigns b acc = List.fold_left (fun acc s -> stmt_assigns s acc) acc b
+
+and stmt_assigns s acc =
+  match s.node with
+  | Assign (Lvar x, _) | Atomic_assign (Lvar x, _) -> SS.add x acc
+  | Assign (Lidx _, _) | Atomic_assign (Lidx _, _) -> acc
+  | Decl _ | Decl_arr _ | Call_stmt _ | Return _ | Break | Lock _ | Unlock _
+  | Barrier _ | Free _ ->
+      acc
+  | If (_, t, el) -> block_assigns el (block_assigns t acc)
+  | While (_, body) -> block_assigns body acc
+  | For { body; _ } -> block_assigns body acc
+  | Par arms -> List.fold_left (fun acc b -> block_assigns b acc) acc arms
+
+(* Names bound by Decl/Decl_arr or used as a For index, at any depth. *)
+let rec block_binders b acc = List.fold_left (fun acc s -> stmt_binders s acc) acc b
+
+and stmt_binders s acc =
+  match s.node with
+  | Decl (x, _) | Decl_arr (x, _) -> SS.add x acc
+  | For { index; body; _ } -> block_binders body (SS.add index acc)
+  | If (_, t, el) -> block_binders el (block_binders t acc)
+  | While (_, body) -> block_binders body acc
+  | Par arms -> List.fold_left (fun acc b -> block_binders b acc) acc arms
+  | Assign _ | Atomic_assign _ | Call_stmt _ | Return _ | Break | Lock _
+  | Unlock _ | Barrier _ | Free _ ->
+      acc
+
+let rec block_frees b acc = List.fold_left (fun acc s -> stmt_frees s acc) acc b
+
+and stmt_frees s acc =
+  match s.node with
+  | Free x -> SS.add x acc
+  | If (_, t, el) -> block_frees el (block_frees t acc)
+  | While (_, body) -> block_frees body acc
+  | For { body; _ } -> block_frees body acc
+  | Par arms -> List.fold_left (fun acc b -> block_frees b acc) acc arms
+  | _ -> acc
+
+let rec count_stmts b = List.fold_left (fun n s -> n + count_stmt s) 0 b
+
+and count_stmt s =
+  1
+  +
+  match s.node with
+  | If (_, t, el) -> count_stmts t + count_stmts el
+  | While (_, body) | For { body; _ } -> count_stmts body
+  | Par arms -> List.fold_left (fun n b -> n + count_stmts b) 0 arms
+  | _ -> 0
+
+let mk line node = { line; node }
+
+(* Substitute [Var x] by expression [by] everywhere in an expression.
+   Callers must ensure no binder of [x] shadows inside the walked region. *)
+let rec subst_var x by e =
+  match e with
+  | Var y when y = x -> by
+  | Int _ | Var _ | Len _ -> e
+  | Idx (a, i) -> Idx (a, subst_var x by i)
+  | Neg a -> Neg (subst_var x by a)
+  | Not a -> Not (subst_var x by a)
+  | Bin (op, a, b) -> Bin (op, subst_var x by a, subst_var x by b)
+  | Call (f, args) -> Call (f, List.map (subst_var x by) args)
+
+let rec subst_var_block x by b = List.map (subst_var_stmt x by) b
+
+and subst_var_stmt x by s =
+  let e = subst_var x by in
+  let node =
+    match s.node with
+    | Decl (y, rhs) -> Decl (y, e rhs)
+    | Decl_arr (y, se) -> Decl_arr (y, e se)
+    | Assign (l, rhs) -> Assign (subst_lhs x by l, e rhs)
+    | Atomic_assign (l, rhs) -> Atomic_assign (subst_lhs x by l, e rhs)
+    | If (c, t, el) -> If (e c, subst_var_block x by t, subst_var_block x by el)
+    | While (c, body) -> While (e c, subst_var_block x by body)
+    | For f ->
+        For
+          { f with
+            lo = e f.lo;
+            hi = e f.hi;
+            step = e f.step;
+            body = subst_var_block x by f.body }
+    | Call_stmt (f, args) -> Call_stmt (f, List.map e args)
+    | Return (Some r) -> Return (Some (e r))
+    | (Return None | Break | Lock _ | Unlock _ | Barrier _ | Free _) as n -> n
+    | Par arms -> Par (List.map (subst_var_block x by) arms)
+  in
+  mk s.line node
+
+and subst_lhs x by l =
+  match l with Lvar _ -> l | Lidx (a, i) -> Lidx (a, subst_var x by i)
+
+(* Can this expression's evaluation be skipped without dropping an effect?
+   Scalar arithmetic always; calls only when everything transitively
+   reachable is effect-free by {!Static.summary} (writes no globals, writes
+   no array params) and never reaches [rand]/[print]. [Idx] is refused so a
+   pass never masks an out-of-bounds fault the seed would have hit. *)
+let droppable_rhs (st : Static.t Lazy.t) prog (e : expr) =
+  (not (expr_has_idx e))
+  &&
+  if not (Rewrite.expr_has_call e) then true
+  else
+    let probe = [ mk 0 (Call_stmt ("__probe", [ e ])) ] in
+    let callees = Rewrite.reachable_calls prog probe in
+    List.for_all
+      (fun f ->
+        match f with
+        | "rand" | "print" -> false
+        | "abs" -> true
+        | "__probe" -> true
+        | f -> (
+            match Static.summary (Lazy.force st) f with
+            | Some s -> SS.is_empty s.sum_gwritten && SS.is_empty s.sum_pwritten
+            | None -> false))
+      callees
+
+(* ---- pass plumbing ---- *)
+
+type ctx = {
+  prog : program;
+  sequential : bool; (* no Par/Lock/Unlock/Barrier anywhere in the program *)
+  globals : SS.t;
+  static : Static.t Lazy.t;
+  mutable changes : int;
+  mutable fresh : int; (* unroll name counter, unique per driver run *)
+  pass : string;
+  debug : bool;
+}
+
+let click ctx what n =
+  if n > 0 then Obs.Counter.add (Obs.counter (Printf.sprintf "pass.%s.%s" ctx.pass what)) n
+
+let note ctx what n =
+  if n > 0 then begin
+    ctx.changes <- ctx.changes + n;
+    click ctx what n;
+    if ctx.debug then
+      Printf.eprintf "[pass.%s] %s +%d\n%!" ctx.pass what n
+  end
+
+type t = {
+  name : string;
+  doc : string;
+  restructuring : bool;
+      (* changes dynamic statement counts: sequential programs only *)
+  rewrite : ctx -> program -> program;
+}
+
+let map_funcs f (p : program) =
+  { p with funcs = List.map (fun fn -> { fn with body = f fn fn.body }) p.funcs }
+
+(* ---- constant folding ---- *)
+
+let fold_pass =
+  let rec fe ctx e =
+    match e with
+    | Int _ | Var _ | Len _ -> e
+    | Idx (a, i) -> Idx (a, fe ctx i)
+    | Neg a -> (
+        match fe ctx a with
+        | Int n ->
+            note ctx "exprs_folded" 1;
+            Int (-n)
+        | a' -> Neg a')
+    | Not a -> (
+        match fe ctx a with
+        | Int n ->
+            note ctx "exprs_folded" 1;
+            Int (if n <> 0 then 0 else 1)
+        | a' -> Not a')
+    | Call (f, args) -> Call (f, List.map (fe ctx) args)
+    | Bin (op, a, b) -> (
+        let a = fe ctx a and b = fe ctx b in
+        let hit e' =
+          note ctx "exprs_folded" 1;
+          e'
+        in
+        match (op, a, b) with
+        (* Division/mod by a literal zero is left intact: the interpreter
+           defines it (yields 0), but the fold must not normalise away the
+           anomaly the source spells out. *)
+        | (Div | Mod), _, Int 0 -> Bin (op, a, b)
+        | _, Int x, Int y -> hit (Int (Interp.apply_binop op x y))
+        | Add, x, Int 0 | Add, Int 0, x | Sub, x, Int 0 -> hit x
+        | Mul, x, Int 1 | Mul, Int 1, x | Div, x, Int 1 -> hit x
+        | (Shl | Shr), x, Int 0 -> hit x
+        | Mul, x, Int 0 | Mul, Int 0, x when pure_simple x -> hit (Int 0)
+        | And, x, Int 0 | And, Int 0, x when pure_simple x -> hit (Int 0)
+        | Or, x, Int c when c <> 0 && pure_simple x -> hit (Int 1)
+        | Or, Int c, x when c <> 0 && pure_simple x -> hit (Int 1)
+        | _ -> Bin (op, a, b))
+  in
+  let rec fs ctx s =
+    let e = fe ctx in
+    let node =
+      match s.node with
+      | Decl (x, rhs) -> Decl (x, e rhs)
+      | Decl_arr (x, se) -> Decl_arr (x, e se)
+      | Assign (l, rhs) -> Assign (flhs ctx l, e rhs)
+      | Atomic_assign (l, rhs) -> Atomic_assign (flhs ctx l, e rhs)
+      | If (c, t, el) -> If (e c, List.map (fs ctx) t, List.map (fs ctx) el)
+      | While (c, body) -> While (e c, List.map (fs ctx) body)
+      | For f ->
+          For
+            { f with
+              lo = e f.lo;
+              hi = e f.hi;
+              step = e f.step;
+              body = List.map (fs ctx) f.body }
+      | Call_stmt (f, args) -> Call_stmt (f, List.map e args)
+      | Return (Some r) -> Return (Some (e r))
+      | (Return None | Break | Lock _ | Unlock _ | Barrier _ | Free _) as n -> n
+      | Par arms -> Par (List.map (List.map (fs ctx)) arms)
+    in
+    mk s.line node
+  and flhs ctx = function
+    | Lvar x -> Lvar x
+    | Lidx (a, i) -> Lidx (a, fe ctx i)
+  in
+  { name = "fold";
+    doc = "constant folding and algebraic identities (div/mod-by-zero kept)";
+    restructuring = false;
+    rewrite = (fun ctx p -> map_funcs (fun _ b -> List.map (fs ctx) b) p) }
+
+(* ---- constant propagation ---- *)
+
+(* A [Decl (x, Int v)] whose name is never reassigned or freed in its scope
+   lets every dominated read of [x] become the literal — each substituted
+   read is one access event the profiler no longer pays for. Never-written
+   scalar globals propagate the same way. Declarations are left in place
+   (their removal is DCE's job, which runs only on sequential programs):
+   substitution keeps the dynamic statement count, so it is legal inside
+   [Par] arms — where it folds the DOALL chunk-bound arithmetic
+   [__c0]/[__c1] into literal loop bounds. *)
+let prop_pass =
+  let module SM = Map.Make (String) in
+  let rec subst ctx (env : int SM.t) e =
+    if SM.is_empty env then e
+    else
+      match e with
+      | Var x -> (
+          match SM.find_opt x env with
+          | Some v ->
+              note ctx "exprs_folded" 1;
+              Int v
+          | None -> e)
+      | Int _ | Len _ -> e
+      | Idx (a, i) -> Idx (a, subst ctx env i)
+      | Neg a -> Neg (subst ctx env a)
+      | Not a -> Not (subst ctx env a)
+      | Bin (op, a, b) -> Bin (op, subst ctx env a, subst ctx env b)
+      | Call (f, args) -> Call (f, List.map (subst ctx env) args)
+  in
+  let rec walk ctx env block =
+    match block with
+    | [] -> []
+    | s :: rest -> (
+        match s.node with
+        | Decl (x, rhs) ->
+            let rhs = subst ctx !env rhs in
+            (match rhs with
+            | Int v
+              when (not (SS.mem x (block_assigns rest SS.empty)))
+                   && not (SS.mem x (block_frees rest SS.empty)) ->
+                env := SM.add x v !env
+            | _ -> env := SM.remove x !env);
+            mk s.line (Decl (x, rhs)) :: walk ctx env rest
+        | Decl_arr (x, se) ->
+            let se = subst ctx !env se in
+            env := SM.remove x !env;
+            mk s.line (Decl_arr (x, se)) :: walk ctx env rest
+        | Free x ->
+            env := SM.remove x !env;
+            s :: walk ctx env rest
+        | Assign (l, rhs) ->
+            let l = subst_l ctx !env l in
+            let rhs = subst ctx !env rhs in
+            (match l with Lvar x -> env := SM.remove x !env | Lidx _ -> ());
+            mk s.line (Assign (l, rhs)) :: walk ctx env rest
+        | Atomic_assign (l, rhs) ->
+            let l = subst_l ctx !env l in
+            let rhs = subst ctx !env rhs in
+            (match l with Lvar x -> env := SM.remove x !env | Lidx _ -> ());
+            mk s.line (Atomic_assign (l, rhs)) :: walk ctx env rest
+        | If (c, t, el) ->
+            let c = subst ctx !env c in
+            let t = walk ctx (ref !env) t and el = walk ctx (ref !env) el in
+            mk s.line (If (c, t, el)) :: walk ctx env rest
+        | While (c, body) ->
+            (* Anything the body writes is unknown across iterations — and
+               the condition is re-evaluated after the body ran. *)
+            let killed = block_assigns body (block_binders body SS.empty) in
+            let env' = SM.filter (fun x _ -> not (SS.mem x killed)) !env in
+            env := env';
+            let c = subst ctx env' c in
+            let body = walk ctx (ref env') body in
+            mk s.line (While (c, body)) :: walk ctx env rest
+        | For f ->
+            let killed = block_assigns f.body (block_binders f.body SS.empty) in
+            let env' = SM.filter (fun x _ -> not (SS.mem x killed)) !env in
+            env := env';
+            let lo = subst ctx env' f.lo in
+            (* hi/step are evaluated with the index in scope. *)
+            let env_in = SM.remove f.index env' in
+            let hi = subst ctx env_in f.hi
+            and step = subst ctx env_in f.step in
+            let body = walk ctx (ref env_in) f.body in
+            mk s.line (For { f with lo; hi; step; body }) :: walk ctx env rest
+        | Call_stmt (f, args) ->
+            mk s.line (Call_stmt (f, List.map (subst ctx !env) args))
+            :: walk ctx env rest
+        | Return (Some r) ->
+            mk s.line (Return (Some (subst ctx !env r))) :: walk ctx env rest
+        | Return None | Break | Lock _ | Unlock _ | Barrier _ ->
+            s :: walk ctx env rest
+        | Par arms ->
+            (* Arms share the parent's bindings (copy-on-fork of the
+               binding table, same addresses): a name is only propagated if
+               no arm writes it — [block_assigns] above sees through [Par],
+               and arm-local declarations shadow via the recursive walk. *)
+            let arms = List.map (fun b -> walk ctx (ref !env) b) arms in
+            mk s.line (Par arms) :: walk ctx env rest)
+  and subst_l ctx env = function
+    | Lvar x -> Lvar x
+    | Lidx (a, i) -> Lidx (a, subst ctx env i)
+  in
+  let run ctx p =
+    (* Scalar globals never assigned anywhere are program-wide constants. *)
+    let written =
+      List.fold_left
+        (fun acc f -> block_assigns f.body acc)
+        SS.empty p.funcs
+    in
+    let const_globals =
+      List.filter_map
+        (function
+          | Gscalar (g, v) when not (SS.mem g written) -> Some (g, v)
+          | _ -> None)
+        p.globals
+    in
+    map_funcs
+      (fun fn body ->
+        let env0 =
+          List.fold_left
+            (fun m (g, v) ->
+              if List.mem g fn.params || List.mem g fn.arr_params then m
+              else SM.add g v m)
+            SM.empty const_globals
+        in
+        walk ctx (ref env0) body)
+      p
+  in
+  { name = "prop";
+    doc = "forward propagation of constant locals and never-written globals";
+    restructuring = false;
+    rewrite = run }
+
+(* ---- branch / diamond simplification ---- *)
+
+let simplify_pass =
+  let rec walk ctx block = List.concat_map (one ctx) block
+  and one ctx s =
+    match s.node with
+    | If (Int c, t, el) ->
+        let live, dead = if Interp.truthy c then (t, el) else (el, t) in
+        let dropped = count_stmts dead in
+        note ctx "stmts_removed" dropped;
+        if c <> 1 || dead <> [] then note ctx "normalized" 1;
+        let live = walk ctx live in
+        if
+          ctx.sequential
+          && List.for_all
+               (fun s' ->
+                 match s'.node with Decl _ | Decl_arr _ -> false | _ -> true)
+               live
+        then begin
+          (* Splicing the arm into the enclosing block removes the branch
+             statement itself; arms with top-level declarations keep the
+             [If] shell, since their bindings must not leak. *)
+          note ctx "stmts_removed" 1;
+          live
+        end
+        else [ mk s.line (If (Int 1, live, [])) ]
+    | If (c, [], []) when ctx.sequential && pure_simple c ->
+        note ctx "stmts_removed" 1;
+        []
+    | If (c, [], el) when el <> [] ->
+        note ctx "normalized" 1;
+        [ mk s.line (If (Not c, walk ctx el, [])) ]
+    | If (c, t, el) -> [ mk s.line (If (c, walk ctx t, walk ctx el)) ]
+    | While (Int 0, body) when ctx.sequential ->
+        note ctx "stmts_removed" (1 + count_stmts body);
+        []
+    | While (c, body) -> [ mk s.line (While (c, walk ctx body)) ]
+    | For ({ lo = Int l; hi = Int h; _ } as f) when ctx.sequential && h <= l ->
+        note ctx "stmts_removed" (1 + count_stmts f.body);
+        []
+    | For f -> [ mk s.line (For { f with body = walk ctx f.body }) ]
+    | Par arms -> [ mk s.line (Par (List.map (walk ctx) arms)) ]
+    | _ -> [ s ]
+  in
+  { name = "simplify";
+    doc = "branch simplification on known conditions, empty-arm collapse";
+    restructuring = true;
+    (* The statement-count-neutral subset (dead-arm dropping, arm flips)
+       would be legal everywhere, but splice/removal is not; the pass is
+       gated as a whole and applies the neutral subset via [ctx.sequential]
+       checks when it does run. *)
+    rewrite = (fun ctx p -> map_funcs (fun _ b -> walk ctx b) p) }
+
+(* ---- dead code elimination ---- *)
+
+(* Names a function actually *reads* (any occurrence that is not a plain
+   scalar-assignment target): removal candidates must stay out of this set. *)
+let func_reads (fn : func) =
+  let rec blk b acc = List.fold_left (fun acc s -> stmt s acc) acc b
+  and stmt s acc =
+    match s.node with
+    | Decl (_, e) | Decl_arr (_, e) -> expr_mentions e acc
+    | Assign (Lvar _, e) | Atomic_assign (Lvar _, e) -> expr_mentions e acc
+    | Assign (Lidx (a, i), e) | Atomic_assign (Lidx (a, i), e) ->
+        expr_mentions e (expr_mentions i (SS.add a acc))
+    | If (c, t, el) -> blk el (blk t (expr_mentions c acc))
+    | While (c, body) -> blk body (expr_mentions c acc)
+    | For { index; lo; hi; step; body } ->
+        (* the loop's own bookkeeping reads the index address every
+           iteration, so an index written in the body is live *)
+        blk body
+          (expr_mentions step
+             (expr_mentions hi (expr_mentions lo (SS.add index acc))))
+    | Call_stmt (_, args) ->
+        List.fold_left (fun acc a -> expr_mentions a acc) acc args
+    | Return (Some e) -> expr_mentions e acc
+    | Return None | Break | Lock _ | Unlock _ | Barrier _ -> acc
+    | Free x -> SS.add x acc
+    | Par arms -> List.fold_left (fun acc b -> blk b acc) acc arms
+  in
+  blk fn.body SS.empty
+
+let dce_pass =
+  let run ctx p =
+    map_funcs
+      (fun fn body ->
+        let reads = func_reads fn in
+        let binders = block_binders body SS.empty in
+        (* A scalar name is fully dead when nothing ever reads it, it names
+           no global or parameter (assignments must keep hitting the same
+           binding), and every write to it has a droppable RHS — then the
+           declaration *and* all its assignments go together. *)
+        let dead_ok x =
+          (not (SS.mem x reads))
+          && (not (SS.mem x ctx.globals))
+          && (not (List.mem x fn.params))
+          && (not (List.mem x fn.arr_params))
+          && SS.mem x binders
+        in
+        let rhs_ok e = droppable_rhs ctx.static ctx.prog e in
+        (* First reject names with any non-droppable write. *)
+        let blocked = ref SS.empty in
+        let rec scan b =
+          List.iter
+            (fun s ->
+              match s.node with
+              | Decl (x, e) when dead_ok x && not (rhs_ok e) ->
+                  blocked := SS.add x !blocked
+              | Assign (Lvar x, e) when dead_ok x && not (rhs_ok e) ->
+                  blocked := SS.add x !blocked
+              | Atomic_assign (Lvar x, _) when dead_ok x ->
+                  blocked := SS.add x !blocked
+              | Decl_arr (x, _) when dead_ok x ->
+                  (* arrays keep their allocation (Len/addr semantics) *)
+                  blocked := SS.add x !blocked
+              | If (_, t, el) ->
+                  scan t;
+                  scan el
+              | While (_, body) | For { body; _ } -> scan body
+              | Par arms -> List.iter scan arms
+              | _ -> ())
+            b
+        in
+        scan body;
+        let removable x = dead_ok x && not (SS.mem x !blocked) in
+        let rec sweep b =
+          let b =
+            (* post-Return/Break trimming: nothing after an unconditional
+               exit of the block executes *)
+            let rec cut = function
+              | [] -> []
+              | ({ node = Return _ | Break; _ } as s) :: rest ->
+                  note ctx "stmts_removed" (count_stmts rest);
+                  [ s ]
+              | s :: rest -> s :: cut rest
+            in
+            cut b
+          in
+          List.concat_map
+            (fun s ->
+              match s.node with
+              | Decl (x, _) when removable x ->
+                  note ctx "stmts_removed" 1;
+                  []
+              | Assign (Lvar x, _) when removable x ->
+                  note ctx "stmts_removed" 1;
+                  []
+              | If (c, t, el) -> [ mk s.line (If (c, sweep t, sweep el)) ]
+              | While (c, body) -> [ mk s.line (While (c, sweep body)) ]
+              | For f -> [ mk s.line (For { f with body = sweep f.body }) ]
+              | Par arms -> [ mk s.line (Par (List.map sweep arms)) ]
+              | _ -> [ s ])
+            b
+        in
+        sweep body)
+      p
+  in
+  { name = "dce";
+    doc = "remove never-read locals and unreachable post-return/break code";
+    restructuring = true;
+    rewrite = run }
+
+(* ---- loop-invariant hoisting ---- *)
+
+let hoist_pass =
+  let run ctx p =
+    map_funcs
+      (fun fn body ->
+        (* visible: names certainly bound when control reaches this point *)
+        let rec walk visible block =
+          match block with
+          | [] -> []
+          | s :: rest -> (
+              let continue_with s' vis = s' :: walk vis rest in
+              match s.node with
+              | Decl (x, _) | Decl_arr (x, _) ->
+                  continue_with s (SS.add x visible)
+              | If (c, t, el) ->
+                  continue_with
+                    (mk s.line (If (c, walk visible t, walk visible el)))
+                    visible
+              | While (c, wb) ->
+                  let hoisted, wb' = hoist_from visible s wb in
+                  hoisted
+                  @ continue_with
+                      (mk s.line (While (c, walk visible wb')))
+                      visible
+              | For f ->
+                  let hoisted, fb' = hoist_from visible s f.body in
+                  hoisted
+                  @ continue_with
+                      (mk s.line
+                         (For
+                            { f with
+                              body = walk (SS.add f.index visible) fb' }))
+                      visible
+              | Par arms ->
+                  continue_with
+                    (mk s.line (Par (List.map (walk visible) arms)))
+                    visible
+              | _ -> continue_with s visible)
+        (* Pull invariant leading declarations out of a loop body. *)
+        and hoist_from visible loop_stmt body =
+          let index_of =
+            match loop_stmt.node with
+            | For { index; _ } -> Some index
+            | _ -> None
+          in
+          let assigns = block_assigns body SS.empty in
+          let binders = block_binders body SS.empty in
+          (* occurrences of a name in the function, excluding this loop:
+             a hoisted binding must not shadow or capture anything the rest
+             of the function mentions *)
+          let rec mentions_excl b acc =
+            List.fold_left
+              (fun acc s ->
+                if s == loop_stmt then acc else stmt_mentions_excl s acc)
+              acc b
+          and stmt_mentions_excl s acc =
+            match s.node with
+            | If (c, t, el) ->
+                mentions_excl el
+                  (mentions_excl t (expr_mentions c acc))
+            | While (c, b) -> mentions_excl b (expr_mentions c acc)
+            | For { index; lo; hi; step; body = b; _ } ->
+                mentions_excl b
+                  (expr_mentions step
+                     (expr_mentions hi
+                        (expr_mentions lo (SS.add index acc))))
+            | Par arms ->
+                List.fold_left (fun acc b -> mentions_excl b acc) acc arms
+            | _ -> stmt_mentions s acc
+          in
+          let outside_mentions = mentions_excl fn.body SS.empty in
+          let rec take prefix rest =
+            match rest with
+            | ({ node = Decl (x, rhs); _ } as d) :: more
+              when pure_simple rhs
+                   && (let rv = expr_reads rhs in
+                       SS.subset rv visible
+                       && SS.is_empty (SS.inter rv assigns)
+                       && SS.is_empty (SS.inter rv binders)
+                       && match index_of with
+                          | Some i -> not (SS.mem i rv)
+                          | None -> true)
+                   && (not (SS.mem x assigns))
+                   && (not (SS.mem x outside_mentions))
+                   && (not (SS.mem x ctx.globals))
+                   && (match index_of with Some i -> x <> i | None -> true) ->
+                note ctx "hoisted" 1;
+                take (d :: prefix) more
+            | _ -> (List.rev prefix, rest)
+          in
+          take [] body
+        in
+        let visible0 =
+          List.fold_left
+            (fun acc x -> SS.add x acc)
+            ctx.globals (fn.params @ fn.arr_params)
+        in
+        walk visible0 body)
+      p
+  in
+  { name = "hoist";
+    doc = "hoist loop-invariant leading declarations out of loop bodies";
+    restructuring = true;
+    rewrite = run }
+
+(* ---- loop unrolling ---- *)
+
+(* The event-economics pass: each [For] iteration pays three bookkeeping
+   accesses (condition index read, increment read+write) plus the bound
+   re-evaluation. Fully unrolling a small constant-trip loop turns every
+   index read into a literal and deletes all bookkeeping; partially
+   unrolling a hot innermost loop amortises bookkeeping over [factor]
+   body copies. Trip-count semantics (including negative/zero trips) follow
+   the interpreter exactly; the remainder loop reuses the original body, so
+   every surviving statement keeps its seed line. *)
+let unroll_factor = 4
+
+let unroll_pass =
+  let marked index =
+    String.length index >= 3 && String.sub index 0 3 = "__u"
+  in
+  let rec body_plain b =
+    (* statements that neither escape the loop nor manage storage *)
+    List.for_all
+      (fun s ->
+        match s.node with
+        | Break | Return _ | Par _ | Lock _ | Unlock _ | Barrier _ | Free _
+        | Decl_arr _ | Atomic_assign _ ->
+            false
+        | If (_, t, el) -> body_plain t && body_plain el
+        | While (_, body) | For { body; _ } -> body_plain body
+        | Decl _ | Assign _ | Call_stmt _ -> true)
+      b
+  in
+  let rec has_loop b =
+    List.exists
+      (fun s ->
+        match s.node with
+        | While _ | For _ -> true
+        | If (_, t, el) -> has_loop t || has_loop el
+        | _ -> false)
+      b
+  in
+  (* Partial unrolling pays a per-entry prelude (trip + main-bound decls);
+     a loop that calls user code per iteration is dominated by the callee
+     and is typically a short trip entered many times (recursive descent),
+     where the prelude is a net loss — refuse those. Builtins stay fine. *)
+  let has_user_call b =
+    List.exists
+      (fun f -> not (List.mem f [ "rand"; "abs"; "print" ]))
+      (Rewrite.block_calls b [])
+  in
+  (* No top-level-declared name may be mentioned before its declaration:
+     copies concatenate into one scope, so an early read would see the
+     previous copy's binding instead of the enclosing scope's. *)
+  let decl_order_ok body =
+    let rec go seen = function
+      | [] -> true
+      | s :: rest -> (
+          match s.node with
+          | Decl (x, rhs) ->
+              if SS.mem x (expr_mentions rhs SS.empty) then false
+              else go (SS.add x seen) rest
+          | _ ->
+              let m = stmt_mentions s SS.empty in
+              let later_decls =
+                List.fold_left
+                  (fun acc s' ->
+                    match s'.node with
+                    | Decl (x, _) -> SS.add x acc
+                    | _ -> acc)
+                  SS.empty rest
+              in
+              if not (SS.is_empty (SS.inter m later_decls)) then false
+              else go seen rest)
+    in
+    go SS.empty body
+  in
+  let top_decls body =
+    List.filter_map
+      (fun s -> match s.node with Decl (x, _) -> Some x | _ -> None)
+      body
+  in
+  (* One body copy: rename its top-level locals to copy-unique names and
+     replace the index variable by [by]. *)
+  let instantiate ctx uid c body index by =
+    let copy = Rewrite.copy_block body in
+    let copy =
+      List.fold_left
+        (fun b d ->
+          Rewrite.rename_block ~from:d
+            ~to_:(Printf.sprintf "__u%dc%d_%s" uid c d)
+            b)
+        copy (top_decls body)
+    in
+    ignore ctx;
+    subst_var_block index by copy
+  in
+  let calls_write_any ctx body vars =
+    SS.exists
+      (fun v ->
+        SS.mem v ctx.globals
+        && List.exists
+             (fun f ->
+               match f with
+               | "rand" | "abs" | "print" -> false
+               | f -> (
+                   match Static.summary (Lazy.force ctx.static) f with
+                   | Some s -> SS.mem v s.sum_gwritten
+                   | None -> true))
+             (Rewrite.reachable_calls ctx.prog body))
+      vars
+  in
+  let rec walk ctx block = List.concat_map (one ctx) block
+  and one ctx s =
+    match s.node with
+    | If (c, t, el) -> [ mk s.line (If (c, walk ctx t, walk ctx el)) ]
+    | While (c, body) -> [ mk s.line (While (c, walk ctx body)) ]
+    | Par arms -> [ mk s.line (Par (List.map (walk ctx) arms)) ]
+    | For f when not (marked f.index) -> (
+        let body = walk ctx f.body in
+        let f = { f with body } in
+        let binders = block_binders f.body SS.empty in
+        let assigns = block_assigns f.body SS.empty in
+        let base_ok =
+          body_plain f.body && decl_order_ok f.body
+          && (not (SS.mem f.index binders))
+          && (not (SS.mem f.index assigns))
+          && f.body <> []
+        in
+        match (f.lo, f.hi, f.step) with
+        | Int l, Int h, Int st
+          when base_ok && st > 0 && h > l
+               && (h - l + st - 1) / st <= 8
+               && (h - l + st - 1) / st * count_stmts f.body <= 48 ->
+            (* full unroll: the index becomes a literal everywhere *)
+            let trip = (h - l + st - 1) / st in
+            let uid = ctx.fresh in
+            ctx.fresh <- ctx.fresh + 1;
+            note ctx "full" 1;
+            note ctx "stmts_removed" 1;
+            List.concat
+              (List.init trip (fun c ->
+                   instantiate ctx uid c f.body f.index (Int (l + (c * st)))))
+        | lo, hi, Int st
+          when base_ok && st > 0
+               && (not (has_loop f.body))
+               && (not (has_user_call f.body))
+               && pure_simple lo && pure_simple hi
+               && count_stmts f.body <= 16
+               &&
+               let bound_vars = expr_reads hi (* lo too *) in
+               let bound_vars = SS.union bound_vars (expr_reads lo) in
+               (not (SS.mem f.index bound_vars))
+               && SS.is_empty (SS.inter bound_vars assigns)
+               && SS.is_empty (SS.inter bound_vars binders)
+               && not (calls_write_any ctx f.body bound_vars) ->
+            (* partial unroll by [unroll_factor], remainder loop reuses the
+               original body under a marked index name *)
+            let u = unroll_factor in
+            let uid = ctx.fresh in
+            ctx.fresh <- ctx.fresh + 1;
+            note ctx "partial" 1;
+            let nm sfx = Printf.sprintf "__u%d%s" uid sfx in
+            let tname = nm "t" and mname = nm "m" in
+            let mi = nm ("_" ^ f.index) in
+            let ri = nm ("r_" ^ f.index) in
+            let trip =
+              (* iterations executed = max(0, ceil((hi-lo)/step)), with
+                 truncating division reproducing the interpreter's count
+                 for hi<=lo as a non-positive value *)
+              Bin (Div, Bin (Add, Bin (Sub, hi, lo), Int (st - 1)), Int st)
+            in
+            let main_bound =
+              Bin
+                ( Add,
+                  lo,
+                  Bin (Mul, Bin (Mul, Bin (Div, Var tname, Int u), Int u), Int st)
+                )
+            in
+            let copies =
+              List.concat
+                (List.init u (fun c ->
+                     let by =
+                       if c = 0 then Var mi
+                       else Bin (Add, Var mi, Int (c * st))
+                     in
+                     instantiate ctx uid c f.body f.index by))
+            in
+            let remainder_body =
+              Rewrite.rename_block ~from:f.index ~to_:ri
+                (Rewrite.copy_block f.body)
+            in
+            [ mk s.line (Decl (tname, trip));
+              mk s.line (Decl (mname, main_bound));
+              mk s.line
+                (For
+                   { index = mi;
+                     lo;
+                     hi = Var mname;
+                     step = Int (u * st);
+                     body = copies });
+              mk s.line
+                (For
+                   { index = ri;
+                     lo = Var mname;
+                     hi;
+                     step = Int st;
+                     body = remainder_body }) ]
+        | _ -> [ mk s.line (For f) ])
+    | For f -> [ mk s.line (For { f with body = walk ctx f.body }) ]
+    | _ -> [ s ]
+  in
+  { name = "unroll";
+    doc = "full unroll of small constant loops, 4x partial unroll of hot \
+           innermost loops";
+    restructuring = true;
+    rewrite = (fun ctx p -> map_funcs (fun _ b -> walk ctx b) p) }
+
+(* ---- registry and driver ---- *)
+
+let all = [ fold_pass; prop_pass; simplify_pass; dce_pass; hoist_pass; unroll_pass ]
+let names () = List.map (fun p -> p.name) all
+let doc name =
+  List.find_opt (fun p -> p.name = name) all |> Option.map (fun p -> p.doc)
+
+let default_pipeline = [ "fold"; "prop"; "simplify"; "dce"; "unroll"; "hoist" ]
+
+type report = {
+  program : program;
+  rounds : int;
+  changes : int;
+  per_pass : (string * int) list; (* total changes attributed per pass *)
+}
+
+let sequential_program (p : program) =
+  not (List.exists (fun f -> Rewrite.has_sync f.body) p.funcs)
+
+let run ?(passes = default_pipeline) ?(max_rounds = 8) ?(debug = false) prog :
+    (report, string) result =
+  match
+    List.filter (fun n -> not (List.exists (fun p -> p.name = n) all)) passes
+  with
+  | bad :: _ -> Error (Printf.sprintf "unknown pass: %s" bad)
+  | [] ->
+      let selected =
+        List.map (fun n -> List.find (fun p -> p.name = n) all) passes
+      in
+      let prog = ref (Rewrite.copy_program prog) in
+      let sequential = sequential_program !prog in
+      let totals = Hashtbl.create 8 in
+      let rounds = ref 0 and total = ref 0 in
+      let fresh = ref 0 in
+      let continue_ = ref true in
+      while !continue_ && !rounds < max_rounds do
+        incr rounds;
+        let round_changes = ref 0 in
+        List.iter
+          (fun pass ->
+            if pass.restructuring && not sequential then begin
+              if !rounds = 1 then
+                Obs.Counter.incr
+                  (Obs.counter (Printf.sprintf "pass.%s.refused" pass.name))
+            end
+            else begin
+              let ctx =
+                { prog = !prog;
+                  sequential;
+                  globals =
+                    List.fold_left
+                      (fun acc g ->
+                        match g with
+                        | Gscalar (n, _) | Garray (n, _) -> SS.add n acc)
+                      SS.empty !prog.globals;
+                  static = lazy (Static.analyze !prog);
+                  changes = 0;
+                  fresh = !fresh;
+                  pass = pass.name;
+                  debug }
+              in
+              let p' = pass.rewrite ctx !prog in
+              fresh := ctx.fresh;
+              if ctx.changes > 0 then begin
+                Obs.Counter.incr
+                  (Obs.counter (Printf.sprintf "pass.%s.fired" pass.name));
+                prog := p';
+                round_changes := !round_changes + ctx.changes;
+                Hashtbl.replace totals pass.name
+                  ((try Hashtbl.find totals pass.name with Not_found -> 0)
+                  + ctx.changes);
+                if debug then
+                  Printf.eprintf "[pass.%s] round %d: %d change(s)\n%!"
+                    pass.name !rounds ctx.changes
+              end
+            end)
+          selected;
+        total := !total + !round_changes;
+        if !round_changes = 0 then continue_ := false
+      done;
+      Obs.Counter.add (Obs.counter "pass.pipeline.rounds") !rounds;
+      Ok
+        { program = !prog;
+          rounds = !rounds;
+          changes = !total;
+          per_pass =
+            List.filter_map
+              (fun p ->
+                match Hashtbl.find_opt totals p.name with
+                | Some n -> Some (p.name, n)
+                | None -> None)
+              selected }

@@ -1,0 +1,53 @@
+(** The MIL optimization-pass framework (ROADMAP item 3): named
+    [program -> program] passes with per-pass Obs click counters and a
+    fixpoint pipeline driver.
+
+    Counters, under the pipeline's Obs registry:
+    - [pass.<name>.fired] — invocations that changed the program
+    - [pass.<name>.stmts_removed] / [pass.<name>.exprs_folded] — work done
+    - [pass.<name>.refused] — the pass skipped the whole program because it
+      could not prove safety (restructuring passes on programs containing
+      sync constructs); the program is returned untouched, never silently
+      misrewritten
+    - [pass.pipeline.rounds] — fixpoint rounds executed
+
+    Every pass preserves the observable behaviour compared by
+    [Transform.Validate.diff_observations] (entry result, final globals,
+    print stream) and keeps the [line] of every surviving statement;
+    statements a pass introduces reuse the line of the construct they
+    replace, so an optimized program's depfile line keys are a subset of
+    the seed's. *)
+
+val names : unit -> string list
+(** Registered pass names, in default pipeline order-independent registry
+    order. *)
+
+val doc : string -> string option
+(** One-line description of a pass, if registered. *)
+
+val default_pipeline : string list
+(** The standard cleanup pipeline:
+    fold → prop → simplify → dce → unroll → hoist. *)
+
+val sequential_program : Ast.program -> bool
+(** No [Par]/[Lock]/[Unlock]/[Barrier] anywhere — the precondition for
+    restructuring passes (statement counts drive the fiber scheduler's
+    shared PRNG, so only sequential programs may change them). *)
+
+type report = {
+  program : Ast.program;  (** the optimized program (input is not mutated) *)
+  rounds : int;           (** fixpoint rounds run *)
+  changes : int;          (** total rewrites across all rounds *)
+  per_pass : (string * int) list;  (** changes attributed to each pass *)
+}
+
+val run :
+  ?passes:string list ->
+  ?max_rounds:int ->
+  ?debug:bool ->
+  Ast.program ->
+  (report, string) result
+(** Run the selected passes (default {!default_pipeline}) in list order,
+    repeating the whole sequence until a round makes no change or
+    [max_rounds] (default 8) is hit. [debug] traces per-pass rewrite counts
+    to stderr. [Error] names the first unknown pass. *)

@@ -160,6 +160,20 @@ let bounds_prelude (f : Ast.for_loop) ~step ~chunks ~k =
     decl "__end" (f.lo + (v "__n" * i step));
   ]
 
+(* More chunks than iterations would emit degenerate empty-range arms
+   ([__c0 == __c1]): each still costs a thread spawn, and in DOACROSS each
+   allocates a zero-length carry buffer and a useless ready-flag hop. When
+   the bounds are static we clamp the chunk count to the trip count (floor
+   1, so a zero-trip loop still produces one well-formed arm). Dynamic
+   bounds pass through: the boundary formula keeps empty chunks correct,
+   just wasteful, and the trip count is unknowable here. *)
+let clamp_chunks (f : Ast.for_loop) ~step ~chunks =
+  match (f.lo, f.hi) with
+  | Ast.Int l, Ast.Int h ->
+      let trip = if h > l then (h - l + step - 1) / step else 0 in
+      max 1 (min chunks trip)
+  | _ -> chunks
+
 let check_loop_shape prog (la : Loops.analysis) (stmt : Ast.stmt) =
   match stmt.Ast.node with
   | Ast.For f ->
@@ -197,6 +211,8 @@ let doall ~chunks prog (la : Loops.analysis) :
     | None -> Error "loop line not found"
   in
   let* f, step = check_loop_shape prog la stmt in
+  let requested = chunks in
+  let chunks = clamp_chunks f ~step ~chunks in
   let arrays = array_names prog in
   let bound_reads =
     Static.expr_read_vars f.lo (Static.expr_read_vars f.hi SS.empty)
@@ -327,7 +343,10 @@ let doall ~chunks prog (la : Loops.analysis) :
       prog red_plans
   in
   let notes =
-    Printf.sprintf "%d chunks over iteration space" chunks
+    (if chunks < requested then
+       Printf.sprintf "%d chunks over iteration space (clamped from %d to the \
+                       trip count)" chunks requested
+     else Printf.sprintf "%d chunks over iteration space" chunks)
     :: List.map
          (function
            | `Local (r, op, _, _) ->
@@ -351,6 +370,8 @@ let doacross ~chunks ~deps prog (la : Loops.analysis) :
     | None -> Error "loop line not found"
   in
   let* f, step = check_loop_shape prog la stmt in
+  let requested = chunks in
+  let chunks = clamp_chunks f ~step ~chunks in
   let body_lines = List.concat_map TD.stmt_lines f.body in
   let carried =
     Dep.Set_.in_range deps ~lo:la.region.Static.first_line
@@ -465,8 +486,13 @@ let doacross ~chunks ~deps prog (la : Loops.analysis) :
   in
   let notes =
     [ Printf.sprintf
-        "%d pipelined chunks: %d free statement(s) overlap, %d carried statement(s) serialized"
-        chunks p (n_stmts - p);
+        "%d pipelined chunks%s: %d free statement(s) overlap, %d carried \
+         statement(s) serialized"
+        chunks
+        (if chunks < requested then
+           Printf.sprintf " (clamped from %d to the trip count)" requested
+         else "")
+        p (n_stmts - p);
       Printf.sprintf "carried scalar(s) %s handed off through locked sections"
         (String.concat "," handoff) ]
     @ (if buffered <> [] then

@@ -11,6 +11,7 @@ let () =
       ("obs", Test_obs.tests);
       ("explain", Test_explain.tests);
       ("transform", Test_transform.tests);
+      ("passes", Test_passes.tests);
       ("hotpath", Test_hotpath.tests);
       ("pipeline", Test_pipeline.tests);
       ("runtime", Test_runtime.tests);
