@@ -1,0 +1,22 @@
+open Mil
+
+let prog =
+  let open Builder in
+  number
+    (program ~entry:"main" "hoistbug"
+       [ func "f" ~params:[ "x" ]
+           [ while_ (v "x" < i 10) [ decl "x" (i 99); return (i 1) ];
+             return (i 2) ];
+         func "main" [ return (call "f" [ i 0 ]) ] ])
+
+let () =
+  let before = (Interp.run prog).r_result in
+  let r = match Pass.run ~passes:[ "hoist" ] prog with
+    | Ok r -> r
+    | Error e -> failwith e
+  in
+  let after = (Interp.run r.program).r_result in
+  Printf.printf "changes=%d before=%s after=%s\n" r.changes
+    (match before with Some n -> string_of_int n | None -> "none")
+    (match after with Some n -> string_of_int n | None -> "none");
+  print_string (Pretty.render_program r.program)
